@@ -1,0 +1,72 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    []int
+		wantErr bool
+	}{
+		{give: "", want: nil},
+		{give: "3", want: []int{3}},
+		{give: "2, 5,9", want: []int{2, 5, 9}},
+		{give: "x", wantErr: true},
+		{give: "0", wantErr: true},
+		{give: "-3", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseInts(tt.give)
+		if tt.wantErr {
+			if err == nil {
+				t.Fatalf("parseInts(%q) accepted", tt.give)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("parseInts(%q): %v", tt.give, err)
+		}
+		if len(got) != len(tt.want) {
+			t.Fatalf("parseInts(%q) = %v", tt.give, got)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Fatalf("parseInts(%q) = %v", tt.give, got)
+			}
+		}
+	}
+}
+
+func TestRunTinySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	err := run([]string{
+		"-experiment", "fig6a",
+		"-writes", "3", "-warmup", "1", "-passes", "1",
+		"-ns", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{
+		"-experiment", "fig6b",
+		"-writes", "2", "-warmup", "1", "-passes", "1",
+		"-sizes", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Fatal("accepted unknown experiment")
+	}
+	if err := run([]string{"-ns", "zebra"}); err == nil {
+		t.Fatal("accepted bad -ns")
+	}
+	if err := run([]string{"-sizes", "-1"}); err == nil {
+		t.Fatal("accepted bad -sizes")
+	}
+}

@@ -1,0 +1,114 @@
+// Command recmem-client drives operations on a running recmem-node through
+// its control port.
+//
+// Usage:
+//
+//	recmem-client -node 127.0.0.1:7200 write x hello
+//	recmem-client -node 127.0.0.1:7201 read x
+//	recmem-client -node 127.0.0.1:7202 crash
+//	recmem-client -node 127.0.0.1:7202 recover
+//	recmem-client -node 127.0.0.1:7200 bench 50      # 50 timed writes
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "recmem-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("recmem-client", flag.ContinueOnError)
+	node := fs.String("node", "127.0.0.1:7200", "control address of a recmem-node")
+	timeout := fs.Duration("timeout", time.Minute, "per-command deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cmd := fs.Args()
+	if len(cmd) == 0 {
+		return fmt.Errorf("need a command: write, read, crash, recover, ping, bench")
+	}
+
+	conn, err := net.DialTimeout("tcp", *node, *timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(*timeout))
+	rd := bufio.NewReader(conn)
+
+	send := func(line string) (string, error) {
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			return "", err
+		}
+		resp, err := rd.ReadString('\n')
+		return strings.TrimSpace(resp), err
+	}
+
+	switch strings.ToLower(cmd[0]) {
+	case "write":
+		if len(cmd) != 3 {
+			return fmt.Errorf("usage: write <register> <value>")
+		}
+		resp, err := send(fmt.Sprintf("WRITE %s %s", cmd[1], cmd[2]))
+		if err != nil {
+			return err
+		}
+		fmt.Println(resp)
+	case "read":
+		if len(cmd) != 2 {
+			return fmt.Errorf("usage: read <register>")
+		}
+		resp, err := send("READ " + cmd[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(resp)
+	case "crash", "recover", "ping":
+		resp, err := send(strings.ToUpper(cmd[0]))
+		if err != nil {
+			return err
+		}
+		fmt.Println(resp)
+	case "bench":
+		// The paper's measurement: repeated 4-byte writes, averaged.
+		writes := 50
+		if len(cmd) > 1 {
+			writes, err = strconv.Atoi(cmd[1])
+			if err != nil {
+				return fmt.Errorf("bench count: %w", err)
+			}
+		}
+		var totalUS int64
+		for i := 0; i < writes; i++ {
+			resp, err := send(fmt.Sprintf("WRITE bench v%04d", i))
+			if err != nil {
+				return err
+			}
+			parts := strings.Fields(resp)
+			if len(parts) != 2 || parts[0] != "OK" {
+				return fmt.Errorf("unexpected response %q", resp)
+			}
+			us, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				return err
+			}
+			totalUS += us
+		}
+		fmt.Printf("%d writes, average %d us\n", writes, totalUS/int64(writes))
+	default:
+		return fmt.Errorf("unknown command %q", cmd[0])
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+)
+
+// fakeNode runs a minimal control-protocol server and returns its address.
+func fakeNode(t *testing.T, handle func(cmd []string) string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					fmt.Fprintln(conn, handle(strings.Fields(sc.Text())))
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestClientCommands(t *testing.T) {
+	store := make(map[string]string)
+	addr := fakeNode(t, func(cmd []string) string {
+		switch strings.ToUpper(cmd[0]) {
+		case "PING":
+			return "PONG"
+		case "WRITE":
+			store[cmd[1]] = cmd[2]
+			return "OK 123"
+		case "READ":
+			return "VAL " + store[cmd[1]]
+		case "CRASH", "RECOVER":
+			return "OK 1"
+		default:
+			return "ERR unknown"
+		}
+	})
+	for _, cmd := range [][]string{
+		{"-node", addr, "write", "x", "hello"},
+		{"-node", addr, "read", "x"},
+		{"-node", addr, "ping"},
+		{"-node", addr, "crash"},
+		{"-node", addr, "recover"},
+		{"-node", addr, "bench", "5"},
+	} {
+		if err := run(cmd); err != nil {
+			t.Fatalf("%v: %v", cmd, err)
+		}
+	}
+	if store["x"] != "hello" {
+		t.Fatalf("write did not reach the node: %v", store)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	addr := fakeNode(t, func([]string) string { return "ERR nothing" })
+	if err := run([]string{"-node", addr}); err == nil {
+		t.Fatal("accepted missing command")
+	}
+	if err := run([]string{"-node", addr, "frobnicate"}); err == nil {
+		t.Fatal("accepted unknown command")
+	}
+	if err := run([]string{"-node", addr, "write", "x"}); err == nil {
+		t.Fatal("accepted incomplete write")
+	}
+	if err := run([]string{"-node", addr, "read"}); err == nil {
+		t.Fatal("accepted incomplete read")
+	}
+	if err := run([]string{"-node", addr, "bench", "zebra"}); err == nil {
+		t.Fatal("accepted bad bench count")
+	}
+	// bench against an ERR-only server fails cleanly.
+	if err := run([]string{"-node", addr, "bench", "1"}); err == nil {
+		t.Fatal("bench accepted ERR responses")
+	}
+	if err := run([]string{"-node", "127.0.0.1:1", "-timeout", "100ms", "ping"}); err == nil {
+		t.Fatal("accepted unreachable node")
+	}
+}

@@ -1,0 +1,187 @@
+// Command recmem-node runs one process of the shared-memory emulation over
+// real TCP, the deployment shape of the paper's measurements (one process
+// per workstation). Processes find each other through a static peer list;
+// clients drive operations through a line-based control port (see
+// cmd/recmem-client).
+//
+// A three-process register on one machine:
+//
+//	recmem-node -id 0 -peers :7100,:7101,:7102 -control :7200 -dir /tmp/n0 &
+//	recmem-node -id 1 -peers :7100,:7101,:7102 -control :7201 -dir /tmp/n1 &
+//	recmem-node -id 2 -peers :7100,:7101,:7102 -control :7202 -dir /tmp/n2 &
+//	recmem-client -node :7200 write x hello
+//	recmem-client -node :7201 read x
+//
+// Control protocol (one command per line):
+//
+//	WRITE <register> <value>   -> OK <latency-us> | ERR <reason>
+//	READ <register>            -> VAL <value>     | ERR <reason>
+//	CRASH                      -> OK              | ERR <reason>
+//	RECOVER                    -> OK <latency-us> | ERR <reason>
+//	PING                       -> PONG
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"recmem/internal/core"
+	"recmem/internal/nettcp"
+	"recmem/internal/stable"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "recmem-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("recmem-node", flag.ContinueOnError)
+	var (
+		id        = fs.Int("id", 0, "this process's id (index into -peers)")
+		peersFlag = fs.String("peers", "", "comma-separated listen addresses of all processes")
+		control   = fs.String("control", "", "address of the client control port")
+		dir       = fs.String("dir", "", "stable-storage directory (required for crash-recovery algorithms)")
+		algorithm = fs.String("algorithm", "persistent", "crash-stop, transient, persistent, or naive")
+		hardened  = fs.Bool("hardened", false, "hardened tags for the transient algorithm")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	peers := strings.Split(*peersFlag, ",")
+	if len(peers) < 1 || *peersFlag == "" {
+		return fmt.Errorf("need -peers")
+	}
+	if *id < 0 || *id >= len(peers) {
+		return fmt.Errorf("-id %d out of range for %d peers", *id, len(peers))
+	}
+	if *control == "" {
+		return fmt.Errorf("need -control")
+	}
+	var kind core.AlgorithmKind
+	switch *algorithm {
+	case "crash-stop":
+		kind = core.CrashStop
+	case "transient":
+		kind = core.Transient
+	case "persistent":
+		kind = core.Persistent
+	case "naive":
+		kind = core.Naive
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algorithm)
+	}
+
+	mesh, err := nettcp.Listen(int32(*id), peers[*id], nettcp.Options{})
+	if err != nil {
+		return err
+	}
+	defer mesh.Close()
+	mesh.SetPeers(peers)
+
+	var disk stable.Storage
+	if kind.Recovers() {
+		if *dir == "" {
+			return fmt.Errorf("algorithm %v needs -dir for stable storage", kind)
+		}
+		disk, err = stable.NewFileDisk(*dir)
+		if err != nil {
+			return err
+		}
+		defer disk.Close()
+	}
+
+	node, err := core.NewNode(int32(*id), len(peers), kind,
+		core.Options{RetransmitEvery: 100 * time.Millisecond, HardenedTags: *hardened},
+		core.Deps{Endpoint: mesh, Storage: disk, IDs: &atomic.Uint64{}},
+	)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	ln, err := net.Listen("tcp", *control)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("recmem-node %d (%v) serving protocol on %s, control on %s\n",
+		*id, kind, mesh.Addr(), ln.Addr())
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil // listener closed
+		}
+		go serveControl(conn, node)
+	}
+}
+
+func serveControl(conn net.Conn, node *core.Node) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 128<<10), 128<<10)
+	out := bufio.NewWriter(conn)
+	reply := func(format string, args ...any) {
+		fmt.Fprintf(out, format+"\n", args...)
+		out.Flush()
+	}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		switch strings.ToUpper(fields[0]) {
+		case "PING":
+			reply("PONG")
+		case "WRITE":
+			if len(fields) != 3 {
+				reply("ERR usage: WRITE <register> <value>")
+				break
+			}
+			start := time.Now()
+			if _, err := node.Write(ctx, fields[1], []byte(fields[2]), core.OpObserver{}); err != nil {
+				reply("ERR %v", err)
+				break
+			}
+			reply("OK %d", time.Since(start).Microseconds())
+		case "READ":
+			if len(fields) != 2 {
+				reply("ERR usage: READ <register>")
+				break
+			}
+			val, _, err := node.Read(ctx, fields[1], core.OpObserver{})
+			if err != nil {
+				reply("ERR %v", err)
+				break
+			}
+			reply("VAL %s", string(val))
+		case "CRASH":
+			if node.Crash(nil) {
+				reply("OK")
+			} else {
+				reply("ERR already down")
+			}
+		case "RECOVER":
+			start := time.Now()
+			if err := node.Recover(ctx, nil, nil); err != nil {
+				reply("ERR %v", err)
+				break
+			}
+			reply("OK %d", time.Since(start).Microseconds())
+		default:
+			reply("ERR unknown command %q", fields[0])
+		}
+		cancel()
+	}
+}

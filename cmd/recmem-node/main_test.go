@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"recmem/internal/core"
+	"recmem/internal/netsim"
+	"recmem/internal/stable"
+)
+
+// newControlledNode builds a 3-process in-memory emulation and serves node
+// 0's control protocol over a pipe; returns a client-side scanner pair.
+func newControlledNode(t *testing.T) (send func(string) string) {
+	t.Helper()
+	nw, err := netsim.New(3, netsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+	ids := &atomic.Uint64{}
+	var node0 *core.Node
+	for i := 0; i < 3; i++ {
+		nd, err := core.NewNode(int32(i), 3, core.Persistent,
+			core.Options{RetransmitEvery: 10 * time.Millisecond},
+			core.Deps{Endpoint: nw.Endpoint(int32(i)), Storage: stable.NewMemDisk(stable.Profile{}), IDs: ids})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(nd.Close)
+		if i == 0 {
+			node0 = nd
+		}
+	}
+	client, server := net.Pipe()
+	t.Cleanup(func() { client.Close() })
+	go serveControl(server, node0)
+	rd := bufio.NewReader(client)
+	return func(line string) string {
+		t.Helper()
+		if _, err := fmt.Fprintln(client, line); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := rd.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(resp)
+	}
+}
+
+func TestControlProtocol(t *testing.T) {
+	send := newControlledNode(t)
+	if got := send("PING"); got != "PONG" {
+		t.Fatalf("PING -> %q", got)
+	}
+	if got := send("WRITE x hello"); !strings.HasPrefix(got, "OK ") {
+		t.Fatalf("WRITE -> %q", got)
+	}
+	if got := send("READ x"); got != "VAL hello" {
+		t.Fatalf("READ -> %q", got)
+	}
+	if got := send("READ nothing"); got != "VAL" {
+		t.Fatalf("READ empty -> %q", got)
+	}
+	if got := send("CRASH"); got != "OK" {
+		t.Fatalf("CRASH -> %q", got)
+	}
+	if got := send("CRASH"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("double CRASH -> %q", got)
+	}
+	if got := send("WRITE x nope"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("WRITE while down -> %q", got)
+	}
+	if got := send("RECOVER"); !strings.HasPrefix(got, "OK ") {
+		t.Fatalf("RECOVER -> %q", got)
+	}
+	if got := send("READ x"); got != "VAL hello" {
+		t.Fatalf("READ after recover -> %q", got)
+	}
+	// Malformed input.
+	if got := send("WRITE"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("bad WRITE -> %q", got)
+	}
+	if got := send("FROB x"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("unknown -> %q", got)
+	}
+	if got := send("read x"); got != "VAL hello" {
+		t.Fatalf("lowercase READ -> %q", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("accepted empty args")
+	}
+	if err := run([]string{"-peers", "a,b", "-id", "7", "-control", ":0"}); err == nil {
+		t.Fatal("accepted out-of-range id")
+	}
+	if err := run([]string{"-peers", "a,b", "-id", "0"}); err == nil {
+		t.Fatal("accepted missing control address")
+	}
+	if err := run([]string{"-peers", "127.0.0.1:0,x", "-id", "0", "-control", ":0", "-algorithm", "zzz"}); err == nil {
+		t.Fatal("accepted unknown algorithm")
+	}
+	if err := run([]string{"-peers", "127.0.0.1:0,x", "-id", "0", "-control", ":0", "-algorithm", "persistent"}); err == nil {
+		t.Fatal("accepted missing -dir for a recovery algorithm")
+	}
+}

@@ -1,0 +1,151 @@
+// Command recmem-torture stress-tests an emulation: it drives a concurrent
+// read/write workload while randomly crashing and recovering processes (and
+// optionally dropping/duplicating messages), then model-checks the recorded
+// history against the algorithm's consistency criterion. A non-zero exit
+// means a real atomicity violation was found.
+//
+// Usage:
+//
+//	recmem-torture -algorithm persistent -n 5 -ops 200 -rounds 10
+//	recmem-torture -algorithm transient -loss 0.2 -dup 0.1 -seed 7
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"recmem/internal/atomicity"
+	"recmem/internal/cluster"
+	"recmem/internal/core"
+	"recmem/internal/netsim"
+	"recmem/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "recmem-torture:", err)
+		os.Exit(1)
+	}
+}
+
+func algorithmByName(name string) (core.AlgorithmKind, error) {
+	switch name {
+	case "crash-stop":
+		return core.CrashStop, nil
+	case "transient":
+		return core.Transient, nil
+	case "persistent":
+		return core.Persistent, nil
+	case "naive":
+		return core.Naive, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (crash-stop, transient, persistent, naive)", name)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("recmem-torture", flag.ContinueOnError)
+	var (
+		algorithm = fs.String("algorithm", "persistent", "crash-stop, transient, persistent, or naive")
+		n         = fs.Int("n", 5, "number of processes")
+		ops       = fs.Int("ops", 100, "operations per process per round")
+		rounds    = fs.Int("rounds", 5, "independent torture rounds")
+		seed      = fs.Int64("seed", time.Now().UnixNano(), "base random seed")
+		loss      = fs.Float64("loss", 0, "message loss rate [0,1)")
+		dup       = fs.Float64("dup", 0, "message duplication rate [0,1)")
+		reads     = fs.Float64("reads", 0.4, "fraction of operations that are reads")
+		regs      = fs.Int("registers", 2, "number of registers")
+		hardened  = fs.Bool("hardened", false, "use hardened tags for the transient algorithm")
+		faultFor  = fs.Duration("faults", time.Second, "fault-injection duration per round")
+		traceCap  = fs.Int("trace", 0, "protocol trace capacity; dumped when a violation is found (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kind, err := algorithmByName(*algorithm)
+	if err != nil {
+		return err
+	}
+
+	for round := 0; round < *rounds; round++ {
+		roundSeed := *seed + int64(round)*1_000_003
+		if err := tortureRound(kind, *n, *ops, roundSeed, *loss, *dup, *reads, *regs, *hardened, *faultFor, *traceCap); err != nil {
+			return fmt.Errorf("round %d (seed %d): %w", round, roundSeed, err)
+		}
+		fmt.Printf("round %d ok (seed %d)\n", round, roundSeed)
+	}
+	fmt.Printf("all %d rounds passed: %s emulation upheld %s\n",
+		*rounds, kind, modeFor(kind))
+	return nil
+}
+
+func modeFor(kind core.AlgorithmKind) atomicity.Mode {
+	switch kind {
+	case core.CrashStop:
+		return atomicity.Linearizable
+	case core.Transient:
+		return atomicity.Transient
+	default:
+		return atomicity.Persistent
+	}
+}
+
+func tortureRound(kind core.AlgorithmKind, n, ops int, seed int64, loss, dup, reads float64, regs int, hardened bool, faultFor time.Duration, traceCap int) error {
+	c, err := cluster.New(cluster.Config{
+		N:         n,
+		Algorithm: kind,
+		Node: core.Options{
+			RetransmitEvery: 5 * time.Millisecond,
+			HardenedTags:    hardened,
+		},
+		Net:           netsim.Options{LossRate: loss, DupRate: dup, Seed: seed},
+		TraceCapacity: traceCap,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	faultsDone := make(chan int, 1)
+	if kind.Recovers() {
+		faultCtx, stopFaults := context.WithTimeout(ctx, faultFor)
+		defer stopFaults()
+		go func() {
+			faultsDone <- c.RandomFaults(faultCtx, cluster.FaultOptions{
+				Seed: seed, MeanInterval: 10 * time.Millisecond,
+			})
+		}()
+	} else {
+		faultsDone <- 0
+	}
+
+	names := make([]string, regs)
+	for i := range names {
+		names[i] = fmt.Sprintf("r%d", i)
+	}
+	res := workload.Run(ctx, c, workload.AllProcs(n), ops,
+		workload.Mix{ReadFraction: reads, Registers: names}, seed)
+	crashes := <-faultsDone
+	if err := c.RecoverAll(ctx); err != nil {
+		return fmt.Errorf("recover all: %w", err)
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("workload saw %d unexpected errors", res.Errors)
+	}
+	fmt.Printf("  %d writes, %d reads, %d interrupted, %d crashes injected\n",
+		res.Writes, res.Reads, res.Interrupted, crashes)
+	if err := c.Check(modeFor(kind)); err != nil {
+		// A real violation: dump the protocol trace if one was kept.
+		if c.DumpTrace(os.Stderr) {
+			fmt.Fprintln(os.Stderr, "--- protocol trace above ---")
+		}
+		return err
+	}
+	return nil
+}

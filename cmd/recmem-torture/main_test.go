@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+
+	"recmem/internal/core"
+)
+
+func TestAlgorithmByName(t *testing.T) {
+	for _, name := range []string{"crash-stop", "transient", "persistent", "naive"} {
+		kind, err := algorithmByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if kind.String() != name {
+			t.Fatalf("%s mapped to %v", name, kind)
+		}
+	}
+	if _, err := algorithmByName("paxos"); err == nil {
+		t.Fatal("accepted unknown algorithm")
+	}
+}
+
+func TestTortureRoundPersistent(t *testing.T) {
+	err := tortureRound(mustKind(t, "persistent"), 3, 10, 42, 0, 0, 0.5, 1, false, 100_000_000 /* 100ms */, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTortureRoundTransientWithLoss(t *testing.T) {
+	err := tortureRound(mustKind(t, "transient"), 3, 8, 7, 0.1, 0.05, 0.5, 2, true, 100_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTortureRoundCrashStop(t *testing.T) {
+	err := tortureRound(mustKind(t, "crash-stop"), 3, 10, 3, 0, 0, 0.5, 1, false, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFullFlow(t *testing.T) {
+	err := run([]string{
+		"-algorithm", "persistent", "-n", "3", "-ops", "5",
+		"-rounds", "2", "-seed", "11", "-faults", "50ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadAlgorithm(t *testing.T) {
+	if err := run([]string{"-algorithm", "nope"}); err == nil {
+		t.Fatal("accepted unknown algorithm")
+	}
+}
+
+func mustKind(t *testing.T, name string) core.AlgorithmKind {
+	t.Helper()
+	kind, err := algorithmByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kind
+}

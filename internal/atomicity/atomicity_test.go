@@ -1,0 +1,476 @@
+package atomicity
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"recmem/internal/history"
+)
+
+// hb (history builder) assigns sequence numbers 1..n to the given events.
+func hb(events ...history.Event) history.History {
+	h := make(history.History, len(events))
+	for i, e := range events {
+		e.Seq = int64(i + 1)
+		h[i] = e
+	}
+	return h
+}
+
+func inv(p int32, op history.OpType, id uint64, v string) history.Event {
+	return history.Event{Proc: p, Kind: history.Invoke, Op: op, OpID: id, Reg: "x", Value: v}
+}
+
+func ret(p int32, op history.OpType, id uint64, v string) history.Event {
+	return history.Event{Proc: p, Kind: history.Return, Op: op, OpID: id, Reg: "x", Value: v}
+}
+
+func crash(p int32) history.Event    { return history.Event{Proc: p, Kind: history.Crash} }
+func recover1(p int32) history.Event { return history.Event{Proc: p, Kind: history.Recover} }
+
+func allModes() []Mode { return []Mode{Linearizable, Persistent, Transient} }
+
+func TestSequentialHistoryLegal(t *testing.T) {
+	h := hb(
+		inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+		inv(2, history.Read, 2, ""), ret(2, history.Read, 2, "a"),
+		inv(1, history.Write, 3, "b"), ret(1, history.Write, 3, ""),
+		inv(2, history.Read, 4, ""), ret(2, history.Read, 4, "b"),
+	)
+	for _, m := range allModes() {
+		if err := Check(h, m); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestReadInitialValue(t *testing.T) {
+	h := hb(
+		inv(2, history.Read, 1, ""), ret(2, history.Read, 1, history.Bottom),
+		inv(1, history.Write, 2, "a"), ret(1, history.Write, 2, ""),
+	)
+	for _, m := range allModes() {
+		if err := Check(h, m); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestStaleReadViolation(t *testing.T) {
+	h := hb(
+		inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+		inv(2, history.Read, 2, ""), ret(2, history.Read, 2, history.Bottom),
+	)
+	for _, m := range allModes() {
+		err := Check(h, m)
+		var v *Violation
+		if !errors.As(err, &v) {
+			t.Fatalf("%v: expected violation, got %v", m, err)
+		}
+		if v.Mode != m || v.Reg != "x" {
+			t.Fatalf("%v: violation metadata wrong: %+v", m, v)
+		}
+	}
+}
+
+func TestReadOfNeverWrittenValue(t *testing.T) {
+	h := hb(
+		inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+		inv(2, history.Read, 2, ""), ret(2, history.Read, 2, "ghost"),
+	)
+	for _, m := range allModes() {
+		if err := Check(h, m); err == nil {
+			t.Fatalf("%v: accepted read of never-written value", m)
+		}
+	}
+}
+
+func TestNewOldInversionViolation(t *testing.T) {
+	// Complete writes a then b; then two sequential reads observe b then a.
+	h := hb(
+		inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+		inv(1, history.Write, 2, "b"), ret(1, history.Write, 2, ""),
+		inv(2, history.Read, 3, ""), ret(2, history.Read, 3, "b"),
+		inv(2, history.Read, 4, ""), ret(2, history.Read, 4, "a"),
+	)
+	for _, m := range allModes() {
+		if err := Check(h, m); err == nil {
+			t.Fatalf("%v: accepted new-old inversion", m)
+		}
+	}
+}
+
+func TestConcurrentReadsMayDisagreeWithPendingWrite(t *testing.T) {
+	// W(b) is pending (writer crashed); one read sees it, a concurrent read
+	// does not. Legal in every mode: the pending write linearizes between
+	// the reads... but since the reads overlap each other, either order.
+	h := hb(
+		inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+		inv(1, history.Write, 2, "b"),
+		crash(1),
+		inv(2, history.Read, 3, ""), ret(2, history.Read, 3, "b"),
+		inv(3, history.Read, 4, ""), ret(3, history.Read, 4, "a"),
+	)
+	// Reads are sequential (p2's completes before p3's starts): read b then
+	// a. The pending write must linearize before p2's read, after which a is
+	// stale: violation in every mode.
+	for _, m := range allModes() {
+		if err := Check(h, m); err == nil {
+			t.Fatalf("%v: accepted stale read after observed pending write", m)
+		}
+	}
+}
+
+func TestPendingWriteMayBeAbsent(t *testing.T) {
+	h := hb(
+		inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+		inv(1, history.Write, 2, "b"),
+		crash(1),
+		inv(2, history.Read, 3, ""), ret(2, history.Read, 3, "a"),
+	)
+	for _, m := range allModes() {
+		if err := Check(h, m); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestPendingWriteMayTakeEffect(t *testing.T) {
+	h := hb(
+		inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+		inv(1, history.Write, 2, "b"),
+		crash(1),
+		inv(2, history.Read, 3, ""), ret(2, history.Read, 3, "b"),
+	)
+	for _, m := range allModes() {
+		if err := Check(h, m); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}
+
+// TestFigure1Distinguisher is the paper's Figure 1 scenario: W(v1) completes,
+// W(v2) crashes mid-write, the writer recovers and runs W(v3); two sequential
+// reads concurrent with W(v3) return v1 then v2. Transient atomicity allows
+// it (the unfinished W(v2) overlaps W(v3) and linearizes between the reads —
+// the paper's sequential witness W(v1), R(v1), W(v2), R(v2), W(v3));
+// persistent atomicity forbids it (W(v2) must take effect before W(v3) is
+// invoked, or never).
+func TestFigure1Distinguisher(t *testing.T) {
+	h := hb(
+		inv(1, history.Write, 1, "v1"), ret(1, history.Write, 1, ""),
+		inv(1, history.Write, 2, "v2"),
+		crash(1),
+		recover1(1),
+		inv(1, history.Write, 3, "v3"),
+		inv(2, history.Read, 4, ""), ret(2, history.Read, 4, "v1"),
+		inv(2, history.Read, 5, ""), ret(2, history.Read, 5, "v2"),
+		ret(1, history.Write, 3, ""),
+	)
+	if err := Check(h, Transient); err != nil {
+		t.Fatalf("transient should allow the overlapping-write run: %v", err)
+	}
+	if err := Check(h, Persistent); err == nil {
+		t.Fatal("persistent should reject the overlapping-write run")
+	}
+	// Linearizability (which ignores crashes and lets pending replies float)
+	// also allows it; the persistent criterion is strictly stronger exactly
+	// because it bounds the completion at the next invocation.
+	if err := Check(h, Linearizable); err != nil {
+		t.Fatalf("linearizable baseline: %v", err)
+	}
+}
+
+// TestTheorem1PropertyP1 checks the paper's property P1: under persistent
+// atomicity, if a read invoked after the invocation of W(v3) returns v1,
+// then no subsequent read returns v2.
+func TestTheorem1PropertyP1(t *testing.T) {
+	mk := func(r1, r2 string) history.History {
+		return hb(
+			inv(1, history.Write, 1, "v1"), ret(1, history.Write, 1, ""),
+			inv(1, history.Write, 2, "v2"),
+			crash(1),
+			recover1(1),
+			inv(1, history.Write, 3, "v3"),
+			inv(2, history.Read, 4, ""), ret(2, history.Read, 4, r1),
+			inv(2, history.Read, 5, ""), ret(2, history.Read, 5, r2),
+			ret(1, history.Write, 3, ""),
+		)
+	}
+	tests := []struct {
+		r1, r2 string
+		wantOK bool
+	}{
+		{"v1", "v1", true}, // v2 cancelled
+		{"v1", "v3", true}, // v2 cancelled, v3 took effect
+		{"v2", "v2", true}, // v2 completed before W(v3)
+		{"v2", "v3", true},
+		{"v3", "v3", true},
+		{"v1", "v2", false}, // P1 violated: v1 then v2
+		{"v2", "v1", false}, // plain new-old inversion
+		{"v3", "v1", false},
+		{"v3", "v2", false},
+	}
+	for _, tt := range tests {
+		err := Check(mk(tt.r1, tt.r2), Persistent)
+		if tt.wantOK && err != nil {
+			t.Errorf("reads (%s,%s): unexpected violation: %v", tt.r1, tt.r2, err)
+		}
+		if !tt.wantOK && err == nil {
+			t.Errorf("reads (%s,%s): persistent check accepted P1 violation", tt.r1, tt.r2)
+		}
+	}
+}
+
+// TestTheorem2RunRho4 encodes Figure 3: the reader reads v2, crashes,
+// recovers, and reads v1 while W(v2) is still pending. No mode accepts it —
+// which is why a reader that does not log cannot emulate even transient
+// atomicity (the run is indistinguishable from the legal ρ2 and ρ3).
+func TestTheorem2RunRho4(t *testing.T) {
+	rho4 := hb(
+		inv(1, history.Write, 1, "v1"), ret(1, history.Write, 1, ""),
+		inv(1, history.Write, 2, "v2"),
+		inv(2, history.Read, 3, ""), ret(2, history.Read, 3, "v2"),
+		crash(2),
+		recover1(2),
+		inv(2, history.Read, 4, ""), ret(2, history.Read, 4, "v1"),
+	)
+	for _, m := range allModes() {
+		if err := Check(rho4, m); err == nil {
+			t.Fatalf("%v: accepted run rho4", m)
+		}
+	}
+	// The two bordering runs are individually fine.
+	rho2 := hb(
+		inv(1, history.Write, 1, "v1"), ret(1, history.Write, 1, ""),
+		inv(1, history.Write, 2, "v2"),
+		crash(2),
+		recover1(2),
+		inv(2, history.Read, 3, ""), ret(2, history.Read, 3, "v1"),
+	)
+	rho3 := hb(
+		inv(1, history.Write, 1, "v1"), ret(1, history.Write, 1, ""),
+		inv(1, history.Write, 2, "v2"),
+		inv(2, history.Read, 3, ""), ret(2, history.Read, 3, "v2"),
+		crash(2),
+		recover1(2),
+	)
+	for _, m := range allModes() {
+		if err := Check(rho2, m); err != nil {
+			t.Fatalf("%v rho2: %v", m, err)
+		}
+		if err := Check(rho3, m); err != nil {
+			t.Fatalf("%v rho3: %v", m, err)
+		}
+	}
+}
+
+// TestTransientBoundIsNextWriteReply: after the writer's next write
+// *completes*, the orphaned write may no longer take effect; a read that
+// still observes it violates transient atomicity.
+func TestTransientBoundIsNextWriteReply(t *testing.T) {
+	// W(v2) pending; recovery; W(v3) completes; W(v4) completes; read
+	// returns v2 afterwards. The completion bound for W(v2) is W(v3)'s
+	// reply, so W(v2) precedes W(v4); reading v2 after W(v4) is illegal.
+	h := hb(
+		inv(1, history.Write, 1, "v1"), ret(1, history.Write, 1, ""),
+		inv(1, history.Write, 2, "v2"),
+		crash(1),
+		recover1(1),
+		inv(1, history.Write, 3, "v3"), ret(1, history.Write, 3, ""),
+		inv(1, history.Write, 4, "v4"), ret(1, history.Write, 4, ""),
+		inv(2, history.Read, 5, ""), ret(2, history.Read, 5, "v2"),
+	)
+	if err := Check(h, Transient); err == nil {
+		t.Fatal("transient accepted orphan value past the next completed write")
+	}
+	// But reading v2 while only W(v3) has completed and the read overlaps
+	// nothing else is still a violation? No: the read starts after W(v3)'s
+	// reply, and W(v2)'s completion bound is exactly that reply, so W(v2)
+	// precedes the read's invocation — order W(v1) W(v2) W(v3) R(v2) is
+	// illegal, but order W(v1) W(v3) W(v2) R(v2) requires W(v2) after
+	// W(v3)... W(v2)'s reply (before reply(v3)) is before inv(R), and
+	// W(v3) does not precede W(v2) (its reply is not before W(v2)'s
+	// invocation? W(v2) was invoked before W(v3)) — they overlap, so the
+	// witness W(v1) W(v3) W(v2) R(v2) is valid.
+	h2 := hb(
+		inv(1, history.Write, 1, "v1"), ret(1, history.Write, 1, ""),
+		inv(1, history.Write, 2, "v2"),
+		crash(1),
+		recover1(1),
+		inv(1, history.Write, 3, "v3"), ret(1, history.Write, 3, ""),
+		inv(2, history.Read, 5, ""), ret(2, history.Read, 5, "v2"),
+	)
+	if err := Check(h2, Transient); err != nil {
+		t.Fatalf("transient should allow orphan observed before a second completed write: %v", err)
+	}
+	if err := Check(h2, Persistent); err == nil {
+		t.Fatal("persistent should reject the orphan observed after W(v3) completed")
+	}
+}
+
+func TestMultiRegisterIndependence(t *testing.T) {
+	h := hb(
+		history.Event{Proc: 1, Kind: history.Invoke, Op: history.Write, OpID: 1, Reg: "x", Value: "a"},
+		history.Event{Proc: 1, Kind: history.Return, Op: history.Write, OpID: 1, Reg: "x"},
+		history.Event{Proc: 2, Kind: history.Invoke, Op: history.Write, OpID: 2, Reg: "y", Value: "b"},
+		history.Event{Proc: 2, Kind: history.Return, Op: history.Write, OpID: 2, Reg: "y"},
+		history.Event{Proc: 3, Kind: history.Invoke, Op: history.Read, OpID: 3, Reg: "x"},
+		history.Event{Proc: 3, Kind: history.Return, Op: history.Read, OpID: 3, Reg: "x", Value: "a"},
+		history.Event{Proc: 3, Kind: history.Invoke, Op: history.Read, OpID: 4, Reg: "y"},
+		history.Event{Proc: 3, Kind: history.Return, Op: history.Read, OpID: 4, Reg: "y", Value: history.Bottom},
+	)
+	err := Check(h, Persistent)
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected violation on y, got %v", err)
+	}
+	if v.Reg != "y" {
+		t.Fatalf("violation register = %q, want y", v.Reg)
+	}
+}
+
+func TestIllFormedHistoryRejected(t *testing.T) {
+	h := hb(
+		inv(1, history.Write, 1, "a"),
+		inv(1, history.Write, 2, "b"),
+	)
+	if err := Check(h, Persistent); err == nil {
+		t.Fatal("ill-formed history accepted")
+	}
+}
+
+func TestLongSequentialHistoryFast(t *testing.T) {
+	var events []history.Event
+	id := uint64(1)
+	for i := 0; i < 500; i++ {
+		v := string(rune('a' + i%26))
+		events = append(events,
+			inv(1, history.Write, id, v), ret(1, history.Write, id, ""),
+		)
+		id++
+		events = append(events,
+			inv(2, history.Read, id, ""), ret(2, history.Read, id, v),
+		)
+		id++
+	}
+	h := hb(events...)
+	for _, m := range allModes() {
+		if err := Check(h, m); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestViolationErrorString(t *testing.T) {
+	v := &Violation{
+		Mode:   Persistent,
+		Reg:    "x",
+		Reason: "why",
+		Ops:    []history.Operation{{Proc: 1, Type: history.Write, Value: "v"}},
+	}
+	got := v.Error()
+	for _, want := range []string{"persistent-atomic", `"x"`, "why", "p1:W(v)?"} {
+		if !contains(got, want) {
+			t.Fatalf("Error() = %q missing %q", got, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// bruteWitness enumerates all permutations with keep/drop choices for
+// optional operations — the ground truth for small inputs.
+func bruteWitness(ops []searchOp, initial string) bool {
+	n := len(ops)
+	used := make([]bool, n)
+	var perm func(value string, placed int) bool
+	perm = func(value string, placed int) bool {
+		if placed == n {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			// Precedence: every un-placed op that returned before ops[i]'s
+			// invocation must already be placed.
+			ok := true
+			for j := 0; j < n; j++ {
+				if j != i && !used[j] && ops[j].ret < ops[i].inv {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if ops[i].isWrite {
+					used[i] = true
+					if perm(ops[i].value, placed+1) {
+						return true
+					}
+					used[i] = false
+				} else if ops[i].value == value {
+					used[i] = true
+					if perm(value, placed+1) {
+						return true
+					}
+					used[i] = false
+				}
+			}
+			if ops[i].optional {
+				used[i] = true
+				if perm(value, placed+1) {
+					return true
+				}
+				used[i] = false
+			}
+		}
+		return false
+	}
+	return perm(initial, 0)
+}
+
+// TestSearchAgreesWithBruteForce cross-checks the memoized search against
+// exhaustive enumeration on thousands of random small operation sets.
+func TestSearchAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	values := []string{"", "a", "b", "c"}
+	for trial := 0; trial < 4000; trial++ {
+		n := 1 + rng.Intn(6)
+		ops := make([]searchOp, n)
+		for i := range ops {
+			invAt := int64(rng.Intn(10))
+			retAt := invAt + int64(rng.Intn(6))
+			op := searchOp{
+				isWrite: rng.Intn(2) == 0,
+				value:   values[rng.Intn(len(values))],
+				inv:     invAt,
+				ret:     retAt,
+			}
+			if op.isWrite && rng.Intn(4) == 0 {
+				op.optional = true
+				if rng.Intn(2) == 0 {
+					op.ret = unbounded
+				}
+			}
+			ops[i] = op
+		}
+		got := sequentialWitnessExists(ops, "")
+		want := bruteWitness(ops, "")
+		if got != want {
+			t.Fatalf("trial %d: search=%v brute=%v for %+v", trial, got, want, ops)
+		}
+	}
+}

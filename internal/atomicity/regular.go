@@ -1,0 +1,120 @@
+package atomicity
+
+import (
+	"fmt"
+
+	"recmem/internal/history"
+)
+
+// Regular and safe registers (§VI of the paper, after Lamport's original
+// single-writer definitions):
+//
+//   - A safe read that is not concurrent with any write returns the last
+//     written value; a read concurrent with a write may return anything.
+//   - A regular read returns the last value written before the read's
+//     invocation, or the value of any write concurrent with the read.
+//     Unlike atomicity, new-old inversion between two sequential reads is
+//     allowed.
+//
+// In the crash-recovery model, a write interrupted by a crash has no reply;
+// following the transient reading of the paper, such a pending write remains
+// a "concurrent" candidate for later reads (its effect may surface until the
+// writer's next write propagates past it). The checkers below implement
+// these per-read candidate semantics directly — no search is needed because
+// the single writer totally orders the writes.
+
+// CheckRegularSW verifies a well-formed single-writer history against
+// regularity (with the pending-write reading above). Multi-register
+// histories are checked per register. It returns a *Violation (with Mode
+// left zero and a textual reason) on failure.
+func CheckRegularSW(h history.History) error {
+	return checkSW(h, true)
+}
+
+// CheckSafeSW verifies a well-formed single-writer history against safety:
+// only reads not concurrent with any write are constrained.
+func CheckSafeSW(h history.History) error {
+	return checkSW(h, false)
+}
+
+func checkSW(h history.History, regular bool) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	for _, reg := range h.Registers() {
+		if err := checkSWRegister(h.Restrict(reg), reg, regular); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkSWRegister(h history.History, reg string, regular bool) error {
+	criterion := "safe"
+	if regular {
+		criterion = "regular"
+	}
+	all := h.Operations()
+	var (
+		writes []history.Operation
+		reads  []history.Operation
+		writer = int32(-1)
+	)
+	for _, op := range all {
+		switch op.Type {
+		case history.Write:
+			if writer == -1 {
+				writer = op.Proc
+			} else if writer != op.Proc {
+				return &Violation{
+					Reg:    reg,
+					Reason: fmt.Sprintf("%s register checker requires a single writer; saw writes from p%d and p%d", criterion, writer, op.Proc),
+					Ops:    all,
+				}
+			}
+			writes = append(writes, op)
+		case history.Read:
+			if !op.Pending() {
+				reads = append(reads, op)
+			}
+		}
+	}
+
+	for _, r := range reads {
+		// The last write completed before the read's invocation. The single
+		// writer is sequential, so completed writes are ordered by Inv.
+		var last *history.Operation
+		concurrent := false
+		candidates := make(map[string]bool)
+		for i := range writes {
+			w := &writes[i]
+			if !w.Pending() && w.Ret < r.Inv {
+				if last == nil || w.Inv > last.Inv {
+					last = w
+				}
+				continue
+			}
+			// Pending, or overlapping the read.
+			if w.Inv < r.Ret {
+				concurrent = true
+				candidates[w.Value] = true
+			}
+		}
+		if last != nil {
+			candidates[last.Value] = true
+		} else {
+			candidates[history.Bottom] = true
+		}
+		if !regular && concurrent {
+			continue // a safe read concurrent with a write may return anything
+		}
+		if !candidates[r.Value] {
+			return &Violation{
+				Reg:    reg,
+				Reason: fmt.Sprintf("%s register read returned %q, not the latest completed or a concurrent write", criterion, r.Value),
+				Ops:    all,
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package atomicity
+
+import (
+	"errors"
+	"testing"
+
+	"recmem/internal/history"
+)
+
+func TestRegularSequentialLegal(t *testing.T) {
+	h := hb(
+		inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+		inv(2, history.Read, 2, ""), ret(2, history.Read, 2, "a"),
+		inv(1, history.Write, 3, "b"), ret(1, history.Write, 3, ""),
+		inv(2, history.Read, 4, ""), ret(2, history.Read, 4, "b"),
+	)
+	if err := CheckRegularSW(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSafeSW(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegularInitialValue(t *testing.T) {
+	h := hb(
+		inv(2, history.Read, 1, ""), ret(2, history.Read, 1, history.Bottom),
+	)
+	if err := CheckRegularSW(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegularStaleQuiescentReadViolation(t *testing.T) {
+	h := hb(
+		inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+		inv(1, history.Write, 2, "b"), ret(1, history.Write, 2, ""),
+		inv(2, history.Read, 3, ""), ret(2, history.Read, 3, "a"),
+	)
+	var v *Violation
+	if err := CheckRegularSW(h); !errors.As(err, &v) {
+		t.Fatalf("regular accepted stale quiescent read: %v", err)
+	}
+	if err := CheckSafeSW(h); !errors.As(err, &v) {
+		t.Fatalf("safe accepted stale quiescent read: %v", err)
+	}
+}
+
+func TestRegularConcurrentReadMayReturnEither(t *testing.T) {
+	mk := func(val string) history.History {
+		return hb(
+			inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+			inv(1, history.Write, 2, "b"),
+			inv(2, history.Read, 3, ""), ret(2, history.Read, 3, val),
+			ret(1, history.Write, 2, ""),
+		)
+	}
+	for _, val := range []string{"a", "b"} {
+		if err := CheckRegularSW(mk(val)); err != nil {
+			t.Fatalf("read of %q during write rejected: %v", val, err)
+		}
+	}
+	if err := CheckRegularSW(mk("ghost")); err == nil {
+		t.Fatal("regular accepted a never-written value")
+	}
+	// Safe allows anything while concurrent.
+	if err := CheckSafeSW(mk("ghost")); err != nil {
+		t.Fatalf("safe rejected concurrent garbage: %v", err)
+	}
+}
+
+// TestRegularAllowsNewOldInversion is the defining difference from
+// atomicity: two sequential reads may see the new value then the old one
+// while the write is in progress.
+func TestRegularAllowsNewOldInversion(t *testing.T) {
+	h := hb(
+		inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+		inv(1, history.Write, 2, "b"),
+		inv(2, history.Read, 3, ""), ret(2, history.Read, 3, "b"),
+		inv(2, history.Read, 4, ""), ret(2, history.Read, 4, "a"),
+		ret(1, history.Write, 2, ""),
+	)
+	if err := CheckRegularSW(h); err != nil {
+		t.Fatalf("regular must allow new-old inversion: %v", err)
+	}
+	// Atomicity forbids exactly this.
+	if err := Check(h, Linearizable); err == nil {
+		t.Fatal("linearizability accepted new-old inversion")
+	}
+}
+
+// TestRegularPendingWriteStaysCandidate: a crashed write remains readable
+// (the transient reading of regularity in the crash-recovery model).
+func TestRegularPendingWriteStaysCandidate(t *testing.T) {
+	h := hb(
+		inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+		inv(1, history.Write, 2, "b"),
+		crash(1),
+		recover1(1),
+		inv(2, history.Read, 3, ""), ret(2, history.Read, 3, "b"),
+		inv(2, history.Read, 4, ""), ret(2, history.Read, 4, "a"),
+	)
+	if err := CheckRegularSW(h); err != nil {
+		t.Fatalf("pending write should stay a candidate: %v", err)
+	}
+}
+
+func TestRegularRejectsMultiWriter(t *testing.T) {
+	h := hb(
+		inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+		inv(2, history.Write, 2, "b"), ret(2, history.Write, 2, ""),
+	)
+	var v *Violation
+	if err := CheckRegularSW(h); !errors.As(err, &v) {
+		t.Fatalf("expected multi-writer rejection, got %v", err)
+	}
+}
+
+func TestRegularPendingReadIgnored(t *testing.T) {
+	h := hb(
+		inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+		inv(2, history.Read, 2, ""),
+		crash(2),
+	)
+	if err := CheckRegularSW(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegularIllFormedRejected(t *testing.T) {
+	h := hb(
+		inv(1, history.Write, 1, "a"),
+		inv(1, history.Write, 2, "b"),
+	)
+	if err := CheckRegularSW(h); err == nil {
+		t.Fatal("accepted ill-formed history")
+	}
+}
+
+// TestAtomicImpliesRegular: every linearizable single-writer history is
+// regular (the paper's hierarchy: safe ⊂ regular ⊂ atomic).
+func TestAtomicImpliesRegular(t *testing.T) {
+	histories := []history.History{
+		hb(
+			inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+			inv(2, history.Read, 2, ""), ret(2, history.Read, 2, "a"),
+		),
+		hb(
+			inv(1, history.Write, 1, "a"), ret(1, history.Write, 1, ""),
+			inv(1, history.Write, 2, "b"),
+			inv(3, history.Read, 3, ""), ret(3, history.Read, 3, "b"),
+			ret(1, history.Write, 2, ""),
+			inv(2, history.Read, 4, ""), ret(2, history.Read, 4, "b"),
+		),
+	}
+	for i, h := range histories {
+		if err := Check(h, Linearizable); err != nil {
+			t.Fatalf("history %d not linearizable: %v", i, err)
+		}
+		if err := CheckRegularSW(h); err != nil {
+			t.Fatalf("history %d linearizable but not regular: %v", i, err)
+		}
+		if err := CheckSafeSW(h); err != nil {
+			t.Fatalf("history %d regular but not safe: %v", i, err)
+		}
+	}
+}

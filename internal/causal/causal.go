@@ -1,0 +1,102 @@
+// Package causal implements the paper's log-complexity metric (§I-B): the
+// number of *causal logs* of an operation is the length of the longest chain
+// of causally ordered (Lamport happened-before) store operations performed on
+// behalf of the operation between its invocation and its reply.
+//
+// The metric is made executable by threading a depth counter through the
+// protocol: an operation starts with depth 0; every message sent on behalf of
+// the operation carries the depth of the log chain that causally precedes it;
+// a process that logs while handling such a message extends the chain
+// (depth+1) and propagates the new depth in its acknowledgement. The
+// operation's cost is the maximum depth reached.
+//
+// The paper's two illustrative write algorithms calibrate the metric:
+// algorithm A (writer logs, then everyone else logs) costs 2 causal logs and
+// 2δ+2λ wall time; algorithm A′ (everyone logs in parallel) costs 1 causal
+// log and 2δ+λ.
+package causal
+
+import "sync"
+
+// After returns the depth of a log chain extended by one store that causally
+// follows a chain of the given depth.
+func After(depth int) int { return depth + 1 }
+
+// MaxDepth returns the largest of the given chain depths (0 if none), i.e.
+// the depth of the join of several causal chains.
+func MaxDepth(depths ...int) int {
+	max := 0
+	for _, d := range depths {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// OpCost aggregates the stable-storage activity of one operation (or one
+// recovery procedure).
+type OpCost struct {
+	// Logs is the total number of store operations performed on behalf of
+	// the operation, across all processes (parallel logs all count).
+	Logs int
+	// CausalDepth is the paper's metric: the length of the longest causal
+	// chain of those logs.
+	CausalDepth int
+	// Bytes is the total number of bytes written to stable storage.
+	Bytes int
+}
+
+// Meter aggregates per-operation log costs for a run. Safe for concurrent
+// use. The zero value is not ready; use NewMeter.
+type Meter struct {
+	mu  sync.Mutex
+	ops map[uint64]OpCost
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{ops: make(map[uint64]OpCost)}
+}
+
+// RecordLog records one store of the given size performed at causal chain
+// depth on behalf of operation op.
+func (m *Meter) RecordLog(op uint64, depth, bytes int) {
+	m.mu.Lock()
+	c := m.ops[op]
+	c.Logs++
+	if depth > c.CausalDepth {
+		c.CausalDepth = depth
+	}
+	c.Bytes += bytes
+	m.ops[op] = c
+	m.mu.Unlock()
+}
+
+// Cost returns the accumulated cost of operation op. The zero OpCost is
+// returned for operations that never logged — which is itself meaningful
+// (e.g. quiescent reads of the optimal emulations log nowhere).
+func (m *Meter) Cost(op uint64) OpCost {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops[op]
+}
+
+// TotalLogs returns the total number of stores recorded across all
+// operations.
+func (m *Meter) TotalLogs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, c := range m.ops {
+		total += c.Logs
+	}
+	return total
+}
+
+// Reset forgets all recorded costs.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.ops = make(map[uint64]OpCost)
+	m.mu.Unlock()
+}

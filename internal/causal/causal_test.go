@@ -1,0 +1,114 @@
+package causal
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAfter(t *testing.T) {
+	if After(0) != 1 || After(1) != 2 {
+		t.Fatal("After must extend the chain by one")
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	tests := []struct {
+		give []int
+		want int
+	}{
+		{nil, 0},
+		{[]int{0}, 0},
+		{[]int{1, 3, 2}, 3},
+		{[]int{2, 2}, 2},
+	}
+	for _, tt := range tests {
+		if got := MaxDepth(tt.give...); got != tt.want {
+			t.Fatalf("MaxDepth(%v) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+// TestAlgorithmAvsAPrime reproduces the paper's §I-B calibration: algorithm A
+// (writer logs before broadcasting; replicas log on receipt) costs 2 causal
+// logs; algorithm A′ (all logs in parallel on receipt) costs 1.
+func TestAlgorithmAvsAPrime(t *testing.T) {
+	const replicas = 4
+
+	// Algorithm A.
+	m := NewMeter()
+	depth := 0
+	depth = After(depth) // writer logs first
+	m.RecordLog(1, depth, 8)
+	for i := 0; i < replicas; i++ {
+		m.RecordLog(1, After(depth), 8) // each replica extends the writer's chain
+	}
+	if got := m.Cost(1); got.CausalDepth != 2 || got.Logs != 1+replicas {
+		t.Fatalf("algorithm A cost = %+v, want depth 2, logs %d", got, 1+replicas)
+	}
+
+	// Algorithm A′.
+	m = NewMeter()
+	for i := 0; i < replicas+1; i++ { // writer included, all parallel
+		m.RecordLog(2, After(0), 8)
+	}
+	if got := m.Cost(2); got.CausalDepth != 1 || got.Logs != replicas+1 {
+		t.Fatalf("algorithm A' cost = %+v, want depth 1, logs %d", got, replicas+1)
+	}
+}
+
+func TestMeterAggregation(t *testing.T) {
+	m := NewMeter()
+	m.RecordLog(7, 1, 10)
+	m.RecordLog(7, 2, 20)
+	m.RecordLog(7, 1, 5)
+	c := m.Cost(7)
+	if c.Logs != 3 || c.CausalDepth != 2 || c.Bytes != 35 {
+		t.Fatalf("Cost = %+v", c)
+	}
+	if m.Cost(8) != (OpCost{}) {
+		t.Fatal("unknown op should have zero cost")
+	}
+	if m.TotalLogs() != 3 {
+		t.Fatalf("TotalLogs = %d", m.TotalLogs())
+	}
+	m.Reset()
+	if m.TotalLogs() != 0 || m.Cost(7) != (OpCost{}) {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.RecordLog(uint64(w), i%5, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.TotalLogs() != 8000 {
+		t.Fatalf("TotalLogs = %d, want 8000", m.TotalLogs())
+	}
+	for w := uint64(0); w < 8; w++ {
+		c := m.Cost(w)
+		if c.Logs != 1000 || c.CausalDepth != 4 || c.Bytes != 1000 {
+			t.Fatalf("op %d cost = %+v", w, c)
+		}
+	}
+}
+
+func TestMaxDepthNeverBelowInputs(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		m := MaxDepth(int(a), int(b), int(c))
+		return m >= int(a) && m >= int(b) && m >= int(c) &&
+			(m == int(a) || m == int(b) || m == int(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

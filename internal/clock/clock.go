@@ -1,0 +1,38 @@
+// Package clock provides the paper's "fictional global clock": a device
+// outside the control of the processes that totally orders the events of a
+// run. The emulation algorithms never consult it; it exists so that the
+// harness can record histories whose event order is meaningful to the
+// atomicity checkers, and so that experiments can timestamp measurements.
+package clock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock issues strictly increasing event sequence numbers, paired with wall
+// time for reporting. The zero value is ready to use.
+type Clock struct {
+	seq atomic.Int64
+}
+
+// Stamp is a point on the global clock.
+type Stamp struct {
+	// Seq totally orders events: no two events of a run share a Seq.
+	Seq int64
+	// Wall is the wall-clock reading when the stamp was taken. It is
+	// informational only (wall time may repeat or jump); checkers use Seq.
+	Wall time.Time
+}
+
+// Now returns a fresh stamp, strictly greater (in Seq) than every stamp
+// previously returned by this clock. Safe for concurrent use.
+func (c *Clock) Now() Stamp {
+	return Stamp{Seq: c.seq.Add(1), Wall: time.Now()}
+}
+
+// Seq returns the last sequence number issued (0 if none).
+func (c *Clock) Seq() int64 { return c.seq.Load() }
+
+// Before reports whether s happened before u on the global clock.
+func (s Stamp) Before(u Stamp) bool { return s.Seq < u.Seq }

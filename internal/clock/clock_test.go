@@ -1,0 +1,63 @@
+package clock
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestNowStrictlyIncreases(t *testing.T) {
+	var c Clock
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		cur := c.Now()
+		if !prev.Before(cur) {
+			t.Fatalf("stamp %d not after previous (%d vs %d)", i, cur.Seq, prev.Seq)
+		}
+		prev = cur
+	}
+}
+
+func TestNowConcurrentUnique(t *testing.T) {
+	var (
+		c  Clock
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	const (
+		workers = 8
+		perW    = 500
+	)
+	seen := make([]int64, 0, workers*perW)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int64, 0, perW)
+			for i := 0; i < perW; i++ {
+				local = append(local, c.Now().Seq)
+			}
+			mu.Lock()
+			seen = append(seen, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sort.Slice(seen, func(i, j int) bool { return seen[i] < seen[j] })
+	for i := 1; i < len(seen); i++ {
+		if seen[i] == seen[i-1] {
+			t.Fatalf("duplicate sequence number %d", seen[i])
+		}
+	}
+	if got := c.Seq(); got != int64(workers*perW) {
+		t.Fatalf("Seq() = %d, want %d", got, workers*perW)
+	}
+}
+
+func TestBefore(t *testing.T) {
+	a := Stamp{Seq: 1}
+	b := Stamp{Seq: 2}
+	if !a.Before(b) || b.Before(a) || a.Before(a) {
+		t.Fatal("Before ordering wrong")
+	}
+}

@@ -1,0 +1,119 @@
+package cluster_test
+
+// The paper's liveness assumption "does not exclude scenarios where all the
+// processes crash, possibly at the same time, as long as a majority
+// eventually recovers". These tests exercise exactly that: a simultaneous
+// total crash with operations in flight, after which only a majority
+// returns.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"recmem/internal/atomicity"
+	"recmem/internal/core"
+)
+
+func TestTotalSimultaneousCrashMajorityRecovers(t *testing.T) {
+	for _, kind := range []core.AlgorithmKind{core.Transient, core.Persistent} {
+		t.Run(kind.String(), func(t *testing.T) {
+			c := newCluster(t, testConfig(5, kind))
+			ctx := testCtx(t)
+			if _, err := c.Write(ctx, 0, "x", []byte("pre-crash")); err != nil {
+				t.Fatal(err)
+			}
+
+			// Launch operations at every process, then crash everyone while
+			// they are (possibly) in flight.
+			var wg sync.WaitGroup
+			for p := int32(0); p < 5; p++ {
+				wg.Add(1)
+				go func(p int32) {
+					defer wg.Done()
+					_, err := c.Write(ctx, p, "x", []byte("in-flight"))
+					if err != nil && !errors.Is(err, core.ErrCrashed) && !errors.Is(err, core.ErrDown) {
+						t.Errorf("write at %d: %v", p, err)
+					}
+				}(p)
+			}
+			time.Sleep(2 * time.Millisecond)
+			for p := int32(0); p < 5; p++ {
+				c.Crash(p)
+			}
+			wg.Wait()
+
+			// Only a majority comes back: {0, 1, 2}. The recoveries must be
+			// concurrent — the persistent recovery's write-back round cannot
+			// complete until a majority participates.
+			var rg sync.WaitGroup
+			for p := int32(0); p < 3; p++ {
+				rg.Add(1)
+				go func(p int32) {
+					defer rg.Done()
+					if err := c.Recover(ctx, p); err != nil {
+						t.Errorf("recover %d: %v", p, err)
+					}
+				}(p)
+			}
+			rg.Wait()
+
+			// The system is operational on the recovered majority.
+			if _, err := c.Write(ctx, 1, "x", []byte("post-crash")); err != nil {
+				t.Fatal(err)
+			}
+			val, _, err := c.Read(ctx, 2, "x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(val) != "post-crash" {
+				t.Fatalf("read = %q", val)
+			}
+			mode := atomicity.Persistent
+			if kind == core.Transient {
+				mode = atomicity.Transient
+			}
+			if err := c.Check(mode); err != nil {
+				t.Fatalf("check after total crash: %v", err)
+			}
+		})
+	}
+}
+
+// TestRecoveryBlocksWithoutMajority: a single recovering process of the
+// persistent algorithm cannot finish its recovery write-back until enough
+// peers are up — recovery is a protocol participant, not a local reboot.
+func TestRecoveryBlocksWithoutMajority(t *testing.T) {
+	c := newCluster(t, testConfig(3, core.Persistent))
+	ctx := testCtx(t)
+	// Give process 0 a writing record so its recovery needs a round.
+	if _, err := c.Write(ctx, 0, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for p := int32(0); p < 3; p++ {
+		c.Crash(p)
+	}
+	short, cancel := context.WithTimeout(ctx, 80*time.Millisecond)
+	defer cancel()
+	err := c.Recover(short, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("lone recovery returned %v, want deadline exceeded", err)
+	}
+	// With a second process back, recovery completes (2 of 3 is a majority).
+	var wg sync.WaitGroup
+	for _, p := range []int32{0, 1} {
+		wg.Add(1)
+		go func(p int32) {
+			defer wg.Done()
+			if err := c.Recover(ctx, p); err != nil {
+				t.Errorf("recover %d: %v", p, err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if _, err := c.Write(ctx, 0, "x", []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,403 @@
+// Package core implements the paper's register emulations over fair-lossy
+// channels and stable storage:
+//
+//   - CrashStop: the multi-writer/multi-reader atomic emulation of Lynch &
+//     Shvartsman [2] (itself a multi-writer extension of ABD [1]), the most
+//     efficient robust crash-stop emulation the paper builds on. No logging;
+//     crashed processes never recover.
+//   - Persistent: Figure 4 — the log-optimal persistent-atomic emulation for
+//     the crash-recovery model: 2 causal logs per write (the writer logs the
+//     minted timestamp before the second round; replicas log on adoption),
+//     1 causal log per read (0 when no concurrent write is observed), and a
+//     recovery procedure that finishes the interrupted write.
+//   - Transient: Figure 5 — the log-optimal transient-atomic emulation:
+//     1 causal log per write (no writer pre-log; the sequence number is
+//     advanced by the persisted recovery count), 1 causal log per read, and
+//     one extra log per recovery.
+//   - Naive: the §I-C straw man — the crash-stop algorithm made
+//     crash-recovery-safe by logging every step; used as the ablation
+//     baseline showing why minimizing causal logs matters.
+//
+// Every operation uses two request/acknowledgement rounds (4 communication
+// steps), exactly as in [2]: minimizing logs costs no extra messages.
+//
+// All algorithms are multi-register: each register name runs an independent
+// instance of the protocol multiplexed over the same channels and stable
+// store.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recmem/internal/causal"
+	"recmem/internal/metrics"
+	"recmem/internal/stable"
+	"recmem/internal/tag"
+	"recmem/internal/trace"
+	"recmem/internal/transport"
+	"recmem/internal/wire"
+)
+
+// AlgorithmKind selects the emulation algorithm a node runs.
+type AlgorithmKind int
+
+// Supported algorithms.
+const (
+	// CrashStop is the baseline crash-stop atomic emulation [2].
+	CrashStop AlgorithmKind = iota + 1
+	// Transient is the transient-atomic crash-recovery emulation (Fig. 5).
+	Transient
+	// Persistent is the persistent-atomic crash-recovery emulation (Fig. 4).
+	Persistent
+	// Naive is the log-everything crash-recovery adaptation (§I-C).
+	Naive
+	// RegularSW is the §VI extension: a single-writer/multi-reader regular
+	// register in the crash-recovery model. Writes are a single round (2
+	// communication steps) with 1 causal log; reads are a single round with
+	// no logging at all. Only process RegularWriter may write.
+	RegularSW
+)
+
+// RegularWriter is the designated writer process of the RegularSW register.
+const RegularWriter int32 = 0
+
+// String returns the algorithm name.
+func (k AlgorithmKind) String() string {
+	switch k {
+	case CrashStop:
+		return "crash-stop"
+	case Transient:
+		return "transient"
+	case Persistent:
+		return "persistent"
+	case Naive:
+		return "naive"
+	case RegularSW:
+		return "regular-sw"
+	default:
+		return fmt.Sprintf("AlgorithmKind(%d)", int(k))
+	}
+}
+
+// Recovers reports whether the algorithm supports crash-recovery.
+func (k AlgorithmKind) Recovers() bool { return k != CrashStop }
+
+// Options tunes a node beyond the algorithm choice.
+type Options struct {
+	// RetransmitEvery is the resend period for unacknowledged rounds over
+	// the fair-lossy channels (default 25 ms).
+	RetransmitEvery time.Duration
+	// HardenedTags makes the transient algorithm append the persisted
+	// recovery counter to the timestamp as a final lexicographic tiebreak,
+	// closing the tag-collision window of the literal Figure 5 (DESIGN.md
+	// §7). Off by default: the default is the paper's algorithm.
+	HardenedTags bool
+	// UnsafeNoReadLog disables logging when handling a read's write-back
+	// round. This deliberately re-introduces the Theorem 2 impossibility
+	// (reads that leave no stable trace) and exists only to demonstrate the
+	// lower bound; never enable it otherwise.
+	UnsafeNoReadLog bool
+}
+
+// Deps wires a node to its substrate.
+type Deps struct {
+	// Endpoint attaches the node to the network.
+	Endpoint transport.Endpoint
+	// Storage is the node's stable store; it must survive the node's
+	// crashes (the harness keeps it across Crash/Recover).
+	Storage stable.Storage
+	// IDs is the shared generator for operation and round identifiers; all
+	// nodes of a cluster must share one so identifiers are globally unique.
+	IDs *atomic.Uint64
+	// LogMeter, if non-nil, receives causal-log accounting.
+	LogMeter *causal.Meter
+	// MsgMeter, if non-nil, receives per-operation round/message accounting.
+	MsgMeter *metrics.OpMeter
+	// Trace, if non-nil, receives protocol events (sends, deliveries,
+	// stores, crashes, recoveries) for post-mortem analysis.
+	Trace *trace.Ring
+}
+
+// Node errors.
+var (
+	// ErrCrashed is returned by an operation interrupted by the process's
+	// crash; the invocation remains pending in the history.
+	ErrCrashed = errors.New("core: process crashed during operation")
+	// ErrDown is returned when an operation is invoked on a crashed or
+	// recovering process.
+	ErrDown = errors.New("core: process is down")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("core: node closed")
+	// ErrCannotRecover is returned by Recover on a crash-stop node.
+	ErrCannotRecover = errors.New("core: crash-stop process cannot recover")
+	// ErrNotDown is returned by Recover on a process that is not crashed.
+	ErrNotDown = errors.New("core: process is not crashed")
+	// ErrNotWriter is returned by Write on a RegularSW process other than
+	// the designated single writer.
+	ErrNotWriter = errors.New("core: not the designated writer of the single-writer register")
+)
+
+// nodeState is the lifecycle state of a node.
+type nodeState int
+
+const (
+	stateUp nodeState = iota + 1
+	stateDown
+	stateRecovering
+	stateClosed
+)
+
+// regState is the volatile per-register state of Figure 4: the current value
+// and its timestamp. Lost on crash, restored from stable storage at
+// recovery.
+type regState struct {
+	tag tag.Tag
+	val []byte
+}
+
+// Node is one process of the emulation: a message listener (the paper's
+// listener thread) plus sequentially invoked client operations.
+type Node struct {
+	id     int32
+	n      int
+	quorum int
+	kind   AlgorithmKind
+	opts   Options
+
+	ep  transport.Endpoint
+	st  stable.Storage
+	ids *atomic.Uint64
+	lm  *causal.Meter
+	mm  *metrics.OpMeter
+	tr  *trace.Ring
+
+	// opMu serializes client operations: the paper's processes are
+	// sequential.
+	opMu sync.Mutex
+
+	mu      sync.Mutex
+	state   nodeState
+	epoch   uint64
+	regs    map[string]regState
+	rec     int32 // volatile copy of the persisted recovery counter
+	pending map[uint64]chan wire.Envelope
+	crashCh chan struct{} // closed on crash; recreated on recovery
+
+	listenerDone chan struct{}
+}
+
+// NewNode creates and starts a node. id must be in [0,n); quorum is the
+// majority ⌈(n+1)/2⌉.
+func NewNode(id int32, n int, kind AlgorithmKind, opts Options, deps Deps) (*Node, error) {
+	if n <= 0 || id < 0 || int(id) >= n {
+		return nil, fmt.Errorf("core: invalid id %d for n=%d", id, n)
+	}
+	if kind < CrashStop || kind > RegularSW {
+		return nil, fmt.Errorf("core: unknown algorithm %d", int(kind))
+	}
+	if deps.Endpoint == nil || deps.IDs == nil {
+		return nil, errors.New("core: endpoint and id generator are required")
+	}
+	if kind.Recovers() && deps.Storage == nil {
+		return nil, fmt.Errorf("core: %v algorithm requires stable storage", kind)
+	}
+	if opts.RetransmitEvery <= 0 {
+		opts.RetransmitEvery = 25 * time.Millisecond
+	}
+	nd := &Node{
+		id:           id,
+		n:            n,
+		quorum:       (n + 2) / 2, // ⌈(n+1)/2⌉
+		kind:         kind,
+		opts:         opts,
+		ep:           deps.Endpoint,
+		st:           deps.Storage,
+		ids:          deps.IDs,
+		lm:           deps.LogMeter,
+		mm:           deps.MsgMeter,
+		tr:           deps.Trace,
+		state:        stateUp,
+		regs:         make(map[string]regState),
+		pending:      make(map[uint64]chan wire.Envelope),
+		crashCh:      make(chan struct{}),
+		listenerDone: make(chan struct{}),
+	}
+	go nd.listen()
+	return nd, nil
+}
+
+// ID returns the process id.
+func (nd *Node) ID() int32 { return nd.id }
+
+// Quorum returns the majority size ⌈(n+1)/2⌉.
+func (nd *Node) Quorum() int { return nd.quorum }
+
+// Algorithm returns the algorithm the node runs.
+func (nd *Node) Algorithm() AlgorithmKind { return nd.kind }
+
+// Up reports whether the node currently accepts client operations.
+func (nd *Node) Up() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.state == stateUp
+}
+
+// RegisterState returns the node's volatile view of a register, for tests
+// and demos (the harness-side equivalent of peeking at the paper's v and
+// sn variables).
+func (nd *Node) RegisterState(reg string) (tag.Tag, []byte, bool) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	rs, ok := nd.regs[reg]
+	return rs.tag, rs.val, ok
+}
+
+// RecoveryCount returns the volatile copy of the persisted recovery counter
+// (transient algorithm).
+func (nd *Node) RecoveryCount() int32 {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.rec
+}
+
+// Crash makes the process fail: volatile state is wiped, in-flight
+// operations are interrupted, and the node stops participating until
+// Recover. onEvent, if non-nil, is invoked inside the state transition so
+// that the harness can record the crash event totally ordered with respect
+// to the node's operation events. Returns false if the node was already
+// down or closed.
+func (nd *Node) Crash(onEvent func()) bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.state != stateUp && nd.state != stateRecovering {
+		return false
+	}
+	nd.state = stateDown
+	nd.epoch++
+	close(nd.crashCh)
+	nd.crashCh = make(chan struct{})
+	nd.regs = make(map[string]regState)
+	nd.rec = 0
+	nd.traceEvent("crash", "volatile state wiped")
+	if onEvent != nil {
+		onEvent()
+	}
+	return true
+}
+
+// Recover brings a crashed process back: stable state is reloaded and the
+// algorithm's recovery procedure runs (Fig. 4: finish the interrupted write
+// with a majority; Fig. 5: increment and persist the recovery counter).
+// onEvent is invoked inside the transition out of the crashed state, before
+// the recovery procedure; onAbort is invoked (also inside the state lock)
+// if the procedure fails and the process falls back to the crashed state —
+// the harness records a crash event there so histories stay well-formed.
+// Recover blocks until the procedure completes, which requires a majority
+// of processes to be reachable — the model's "eventually a majority
+// permanently up" assumption; it can be retried after a failure. It returns
+// ErrCrashed if the process crashes again mid-recovery.
+func (nd *Node) Recover(ctx context.Context, onEvent, onAbort func()) error {
+	if !nd.kind.Recovers() {
+		return ErrCannotRecover
+	}
+	nd.mu.Lock()
+	if nd.state == stateClosed {
+		nd.mu.Unlock()
+		return ErrClosed
+	}
+	if nd.state != stateDown {
+		nd.mu.Unlock()
+		return ErrNotDown
+	}
+	// Restore volatile state from stable storage while still unreachable
+	// (handlers drop messages until the state flips to recovering).
+	regs, rec, err := nd.restore()
+	if err != nil {
+		nd.mu.Unlock()
+		return err
+	}
+	nd.regs = regs
+	nd.rec = rec
+	nd.state = stateRecovering
+	epoch := nd.epoch
+	nd.traceEvent("recover", fmt.Sprintf("restored %d registers, rec=%d", len(regs), rec))
+	if onEvent != nil {
+		onEvent()
+	}
+	nd.mu.Unlock()
+
+	if err := nd.runRecoveryProcedure(ctx); err != nil {
+		// The procedure could not complete (no reachable majority, storage
+		// fault, cancellation): fall back to the crashed state so Recover
+		// can be retried.
+		nd.mu.Lock()
+		if nd.state == stateRecovering && nd.epoch == epoch {
+			nd.state = stateDown
+			nd.epoch++
+			close(nd.crashCh)
+			nd.crashCh = make(chan struct{})
+			nd.regs = make(map[string]regState)
+			nd.rec = 0
+			nd.traceEvent("recover-abort", err.Error())
+			if onAbort != nil {
+				onAbort()
+			}
+		}
+		nd.mu.Unlock()
+		return err
+	}
+
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.state != stateRecovering || nd.epoch != epoch {
+		return ErrCrashed
+	}
+	nd.state = stateUp
+	return nil
+}
+
+// Close permanently shuts the node down. It does not touch stable storage.
+func (nd *Node) Close() {
+	nd.mu.Lock()
+	if nd.state == stateClosed {
+		nd.mu.Unlock()
+		return
+	}
+	prev := nd.state
+	nd.state = stateClosed
+	nd.epoch++
+	if prev == stateUp || prev == stateRecovering {
+		close(nd.crashCh)
+		nd.crashCh = make(chan struct{})
+	}
+	nd.mu.Unlock()
+}
+
+// newID returns a fresh cluster-unique identifier.
+func (nd *Node) newID() uint64 { return nd.ids.Add(1) }
+
+// traceEvent records an event to the trace ring, if one is attached.
+func (nd *Node) traceEvent(kind, detail string) {
+	if nd.tr != nil {
+		nd.tr.Add(nd.id, kind, detail)
+	}
+}
+
+// recordLog reports one store to the causal meter.
+func (nd *Node) recordLog(op uint64, depth, bytes int) {
+	if nd.lm != nil {
+		nd.lm.RecordLog(op, depth, bytes)
+	}
+}
+
+// recordRound reports one completed round to the message meter.
+func (nd *Node) recordRound(op uint64, sends, retransmissions int) {
+	if nd.mm != nil {
+		nd.mm.RecordRound(op, sends, retransmissions)
+	}
+}

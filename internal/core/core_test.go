@@ -1,0 +1,748 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"recmem/internal/causal"
+	"recmem/internal/metrics"
+	"recmem/internal/netsim"
+	"recmem/internal/stable"
+	"recmem/internal/wire"
+)
+
+// testCluster wires n nodes over a simulated network with per-node memdisks.
+type testCluster struct {
+	t     *testing.T
+	n     int
+	kind  AlgorithmKind
+	net   *netsim.Net
+	nodes []*Node
+	disks []*stable.Counting
+	logs  *causal.Meter
+	msgs  *metrics.OpMeter
+}
+
+func newTestCluster(t *testing.T, n int, kind AlgorithmKind, opts Options, netOpts netsim.Options) *testCluster {
+	t.Helper()
+	if opts.RetransmitEvery == 0 {
+		opts.RetransmitEvery = 10 * time.Millisecond
+	}
+	nw, err := netsim.New(n, netOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{
+		t: t, n: n, kind: kind, net: nw,
+		logs: causal.NewMeter(), msgs: metrics.NewOpMeter(),
+	}
+	ids := &atomic.Uint64{}
+	for i := 0; i < n; i++ {
+		disk := stable.NewCounting(stable.NewMemDisk(stable.Profile{}))
+		tc.disks = append(tc.disks, disk)
+		nd, err := NewNode(int32(i), n, kind, opts, Deps{
+			Endpoint: nw.Endpoint(int32(i)),
+			Storage:  disk,
+			IDs:      ids,
+			LogMeter: tc.logs,
+			MsgMeter: tc.msgs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.nodes = append(tc.nodes, nd)
+	}
+	t.Cleanup(func() {
+		for _, nd := range tc.nodes {
+			nd.Close()
+		}
+		nw.Close()
+	})
+	return tc
+}
+
+func (tc *testCluster) ctx() context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	tc.t.Cleanup(cancel)
+	return ctx
+}
+
+func (tc *testCluster) write(proc int, reg, val string) (uint64, error) {
+	return tc.nodes[proc].Write(tc.ctx(), reg, []byte(val), OpObserver{})
+}
+
+func (tc *testCluster) read(proc int, reg string) (string, uint64, error) {
+	v, op, err := tc.nodes[proc].Read(tc.ctx(), reg, OpObserver{})
+	return string(v), op, err
+}
+
+func (tc *testCluster) crash(proc int) {
+	tc.net.SetDown(int32(proc), true)
+	tc.nodes[proc].Crash(nil)
+}
+
+func (tc *testCluster) recover(proc int) error {
+	tc.net.SetDown(int32(proc), false)
+	return tc.nodes[proc].Recover(tc.ctx(), nil, nil)
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func allKinds() []AlgorithmKind {
+	return []AlgorithmKind{CrashStop, Transient, Persistent, Naive}
+}
+
+func TestWriteThenReadEverywhere(t *testing.T) {
+	for _, kind := range allKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			tc := newTestCluster(t, 5, kind, Options{}, netsim.Options{})
+			if _, err := tc.write(0, "x", "v1"); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			for p := 0; p < 5; p++ {
+				got, _, err := tc.read(p, "x")
+				if err != nil {
+					t.Fatalf("read@%d: %v", p, err)
+				}
+				if got != "v1" {
+					t.Fatalf("read@%d = %q, want v1", p, got)
+				}
+			}
+		})
+	}
+}
+
+func TestReadInitialValueIsBottom(t *testing.T) {
+	for _, kind := range allKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			tc := newTestCluster(t, 3, kind, Options{}, netsim.Options{})
+			got, _, err := tc.read(1, "fresh")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != "" {
+				t.Fatalf("read = %q, want bottom", got)
+			}
+		})
+	}
+}
+
+func TestSuccessiveWritesMonotone(t *testing.T) {
+	for _, kind := range allKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			tc := newTestCluster(t, 3, kind, Options{}, netsim.Options{})
+			for i := 0; i < 10; i++ {
+				val := fmt.Sprintf("v%d", i)
+				writer := i % 3
+				if _, err := tc.write(writer, "x", val); err != nil {
+					t.Fatal(err)
+				}
+				got, _, err := tc.read((i+1)%3, "x")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != val {
+					t.Fatalf("after write %q read %q", val, got)
+				}
+			}
+		})
+	}
+}
+
+func TestMultiRegisterIndependence(t *testing.T) {
+	tc := newTestCluster(t, 3, Persistent, Options{}, netsim.Options{})
+	if _, err := tc.write(0, "x", "xv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.write(1, "y", "yv"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := tc.read(2, "x"); got != "xv" {
+		t.Fatalf("x = %q", got)
+	}
+	if got, _, _ := tc.read(2, "y"); got != "yv" {
+		t.Fatalf("y = %q", got)
+	}
+}
+
+// TestCausalLogCostWrite asserts the paper's headline log-complexity
+// numbers: 0 causal logs for a crash-stop write, 1 for transient (Fig. 5),
+// 2 for persistent (Fig. 4), 4 for the naive straw man.
+func TestCausalLogCostWrite(t *testing.T) {
+	want := map[AlgorithmKind]int{CrashStop: 0, Transient: 1, Persistent: 2, Naive: 4}
+	for _, kind := range allKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			tc := newTestCluster(t, 5, kind, Options{}, netsim.Options{})
+			op, err := tc.write(0, "x", "v")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Let stragglers beyond the quorum finish logging.
+			time.Sleep(20 * time.Millisecond)
+			cost := tc.logs.Cost(op)
+			if cost.CausalDepth != want[kind] {
+				t.Fatalf("write causal depth = %d, want %d (cost %+v)", cost.CausalDepth, want[kind], cost)
+			}
+			if kind == CrashStop && cost.Logs != 0 {
+				t.Fatalf("crash-stop write logged %d times", cost.Logs)
+			}
+		})
+	}
+}
+
+// TestCausalLogCostQuiescentRead asserts that in the absence of concurrency
+// a read of the optimal emulations logs nowhere ("in the absence of
+// concurrency, a read will not log, since all processes will have already
+// logged the latest value during the previous write").
+func TestCausalLogCostQuiescentRead(t *testing.T) {
+	for _, kind := range []AlgorithmKind{CrashStop, Transient, Persistent} {
+		t.Run(kind.String(), func(t *testing.T) {
+			tc := newTestCluster(t, 5, kind, Options{}, netsim.Options{})
+			if _, err := tc.write(0, "x", "v"); err != nil {
+				t.Fatal(err)
+			}
+			// Wait until every replica adopted the write (the write only
+			// waits for a majority; stragglers may still be adopting).
+			waitFor(t, 2*time.Second, "full adoption", func() bool {
+				for p := 0; p < 5; p++ {
+					tg, _, _ := tc.nodes[p].RegisterState("x")
+					if tg.IsZero() {
+						return false
+					}
+				}
+				return true
+			})
+			before := tc.logs.TotalLogs()
+			op, err := func() (uint64, error) { _, op, err := tc.read(1, "x"); return op, err }()
+			if err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(20 * time.Millisecond)
+			if cost := tc.logs.Cost(op); cost.CausalDepth != 0 || cost.Logs != 0 {
+				t.Fatalf("quiescent read cost = %+v, want zero", cost)
+			}
+			if after := tc.logs.TotalLogs(); after != before {
+				t.Fatalf("quiescent read caused %d logs", after-before)
+			}
+		})
+	}
+}
+
+// TestCausalLogCostReadWithPartialWrite: when the read observes a value not
+// yet adopted by a majority, its write-back logs at the replicas — exactly
+// one causal log.
+func TestCausalLogCostReadWithPartialWrite(t *testing.T) {
+	for _, kind := range []AlgorithmKind{Transient, Persistent} {
+		t.Run(kind.String(), func(t *testing.T) {
+			tc := newTestCluster(t, 5, kind, Options{}, netsim.Options{})
+			if _, err := tc.write(0, "x", "v1"); err != nil {
+				t.Fatal(err)
+			}
+			// Block the second write's propagation to everyone but node 1,
+			// then crash the writer: node 1 alone holds v2.
+			tc.net.SetFilter(func(e wire.Envelope) bool {
+				return !(e.Kind == wire.KindWrite && e.From == 0 && e.To != 1)
+			})
+			done := make(chan error, 1)
+			go func() {
+				_, err := tc.write(0, "x", "v2")
+				done <- err
+			}()
+			waitFor(t, 2*time.Second, "node 1 adopts v2", func() bool {
+				_, v, _ := tc.nodes[1].RegisterState("x")
+				return string(v) == "v2"
+			})
+			tc.crash(0)
+			if err := <-done; !errors.Is(err, ErrCrashed) {
+				t.Fatalf("interrupted write returned %v", err)
+			}
+			tc.net.SetFilter(nil)
+
+			// A read at node 1 picks up v2 and must write it back, logging
+			// at replicas that had not adopted it. Hold 2->1 so the read's
+			// majority {1,3,4} deterministically includes node 1 (the only
+			// process holding v2).
+			tc.net.HoldLink(2, 1)
+			val, op, err := tc.read(1, "x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if val != "v2" {
+				t.Fatalf("read = %q, want v2", val)
+			}
+			time.Sleep(20 * time.Millisecond)
+			cost := tc.logs.Cost(op)
+			if cost.CausalDepth != 1 {
+				t.Fatalf("concurrent-ish read causal depth = %d, want 1 (%+v)", cost.CausalDepth, cost)
+			}
+		})
+	}
+}
+
+// TestMessageComplexity asserts the paper's claim that minimizing logs does
+// not increase messages: every operation is 2 rounds (4 communication
+// steps) and, without loss, one send sweep of n messages per round.
+func TestMessageComplexity(t *testing.T) {
+	for _, kind := range allKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			tc := newTestCluster(t, 5, kind, Options{RetransmitEvery: time.Second}, netsim.Options{})
+			wop, err := tc.write(0, "x", "v")
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, rop, err := tc.read(1, "x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, op := range map[string]uint64{"write": wop, "read": rop} {
+				tr := tc.msgs.Trace(op)
+				if tr.Rounds != 2 || tr.Steps() != 4 {
+					t.Fatalf("%s: %d rounds (%d steps), want 2 rounds / 4 steps", name, tr.Rounds, tr.Steps())
+				}
+				if tr.Retransmissions != 0 {
+					t.Fatalf("%s: %d retransmissions on a lossless network", name, tr.Retransmissions)
+				}
+				if tr.Sends != 2*tc.n {
+					t.Fatalf("%s: %d sends, want %d", name, tr.Sends, 2*tc.n)
+				}
+			}
+		})
+	}
+}
+
+func TestWriteSurvivesCrashRecover(t *testing.T) {
+	for _, kind := range []AlgorithmKind{Transient, Persistent, Naive} {
+		t.Run(kind.String(), func(t *testing.T) {
+			tc := newTestCluster(t, 3, kind, Options{}, netsim.Options{})
+			if _, err := tc.write(0, "x", "durable"); err != nil {
+				t.Fatal(err)
+			}
+			// Crash everyone, then recover everyone: only stable storage
+			// survives.
+			for p := 0; p < 3; p++ {
+				tc.crash(p)
+			}
+			var wg sync.WaitGroup
+			for p := 0; p < 3; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					if err := tc.recover(p); err != nil {
+						t.Errorf("recover %d: %v", p, err)
+					}
+				}(p)
+			}
+			wg.Wait()
+			got, _, err := tc.read(1, "x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != "durable" {
+				t.Fatalf("after total crash, read = %q", got)
+			}
+		})
+	}
+}
+
+// TestPersistentRecoveryFinishesPendingWrite: the writer logs (writing,sn,v)
+// and crashes before the propagation round reaches anyone; recovery must
+// finish the write (Fig. 4's Recover), making it visible.
+func TestPersistentRecoveryFinishesPendingWrite(t *testing.T) {
+	tc := newTestCluster(t, 5, Persistent, Options{}, netsim.Options{})
+	if _, err := tc.write(0, "x", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	// Drop all W propagation from node 0 (but not recovery's, which we
+	// re-enable later).
+	tc.net.SetFilter(func(e wire.Envelope) bool {
+		return !(e.Kind == wire.KindWrite && e.From == 0)
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := tc.write(0, "x", "v2")
+		done <- err
+	}()
+	// Wait for the pre-log of v2 to hit the writer's disk.
+	waitFor(t, 2*time.Second, "writing record", func() bool {
+		data, ok, _ := tc.disks[0].Retrieve("writing/x")
+		if !ok {
+			return false
+		}
+		_, v, err := decodeTagged(data)
+		return err == nil && string(v) == "v2"
+	})
+	tc.crash(0)
+	if err := <-done; !errors.Is(err, ErrCrashed) {
+		t.Fatalf("interrupted write returned %v", err)
+	}
+	// Nobody saw v2.
+	if got, _, _ := tc.read(1, "x"); got != "v1" {
+		t.Fatalf("before recovery read = %q, want v1", got)
+	}
+	tc.net.SetFilter(nil)
+	if err := tc.recover(0); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	// Recovery finished the write: v2 is now the register's value.
+	if got, _, _ := tc.read(1, "x"); got != "v2" {
+		t.Fatalf("after recovery read = %q, want v2", got)
+	}
+}
+
+// TestTransientRecoveryDoesNotFinishWrites: Fig. 5 has no write-back at
+// recovery; an unpropagated value stays invisible (which transient
+// atomicity allows) and the recovery counter grows instead.
+func TestTransientRecoveryDoesNotFinishWrites(t *testing.T) {
+	tc := newTestCluster(t, 5, Transient, Options{}, netsim.Options{})
+	if _, err := tc.write(0, "x", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	tc.net.SetFilter(func(e wire.Envelope) bool {
+		return !(e.Kind == wire.KindWrite && e.From == 0)
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := tc.write(0, "x", "v2")
+		done <- err
+	}()
+	// The write is stuck in its propagation round; give it time to send.
+	time.Sleep(30 * time.Millisecond)
+	tc.crash(0)
+	if err := <-done; !errors.Is(err, ErrCrashed) {
+		t.Fatalf("interrupted write returned %v", err)
+	}
+	tc.net.SetFilter(nil)
+	if err := tc.recover(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.nodes[0].RecoveryCount(); got != 1 {
+		t.Fatalf("recovery count = %d, want 1", got)
+	}
+	if got, _, _ := tc.read(1, "x"); got != "v1" {
+		t.Fatalf("read = %q, want v1 (transient recovery must not finish writes)", got)
+	}
+	// The next write must still be ordered after v1 — and after recovery the
+	// counter makes its sequence number skip the lost one.
+	if _, err := tc.write(0, "x", "v3"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := tc.read(2, "x"); got != "v3" {
+		t.Fatalf("read = %q, want v3", got)
+	}
+}
+
+func TestRecoveryCounterAccumulates(t *testing.T) {
+	tc := newTestCluster(t, 3, Transient, Options{}, netsim.Options{})
+	for i := 1; i <= 3; i++ {
+		tc.crash(0)
+		if err := tc.recover(0); err != nil {
+			t.Fatal(err)
+		}
+		if got := tc.nodes[0].RecoveryCount(); got != int32(i) {
+			t.Fatalf("after %d cycles count = %d", i, got)
+		}
+	}
+}
+
+func TestOpsRejectedWhileDown(t *testing.T) {
+	tc := newTestCluster(t, 3, Persistent, Options{}, netsim.Options{})
+	tc.crash(0)
+	if _, err := tc.write(0, "x", "v"); !errors.Is(err, ErrDown) {
+		t.Fatalf("write on crashed node: %v", err)
+	}
+	if _, _, err := tc.read(0, "x"); !errors.Is(err, ErrDown) {
+		t.Fatalf("read on crashed node: %v", err)
+	}
+	// The other nodes still form a majority.
+	if _, err := tc.write(1, "x", "v"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashStopCannotRecover(t *testing.T) {
+	tc := newTestCluster(t, 3, CrashStop, Options{}, netsim.Options{})
+	tc.crash(0)
+	err := tc.nodes[0].Recover(tc.ctx(), nil, nil)
+	if !errors.Is(err, ErrCannotRecover) {
+		t.Fatalf("recover on crash-stop: %v", err)
+	}
+}
+
+func TestRecoverRequiresCrash(t *testing.T) {
+	tc := newTestCluster(t, 3, Persistent, Options{}, netsim.Options{})
+	if err := tc.nodes[0].Recover(tc.ctx(), nil, nil); !errors.Is(err, ErrNotDown) {
+		t.Fatalf("recover on healthy node: %v", err)
+	}
+}
+
+func TestOpsBlockWithoutMajority(t *testing.T) {
+	tc := newTestCluster(t, 5, Persistent, Options{}, netsim.Options{})
+	for p := 1; p <= 3; p++ { // 3 of 5 down: no majority
+		tc.crash(p)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := tc.nodes[0].Write(ctx, "x", []byte("v"), OpObserver{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("write without majority: %v", err)
+	}
+	// Recover one: majority restored, operations proceed.
+	if err := tc.recover(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.write(0, "x", "v"); err != nil {
+		t.Fatalf("write with majority restored: %v", err)
+	}
+}
+
+func TestOpsCompleteUnderLossAndDuplication(t *testing.T) {
+	for _, kind := range []AlgorithmKind{CrashStop, Transient, Persistent} {
+		t.Run(kind.String(), func(t *testing.T) {
+			tc := newTestCluster(t, 5, kind, Options{RetransmitEvery: 2 * time.Millisecond},
+				netsim.Options{LossRate: 0.3, DupRate: 0.2, Seed: 11})
+			for i := 0; i < 10; i++ {
+				val := fmt.Sprintf("v%d", i)
+				if _, err := tc.write(i%5, "x", val); err != nil {
+					t.Fatalf("write %d: %v", i, err)
+				}
+				got, _, err := tc.read((i+1)%5, "x")
+				if err != nil {
+					t.Fatalf("read %d: %v", i, err)
+				}
+				if got != val {
+					t.Fatalf("read %d = %q, want %q", i, got, val)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentWritersConverge(t *testing.T) {
+	tc := newTestCluster(t, 5, Persistent, Options{}, netsim.Options{})
+	var wg sync.WaitGroup
+	for p := 0; p < 5; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := tc.write(p, "x", fmt.Sprintf("p%d-%d", p, i)); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	// All readers agree on a single final value.
+	first, _, err := tc.read(0, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p < 5; p++ {
+		got, _, err := tc.read(p, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != first {
+			t.Fatalf("reader %d sees %q, reader 0 sees %q", p, got, first)
+		}
+	}
+}
+
+func TestSingleNodeCluster(t *testing.T) {
+	tc := newTestCluster(t, 1, Persistent, Options{}, netsim.Options{})
+	if _, err := tc.write(0, "x", "solo"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := tc.read(0, "x"); got != "solo" {
+		t.Fatalf("read = %q", got)
+	}
+}
+
+func TestQuorumSize(t *testing.T) {
+	for n, want := range map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 5: 3, 6: 4, 9: 5} {
+		tc := newTestCluster(t, n, CrashStop, Options{}, netsim.Options{})
+		if got := tc.nodes[0].Quorum(); got != want {
+			t.Fatalf("n=%d quorum=%d want %d", n, got, want)
+		}
+	}
+}
+
+func TestWriteTooLarge(t *testing.T) {
+	tc := newTestCluster(t, 3, Persistent, Options{}, netsim.Options{})
+	_, err := tc.nodes[0].Write(tc.ctx(), "x", make([]byte, wire.MaxValueSize+1), OpObserver{})
+	if !errors.Is(err, wire.ErrValueTooLarge) {
+		t.Fatalf("oversize write: %v", err)
+	}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	nw, err := netsim.New(1, netsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	ids := &atomic.Uint64{}
+	disk := stable.NewMemDisk(stable.Profile{})
+	ok := Deps{Endpoint: nw.Endpoint(0), Storage: disk, IDs: ids}
+
+	if _, err := NewNode(0, 0, Persistent, Options{}, ok); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := NewNode(5, 3, Persistent, Options{}, ok); err == nil {
+		t.Fatal("accepted id out of range")
+	}
+	if _, err := NewNode(0, 1, AlgorithmKind(99), Options{}, ok); err == nil {
+		t.Fatal("accepted unknown algorithm")
+	}
+	if _, err := NewNode(0, 1, Persistent, Options{}, Deps{Endpoint: nw.Endpoint(0), IDs: ids}); err == nil {
+		t.Fatal("accepted recovery algorithm without storage")
+	}
+	if _, err := NewNode(0, 1, Persistent, Options{}, Deps{Storage: disk, IDs: ids}); err == nil {
+		t.Fatal("accepted missing endpoint")
+	}
+	// Crash-stop needs no storage.
+	nd, err := NewNode(0, 1, CrashStop, Options{}, Deps{Endpoint: nw.Endpoint(0), IDs: ids})
+	if err != nil {
+		t.Fatalf("crash-stop without storage: %v", err)
+	}
+	nd.Close()
+}
+
+func TestObserverCallbacks(t *testing.T) {
+	tc := newTestCluster(t, 3, Persistent, Options{}, netsim.Options{})
+	var invoked, returned atomic.Uint64
+	obs := OpObserver{
+		OnInvoke: func(op uint64) { invoked.Store(op) },
+		OnReturn: func(op uint64, _ []byte) { returned.Store(op) },
+	}
+	op, err := tc.nodes[0].Write(tc.ctx(), "x", []byte("v"), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invoked.Load() != op || returned.Load() != op {
+		t.Fatalf("callbacks saw %d/%d, op %d", invoked.Load(), returned.Load(), op)
+	}
+}
+
+// TestObserverNoReturnOnCrash: an operation interrupted by a crash must not
+// fire OnReturn — its invocation stays pending.
+func TestObserverNoReturnOnCrash(t *testing.T) {
+	tc := newTestCluster(t, 3, Persistent, Options{}, netsim.Options{})
+	tc.net.SetFilter(func(e wire.Envelope) bool { return e.Kind != wire.KindSNQuery })
+	var returned atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		_, err := tc.nodes[0].Write(tc.ctx(), "x", []byte("v"),
+			OpObserver{OnReturn: func(uint64, []byte) { returned.Store(true) }})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	tc.crash(0)
+	if err := <-done; !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v", err)
+	}
+	if returned.Load() {
+		t.Fatal("OnReturn fired for a crashed operation")
+	}
+}
+
+func TestStateAccessors(t *testing.T) {
+	tc := newTestCluster(t, 3, Transient, Options{}, netsim.Options{})
+	nd := tc.nodes[0]
+	if nd.ID() != 0 || nd.Algorithm() != Transient || !nd.Up() {
+		t.Fatal("accessors wrong")
+	}
+	if _, err := tc.write(0, "x", "v"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, "self adoption", func() bool {
+		tg, v, ok := nd.RegisterState("x")
+		return ok && !tg.IsZero() && bytes.Equal(v, []byte("v"))
+	})
+	tc.crash(0)
+	if nd.Up() {
+		t.Fatal("Up after crash")
+	}
+	if _, _, ok := nd.RegisterState("x"); ok {
+		t.Fatal("volatile state survived crash")
+	}
+}
+
+func TestCloseRejectsOps(t *testing.T) {
+	tc := newTestCluster(t, 3, Persistent, Options{}, netsim.Options{})
+	tc.nodes[0].Close()
+	if _, err := tc.write(0, "x", "v"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+	if err := tc.nodes[0].Recover(tc.ctx(), nil, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recover after close: %v", err)
+	}
+	tc.nodes[0].Close() // idempotent
+}
+
+func TestCrashIsIdempotent(t *testing.T) {
+	tc := newTestCluster(t, 3, Persistent, Options{}, netsim.Options{})
+	if !tc.nodes[0].Crash(nil) {
+		t.Fatal("first crash returned false")
+	}
+	if tc.nodes[0].Crash(nil) {
+		t.Fatal("second crash returned true")
+	}
+}
+
+// TestRecordCodecs round-trips the stable record encodings.
+func TestRecordCodecs(t *testing.T) {
+	tags := []struct {
+		seq    int64
+		writer int32
+		rec    int32
+		val    string
+	}{
+		{0, 0, 0, ""},
+		{1, 2, 0, "v"},
+		{1 << 40, 7, 3, "payload"},
+	}
+	for _, tt := range tags {
+		enc := encodeTagged(tagOf(tt.seq, tt.writer, tt.rec), []byte(tt.val))
+		gotTag, gotVal, err := decodeTagged(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTag != tagOf(tt.seq, tt.writer, tt.rec) || string(gotVal) != tt.val {
+			t.Fatalf("round trip: %v %q", gotTag, gotVal)
+		}
+	}
+	if _, _, err := decodeTagged([]byte{1, 2, 3}); err == nil {
+		t.Fatal("decoded short record")
+	}
+	if _, _, err := decodeTagged(make([]byte, 21)); err == nil {
+		t.Fatal("decoded record with bad length")
+	}
+	for _, c := range []int32{0, 1, 1 << 30} {
+		got, err := decodeCounter(encodeCounter(c))
+		if err != nil || got != c {
+			t.Fatalf("counter round trip: %d %v", got, err)
+		}
+	}
+	if _, err := decodeCounter([]byte{1}); err == nil {
+		t.Fatal("decoded short counter")
+	}
+}

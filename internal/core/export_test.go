@@ -1,0 +1,8 @@
+package core
+
+import "recmem/internal/tag"
+
+// tagOf is a test helper constructing tags concisely.
+func tagOf(seq int64, writer, rec int32) tag.Tag {
+	return tag.Tag{Seq: seq, Writer: writer, Rec: rec}
+}

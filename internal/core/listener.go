@@ -1,0 +1,189 @@
+package core
+
+import (
+	"recmem/internal/causal"
+	"recmem/internal/wire"
+)
+
+// listen is the node's message listener — the paper's dedicated listener
+// thread ("every workstation … one thread that listens for and executes read
+// and write commands, and one that responds to broadcasted messages").
+// Handlers run sequentially; the node's own client operations run on the
+// callers' goroutines and rendezvous with the listener through the pending
+// acknowledgement channels.
+func (nd *Node) listen() {
+	defer close(nd.listenerDone)
+	for env := range nd.ep.Recv() {
+		nd.handle(env)
+	}
+}
+
+func (nd *Node) handle(env wire.Envelope) {
+	if env.Kind.IsAck() {
+		nd.routeAck(env)
+		return
+	}
+	if nd.tr != nil {
+		nd.traceEvent("recv", env.String())
+	}
+	switch env.Kind {
+	case wire.KindSNQuery:
+		nd.handleSNQuery(env)
+	case wire.KindRead:
+		nd.handleRead(env)
+	case wire.KindWrite, wire.KindWriteBack:
+		nd.handleWrite(env)
+	}
+}
+
+// routeAck delivers an acknowledgement to the round waiting for it, if any.
+// Stale acks (finished rounds, crashed operations) are dropped.
+func (nd *Node) routeAck(env wire.Envelope) {
+	nd.mu.Lock()
+	ch := nd.pending[env.RPC]
+	nd.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- env:
+	default: // duplicate flood; fair-lossy channels may drop
+	}
+}
+
+// servingLocked reports whether the process participates in the protocol
+// (alive, or running its recovery procedure). Callers hold nd.mu.
+func (nd *Node) servingLocked() bool {
+	return nd.state == stateUp || nd.state == stateRecovering
+}
+
+// send stamps the sender id and transmits.
+func (nd *Node) send(env wire.Envelope) {
+	env.From = nd.id
+	if nd.tr != nil {
+		nd.traceEvent("send", env.String())
+	}
+	nd.ep.Send(env)
+}
+
+// handleSNQuery implements Fig. 4 lines 18–20: reply with the current
+// sequence number (we return the full tag; the writer uses its Seq). The
+// naive algorithm additionally logs the step.
+func (nd *Node) handleSNQuery(env wire.Envelope) {
+	nd.mu.Lock()
+	if !nd.servingLocked() {
+		nd.mu.Unlock()
+		return
+	}
+	cur := nd.regs[env.Reg]
+	epoch := nd.epoch
+	nd.mu.Unlock()
+
+	depth := int(env.Depth)
+	if nd.kind == Naive {
+		payload := encodeTagged(cur.tag, nil)
+		if err := nd.st.Store(recSNLogPrefix+env.Reg, payload); err != nil {
+			return
+		}
+		depth = causal.After(depth)
+		nd.recordLog(env.Op, depth, len(payload))
+		if !nd.stillServing(epoch) {
+			return
+		}
+	}
+	nd.send(wire.Envelope{
+		Kind: wire.KindSNAck, To: env.From, Reg: env.Reg,
+		RPC: env.RPC, Op: env.Op, Depth: uint8(depth), Tag: cur.tag,
+	})
+}
+
+// handleRead implements Fig. 4 lines 28–30: reply with the current tagged
+// value.
+func (nd *Node) handleRead(env wire.Envelope) {
+	nd.mu.Lock()
+	if !nd.servingLocked() {
+		nd.mu.Unlock()
+		return
+	}
+	cur := nd.regs[env.Reg]
+	nd.mu.Unlock()
+	nd.send(wire.Envelope{
+		Kind: wire.KindReadAck, To: env.From, Reg: env.Reg,
+		RPC: env.RPC, Op: env.Op, Depth: env.Depth, Tag: cur.tag, Value: cur.val,
+	})
+}
+
+// handleWrite implements Fig. 4 lines 21–27 for both the write's second
+// round (W) and the read's write-back round (WB): if the received timestamp
+// is higher than the local one, log the new value and adopt it, then
+// acknowledge. Logging happens before the volatile update and before the
+// acknowledgement — a crash between them behaves like a crash just after
+// the log, which the algorithm tolerates.
+func (nd *Node) handleWrite(env wire.Envelope) {
+	nd.mu.Lock()
+	if !nd.servingLocked() {
+		nd.mu.Unlock()
+		return
+	}
+	cur := nd.regs[env.Reg]
+	epoch := nd.epoch
+	nd.mu.Unlock()
+
+	adopt := cur.tag.Less(env.Tag)
+	depth := int(env.Depth)
+	if logPayload, ok := nd.adoptionLog(env, cur, adopt); ok {
+		if err := nd.st.Store(recWrittenPrefix+env.Reg, logPayload); err != nil {
+			return // cannot acknowledge what is not durable
+		}
+		depth = causal.After(int(env.Depth))
+		nd.recordLog(env.Op, depth, len(logPayload))
+		if nd.tr != nil {
+			nd.traceEvent("store", recWrittenPrefix+env.Reg+" tag="+env.Tag.String())
+		}
+	}
+
+	nd.mu.Lock()
+	if nd.epoch != epoch || !nd.servingLocked() {
+		nd.mu.Unlock()
+		return // crashed while logging; no acknowledgement
+	}
+	if adopt && nd.regs[env.Reg].tag.Less(env.Tag) {
+		nd.regs[env.Reg] = regState{tag: env.Tag, val: env.Value}
+	}
+	nd.mu.Unlock()
+
+	nd.send(wire.Envelope{
+		Kind: wire.KindWriteAck, To: env.From, Reg: env.Reg,
+		RPC: env.RPC, Op: env.Op, Depth: uint8(depth),
+	})
+}
+
+// adoptionLog decides whether handling env requires a store, and with what
+// payload. The log-optimal algorithms log exactly when they adopt a higher
+// timestamp (hence quiescent reads log nowhere); the crash-stop baseline
+// never logs; the naive algorithm logs the resulting state on every W; the
+// UnsafeNoReadLog ablation suppresses the log for read write-backs to
+// demonstrate the Theorem 2 lower bound.
+func (nd *Node) adoptionLog(env wire.Envelope, cur regState, adopt bool) ([]byte, bool) {
+	if nd.kind == CrashStop {
+		return nil, false
+	}
+	if env.Kind == wire.KindWriteBack && nd.opts.UnsafeNoReadLog {
+		return nil, false
+	}
+	if adopt {
+		return encodeTagged(env.Tag, env.Value), true
+	}
+	if nd.kind == Naive {
+		// Log-each-step straw man: persist the (unchanged) state anyway.
+		return encodeTagged(cur.tag, cur.val), true
+	}
+	return nil, false
+}
+
+// stillServing re-checks liveness after a blocking store.
+func (nd *Node) stillServing(epoch uint64) bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.epoch == epoch && nd.servingLocked()
+}

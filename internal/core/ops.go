@@ -1,0 +1,236 @@
+package core
+
+import (
+	"context"
+
+	"recmem/internal/causal"
+	"recmem/internal/tag"
+	"recmem/internal/wire"
+)
+
+// OpObserver receives callbacks at the points where an operation's history
+// events become definitive. OnInvoke runs inside the node's state lock right
+// after the operation is admitted; OnReturn runs inside the same lock only
+// if the process did not crash during the operation — val is the value a
+// read returns (nil for writes). The harness uses these to record
+// invocation/reply events whose order is consistent with the crash/recovery
+// events it records through Crash and Recover.
+type OpObserver struct {
+	OnInvoke func(op uint64)
+	OnReturn func(op uint64, val []byte)
+}
+
+// beginOp admits a client operation on an alive process and fires OnInvoke.
+func (nd *Node) beginOp(obs OpObserver) (op uint64, epoch uint64, err error) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	switch nd.state {
+	case stateUp:
+	case stateClosed:
+		return 0, 0, ErrClosed
+	default:
+		return 0, 0, ErrDown
+	}
+	op = nd.ids.Add(1)
+	if obs.OnInvoke != nil {
+		obs.OnInvoke(op)
+	}
+	return op, nd.epoch, nil
+}
+
+// endOp fires OnReturn if the operation ran to completion on a process that
+// is still in the same incarnation; an operation that raced with a crash is
+// reported as ErrCrashed and its invocation stays pending.
+func (nd *Node) endOp(op, epoch uint64, obs OpObserver, err error, val []byte) error {
+	if err != nil {
+		return err
+	}
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.state != stateUp || nd.epoch != epoch {
+		return ErrCrashed
+	}
+	if obs.OnReturn != nil {
+		obs.OnReturn(op, val)
+	}
+	return nil
+}
+
+// Write emulates the register's write operation at this process. It blocks
+// until a majority acknowledges (robustness: it terminates provided the
+// process does not crash and a majority is eventually permanently up) and
+// returns the operation id used for accounting.
+func (nd *Node) Write(ctx context.Context, reg string, val []byte, obs OpObserver) (uint64, error) {
+	if len(val) > wire.MaxValueSize {
+		return 0, wire.ErrValueTooLarge
+	}
+	if nd.kind == RegularSW && nd.id != RegularWriter {
+		// Rejected before the invocation exists: a non-writer never invokes
+		// a write on the single-writer register.
+		return 0, ErrNotWriter
+	}
+	nd.opMu.Lock()
+	defer nd.opMu.Unlock()
+	// Copy once at the boundary; the value is immutable inside the system.
+	val = append([]byte(nil), val...)
+	op, epoch, err := nd.beginOp(obs)
+	if err != nil {
+		return 0, err
+	}
+	err = nd.writeProtocol(ctx, op, reg, val)
+	return op, nd.endOp(op, epoch, obs, err, nil)
+}
+
+// writeProtocol is the write common to the multi-writer algorithms: a
+// sequence-number query round, the timestamp mint (algorithm-specific), an
+// optional writer pre-log (persistent: Fig. 4 line 12), and the propagation
+// round. The single-writer regular register branches to its one-round form.
+func (nd *Node) writeProtocol(ctx context.Context, op uint64, reg string, val []byte) error {
+	if nd.kind == RegularSW {
+		return nd.writeRegularSW(ctx, op, reg, val)
+	}
+	depth := 0
+	if nd.kind == Naive {
+		// §I-C straw man: log the intent before doing anything.
+		payload := encodeTagged(tag.Tag{Writer: nd.id}, val)
+		if err := nd.st.Store(recWStartPrefix+reg, payload); err != nil {
+			return err
+		}
+		depth = causal.After(depth)
+		nd.recordLog(op, depth, len(payload))
+	}
+
+	// Round 1: collect sequence numbers from a majority (Fig. 4 lines 7–10).
+	acks, err := nd.round(ctx, op, wire.Envelope{Kind: wire.KindSNQuery, Reg: reg, Depth: uint8(depth)})
+	if err != nil {
+		return err
+	}
+	depth = maxAckDepth(acks, depth)
+	newTag := nd.mintTag(maxAckSeq(acks))
+
+	// Writer pre-log (Fig. 4 line 12): the persistent algorithm's second
+	// causal log; it lets recovery finish the write and pins the minted
+	// timestamp so it can never be reused for a different value.
+	if nd.kind == Persistent || nd.kind == Naive {
+		payload := encodeTagged(newTag, val)
+		if err := nd.st.Store(recWritingPrefix+reg, payload); err != nil {
+			return err
+		}
+		depth = causal.After(depth)
+		nd.recordLog(op, depth, len(payload))
+	}
+
+	// Round 2: propagate the tagged value to a majority (Fig. 4 lines 13–15).
+	_, err = nd.round(ctx, op, wire.Envelope{
+		Kind: wire.KindWrite, Reg: reg, Tag: newTag, Value: val, Depth: uint8(depth),
+	})
+	return err
+}
+
+// mintTag computes the new write timestamp from the highest sequence number
+// collected in round 1.
+func (nd *Node) mintTag(maxSeq int64) tag.Tag {
+	switch nd.kind {
+	case Transient:
+		// Fig. 5 line 11: sn := sn + rec + 1. The persisted recovery count
+		// compensates for pre-logs the transient write does not perform.
+		rec := nd.RecoveryCount()
+		t := tag.Tag{Seq: maxSeq + int64(rec) + 1, Writer: nd.id}
+		if nd.opts.HardenedTags {
+			// DESIGN.md §7: the recovery count as a final lexicographic
+			// tiebreak removes the residual tag-collision window.
+			t.Rec = rec
+		}
+		return t
+	default:
+		// Fig. 4 line 11: sn := sn + 1.
+		return tag.Tag{Seq: maxSeq + 1, Writer: nd.id}
+	}
+}
+
+// Read emulates the register's read operation at this process: query a
+// majority for tagged values, pick the highest, and write it back to a
+// majority before returning it (Fig. 4 lines 31–39). In the absence of
+// concurrent writes the write-back finds the timestamp already adopted
+// everywhere and nobody logs. A nil value with ok semantics maps to the
+// register's initial value ⊥.
+func (nd *Node) Read(ctx context.Context, reg string, obs OpObserver) ([]byte, uint64, error) {
+	nd.opMu.Lock()
+	defer nd.opMu.Unlock()
+	op, epoch, err := nd.beginOp(obs)
+	if err != nil {
+		return nil, 0, err
+	}
+	val, err := nd.readProtocol(ctx, op, reg)
+	if err := nd.endOp(op, epoch, obs, err, val); err != nil {
+		return nil, op, err
+	}
+	return val, op, nil
+}
+
+// writeRegularSW is the §VI single-writer write: no query round — the
+// writer owns the sequence numbers. The new timestamp is minted from the
+// writer's own (stable-backed) view plus the persisted recovery count, and
+// propagated in one round that must include the writer's own
+// acknowledgement: by ack time the writer's listener has logged the
+// timestamp, so the view it restores after a crash never falls behind a
+// completed write, which keeps timestamps strictly monotone — unfinished
+// writes are out-minted by the recovery count exactly as in Fig. 5. One
+// causal log (all adopters log in parallel), 2 communication steps.
+func (nd *Node) writeRegularSW(ctx context.Context, op uint64, reg string, val []byte) error {
+	if nd.id != RegularWriter {
+		return ErrNotWriter
+	}
+	nd.mu.Lock()
+	own := nd.regs[reg].tag
+	rec := nd.rec
+	nd.mu.Unlock()
+	newTag := tag.Tag{Seq: own.Seq + int64(rec) + 1, Writer: nd.id}
+	if nd.opts.HardenedTags {
+		newTag.Rec = rec
+	}
+	_, err := nd.roundRequiring(ctx, op, wire.Envelope{
+		Kind: wire.KindWrite, Reg: reg, Tag: newTag, Value: val,
+	}, nd.id)
+	return err
+}
+
+func (nd *Node) readProtocol(ctx context.Context, op uint64, reg string) ([]byte, error) {
+	// Round 1: collect tagged values from a majority.
+	acks, err := nd.round(ctx, op, wire.Envelope{Kind: wire.KindRead, Reg: reg})
+	if err != nil {
+		return nil, err
+	}
+	best := bestAck(acks)
+
+	// §VI single-writer regular register: the read returns immediately —
+	// no write-back round and no logging anywhere. Regularity does not
+	// require reads to "write", which is exactly why the paper concludes
+	// weaker registers are not worth emulating where logging dominates:
+	// the atomic read also logs nothing unless it observes concurrency.
+	if nd.kind == RegularSW {
+		return best.Value, nil
+	}
+
+	depth := 0
+	if nd.kind == Naive {
+		// Straw man: the reader logs what it is about to write back.
+		payload := encodeTagged(best.Tag, best.Value)
+		if err := nd.st.Store(recWStartPrefix+reg, payload); err != nil {
+			return nil, err
+		}
+		depth = causal.After(depth)
+		nd.recordLog(op, depth, len(payload))
+	}
+
+	// Round 2: write the value with the highest timestamp back to a
+	// majority, so the read's result is never lost even if the original
+	// writer's propagation had only partially completed.
+	_, err = nd.round(ctx, op, wire.Envelope{
+		Kind: wire.KindWriteBack, Reg: reg, Tag: best.Tag, Value: best.Value, Depth: uint8(depth),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return best.Value, nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+
+	"recmem/internal/tag"
+)
+
+// Stable-storage record names. One record per role per register, plus the
+// process-wide recovery counter of the transient algorithm. The naive
+// algorithm adds records for its extra per-step logs.
+const (
+	// recWrittenPrefix holds a replica's adopted (tag, value) — Fig. 4
+	// line 24's store(written, sn, pid, v).
+	recWrittenPrefix = "written/"
+	// recWritingPrefix holds the tag and value a writer is about to
+	// broadcast — Fig. 4 line 12's store(writing, sn, v).
+	recWritingPrefix = "writing/"
+	// recRecovered holds the recovery counter — Fig. 5's store(recovered).
+	recRecovered = "recovered"
+	// recWStartPrefix and recSNLogPrefix are the naive algorithm's extra
+	// logs (§I-C: "log each of its steps").
+	recWStartPrefix = "wstart/"
+	recSNLogPrefix  = "snlog/"
+)
+
+// errBadRecord reports a corrupted stable record.
+var errBadRecord = errors.New("core: corrupted stable record")
+
+// encodeTagged serializes a (tag, value) pair for stable storage.
+func encodeTagged(t tag.Tag, val []byte) []byte {
+	buf := make([]byte, 0, 20+len(val))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(t.Seq))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(t.Writer))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(t.Rec))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(val)))
+	buf = append(buf, val...)
+	return buf
+}
+
+// decodeTagged parses a record produced by encodeTagged.
+func decodeTagged(data []byte) (tag.Tag, []byte, error) {
+	if len(data) < 20 {
+		return tag.Tag{}, nil, errBadRecord
+	}
+	t := tag.Tag{
+		Seq:    int64(binary.BigEndian.Uint64(data)),
+		Writer: int32(binary.BigEndian.Uint32(data[8:])),
+		Rec:    int32(binary.BigEndian.Uint32(data[12:])),
+	}
+	n := int(binary.BigEndian.Uint32(data[16:]))
+	if len(data) != 20+n {
+		return tag.Tag{}, nil, errBadRecord
+	}
+	var val []byte
+	if n > 0 {
+		val = make([]byte, n)
+		copy(val, data[20:])
+	}
+	return t, val, nil
+}
+
+// encodeCounter serializes the recovery counter.
+func encodeCounter(c int32) []byte {
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint32(buf, uint32(c))
+	return buf
+}
+
+// decodeCounter parses a record produced by encodeCounter.
+func decodeCounter(data []byte) (int32, error) {
+	if len(data) != 4 {
+		return 0, errBadRecord
+	}
+	return int32(binary.BigEndian.Uint32(data)), nil
+}
+
+// restore loads the volatile state a recovering process can reconstruct from
+// its stable storage: the adopted (tag, value) of every register and — for
+// the transient algorithm — the recovery counter. Registers never stored
+// stay at their zero state, which is equivalent to the paper's explicitly
+// initialized store(written, 0, i, ⊥).
+func (nd *Node) restore() (map[string]regState, int32, error) {
+	regs := make(map[string]regState)
+	names, err := nd.st.Records(recWrittenPrefix)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, name := range names {
+		data, ok, err := nd.st.Retrieve(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			continue
+		}
+		t, v, err := decodeTagged(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		regs[strings.TrimPrefix(name, recWrittenPrefix)] = regState{tag: t, val: v}
+	}
+	var rec int32
+	if nd.kind == Transient || nd.kind == RegularSW {
+		data, ok, err := nd.st.Retrieve(recRecovered)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ok {
+			rec, err = decodeCounter(data)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	return regs, rec, nil
+}

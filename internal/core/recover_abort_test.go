@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"recmem/internal/netsim"
+	"recmem/internal/stable"
+	"recmem/internal/trace"
+	"recmem/internal/wire"
+)
+
+// TestRecoverAbortFallsBackToDown: a recovery whose procedure cannot
+// complete (no reachable majority) returns the process to the crashed state
+// — with the abort callback fired — and can be retried successfully later.
+func TestRecoverAbortFallsBackToDown(t *testing.T) {
+	tc := newTestCluster(t, 3, Persistent, Options{}, netsim.Options{})
+	// Give node 0 a writing record so its recovery needs a quorum round.
+	if _, err := tc.write(0, "x", "v"); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		tc.crash(p)
+	}
+	tc.net.SetDown(0, false)
+	aborted := false
+	short, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := tc.nodes[0].Recover(short, nil, func() { aborted = true })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("lone recover: %v", err)
+	}
+	if !aborted {
+		t.Fatal("abort callback did not fire")
+	}
+	if tc.nodes[0].Up() {
+		t.Fatal("node up after aborted recovery")
+	}
+	// Bring a peer back; the retry completes.
+	errCh := make(chan error, 2)
+	go func() { errCh <- tc.recover(0) }()
+	go func() { errCh <- tc.recover(1) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatalf("retry: %v", err)
+		}
+	}
+	if got, _, err := tc.read(0, "x"); err != nil || got != "v" {
+		t.Fatalf("read after retried recovery = %q, %v", got, err)
+	}
+}
+
+// TestCrashDuringRecoveryProcedure: a crash arriving while the recovery
+// write-back is in flight interrupts it; the abort callback must NOT fire
+// (the crash already transitioned the state) and Recover reports ErrCrashed.
+func TestCrashDuringRecoveryProcedure(t *testing.T) {
+	tc := newTestCluster(t, 3, Persistent, Options{}, netsim.Options{})
+	if _, err := tc.write(0, "x", "v"); err != nil {
+		t.Fatal(err)
+	}
+	tc.crash(0)
+	// Stall the recovery write-back: drop its W messages.
+	tc.net.SetFilter(func(e wire.Envelope) bool { return !(e.Kind == wire.KindWrite && e.From == 0) })
+	tc.net.SetDown(0, false)
+	done := make(chan error, 1)
+	aborted := false
+	go func() {
+		done <- tc.nodes[0].Recover(tc.ctx(), nil, func() { aborted = true })
+	}()
+	time.Sleep(20 * time.Millisecond)
+	tc.nodes[0].Crash(nil)
+	if err := <-done; !errors.Is(err, ErrCrashed) {
+		t.Fatalf("recover returned %v, want ErrCrashed", err)
+	}
+	if aborted {
+		t.Fatal("abort callback fired although crash handled the transition")
+	}
+	tc.net.SetFilter(nil)
+	if err := tc.recover(0); err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	if got, _, _ := tc.read(0, "x"); got != "v" {
+		t.Fatalf("read = %q", got)
+	}
+}
+
+// TestTraceAtNodeLevel: a node wired with a trace ring records protocol
+// events, including recovery aborts.
+func TestTraceAtNodeLevel(t *testing.T) {
+	ring := trace.NewRing(1024)
+	nw, err := netsim.New(1, netsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	var ids atomic.Uint64
+	nd, err := NewNode(0, 1, Transient, Options{RetransmitEvery: 5 * time.Millisecond}, Deps{
+		Endpoint: nw.Endpoint(0),
+		Storage:  stable.NewMemDisk(stable.Profile{}),
+		IDs:      &ids,
+		Trace:    ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := nd.Write(ctx, "x", []byte("v"), OpObserver{}); err != nil {
+		t.Fatal(err)
+	}
+	nd.Crash(nil)
+	if err := nd.Recover(ctx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[string]bool)
+	for _, e := range ring.Snapshot() {
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{"send", "recv", "store", "crash", "recover"} {
+		if !kinds[want] {
+			t.Fatalf("trace missing %q events (got %v)", want, kinds)
+		}
+	}
+}
+
+// TestAlgorithmKindStrings covers the enum stringers, including the unknown
+// fallbacks used in diagnostics.
+func TestAlgorithmKindStrings(t *testing.T) {
+	want := map[AlgorithmKind]string{
+		CrashStop:         "crash-stop",
+		Transient:         "transient",
+		Persistent:        "persistent",
+		Naive:             "naive",
+		RegularSW:         "regular-sw",
+		AlgorithmKind(42): "AlgorithmKind(42)",
+		AlgorithmKind(-1): "AlgorithmKind(-1)",
+	}
+	for k, s := range want {
+		if got := k.String(); got != s {
+			t.Fatalf("%d.String() = %q, want %q", int(k), got, s)
+		}
+	}
+	if CrashStop.Recovers() || !RegularSW.Recovers() {
+		t.Fatal("Recovers wrong")
+	}
+	_ = fmt.Sprintf("%v", Persistent) // Stringer integration
+}

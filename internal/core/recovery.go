@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"strings"
+
+	"recmem/internal/wire"
+)
+
+// runRecoveryProcedure executes the algorithm-specific part of recovery,
+// after the volatile state has been restored from stable storage. The model
+// places no bound on the messages or logs a recovery procedure may use.
+func (nd *Node) runRecoveryProcedure(ctx context.Context) error {
+	switch nd.kind {
+	case Persistent, Naive:
+		return nd.finishPendingWrites(ctx)
+	case Transient, RegularSW:
+		return nd.bumpRecoveryCounter()
+	default:
+		return ErrCannotRecover
+	}
+}
+
+// finishPendingWrites is Fig. 4's Recover (lines 40–47): for every register
+// with a "writing" record, re-run the write's second round so the recorded
+// (tag, value) reaches a majority. If the last write had in fact completed,
+// this re-writes an old value with an old timestamp, which replaces nothing;
+// if it had not, it completes the write before the process can invoke a new
+// operation — which is what persistent atomicity requires. The paper notes
+// this log sits outside read and write operations.
+func (nd *Node) finishPendingWrites(ctx context.Context) error {
+	names, err := nd.st.Records(recWritingPrefix)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		data, ok, err := nd.st.Retrieve(name)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		t, v, err := decodeTagged(data)
+		if err != nil {
+			return err
+		}
+		reg := strings.TrimPrefix(name, recWritingPrefix)
+		op := nd.newID()
+		if _, err := nd.round(ctx, op, wire.Envelope{
+			Kind: wire.KindWrite, Reg: reg, Tag: t, Value: v,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bumpRecoveryCounter is Fig. 5's Recover (lines 16–22): increment the
+// persisted recovery count. Subsequent writes add it to the queried sequence
+// number, which keeps the writer's timestamps fresh without a pre-log on the
+// write's critical path — the one extra log happens here, outside any
+// operation.
+func (nd *Node) bumpRecoveryCounter() error {
+	op := nd.newID()
+	newRec := nd.RecoveryCount() + 1
+	payload := encodeCounter(newRec)
+	if err := nd.st.Store(recRecovered, payload); err != nil {
+		return err
+	}
+	nd.recordLog(op, 1, len(payload))
+	nd.mu.Lock()
+	if nd.state == stateRecovering {
+		nd.rec = newRec
+	}
+	nd.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"recmem/internal/netsim"
+	"recmem/internal/wire"
+)
+
+func TestRegularSWWriteRead(t *testing.T) {
+	tc := newTestCluster(t, 5, RegularSW, Options{}, netsim.Options{})
+	if _, err := tc.write(0, "x", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 5; p++ {
+		got, _, err := tc.read(p, "x")
+		if err != nil {
+			t.Fatalf("read@%d: %v", p, err)
+		}
+		if got != "v1" {
+			t.Fatalf("read@%d = %q", p, got)
+		}
+	}
+	// Sequential overwrites.
+	for i := 2; i <= 5; i++ {
+		val := fmt.Sprintf("v%d", i)
+		if _, err := tc.write(0, "x", val); err != nil {
+			t.Fatal(err)
+		}
+		if got, _, _ := tc.read(i%5, "x"); got != val {
+			t.Fatalf("read = %q, want %q", got, val)
+		}
+	}
+}
+
+func TestRegularSWOnlyDesignatedWriter(t *testing.T) {
+	tc := newTestCluster(t, 3, RegularSW, Options{}, netsim.Options{})
+	if _, err := tc.write(1, "x", "v"); !errors.Is(err, ErrNotWriter) {
+		t.Fatalf("write at non-writer: %v", err)
+	}
+	// The rejected write is not recorded as an operation anywhere harmful;
+	// the designated writer still works.
+	if _, err := tc.write(0, "x", "v"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegularSWCosts asserts the §VI cost profile: a write is one round
+// (2 communication steps) with exactly 1 causal log; a read is one round
+// with no logging at all — even under concurrency.
+func TestRegularSWCosts(t *testing.T) {
+	tc := newTestCluster(t, 5, RegularSW, Options{RetransmitEvery: time.Second}, netsim.Options{})
+	wop, err := tc.write(0, "x", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if cost := tc.logs.Cost(wop); cost.CausalDepth != 1 {
+		t.Fatalf("write causal depth = %+v, want 1", cost)
+	}
+	if tr := tc.msgs.Trace(wop); tr.Rounds != 1 || tr.Steps() != 2 || tr.Sends != tc.n {
+		t.Fatalf("write trace = %+v, want 1 round / 2 steps / %d sends", tr, tc.n)
+	}
+	before := tc.logs.TotalLogs()
+	_, rop, err := tc.read(1, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if cost := tc.logs.Cost(rop); cost.Logs != 0 {
+		t.Fatalf("read cost = %+v, want no logs", cost)
+	}
+	if tr := tc.msgs.Trace(rop); tr.Rounds != 1 || tr.Steps() != 2 {
+		t.Fatalf("read trace = %+v, want 1 round / 2 steps", tr)
+	}
+	if after := tc.logs.TotalLogs(); after != before {
+		t.Fatalf("read caused %d logs", after-before)
+	}
+}
+
+// TestRegularSWReadNeverLogsEvenUnderConcurrency: unlike the atomic reads,
+// the regular read does not write back — a partially propagated value is
+// returned without being promoted.
+func TestRegularSWReadNeverLogsEvenUnderConcurrency(t *testing.T) {
+	tc := newTestCluster(t, 5, RegularSW, Options{}, netsim.Options{})
+	if _, err := tc.write(0, "x", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	// Partially propagate v2: only nodes 0 (self, required) and 1 get it.
+	tc.net.SetFilter(func(e wire.Envelope) bool {
+		return !(e.Kind == wire.KindWrite && e.From == 0 && e.To > 1)
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := tc.write(0, "x", "v2")
+		done <- err
+	}()
+	waitFor(t, 2*time.Second, "node 1 adopts v2", func() bool {
+		_, v, _ := tc.nodes[1].RegisterState("x")
+		return string(v) == "v2"
+	})
+	tc.crash(0)
+	if err := <-done; !errors.Is(err, ErrCrashed) {
+		t.Fatalf("interrupted write: %v", err)
+	}
+	tc.net.SetFilter(nil)
+
+	before := tc.logs.TotalLogs()
+	// Quorum {1,2,3}: node 1 has v2, so the read returns it — without
+	// logging or promoting it anywhere.
+	tc.net.HoldLink(4, 1)
+	got, _, err := tc.read(1, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "v2" {
+		t.Fatalf("read = %q, want the concurrent v2", got)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if after := tc.logs.TotalLogs(); after != before {
+		t.Fatalf("regular read caused %d logs", after-before)
+	}
+	// A later read on a v1-only quorum may return v1: new-old inversion,
+	// which regularity allows.
+	tc.net.ReleaseAll()
+	tc.net.HoldLink(1, 2)
+	got, _, err = tc.read(2, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "v1" {
+		t.Fatalf("read = %q, want v1 (quorum without the float)", got)
+	}
+}
+
+// TestRegularSWTagsMonotoneAcrossCrashes: the required self-acknowledgement
+// plus the recovery counter keep the single writer's timestamps strictly
+// increasing, even when writes are repeatedly interrupted before reaching
+// anyone else.
+func TestRegularSWTagsMonotoneAcrossCrashes(t *testing.T) {
+	tc := newTestCluster(t, 5, RegularSW, Options{}, netsim.Options{})
+	if _, err := tc.write(0, "x", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	tag1, _, _ := tc.nodes[0].RegisterState("x")
+
+	// Interrupt three writes in a row: each reaches only node 1.
+	for i := 0; i < 3; i++ {
+		tc.net.SetFilter(func(e wire.Envelope) bool {
+			return !(e.Kind == wire.KindWrite && e.From == 0 && e.To != 1)
+		})
+		done := make(chan error, 1)
+		val := fmt.Sprintf("float%d", i)
+		go func() {
+			_, err := tc.write(0, "x", val)
+			done <- err
+		}()
+		waitFor(t, 2*time.Second, "float adopted", func() bool {
+			_, v, _ := tc.nodes[1].RegisterState("x")
+			return string(v) == val
+		})
+		tc.crash(0)
+		if err := <-done; !errors.Is(err, ErrCrashed) {
+			t.Fatalf("float %d: %v", i, err)
+		}
+		tc.net.SetFilter(nil)
+		if err := tc.recover(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A completed write must out-timestamp every float.
+	if _, err := tc.write(0, "x", "final"); err != nil {
+		t.Fatal(err)
+	}
+	finalTag, _, _ := tc.nodes[0].RegisterState("x")
+	if !tag1.Less(finalTag) {
+		t.Fatalf("final tag %v not above first tag %v", finalTag, tag1)
+	}
+	floatTag, floatVal, _ := tc.nodes[1].RegisterState("x")
+	if string(floatVal) != "final" {
+		// Node 1 may still hold the last float only if its tag were
+		// higher — which monotonicity forbids.
+		if !floatTag.Less(finalTag) {
+			t.Fatalf("float tag %v (%q) not below final %v", floatTag, floatVal, finalTag)
+		}
+	}
+	// Every reader now returns "final" regardless of quorum: all floats
+	// are out-timestamped.
+	for p := 1; p < 5; p++ {
+		got, _, err := tc.read(p, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "final" {
+			t.Fatalf("read@%d = %q, want final", p, got)
+		}
+	}
+}
+
+func TestRegularSWRecoveryCounts(t *testing.T) {
+	tc := newTestCluster(t, 3, RegularSW, Options{}, netsim.Options{})
+	for i := 1; i <= 2; i++ {
+		tc.crash(0)
+		if err := tc.recover(0); err != nil {
+			t.Fatal(err)
+		}
+		if got := tc.nodes[0].RecoveryCount(); got != int32(i) {
+			t.Fatalf("recovery count = %d, want %d", got, i)
+		}
+	}
+	// Values survive the writer's crash via the majority.
+	if _, err := tc.write(0, "x", "survives"); err != nil {
+		t.Fatal(err)
+	}
+	tc.crash(0)
+	if got, _, _ := tc.read(1, "x"); got != "survives" {
+		t.Fatalf("read = %q", got)
+	}
+	if err := tc.recover(0); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := tc.read(0, "x"); got != "survives" {
+		t.Fatalf("read at recovered writer = %q", got)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"recmem/internal/wire"
+)
+
+// round broadcasts req to all processes and blocks until acknowledgements
+// from a majority of distinct processes arrive — the paper's
+//
+//	repeat send(...) to all until receive(... ack) from ⌈(n+1)/2⌉ processes
+//
+// Over fair-lossy channels the broadcast is retransmitted periodically; the
+// collected acknowledgements are deduplicated by sender. The round aborts
+// with ErrCrashed if the process crashes, or with the context's error on
+// cancellation; it otherwise blocks for as long as a majority is
+// unreachable, which is exactly the robustness contract (operations by
+// processes that do not crash terminate once a majority is permanently up).
+func (nd *Node) round(ctx context.Context, op uint64, req wire.Envelope) (map[int32]wire.Envelope, error) {
+	return nd.roundRequiring(ctx, op, req, -1)
+}
+
+// roundRequiring is round with an additional termination condition: if
+// require is a valid process id, the round does not complete until that
+// process's acknowledgement is among the collected majority. The RegularSW
+// writer requires its own acknowledgement, which certifies that its own
+// listener has logged the new timestamp — the synchronization that keeps the
+// single writer's timestamps strictly monotone across crashes.
+func (nd *Node) roundRequiring(ctx context.Context, op uint64, req wire.Envelope, require int32) (map[int32]wire.Envelope, error) {
+	rpc := nd.newID()
+	req.RPC = rpc
+	req.Op = op
+
+	ch := make(chan wire.Envelope, 4*nd.n)
+	nd.mu.Lock()
+	if !nd.servingLocked() {
+		state := nd.state
+		nd.mu.Unlock()
+		if state == stateClosed {
+			return nil, ErrClosed
+		}
+		return nil, ErrCrashed
+	}
+	crashCh := nd.crashCh
+	nd.pending[rpc] = ch
+	nd.mu.Unlock()
+	defer func() {
+		nd.mu.Lock()
+		delete(nd.pending, rpc)
+		nd.mu.Unlock()
+	}()
+
+	acks := make(map[int32]wire.Envelope, nd.n)
+	sweeps := 0
+	timer := time.NewTimer(nd.opts.RetransmitEvery)
+	defer timer.Stop()
+	for {
+		sweeps++
+		for to := int32(0); to < int32(nd.n); to++ {
+			e := req
+			e.To = to
+			nd.send(e)
+		}
+	collect:
+		for {
+			select {
+			case env := <-ch:
+				if _, dup := acks[env.From]; dup {
+					continue
+				}
+				acks[env.From] = env
+				if len(acks) >= nd.quorum {
+					if require >= 0 {
+						if _, ok := acks[require]; !ok {
+							continue
+						}
+					}
+					nd.recordRound(op, sweeps*nd.n, sweeps-1)
+					return acks, nil
+				}
+			case <-timer.C:
+				timer.Reset(nd.opts.RetransmitEvery)
+				break collect // retransmission sweep
+			case <-crashCh:
+				return nil, ErrCrashed
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+}
+
+// maxAckDepth returns the largest causal log depth reported by the
+// acknowledgements, floored at the depth the request carried.
+func maxAckDepth(acks map[int32]wire.Envelope, floor int) int {
+	depth := floor
+	for _, a := range acks {
+		if int(a.Depth) > depth {
+			depth = int(a.Depth)
+		}
+	}
+	return depth
+}
+
+// maxAckSeq returns the highest sequence number among the acknowledged tags
+// (Fig. 4 line 10: "select highest sn").
+func maxAckSeq(acks map[int32]wire.Envelope) int64 {
+	var max int64
+	for _, a := range acks {
+		if a.Tag.Seq > max {
+			max = a.Tag.Seq
+		}
+	}
+	return max
+}
+
+// bestAck returns the acknowledgement carrying the lexicographically highest
+// tag (Fig. 4 line 35: "select v with highest [sn, pid]").
+func bestAck(acks map[int32]wire.Envelope) wire.Envelope {
+	var best wire.Envelope
+	first := true
+	for _, a := range acks {
+		if first || best.Tag.Less(a.Tag) {
+			best = a
+			first = false
+		}
+	}
+	return best
+}

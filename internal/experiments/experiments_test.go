@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"recmem/internal/core"
+	"recmem/internal/netsim"
+	"recmem/internal/stable"
+)
+
+// fastOptions shrinks the experiment so tests stay quick while preserving
+// the latency ladder (δ = 100 µs, λ = 200 µs).
+func fastOptions() Options {
+	return Options{
+		Writes: 10,
+		Warmup: 2,
+		Net:    netsim.LANProfile(),
+		Disk:   stable.DiskProfile(),
+		Ns:     []int{3, 5},
+		Sizes:  []int{4, 16 << 10},
+	}
+}
+
+func TestMeasureWritesLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	opts := fastOptions()
+	opts.Writes = 25
+	means := make(map[core.AlgorithmKind]time.Duration)
+	for _, kind := range Algorithms {
+		p, err := MeasureWrites(ctx, kind, 5, 4, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		means[kind] = p.Median
+		t.Logf("%v: median %v (mean %v)", kind, p.Median, p.Mean)
+	}
+	// The paper's §V-B ladder: transient ≈ crash-stop + λ, persistent ≈
+	// crash-stop + 2λ. With λ = 200 µs we accept generous tolerances to
+	// stay robust on loaded machines; the *ordering* is the result.
+	if !(means[core.CrashStop] < means[core.Transient] && means[core.Transient] < means[core.Persistent]) {
+		t.Fatalf("latency ladder violated: %v", means)
+	}
+	// The crash-stop write is two round trips: at least 4δ = 400 µs.
+	if means[core.CrashStop] < 400*time.Microsecond {
+		t.Fatalf("crash-stop mean %v below the 4δ floor", means[core.CrashStop])
+	}
+	// Each extra causal log adds roughly λ; require at least half of it.
+	lambda := stable.DiskProfile().StoreDelay
+	if means[core.Transient]-means[core.CrashStop] < lambda/2 {
+		t.Fatalf("transient gap %v too small for one causal log",
+			means[core.Transient]-means[core.CrashStop])
+	}
+	if means[core.Persistent]-means[core.Transient] < lambda/2 {
+		t.Fatalf("persistent gap %v too small for the second causal log",
+			means[core.Persistent]-means[core.Transient])
+	}
+}
+
+func TestPayloadScalesLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	opts := fastOptions()
+	small, err := MeasureWrites(ctx, core.Persistent, 5, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := MeasureWrites(ctx, core.Persistent, 5, 32<<10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 KB over 12.5 MB/s is ≈ 2.6 ms of wire time alone per hop.
+	if big.Mean < small.Mean+2*time.Millisecond {
+		t.Fatalf("payload did not scale latency: %v vs %v", small.Mean, big.Mean)
+	}
+}
+
+func TestFig6aAndPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	opts := fastOptions()
+	opts.Writes = 5
+	opts.Warmup = 1
+	points, err := Fig6a(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Algorithms)*len(opts.Ns) {
+		t.Fatalf("got %d points", len(points))
+	}
+	var b strings.Builder
+	PrintFig6a(&b, points)
+	out := b.String()
+	if !strings.Contains(out, "crash-stop") || !strings.Contains(out, "persistent") {
+		t.Fatalf("table missing columns:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 1+len(opts.Ns) {
+		t.Fatalf("table has wrong row count:\n%s", out)
+	}
+}
+
+func TestFig6bAndPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	opts := fastOptions()
+	opts.Writes = 5
+	opts.Warmup = 1
+	points, err := Fig6b(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Algorithms)*len(opts.Sizes) {
+		t.Fatalf("got %d points", len(points))
+	}
+	var b strings.Builder
+	PrintFig6b(&b, points)
+	if !strings.Contains(b.String(), "size(B)") {
+		t.Fatalf("table malformed:\n%s", b.String())
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Writes != 50 || o.Warmup != 5 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if len(o.Ns) != 8 || o.Ns[0] != 2 || o.Ns[7] != 9 {
+		t.Fatalf("Ns = %v (paper: up to nine workstations)", o.Ns)
+	}
+	if o.Sizes[len(o.Sizes)-1] > 64<<10 {
+		t.Fatalf("sizes exceed the 64 KB UDP limit: %v", o.Sizes)
+	}
+}

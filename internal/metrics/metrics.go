@@ -1,0 +1,131 @@
+// Package metrics provides the measurement primitives used to reproduce the
+// paper's performance analysis (§V): latency histograms for operation
+// timings and per-operation message/round accounting for the
+// message-complexity claims (4 communication steps per operation, as in the
+// crash-stop algorithm of [2]).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram collects duration samples. The zero value is ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.mu.Unlock()
+}
+
+// Stats summarizes a histogram.
+type Stats struct {
+	Count          int
+	Min, Max, Mean time.Duration
+	P50, P95, P99  time.Duration
+}
+
+// Snapshot computes summary statistics over the samples recorded so far.
+func (h *Histogram) Snapshot() Stats {
+	h.mu.Lock()
+	samples := make([]time.Duration, len(h.samples))
+	copy(samples, h.samples)
+	h.mu.Unlock()
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(samples)-1))
+		return samples[idx]
+	}
+	return Stats{
+		Count: len(samples),
+		Min:   samples[0],
+		Max:   samples[len(samples)-1],
+		Mean:  sum / time.Duration(len(samples)),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+	}
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = nil
+	h.mu.Unlock()
+}
+
+// String renders the summary compactly.
+func (s Stats) String() string {
+	if s.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v min=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.Min.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
+// OpTrace accounts the communication of one operation.
+type OpTrace struct {
+	// Rounds is the number of request/acknowledgement round trips (each
+	// round is 2 communication steps).
+	Rounds int
+	// Sends is the number of envelopes transmitted, including
+	// retransmissions.
+	Sends int
+	// Retransmissions counts resend sweeps beyond the first of each round.
+	Retransmissions int
+}
+
+// Steps returns the number of communication steps (2 per round).
+func (t OpTrace) Steps() int { return 2 * t.Rounds }
+
+// OpMeter aggregates OpTraces per operation id. Safe for concurrent use.
+type OpMeter struct {
+	mu  sync.Mutex
+	ops map[uint64]OpTrace
+}
+
+// NewOpMeter returns an empty meter.
+func NewOpMeter() *OpMeter {
+	return &OpMeter{ops: make(map[uint64]OpTrace)}
+}
+
+// RecordRound adds one round with the given number of sends (first sweep) to
+// operation op; extra counts retransmission sweeps.
+func (m *OpMeter) RecordRound(op uint64, sends, retransmissions int) {
+	m.mu.Lock()
+	t := m.ops[op]
+	t.Rounds++
+	t.Sends += sends
+	t.Retransmissions += retransmissions
+	m.ops[op] = t
+	m.mu.Unlock()
+}
+
+// Trace returns the accumulated trace of op.
+func (m *OpMeter) Trace(op uint64) OpTrace {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops[op]
+}
+
+// Reset discards all traces.
+func (m *OpMeter) Reset() {
+	m.mu.Lock()
+	m.ops = make(map[uint64]OpTrace)
+	m.mu.Unlock()
+}

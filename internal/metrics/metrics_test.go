@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	if s.String() != "no samples" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if s.P95 < 94*time.Millisecond || s.P95 > 96*time.Millisecond {
+		t.Fatalf("P95 = %v", s.P95)
+	}
+	if !strings.Contains(s.String(), "n=100") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Add(time.Second)
+	h.Reset()
+	if h.Snapshot().Count != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var (
+		h  Histogram
+		wg sync.WaitGroup
+	)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Add(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Fatalf("Count = %d", got)
+	}
+}
+
+func TestOpMeter(t *testing.T) {
+	m := NewOpMeter()
+	m.RecordRound(1, 5, 0)
+	m.RecordRound(1, 5, 2)
+	tr := m.Trace(1)
+	if tr.Rounds != 2 || tr.Sends != 10 || tr.Retransmissions != 2 {
+		t.Fatalf("Trace = %+v", tr)
+	}
+	if tr.Steps() != 4 {
+		t.Fatalf("Steps = %d, want 4 (the paper's 4 communication steps)", tr.Steps())
+	}
+	if m.Trace(99) != (OpTrace{}) {
+		t.Fatal("unknown op should be zero")
+	}
+	m.Reset()
+	if m.Trace(1) != (OpTrace{}) {
+		t.Fatal("Reset did not clear")
+	}
+}

@@ -1,0 +1,400 @@
+// Package netsim simulates the paper's asynchronous message-passing system
+// in memory: fair-lossy channels with configurable propagation delay,
+// bandwidth, jitter, random loss, duplication and reordering, plus the
+// scripted controls (link holds, process isolation) that the deterministic
+// scenario tests of Figures 1–3 and the adversarial schedules need.
+//
+// The simulator is a single discrete-event dispatcher over real time: every
+// accepted envelope is scheduled for delivery at now + delay(profile) and a
+// dispatcher goroutine releases due envelopes into per-process queues. With a
+// zero profile the network degenerates to immediate (but still concurrent and
+// reorderable) delivery, which keeps unit tests fast; with the calibrated LAN
+// profile it reproduces the paper's δ ≈ 0.1 ms transit time.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recmem/internal/spin"
+	"recmem/internal/transport"
+	"recmem/internal/wire"
+)
+
+// Profile describes per-link latency.
+type Profile struct {
+	// Propagation is the one-way delay between two distinct processes (the
+	// paper's δ, ≈ 0.1 ms on their LAN).
+	Propagation time.Duration
+	// SelfDelay is the loopback delay for messages a process sends to
+	// itself (its own listener thread).
+	SelfDelay time.Duration
+	// BytesPerSec is the link bandwidth; 0 means infinite. The paper's LAN
+	// is 100 Mb/s = 12.5 MB/s.
+	BytesPerSec float64
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+}
+
+// LANProfile returns the profile calibrated to the paper's testbed: 100 Mb/s
+// switched Ethernet with ≈ 0.1 ms one-way transit.
+func LANProfile() Profile {
+	return Profile{
+		Propagation: 100 * time.Microsecond,
+		SelfDelay:   5 * time.Microsecond,
+		BytesPerSec: 12.5e6,
+		Jitter:      10 * time.Microsecond,
+	}
+}
+
+// delay computes the delivery delay for a message of the given encoded size.
+// rng is owned by the caller's lock.
+func (p Profile) delay(rng *rand.Rand, from, to int32, size int) time.Duration {
+	var d time.Duration
+	if from == to {
+		d = p.SelfDelay
+	} else {
+		d = p.Propagation
+	}
+	if p.BytesPerSec > 0 {
+		d += time.Duration(float64(size) / p.BytesPerSec * float64(time.Second))
+	}
+	if p.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(p.Jitter)))
+	}
+	return d
+}
+
+// Options configures a simulated network.
+type Options struct {
+	// Profile is the latency model; the zero profile delivers immediately.
+	Profile Profile
+	// LossRate is the probability in [0,1) that an envelope is dropped.
+	LossRate float64
+	// DupRate is the probability in [0,1) that an envelope is delivered
+	// twice (with independent delays).
+	DupRate float64
+	// Seed seeds the network's private random source; runs with the same
+	// seed and the same send sequence draw the same loss/jitter decisions.
+	Seed int64
+	// QueueLen is the per-process receive queue length (default 4096);
+	// overflow drops envelopes, which fair-lossy channels permit.
+	QueueLen int
+}
+
+// Net is an in-memory network connecting n processes.
+type Net struct {
+	n   int
+	eps []*endpoint
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	prof   Profile
+	loss   float64
+	dup    float64
+	queue  deliveryQueue
+	seq    uint64
+	down   []bool
+	held   map[linkKey]bool
+	filter func(wire.Envelope) bool
+	closed bool
+
+	wake chan struct{}
+	done chan struct{}
+
+	sent, delivered, droppedLoss, droppedDown, droppedHeld, droppedQueue, duplicated atomic.Int64
+}
+
+type linkKey struct{ from, to int32 }
+
+// New creates a simulated network for processes 0..n-1.
+func New(n int, opts Options) (*Net, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("netsim: need at least one process, got %d", n)
+	}
+	if opts.LossRate < 0 || opts.LossRate >= 1 {
+		return nil, fmt.Errorf("netsim: loss rate %v outside [0,1)", opts.LossRate)
+	}
+	if opts.DupRate < 0 || opts.DupRate >= 1 {
+		return nil, fmt.Errorf("netsim: dup rate %v outside [0,1)", opts.DupRate)
+	}
+	qlen := opts.QueueLen
+	if qlen <= 0 {
+		qlen = 4096
+	}
+	nw := &Net{
+		n:    n,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		prof: opts.Profile,
+		loss: opts.LossRate,
+		dup:  opts.DupRate,
+		down: make([]bool, n),
+		held: make(map[linkKey]bool),
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	nw.eps = make([]*endpoint, n)
+	for i := range nw.eps {
+		nw.eps[i] = &endpoint{id: int32(i), net: nw, ch: make(chan wire.Envelope, qlen)}
+	}
+	go nw.dispatch()
+	return nw, nil
+}
+
+// Endpoint returns the endpoint of process id.
+func (nw *Net) Endpoint(id int32) transport.Endpoint {
+	return nw.eps[id]
+}
+
+// N returns the number of processes.
+func (nw *Net) N() int { return nw.n }
+
+// SetDown marks a process crashed (true) or alive (false). Envelopes to or
+// from a down process are dropped, matching a crashed process that neither
+// sends nor receives.
+func (nw *Net) SetDown(id int32, down bool) {
+	nw.mu.Lock()
+	nw.down[id] = down
+	nw.mu.Unlock()
+}
+
+// HoldLink blackholes the directed link from -> to: envelopes sent on it
+// (including retransmissions) are dropped until ReleaseLink.
+func (nw *Net) HoldLink(from, to int32) {
+	nw.mu.Lock()
+	nw.held[linkKey{from, to}] = true
+	nw.mu.Unlock()
+}
+
+// ReleaseLink removes a hold installed by HoldLink.
+func (nw *Net) ReleaseLink(from, to int32) {
+	nw.mu.Lock()
+	delete(nw.held, linkKey{from, to})
+	nw.mu.Unlock()
+}
+
+// HoldAllFrom blackholes every link out of process from, except the listed
+// destinations. Used by scenario tests to force "the writer's W message
+// reaches only p5"-style schedules.
+func (nw *Net) HoldAllFrom(from int32, except ...int32) {
+	keep := make(map[int32]bool, len(except))
+	for _, e := range except {
+		keep[e] = true
+	}
+	nw.mu.Lock()
+	for to := int32(0); to < int32(nw.n); to++ {
+		if !keep[to] {
+			nw.held[linkKey{from, to}] = true
+		}
+	}
+	nw.mu.Unlock()
+}
+
+// Isolate blackholes all links to and from process id (except its loopback),
+// simulating a partitioned process.
+func (nw *Net) Isolate(id int32) {
+	nw.mu.Lock()
+	for other := int32(0); other < int32(nw.n); other++ {
+		if other != id {
+			nw.held[linkKey{id, other}] = true
+			nw.held[linkKey{other, id}] = true
+		}
+	}
+	nw.mu.Unlock()
+}
+
+// Heal removes every hold involving process id.
+func (nw *Net) Heal(id int32) {
+	nw.mu.Lock()
+	for k := range nw.held {
+		if k.from == id || k.to == id {
+			delete(nw.held, k)
+		}
+	}
+	nw.mu.Unlock()
+}
+
+// ReleaseAll removes every hold.
+func (nw *Net) ReleaseAll() {
+	nw.mu.Lock()
+	nw.held = make(map[linkKey]bool)
+	nw.mu.Unlock()
+}
+
+// SetFilter installs a predicate consulted for every send; returning false
+// drops the envelope. Pass nil to remove. Intended for scenario tests.
+func (nw *Net) SetFilter(f func(wire.Envelope) bool) {
+	nw.mu.Lock()
+	nw.filter = f
+	nw.mu.Unlock()
+}
+
+// Stats returns a snapshot of message accounting.
+func (nw *Net) Stats() transport.Stats {
+	return transport.Stats{
+		Sent:         nw.sent.Load(),
+		Delivered:    nw.delivered.Load(),
+		DroppedLoss:  nw.droppedLoss.Load(),
+		DroppedDown:  nw.droppedDown.Load(),
+		DroppedHeld:  nw.droppedHeld.Load(),
+		DroppedQueue: nw.droppedQueue.Load(),
+		Duplicated:   nw.duplicated.Load(),
+	}
+}
+
+// Close shuts the network down and closes all receive channels.
+func (nw *Net) Close() {
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return
+	}
+	nw.closed = true
+	nw.mu.Unlock()
+	close(nw.done)
+}
+
+func (nw *Net) send(env wire.Envelope) {
+	if env.To < 0 || int(env.To) >= nw.n {
+		return
+	}
+	size := wire.Size(env)
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return
+	}
+	if nw.down[env.From] || nw.down[env.To] {
+		nw.mu.Unlock()
+		nw.droppedDown.Add(1)
+		return
+	}
+	if nw.held[linkKey{env.From, env.To}] {
+		nw.mu.Unlock()
+		nw.droppedHeld.Add(1)
+		return
+	}
+	if nw.filter != nil && !nw.filter(env) {
+		nw.mu.Unlock()
+		nw.droppedHeld.Add(1)
+		return
+	}
+	if nw.loss > 0 && nw.rng.Float64() < nw.loss {
+		nw.mu.Unlock()
+		nw.droppedLoss.Add(1)
+		return
+	}
+	nw.sent.Add(1)
+	copies := 1
+	if nw.dup > 0 && nw.rng.Float64() < nw.dup {
+		copies = 2
+		nw.duplicated.Add(1)
+	}
+	now := time.Now()
+	for c := 0; c < copies; c++ {
+		at := now.Add(nw.prof.delay(nw.rng, env.From, env.To, size))
+		nw.seq++
+		heap.Push(&nw.queue, delivery{at: at, seq: nw.seq, env: env})
+	}
+	nw.mu.Unlock()
+	select {
+	case nw.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch releases due deliveries in timestamp order.
+func (nw *Net) dispatch() {
+	for {
+		nw.mu.Lock()
+		if nw.closed {
+			nw.mu.Unlock()
+			for _, ep := range nw.eps {
+				close(ep.ch)
+			}
+			return
+		}
+		if nw.queue.Len() == 0 {
+			nw.mu.Unlock()
+			select {
+			case <-nw.wake:
+			case <-nw.done:
+				continue // loop to observe closed under lock
+			}
+			continue
+		}
+		now := time.Now()
+		top := nw.queue[0]
+		if top.at.After(now) {
+			// Simulated latencies are routinely far below the platform's
+			// sleep granularity; spin.Wait preserves them faithfully.
+			at := top.at
+			nw.mu.Unlock()
+			spin.Wait(at, nw.wake, nw.done)
+			continue
+		}
+		heap.Pop(&nw.queue)
+		dst := nw.eps[top.env.To]
+		if nw.down[top.env.To] {
+			nw.mu.Unlock()
+			nw.droppedDown.Add(1)
+			continue
+		}
+		nw.mu.Unlock()
+		select {
+		case dst.ch <- top.env:
+			nw.delivered.Add(1)
+		default:
+			nw.droppedQueue.Add(1)
+		}
+	}
+}
+
+// delivery is a scheduled envelope.
+type delivery struct {
+	at  time.Time
+	seq uint64
+	env wire.Envelope
+}
+
+// deliveryQueue is a min-heap on (at, seq).
+type deliveryQueue []delivery
+
+func (q deliveryQueue) Len() int { return len(q) }
+func (q deliveryQueue) Less(i, j int) bool {
+	if q[i].at.Equal(q[j].at) {
+		return q[i].seq < q[j].seq
+	}
+	return q[i].at.Before(q[j].at)
+}
+func (q deliveryQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *deliveryQueue) Push(x interface{}) { *q = append(*q, x.(delivery)) }
+func (q *deliveryQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// endpoint implements transport.Endpoint.
+type endpoint struct {
+	id  int32
+	net *Net
+	ch  chan wire.Envelope
+}
+
+var _ transport.Endpoint = (*endpoint)(nil)
+
+func (e *endpoint) ID() int32 { return e.id }
+
+func (e *endpoint) Send(env wire.Envelope) {
+	env.From = e.id
+	e.net.send(env)
+}
+
+func (e *endpoint) Recv() <-chan wire.Envelope { return e.ch }

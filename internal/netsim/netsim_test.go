@@ -1,0 +1,336 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"recmem/internal/wire"
+)
+
+func msg(from, to int32, kind wire.Kind) wire.Envelope {
+	return wire.Envelope{Kind: kind, From: from, To: to, Reg: "x", RPC: 1}
+}
+
+func recvWithin(t *testing.T, ch <-chan wire.Envelope, d time.Duration) wire.Envelope {
+	t.Helper()
+	select {
+	case e, ok := <-ch:
+		if !ok {
+			t.Fatal("channel closed")
+		}
+		return e
+	case <-time.After(d):
+		t.Fatal("timed out waiting for delivery")
+	}
+	panic("unreachable")
+}
+
+func TestDeliverBasic(t *testing.T) {
+	nw, err := New(3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.Endpoint(0).Send(msg(0, 2, wire.KindSNQuery))
+	got := recvWithin(t, nw.Endpoint(2).Recv(), time.Second)
+	if got.From != 0 || got.To != 2 || got.Kind != wire.KindSNQuery {
+		t.Fatalf("got %+v", got)
+	}
+	st := nw.Stats()
+	if st.Sent != 1 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	nw, err := New(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.Endpoint(1).Send(msg(1, 1, wire.KindRead))
+	got := recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+	if got.From != 1 || got.To != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSendStampsFrom(t *testing.T) {
+	nw, err := New(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	e := msg(9, 1, wire.KindRead) // wrong From is overwritten by the endpoint
+	nw.Endpoint(0).Send(e)
+	got := recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+	if got.From != 0 {
+		t.Fatalf("From = %d, want 0", got.From)
+	}
+}
+
+func TestDownDropsBothDirections(t *testing.T) {
+	nw, err := New(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.SetDown(1, true)
+	nw.Endpoint(0).Send(msg(0, 1, wire.KindRead))
+	nw.Endpoint(1).Send(msg(1, 0, wire.KindRead))
+	select {
+	case e := <-nw.Endpoint(1).Recv():
+		t.Fatalf("down process received %+v", e)
+	case e := <-nw.Endpoint(0).Recv():
+		t.Fatalf("received from down process: %+v", e)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if nw.Stats().DroppedDown != 2 {
+		t.Fatalf("stats = %+v", nw.Stats())
+	}
+	nw.SetDown(1, false)
+	nw.Endpoint(0).Send(msg(0, 1, wire.KindRead))
+	recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+}
+
+func TestHoldAndRelease(t *testing.T) {
+	nw, err := New(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.HoldLink(0, 1)
+	nw.Endpoint(0).Send(msg(0, 1, wire.KindRead))
+	select {
+	case <-nw.Endpoint(1).Recv():
+		t.Fatal("held link delivered")
+	case <-time.After(30 * time.Millisecond):
+	}
+	// Reverse direction unaffected.
+	nw.Endpoint(1).Send(msg(1, 0, wire.KindRead))
+	recvWithin(t, nw.Endpoint(0).Recv(), time.Second)
+
+	nw.ReleaseLink(0, 1)
+	nw.Endpoint(0).Send(msg(0, 1, wire.KindRead))
+	recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+}
+
+func TestHoldAllFromAndHeal(t *testing.T) {
+	nw, err := New(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.HoldAllFrom(0, 2) // only 0 -> 2 passes
+	for to := int32(1); to < 4; to++ {
+		nw.Endpoint(0).Send(msg(0, to, wire.KindRead))
+	}
+	got := recvWithin(t, nw.Endpoint(2).Recv(), time.Second)
+	if got.To != 2 {
+		t.Fatalf("unexpected delivery %+v", got)
+	}
+	select {
+	case e := <-nw.Endpoint(1).Recv():
+		t.Fatalf("held delivery %+v", e)
+	case e := <-nw.Endpoint(3).Recv():
+		t.Fatalf("held delivery %+v", e)
+	case <-time.After(30 * time.Millisecond):
+	}
+	nw.Heal(0)
+	nw.Endpoint(0).Send(msg(0, 1, wire.KindRead))
+	recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+}
+
+func TestIsolate(t *testing.T) {
+	nw, err := New(3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.Isolate(1)
+	nw.Endpoint(0).Send(msg(0, 1, wire.KindRead))
+	nw.Endpoint(1).Send(msg(1, 0, wire.KindRead))
+	nw.Endpoint(1).Send(msg(1, 1, wire.KindRead)) // loopback unaffected
+	recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+	select {
+	case <-nw.Endpoint(0).Recv():
+		t.Fatal("isolated process sent out")
+	case <-time.After(30 * time.Millisecond):
+	}
+	nw.ReleaseAll()
+	nw.Endpoint(0).Send(msg(0, 1, wire.KindRead))
+	// loopback message was already consumed; next delivery is from 0.
+	got := recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+	if got.From != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	nw, err := New(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.SetFilter(func(e wire.Envelope) bool { return e.Kind != wire.KindWrite })
+	nw.Endpoint(0).Send(msg(0, 1, wire.KindWrite))
+	nw.Endpoint(0).Send(msg(0, 1, wire.KindRead))
+	got := recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+	if got.Kind != wire.KindRead {
+		t.Fatalf("filter passed %+v", got)
+	}
+	nw.SetFilter(nil)
+	nw.Endpoint(0).Send(msg(0, 1, wire.KindWrite))
+	got = recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+	if got.Kind != wire.KindWrite {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestLossIsFairLossy(t *testing.T) {
+	nw, err := New(2, Options{LossRate: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	// Retransmit many times: fair-lossy channels must let some through, and
+	// at 50% loss some must be dropped.
+	const sends = 100
+	for i := 0; i < sends; i++ {
+		nw.Endpoint(0).Send(msg(0, 1, wire.KindRead))
+	}
+	delivered := 0
+	for {
+		select {
+		case <-nw.Endpoint(1).Recv():
+			delivered++
+		case <-time.After(50 * time.Millisecond):
+			st := nw.Stats()
+			if delivered == 0 {
+				t.Fatal("no delivery after 100 sends at 50% loss")
+			}
+			if st.DroppedLoss == 0 {
+				t.Fatal("expected some loss at 50% rate")
+			}
+			if int64(delivered)+st.DroppedLoss != sends {
+				t.Fatalf("delivered %d + dropped %d != %d", delivered, st.DroppedLoss, sends)
+			}
+			return
+		}
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	nw, err := New(2, Options{DupRate: 0.99, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.Endpoint(0).Send(msg(0, 1, wire.KindRead))
+	recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+	recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+	if nw.Stats().Duplicated != 1 {
+		t.Fatalf("stats = %+v", nw.Stats())
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	nw, err := New(2, Options{Profile: Profile{Propagation: 20 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	start := time.Now()
+	nw.Endpoint(0).Send(msg(0, 1, wire.KindRead))
+	recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~20ms", el)
+	}
+}
+
+func TestBandwidthDelay(t *testing.T) {
+	// 1 MB/s: a 10 KB payload should take >= ~10 ms.
+	nw, err := New(2, Options{Profile: Profile{BytesPerSec: 1e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	env := msg(0, 1, wire.KindWrite)
+	env.Value = make([]byte, 10<<10)
+	start := time.Now()
+	nw.Endpoint(0).Send(env)
+	recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+	if el := time.Since(start); el < 8*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~10ms", el)
+	}
+}
+
+func TestFIFOForEqualDelay(t *testing.T) {
+	nw, err := New(2, Options{Profile: Profile{Propagation: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	for i := uint64(1); i <= 20; i++ {
+		e := msg(0, 1, wire.KindRead)
+		e.RPC = i
+		nw.Endpoint(0).Send(e)
+	}
+	for i := uint64(1); i <= 20; i++ {
+		got := recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+		if got.RPC != i {
+			t.Fatalf("delivery %d has RPC %d (reordering with equal delays)", i, got.RPC)
+		}
+	}
+}
+
+func TestCloseClosesRecv(t *testing.T) {
+	nw, err := New(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Close()
+	nw.Close() // idempotent
+	select {
+	case _, ok := <-nw.Endpoint(0).Recv():
+		if ok {
+			t.Fatal("unexpected delivery")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("recv not closed")
+	}
+	// Sends after close are ignored.
+	nw.Endpoint(0).Send(msg(0, 1, wire.KindRead))
+}
+
+func TestInvalidOptions(t *testing.T) {
+	if _, err := New(0, Options{}); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := New(2, Options{LossRate: 1}); err == nil {
+		t.Fatal("accepted loss=1")
+	}
+	if _, err := New(2, Options{DupRate: -0.1}); err == nil {
+		t.Fatal("accepted dup<0")
+	}
+}
+
+func TestOutOfRangeDestinationIgnored(t *testing.T) {
+	nw, err := New(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.Endpoint(0).Send(msg(0, 7, wire.KindRead))
+	nw.Endpoint(0).Send(msg(0, -1, wire.KindRead))
+	if nw.Stats().Sent != 0 {
+		t.Fatalf("stats = %+v", nw.Stats())
+	}
+}
+
+func TestLANProfile(t *testing.T) {
+	p := LANProfile()
+	if p.Propagation != 100*time.Microsecond || p.BytesPerSec != 12.5e6 {
+		t.Fatalf("LANProfile = %+v", p)
+	}
+}

@@ -1,0 +1,265 @@
+// Package nettcp is the real-network counterpart of internal/netsim: a TCP
+// mesh connecting the processes of an emulation across machines, as in the
+// paper's measurements on a LAN of workstations. Each process listens on one
+// address; envelopes are length-prefixed frames of the internal/wire codec.
+//
+// The transport deliberately keeps fair-lossy semantics even though TCP is
+// reliable per connection: a send with no live connection drops the envelope
+// (the protocol rounds retransmit), connection failures lose buffered
+// frames, and receive-queue overflow drops too. The emulation algorithms
+// assume nothing stronger.
+package nettcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"recmem/internal/transport"
+	"recmem/internal/wire"
+)
+
+// maxFrame bounds a frame: the wire header plus a maximal value plus slack
+// for the register name.
+const maxFrame = wire.MaxValueSize + 64<<10
+
+// Options tunes a mesh.
+type Options struct {
+	// DialTimeout bounds connection establishment (default 2 s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds a single frame write (default 2 s); a timed-out
+	// connection is dropped and redialed lazily.
+	WriteTimeout time.Duration
+	// QueueLen is the receive queue length (default 4096).
+	QueueLen int
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 2 * time.Second
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 4096
+	}
+	return o
+}
+
+// Mesh is one process's attachment to the TCP mesh.
+type Mesh struct {
+	id   int32
+	opts Options
+	ln   net.Listener
+	recv chan wire.Envelope
+
+	mu       sync.Mutex
+	peers    []string
+	conns    map[int32]*peerConn
+	accepted map[net.Conn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+var _ transport.Endpoint = (*Mesh)(nil)
+
+// Listen starts a mesh endpoint for process id on the given address (e.g.
+// "127.0.0.1:0"). Peers must be provided with SetPeers before the first
+// Send.
+func Listen(id int32, addr string, opts Options) (*Mesh, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("nettcp: listen: %w", err)
+	}
+	opts = opts.withDefaults()
+	m := &Mesh{
+		id:       id,
+		opts:     opts,
+		ln:       ln,
+		recv:     make(chan wire.Envelope, opts.QueueLen),
+		conns:    make(map[int32]*peerConn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the actual listen address (useful with port 0).
+func (m *Mesh) Addr() string { return m.ln.Addr().String() }
+
+// SetPeers installs the address of every process; peers[i] is process i's
+// listen address. The local entry is ignored (loopback short-circuits).
+func (m *Mesh) SetPeers(peers []string) {
+	m.mu.Lock()
+	m.peers = make([]string, len(peers))
+	copy(m.peers, peers)
+	m.mu.Unlock()
+}
+
+// ID implements transport.Endpoint.
+func (m *Mesh) ID() int32 { return m.id }
+
+// Recv implements transport.Endpoint.
+func (m *Mesh) Recv() <-chan wire.Envelope { return m.recv }
+
+// Send implements transport.Endpoint: best-effort, never blocks beyond the
+// write timeout, drops on any failure.
+func (m *Mesh) Send(env wire.Envelope) {
+	env.From = m.id
+	if env.To == m.id {
+		m.deliver(env)
+		return
+	}
+	pc, addr, ok := m.peer(env.To)
+	if !ok {
+		return
+	}
+	frame, err := encodeFrame(env)
+	if err != nil {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.conn == nil {
+		conn, err := net.DialTimeout("tcp", addr, m.opts.DialTimeout)
+		if err != nil {
+			return // fair-lossy: the round will retransmit
+		}
+		pc.conn = conn
+	}
+	_ = pc.conn.SetWriteDeadline(time.Now().Add(m.opts.WriteTimeout))
+	if _, err := pc.conn.Write(frame); err != nil {
+		pc.conn.Close()
+		pc.conn = nil
+	}
+}
+
+// peer returns the connection slot and address for process id.
+func (m *Mesh) peer(id int32) (*peerConn, string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || id < 0 || int(id) >= len(m.peers) {
+		return nil, "", false
+	}
+	pc := m.conns[id]
+	if pc == nil {
+		pc = &peerConn{}
+		m.conns[id] = pc
+	}
+	return pc, m.peers[id], true
+}
+
+func (m *Mesh) deliver(env wire.Envelope) {
+	select {
+	case m.recv <- env:
+	default: // queue overflow: fair-lossy drop
+	}
+}
+
+func (m *Mesh) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			conn.Close()
+			return
+		}
+		m.accepted[conn] = struct{}{}
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go m.readLoop(conn)
+	}
+}
+
+func (m *Mesh) readLoop(conn net.Conn) {
+	defer m.wg.Done()
+	defer func() {
+		conn.Close()
+		m.mu.Lock()
+		delete(m.accepted, conn)
+		m.mu.Unlock()
+	}()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			return // protocol violation; drop the connection
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		env, err := wire.Decode(payload)
+		if err != nil {
+			return
+		}
+		m.deliver(env)
+	}
+}
+
+// Close shuts the mesh down and closes the receive channel.
+func (m *Mesh) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	conns := m.conns
+	m.conns = make(map[int32]*peerConn)
+	accepted := make([]net.Conn, 0, len(m.accepted))
+	for conn := range m.accepted {
+		accepted = append(accepted, conn)
+	}
+	m.mu.Unlock()
+
+	err := m.ln.Close()
+	for _, pc := range conns {
+		pc.mu.Lock()
+		if pc.conn != nil {
+			pc.conn.Close()
+		}
+		pc.mu.Unlock()
+	}
+	for _, conn := range accepted {
+		conn.Close()
+	}
+	m.wg.Wait()
+	close(m.recv)
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// encodeFrame serializes an envelope as a length-prefixed frame.
+func encodeFrame(env wire.Envelope) ([]byte, error) {
+	body, err := wire.Encode(env)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	return frame, nil
+}

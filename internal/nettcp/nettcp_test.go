@@ -1,0 +1,157 @@
+package nettcp
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"recmem/internal/core"
+	"recmem/internal/stable"
+	"recmem/internal/wire"
+)
+
+// newMeshes starts n meshes on loopback and wires their peer tables.
+func newMeshes(t *testing.T, n int) []*Mesh {
+	t.Helper()
+	meshes := make([]*Mesh, n)
+	addrs := make([]string, n)
+	for i := range meshes {
+		m, err := Listen(int32(i), "127.0.0.1:0", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		meshes[i] = m
+		addrs[i] = m.Addr()
+		t.Cleanup(func() { _ = m.Close() })
+	}
+	for _, m := range meshes {
+		m.SetPeers(addrs)
+	}
+	return meshes
+}
+
+func TestSendReceive(t *testing.T) {
+	meshes := newMeshes(t, 3)
+	env := wire.Envelope{Kind: wire.KindWrite, To: 2, Reg: "x", RPC: 7, Value: []byte("hello")}
+	meshes[0].Send(env)
+	select {
+	case got := <-meshes[2].Recv():
+		if got.From != 0 || got.Reg != "x" || string(got.Value) != "hello" || got.RPC != 7 {
+			t.Fatalf("got %+v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	meshes := newMeshes(t, 2)
+	meshes[1].Send(wire.Envelope{Kind: wire.KindRead, To: 1, Reg: "x"})
+	select {
+	case got := <-meshes[1].Recv():
+		if got.From != 1 {
+			t.Fatalf("got %+v", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no loopback delivery")
+	}
+}
+
+func TestSendToUnknownPeerDrops(t *testing.T) {
+	meshes := newMeshes(t, 2)
+	meshes[0].Send(wire.Envelope{Kind: wire.KindRead, To: 9})
+	meshes[0].Send(wire.Envelope{Kind: wire.KindRead, To: -1})
+	// Nothing to assert beyond "no panic, no block".
+}
+
+func TestSendToDeadPeerDropsThenRecovers(t *testing.T) {
+	meshes := newMeshes(t, 3)
+	addrs := []string{meshes[0].Addr(), meshes[1].Addr(), meshes[2].Addr()}
+	// Kill peer 1 and send: drop without blocking.
+	if err := meshes[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	meshes[0].Send(wire.Envelope{Kind: wire.KindRead, To: 1})
+
+	// Restart peer 1 on a fresh port and retransmit: delivery resumes.
+	m1b, err := Listen(1, "127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m1b.Close() })
+	addrs[1] = m1b.Addr()
+	for _, m := range []*Mesh{meshes[0], meshes[2], m1b} {
+		m.SetPeers(addrs)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		meshes[0].Send(wire.Envelope{Kind: wire.KindRead, To: 1, Reg: "x"})
+		select {
+		case <-m1b.Recv():
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no delivery after peer restart")
+		}
+	}
+}
+
+func TestCloseIdempotentAndClosesRecv(t *testing.T) {
+	meshes := newMeshes(t, 2)
+	if err := meshes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := meshes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-meshes[0].Recv(); ok {
+		t.Fatal("recv channel not closed")
+	}
+}
+
+// TestEmulationOverTCP runs the full persistent-atomic emulation over real
+// sockets: the paper's deployment shape (one process per workstation), here
+// on loopback.
+func TestEmulationOverTCP(t *testing.T) {
+	const n = 3
+	meshes := newMeshes(t, n)
+	ids := &atomic.Uint64{}
+	nodes := make([]*core.Node, n)
+	for i := 0; i < n; i++ {
+		nd, err := core.NewNode(int32(i), n, core.Persistent,
+			core.Options{RetransmitEvery: 50 * time.Millisecond},
+			core.Deps{
+				Endpoint: meshes[i],
+				Storage:  stable.NewMemDisk(stable.Profile{}),
+				IDs:      ids,
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+		t.Cleanup(nd.Close)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := nodes[0].Write(ctx, "x", []byte("over-tcp"), core.OpObserver{}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	val, _, err := nodes[1].Read(ctx, "x", core.OpObserver{})
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(val) != "over-tcp" {
+		t.Fatalf("read = %q", val)
+	}
+	// Crash and recover node 2, then read from it.
+	nodes[2].Crash(nil)
+	if err := nodes[2].Recover(ctx, nil, nil); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	val, _, err = nodes[2].Read(ctx, "x", core.OpObserver{})
+	if err != nil || string(val) != "over-tcp" {
+		t.Fatalf("read after recover = %q, %v", val, err)
+	}
+}

@@ -1,0 +1,68 @@
+// Package spin provides sub-millisecond-precision waiting. The calibrated
+// experiments simulate δ ≈ 100 µs message transits and λ ≈ 200 µs disk
+// logging, but time.Sleep and runtime timers on many kernels (including this
+// project's CI substrate) have a floor above a millisecond — an order of
+// magnitude of distortion. Sleep and Wait therefore sleep coarsely up to a
+// safety margin below the deadline and spin (yielding) across the remainder,
+// trading CPU for the timing fidelity the Figure 6 reproduction needs.
+//
+// Zero and negative durations return immediately, so simulation profiles
+// with no latency (the fast paths used by unit tests) never spin.
+package spin
+
+import (
+	"runtime"
+	"time"
+)
+
+// margin is how far before the deadline the coarse sleep aims: it must
+// exceed the platform's worst-case oversleep (≈ 1.3 ms observed here).
+const margin = 2 * time.Millisecond
+
+// Sleep blocks for at least d, with microsecond-scale precision.
+func Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	SleepUntil(time.Now().Add(d))
+}
+
+// SleepUntil blocks until the deadline, with microsecond-scale precision.
+func SleepUntil(deadline time.Time) {
+	if coarse := time.Until(deadline) - margin; coarse > 0 {
+		time.Sleep(coarse)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// Wait blocks until the deadline passes or one of the channels becomes
+// ready (a closed channel is always ready). It returns true if it was woken
+// by a channel before the deadline. Receiving consumes at most one value
+// from wake; done is expected to be close-only.
+func Wait(deadline time.Time, wake, done <-chan struct{}) bool {
+	if coarse := time.Until(deadline) - margin; coarse > 0 {
+		timer := time.NewTimer(coarse)
+		select {
+		case <-timer.C:
+		case <-wake:
+			timer.Stop()
+			return true
+		case <-done:
+			timer.Stop()
+			return true
+		}
+	}
+	for time.Now().Before(deadline) {
+		select {
+		case <-wake:
+			return true
+		case <-done:
+			return true
+		default:
+			runtime.Gosched()
+		}
+	}
+	return false
+}

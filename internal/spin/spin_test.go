@@ -1,0 +1,99 @@
+package spin
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepPrecision(t *testing.T) {
+	// Precision is asserted as best-of-5: a single attempt can be blown up
+	// by host noise (CPU steal on shared machines), which is not a Sleep
+	// defect. Under-sleeping is never tolerated.
+	for _, d := range []time.Duration{50 * time.Microsecond, 200 * time.Microsecond, 3 * time.Millisecond} {
+		best := time.Duration(1 << 62)
+		for attempt := 0; attempt < 5; attempt++ {
+			start := time.Now()
+			Sleep(d)
+			got := time.Since(start)
+			if got < d {
+				t.Fatalf("Sleep(%v) returned after %v (too early)", d, got)
+			}
+			if got < best {
+				best = got
+			}
+		}
+		if best > d+time.Millisecond {
+			t.Fatalf("Sleep(%v) best of 5 = %v (too imprecise)", d, best)
+		}
+	}
+}
+
+func TestSleepZeroAndNegative(t *testing.T) {
+	start := time.Now()
+	Sleep(0)
+	Sleep(-time.Second)
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("zero/negative sleep took %v", el)
+	}
+}
+
+func TestWaitDeadline(t *testing.T) {
+	wake := make(chan struct{}, 1)
+	done := make(chan struct{})
+	best := time.Duration(1 << 62)
+	for attempt := 0; attempt < 5; attempt++ {
+		start := time.Now()
+		woken := Wait(start.Add(300*time.Microsecond), wake, done)
+		el := time.Since(start)
+		if woken {
+			t.Fatal("Wait reported wake without signal")
+		}
+		if el < 300*time.Microsecond {
+			t.Fatalf("Wait returned after %v (too early)", el)
+		}
+		if el < best {
+			best = el
+		}
+	}
+	if best > 2*time.Millisecond {
+		t.Fatalf("Wait best of 5 = %v (too imprecise)", best)
+	}
+}
+
+func TestWaitWake(t *testing.T) {
+	wake := make(chan struct{}, 1)
+	done := make(chan struct{})
+	wake <- struct{}{}
+	if !Wait(time.Now().Add(time.Second), wake, done) {
+		t.Fatal("Wait missed wake signal")
+	}
+}
+
+func TestWaitDone(t *testing.T) {
+	wake := make(chan struct{}, 1)
+	done := make(chan struct{})
+	close(done)
+	start := time.Now()
+	if !Wait(start.Add(10*time.Second), wake, done) {
+		t.Fatal("Wait missed done")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Wait did not return promptly on done")
+	}
+}
+
+func TestWaitWakeDuringCoarseSleep(t *testing.T) {
+	wake := make(chan struct{}, 1)
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		wake <- struct{}{}
+	}()
+	if !Wait(start.Add(10*time.Second), wake, done) {
+		t.Fatal("Wait missed wake")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Wait ignored wake during coarse phase")
+	}
+}

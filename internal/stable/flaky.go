@@ -1,0 +1,65 @@
+package stable
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected is the failure returned by a Flaky store when a fault fires.
+var ErrInjected = errors.New("stable: injected storage fault")
+
+// Flaky wraps a Storage and makes Store fail with a fixed probability,
+// without persisting anything. A replica whose log fails does not
+// acknowledge, so the protocol's retransmission retries the adoption — the
+// emulations must stay live as long as stores succeed eventually, which is
+// what the fault-injection tests assert.
+type Flaky struct {
+	inner Storage
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	failRate float64
+	failures int
+}
+
+var _ Storage = (*Flaky)(nil)
+
+// NewFlaky wraps inner; each Store fails with probability failRate.
+func NewFlaky(inner Storage, failRate float64, seed int64) *Flaky {
+	return &Flaky{inner: inner, rng: rand.New(rand.NewSource(seed)), failRate: failRate}
+}
+
+// Store implements Storage.
+func (f *Flaky) Store(record string, data []byte) error {
+	f.mu.Lock()
+	fail := f.rng.Float64() < f.failRate
+	if fail {
+		f.failures++
+	}
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.inner.Store(record, data)
+}
+
+// Retrieve implements Storage.
+func (f *Flaky) Retrieve(record string) ([]byte, bool, error) {
+	return f.inner.Retrieve(record)
+}
+
+// Records implements Storage.
+func (f *Flaky) Records(prefix string) ([]string, error) {
+	return f.inner.Records(prefix)
+}
+
+// Close implements Storage.
+func (f *Flaky) Close() error { return f.inner.Close() }
+
+// Failures returns the number of injected store failures so far.
+func (f *Flaky) Failures() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failures
+}

@@ -1,0 +1,49 @@
+package stable
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFlakyInjectsFailures(t *testing.T) {
+	f := NewFlaky(NewMemDisk(Profile{}), 0.5, 1)
+	defer f.Close()
+	var failed, ok int
+	for i := 0; i < 200; i++ {
+		if err := f.Store("r", []byte{byte(i)}); errors.Is(err, ErrInjected) {
+			failed++
+		} else if err == nil {
+			ok++
+		} else {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if failed == 0 || ok == 0 {
+		t.Fatalf("failed=%d ok=%d, want both nonzero at 50%%", failed, ok)
+	}
+	if f.Failures() != failed {
+		t.Fatalf("Failures() = %d, want %d", f.Failures(), failed)
+	}
+	// The last successful store's content is retrievable.
+	data, found, err := f.Retrieve("r")
+	if err != nil || !found || len(data) != 1 {
+		t.Fatalf("retrieve: %v %v %v", data, found, err)
+	}
+}
+
+func TestFlakyZeroRateTransparent(t *testing.T) {
+	f := NewFlaky(NewMemDisk(Profile{}), 0, 1)
+	defer f.Close()
+	for i := 0; i < 50; i++ {
+		if err := f.Store("r", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Failures() != 0 {
+		t.Fatal("zero-rate flaky failed")
+	}
+	recs, err := f.Records("")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("records: %v %v", recs, err)
+	}
+}

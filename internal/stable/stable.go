@@ -1,0 +1,357 @@
+// Package stable models the paper's stable storage: every process owns a
+// store that survives its crashes, accessed through the primitives store and
+// retrieve (§II). Two implementations are provided:
+//
+//   - MemDisk: an in-memory crash-survivable store with a configurable
+//     synchronous write latency — the paper's λ (logging a few bytes on their
+//     IDE disks costs ≈ 0.2 ms, about twice a message transit) plus a
+//     bandwidth term for the payload-size experiment (Fig. 6 bottom).
+//   - FileDisk: real files written synchronously (the paper: "files written
+//     to disk synchronously so that the operating system writes the data to
+//     disk immediately instead of buffering" — buffering would violate even
+//     transient atomicity).
+//
+// Records are named; register emulations use one record per role per
+// register ("written/x", "writing/x", "recovered").
+package stable
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"recmem/internal/spin"
+)
+
+// Storage is the paper's stable storage abstraction.
+type Storage interface {
+	// Store durably saves data under the record name, replacing any previous
+	// content. It returns only after the data is stable (synchronous write).
+	Store(record string, data []byte) error
+	// Retrieve returns the last stored content of the record. ok is false if
+	// the record was never stored.
+	Retrieve(record string) (data []byte, ok bool, err error)
+	// Records returns the names of all stored records with the given prefix,
+	// sorted. Recovery uses it to enumerate the registers it must restore.
+	Records(prefix string) ([]string, error)
+	// Close releases resources. The stored content remains retrievable by a
+	// new Storage opened over the same substrate (MemDisk: same object;
+	// FileDisk: same directory).
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed storage.
+var ErrClosed = errors.New("stable: storage closed")
+
+// Profile describes the latency of a simulated disk.
+type Profile struct {
+	// StoreDelay is charged per Store call (the paper's λ ≈ 200 µs for a
+	// small synchronous write).
+	StoreDelay time.Duration
+	// BytesPerSec is the streaming bandwidth for the payload; 0 = infinite.
+	BytesPerSec float64
+}
+
+// DiskProfile returns the profile calibrated to the paper's testbed: a
+// synchronous small write costs about twice a 0.1 ms message transit, and
+// large writes stream at IDE-era disk bandwidth.
+func DiskProfile() Profile {
+	return Profile{StoreDelay: 200 * time.Microsecond, BytesPerSec: 30e6}
+}
+
+func (p Profile) delay(size int) time.Duration {
+	d := p.StoreDelay
+	if p.BytesPerSec > 0 {
+		d += time.Duration(float64(size) / p.BytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// MemDisk is an in-memory Storage with simulated synchronous-write latency.
+// It survives process crashes by construction: the harness keeps the MemDisk
+// while wiping the process's volatile state, exactly the paper's model where
+// stable storage outlives the process.
+type MemDisk struct {
+	prof Profile
+
+	mu      sync.Mutex
+	records map[string][]byte
+	closed  bool
+}
+
+var _ Storage = (*MemDisk)(nil)
+
+// NewMemDisk returns an empty in-memory store with the given latency
+// profile.
+func NewMemDisk(prof Profile) *MemDisk {
+	return &MemDisk{prof: prof, records: make(map[string][]byte)}
+}
+
+// Store implements Storage; it waits for the profile's synchronous-write
+// latency before acknowledging, off the lock so concurrent readers proceed.
+// The wait uses spin.Sleep: λ ≈ 200 µs is far below time.Sleep granularity
+// on many kernels, and the Figure 6 reproduction depends on its fidelity.
+func (d *MemDisk) Store(record string, data []byte) error {
+	if delay := d.prof.delay(len(data)); delay > 0 {
+		spin.Sleep(delay)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.records[record] = cp
+	return nil
+}
+
+// Retrieve implements Storage.
+func (d *MemDisk) Retrieve(record string) ([]byte, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, false, ErrClosed
+	}
+	data, ok := d.records[record]
+	if !ok {
+		return nil, false, nil
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, true, nil
+}
+
+// Records implements Storage.
+func (d *MemDisk) Records(prefix string) ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	var out []string
+	for name := range d.records {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Close implements Storage. A closed MemDisk can be reopened with Reopen,
+// preserving content (modelling a machine reboot).
+func (d *MemDisk) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	return nil
+}
+
+// Reopen makes a closed MemDisk usable again with its content intact.
+func (d *MemDisk) Reopen() {
+	d.mu.Lock()
+	d.closed = false
+	d.mu.Unlock()
+}
+
+// FileDisk is a Storage backed by one file per record in a directory,
+// written synchronously (write to temp file, fsync, rename, fsync dir) so
+// that acknowledged stores survive process and OS crashes.
+type FileDisk struct {
+	dir string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Storage = (*FileDisk)(nil)
+
+// NewFileDisk opens (creating if necessary) a file-backed store rooted at
+// dir.
+func NewFileDisk(dir string) (*FileDisk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stable: create dir: %w", err)
+	}
+	return &FileDisk{dir: dir}, nil
+}
+
+// encodeName maps an arbitrary record name to a safe file name.
+func encodeName(record string) string {
+	return hex.EncodeToString([]byte(record)) + ".rec"
+}
+
+func decodeName(file string) (string, bool) {
+	base, ok := strings.CutSuffix(file, ".rec")
+	if !ok {
+		return "", false
+	}
+	raw, err := hex.DecodeString(base)
+	if err != nil {
+		return "", false
+	}
+	return string(raw), true
+}
+
+// Store implements Storage with an atomic, durable file replacement.
+func (d *FileDisk) Store(record string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	final := filepath.Join(d.dir, encodeName(record))
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("stable: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("stable: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("stable: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("stable: close: %w", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("stable: rename: %w", err)
+	}
+	if dirF, err := os.Open(d.dir); err == nil {
+		_ = dirF.Sync()
+		dirF.Close()
+	}
+	return nil
+}
+
+// Retrieve implements Storage.
+func (d *FileDisk) Retrieve(record string) ([]byte, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, false, ErrClosed
+	}
+	data, err := os.ReadFile(filepath.Join(d.dir, encodeName(record)))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("stable: read: %w", err)
+	}
+	return data, true, nil
+}
+
+// Records implements Storage.
+func (d *FileDisk) Records(prefix string) ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("stable: list: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name, ok := decodeName(e.Name())
+		if ok && strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Close implements Storage.
+func (d *FileDisk) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	return nil
+}
+
+// Counting wraps a Storage and counts operations; tests use it to assert
+// log-complexity invariants independently of the protocol-level causal
+// meter.
+type Counting struct {
+	inner Storage
+
+	mu        sync.Mutex
+	stores    int
+	retrieves int
+	bytes     int64
+	perRecord map[string]int
+}
+
+var _ Storage = (*Counting)(nil)
+
+// NewCounting wraps inner with counters.
+func NewCounting(inner Storage) *Counting {
+	return &Counting{inner: inner, perRecord: make(map[string]int)}
+}
+
+// Store implements Storage.
+func (c *Counting) Store(record string, data []byte) error {
+	c.mu.Lock()
+	c.stores++
+	c.bytes += int64(len(data))
+	c.perRecord[record]++
+	c.mu.Unlock()
+	return c.inner.Store(record, data)
+}
+
+// Retrieve implements Storage.
+func (c *Counting) Retrieve(record string) ([]byte, bool, error) {
+	c.mu.Lock()
+	c.retrieves++
+	c.mu.Unlock()
+	return c.inner.Retrieve(record)
+}
+
+// Records implements Storage.
+func (c *Counting) Records(prefix string) ([]string, error) { return c.inner.Records(prefix) }
+
+// Close implements Storage.
+func (c *Counting) Close() error { return c.inner.Close() }
+
+// Stores returns the number of Store calls observed.
+func (c *Counting) Stores() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stores
+}
+
+// Retrieves returns the number of Retrieve calls observed.
+func (c *Counting) Retrieves() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retrieves
+}
+
+// Bytes returns the total bytes passed to Store.
+func (c *Counting) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// RecordStores returns the number of Store calls for one record name.
+func (c *Counting) RecordStores(record string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.perRecord[record]
+}

@@ -1,0 +1,278 @@
+package stable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// storageFactories returns a constructor per implementation so every test
+// runs against both.
+func storageFactories(t *testing.T) map[string]func() Storage {
+	t.Helper()
+	return map[string]func() Storage{
+		"memdisk": func() Storage { return NewMemDisk(Profile{}) },
+		"filedisk": func() Storage {
+			d, err := NewFileDisk(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+	}
+}
+
+func TestStoreRetrieve(t *testing.T) {
+	for name, mk := range storageFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			if _, ok, err := s.Retrieve("missing"); err != nil || ok {
+				t.Fatalf("missing record: ok=%v err=%v", ok, err)
+			}
+			if err := s.Store("written/x", []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			data, ok, err := s.Retrieve("written/x")
+			if err != nil || !ok || !bytes.Equal(data, []byte("v1")) {
+				t.Fatalf("got %q ok=%v err=%v", data, ok, err)
+			}
+			// Overwrite.
+			if err := s.Store("written/x", []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			data, _, _ = s.Retrieve("written/x")
+			if !bytes.Equal(data, []byte("v2")) {
+				t.Fatalf("after overwrite got %q", data)
+			}
+			// Empty data is a valid record.
+			if err := s.Store("empty", nil); err != nil {
+				t.Fatal(err)
+			}
+			data, ok, err = s.Retrieve("empty")
+			if err != nil || !ok || len(data) != 0 {
+				t.Fatalf("empty record: %q ok=%v err=%v", data, ok, err)
+			}
+		})
+	}
+}
+
+func TestRecordsPrefix(t *testing.T) {
+	for name, mk := range storageFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			for _, rec := range []string{"written/b", "written/a", "writing/a", "recovered"} {
+				if err := s.Store(rec, []byte("x")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := s.Records("written/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 2 || got[0] != "written/a" || got[1] != "written/b" {
+				t.Fatalf("Records = %v", got)
+			}
+			all, err := s.Records("")
+			if err != nil || len(all) != 4 {
+				t.Fatalf("Records(\"\") = %v err=%v", all, err)
+			}
+		})
+	}
+}
+
+func TestRetrieveReturnsCopy(t *testing.T) {
+	for name, mk := range storageFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			orig := []byte("abc")
+			if err := s.Store("r", orig); err != nil {
+				t.Fatal(err)
+			}
+			orig[0] = 'X' // caller mutates its buffer after Store
+			got, _, _ := s.Retrieve("r")
+			if !bytes.Equal(got, []byte("abc")) {
+				t.Fatalf("Store aliased caller buffer: %q", got)
+			}
+			got[0] = 'Y' // caller mutates the retrieved buffer
+			got2, _, _ := s.Retrieve("r")
+			if !bytes.Equal(got2, []byte("abc")) {
+				t.Fatalf("Retrieve aliased stored buffer: %q", got2)
+			}
+		})
+	}
+}
+
+func TestClosedErrors(t *testing.T) {
+	for name, mk := range storageFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Store("r", nil); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Store after close: %v", err)
+			}
+			if _, _, err := s.Retrieve("r"); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Retrieve after close: %v", err)
+			}
+			if _, err := s.Records(""); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Records after close: %v", err)
+			}
+		})
+	}
+}
+
+func TestMemDiskLatency(t *testing.T) {
+	d := NewMemDisk(Profile{StoreDelay: 20 * time.Millisecond})
+	defer d.Close()
+	start := time.Now()
+	if err := d.Store("r", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("Store returned after %v, want >= ~20ms", el)
+	}
+}
+
+func TestMemDiskBandwidth(t *testing.T) {
+	d := NewMemDisk(Profile{BytesPerSec: 1e6}) // 1 MB/s
+	defer d.Close()
+	start := time.Now()
+	if err := d.Store("r", make([]byte, 20<<10)); err != nil { // 20 KB => ~20ms
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("Store returned after %v, want >= ~20ms", el)
+	}
+}
+
+func TestMemDiskSurvivesReopen(t *testing.T) {
+	d := NewMemDisk(Profile{})
+	if err := d.Store("written/x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d.Reopen()
+	data, ok, err := d.Retrieve("written/x")
+	if err != nil || !ok || !bytes.Equal(data, []byte("v")) {
+		t.Fatalf("after reopen: %q ok=%v err=%v", data, ok, err)
+	}
+}
+
+func TestFileDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewFileDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store("written/reg with spaces/☃", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// A new FileDisk over the same directory sees the record: this is the
+	// crash-recovery property (stable storage outlives the process).
+	d2, err := NewFileDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	data, ok, err := d2.Retrieve("written/reg with spaces/☃")
+	if err != nil || !ok || !bytes.Equal(data, []byte("v")) {
+		t.Fatalf("after reopen: %q ok=%v err=%v", data, ok, err)
+	}
+	recs, err := d2.Records("written/")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("Records = %v err=%v", recs, err)
+	}
+}
+
+func TestCounting(t *testing.T) {
+	c := NewCounting(NewMemDisk(Profile{}))
+	defer c.Close()
+	if err := c.Store("a", []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store("a", []byte("123")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store("b", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Retrieve("a"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stores() != 3 || c.Retrieves() != 1 || c.Bytes() != 8 {
+		t.Fatalf("counts: stores=%d retrieves=%d bytes=%d", c.Stores(), c.Retrieves(), c.Bytes())
+	}
+	if c.RecordStores("a") != 2 || c.RecordStores("b") != 1 || c.RecordStores("zzz") != 0 {
+		t.Fatal("per-record counts wrong")
+	}
+	recs, err := c.Records("")
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("Records = %v err=%v", recs, err)
+	}
+}
+
+func TestConcurrentStores(t *testing.T) {
+	for name, mk := range storageFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 25; i++ {
+						rec := fmt.Sprintf("r%d", w)
+						if err := s.Store(rec, []byte{byte(i)}); err != nil {
+							t.Errorf("store: %v", err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for w := 0; w < 4; w++ {
+				data, ok, err := s.Retrieve(fmt.Sprintf("r%d", w))
+				if err != nil || !ok || !bytes.Equal(data, []byte{24}) {
+					t.Fatalf("r%d = %v ok=%v err=%v", w, data, ok, err)
+				}
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeName(t *testing.T) {
+	for _, name := range []string{"", "a", "written/x", "weird/☃ name"} {
+		enc := encodeName(name)
+		dec, ok := decodeName(enc)
+		if !ok || dec != name {
+			t.Fatalf("round trip %q -> %q -> %q ok=%v", name, enc, dec, ok)
+		}
+	}
+	if _, ok := decodeName("notarecord.txt"); ok {
+		t.Fatal("decoded a non-record file name")
+	}
+	if _, ok := decodeName("zz!!.rec"); ok {
+		t.Fatal("decoded invalid hex")
+	}
+}
+
+func TestDiskProfile(t *testing.T) {
+	p := DiskProfile()
+	if p.StoreDelay != 200*time.Microsecond {
+		t.Fatalf("DiskProfile = %+v", p)
+	}
+	// λ for a small record should be about twice the paper's δ (0.1 ms).
+	if d := p.delay(4); d < 200*time.Microsecond || d > 210*time.Microsecond {
+		t.Fatalf("small-record delay = %v", d)
+	}
+}

@@ -1,0 +1,148 @@
+package tag
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Tag
+		want int
+	}{
+		{name: "equal zero", a: Tag{}, b: Tag{}, want: 0},
+		{name: "seq dominates", a: Tag{Seq: 1, Writer: 9}, b: Tag{Seq: 2, Writer: 0}, want: -1},
+		{name: "writer breaks seq tie", a: Tag{Seq: 3, Writer: 1}, b: Tag{Seq: 3, Writer: 2}, want: -1},
+		{name: "rec breaks full tie", a: Tag{Seq: 3, Writer: 1, Rec: 1}, b: Tag{Seq: 3, Writer: 1, Rec: 2}, want: -1},
+		{name: "greater", a: Tag{Seq: 5}, b: Tag{Seq: 4, Writer: 100}, want: 1},
+		{name: "identical", a: Tag{Seq: 7, Writer: 2, Rec: 3}, b: Tag{Seq: 7, Writer: 2, Rec: 3}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Fatalf("Compare(%v,%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+			if got := tt.b.Compare(tt.a); got != -tt.want {
+				t.Fatalf("Compare(%v,%v) = %d, want %d", tt.b, tt.a, got, -tt.want)
+			}
+		})
+	}
+}
+
+func TestLessMatchesCompare(t *testing.T) {
+	a := Tag{Seq: 1, Writer: 2}
+	b := Tag{Seq: 1, Writer: 3}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatalf("Less inconsistent with Compare for %v, %v", a, b)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(Tag{}).IsZero() {
+		t.Fatal("zero tag should be zero")
+	}
+	if (Tag{Seq: 1}).IsZero() || (Tag{Writer: 1}).IsZero() || (Tag{Rec: 1}).IsZero() {
+		t.Fatal("non-zero tags reported as zero")
+	}
+}
+
+func TestNext(t *testing.T) {
+	base := Tag{Seq: 10, Writer: 3, Rec: 7}
+	got := base.Next(5, 0, 0)
+	want := Tag{Seq: 11, Writer: 5}
+	if got != want {
+		t.Fatalf("Next = %v, want %v", got, want)
+	}
+	// Fig. 5: sn := sn + rec + 1 with rec propagated into the tiebreak in
+	// hardened mode.
+	got = base.Next(5, 4, 4)
+	want = Tag{Seq: 15, Writer: 5, Rec: 4}
+	if got != want {
+		t.Fatalf("Next with extra = %v, want %v", got, want)
+	}
+}
+
+func TestNextIsStrictlyGreater(t *testing.T) {
+	f := func(seq int64, writer, rec int32, extra uint8) bool {
+		if seq > 1<<60 || seq < -(1<<60) {
+			return true // avoid overflow; tags never approach this in practice
+		}
+		base := Tag{Seq: seq, Writer: writer, Rec: rec}
+		next := base.Next(writer, int64(extra), rec)
+		return base.Less(next)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMax(t *testing.T) {
+	a := Tag{Seq: 1}
+	b := Tag{Seq: 2}
+	if Max(a, b) != b || Max(b, a) != b {
+		t.Fatalf("Max(%v,%v) wrong", a, b)
+	}
+	if Max(a, a) != a {
+		t.Fatal("Max of equal tags changed value")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got, want := (Tag{Seq: 3, Writer: 1}).String(), "[3,1]"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if got, want := (Tag{Seq: 3, Writer: 1, Rec: 2}).String(), "[3,1,r2]"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+// TestCompareIsTotalOrder checks the strict-total-order axioms on random
+// tags: antisymmetry, transitivity, and totality.
+func TestCompareIsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randTag := func() Tag {
+		return Tag{
+			Seq:    int64(rng.Intn(4)),
+			Writer: int32(rng.Intn(3)),
+			Rec:    int32(rng.Intn(2)),
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		a, b, c := randTag(), randTag(), randTag()
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("antisymmetry violated for %v,%v", a, b)
+		}
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			t.Fatalf("transitivity violated for %v,%v,%v", a, b, c)
+		}
+		if a.Compare(b) == 0 && a != b {
+			t.Fatalf("distinct tags compared equal: %v,%v", a, b)
+		}
+	}
+}
+
+func TestSortByCompare(t *testing.T) {
+	tags := []Tag{
+		{Seq: 2, Writer: 1},
+		{Seq: 1, Writer: 9},
+		{Seq: 2, Writer: 0},
+		{Seq: 1, Writer: 9, Rec: 1},
+		{},
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i].Less(tags[j]) })
+	want := []Tag{
+		{},
+		{Seq: 1, Writer: 9},
+		{Seq: 1, Writer: 9, Rec: 1},
+		{Seq: 2, Writer: 0},
+		{Seq: 2, Writer: 1},
+	}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v", i, tags[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package trace provides a lightweight bounded event trace for post-mortem
+// analysis of emulation runs: protocol sends and deliveries, stable-storage
+// stores, crashes and recoveries. The harness attaches one ring to all
+// processes of a cluster; torture runs dump it when a checker reports a
+// violation, turning "the history is not atomic" into "here is the message
+// schedule that got there".
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one traced occurrence.
+type Event struct {
+	// At is the wall-clock time of the event.
+	At time.Time
+	// Node is the process the event occurred at.
+	Node int32
+	// Kind classifies the event ("send", "recv", "store", "crash",
+	// "recover", ...).
+	Kind string
+	// Detail is a human-readable description (message or record).
+	Detail string
+}
+
+// String renders the event as one line.
+func (e Event) String() string {
+	return fmt.Sprintf("%s p%d %-8s %s", e.At.Format("15:04:05.000000"), e.Node, e.Kind, e.Detail)
+}
+
+// Ring is a fixed-capacity circular event buffer. Safe for concurrent use.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+	drop int
+}
+
+// NewRing returns a ring holding up to capacity events (minimum 16).
+func NewRing(capacity int) *Ring {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Add records an event, evicting the oldest when full.
+func (r *Ring) Add(node int32, kind, detail string) {
+	now := time.Now()
+	r.mu.Lock()
+	if r.full {
+		r.drop++
+	}
+	r.buf[r.next] = Event{At: now, Node: node, Kind: kind, Detail: detail}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events, oldest first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dropped returns how many events were evicted so far.
+func (r *Ring) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.drop
+}
+
+// Dump writes the retained events to w, oldest first.
+func (r *Ring) Dump(w io.Writer) {
+	for _, e := range r.Snapshot() {
+		fmt.Fprintln(w, e)
+	}
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(w, "(%d earlier events evicted)\n", d)
+	}
+}

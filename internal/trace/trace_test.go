@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingRetainsInOrder(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 10; i++ {
+		r.Add(int32(i%3), "send", fmt.Sprintf("msg%d", i))
+	}
+	got := r.Snapshot()
+	if len(got) != 10 {
+		t.Fatalf("retained %d events", len(got))
+	}
+	for i, e := range got {
+		if e.Detail != fmt.Sprintf("msg%d", i) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped = %d", r.Dropped())
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 40; i++ {
+		r.Add(0, "send", fmt.Sprintf("msg%d", i))
+	}
+	got := r.Snapshot()
+	if len(got) != 16 {
+		t.Fatalf("retained %d events, want 16", len(got))
+	}
+	if got[0].Detail != "msg24" || got[15].Detail != "msg39" {
+		t.Fatalf("window = %s .. %s", got[0].Detail, got[15].Detail)
+	}
+	if r.Dropped() != 40-16 {
+		t.Fatalf("dropped = %d, want %d", r.Dropped(), 40-16)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(1)
+	for i := 0; i < 20; i++ {
+		r.Add(0, "x", "y")
+	}
+	if len(r.Snapshot()) != 16 {
+		t.Fatalf("capacity floor not applied: %d", len(r.Snapshot()))
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRing(16)
+	r.Add(2, "store", "written/x")
+	var b strings.Builder
+	r.Dump(&b)
+	out := b.String()
+	if !strings.Contains(out, "p2") || !strings.Contains(out, "store") || !strings.Contains(out, "written/x") {
+		t.Fatalf("dump = %q", out)
+	}
+	// Eviction notice.
+	for i := 0; i < 30; i++ {
+		r.Add(0, "send", "m")
+	}
+	b.Reset()
+	r.Dump(&b)
+	if !strings.Contains(b.String(), "evicted") {
+		t.Fatalf("dump missing eviction notice: %q", b.String())
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Add(int32(w), "send", "m")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(r.Snapshot()) != 128 {
+		t.Fatalf("retained %d", len(r.Snapshot()))
+	}
+	if r.Dropped() != 8*500-128 {
+		t.Fatalf("dropped = %d", r.Dropped())
+	}
+}

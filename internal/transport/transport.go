@@ -1,0 +1,42 @@
+// Package transport defines how processes exchange protocol messages. The
+// paper's model assumes fair-lossy channels: messages may be dropped,
+// duplicated and reordered, but a message retransmitted forever between two
+// correct processes is eventually delivered. Both the simulated network
+// (internal/netsim) and the real TCP mesh (internal/nettcp) implement this
+// contract; the emulation algorithms are written against it and cope with
+// loss by retransmitting until a majority acknowledges.
+package transport
+
+import "recmem/internal/wire"
+
+// Endpoint is one process's attachment to the network.
+type Endpoint interface {
+	// ID returns the process id of this endpoint.
+	ID() int32
+	// Send transmits the envelope to env.To. It never blocks and provides no
+	// delivery guarantee (fair-lossy semantics); env.From must equal ID().
+	Send(env wire.Envelope)
+	// Recv returns the channel on which incoming envelopes are delivered.
+	// The channel is closed when the endpoint's network is closed.
+	Recv() <-chan wire.Envelope
+}
+
+// Stats aggregates network-level message accounting.
+type Stats struct {
+	// Sent counts Send calls that were accepted.
+	Sent int64
+	// Delivered counts envelopes handed to a receiver channel.
+	Delivered int64
+	// DroppedLoss counts envelopes dropped by random loss injection.
+	DroppedLoss int64
+	// DroppedDown counts envelopes dropped because the receiver (or sender)
+	// was crashed.
+	DroppedDown int64
+	// DroppedHeld counts envelopes dropped by scripted link holds.
+	DroppedHeld int64
+	// DroppedQueue counts envelopes dropped because a receiver queue was
+	// full (fair-lossy channels permit this).
+	DroppedQueue int64
+	// Duplicated counts extra copies injected by duplication.
+	Duplicated int64
+}

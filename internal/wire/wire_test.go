@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"recmem/internal/tag"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []Envelope{
+		{Kind: KindSNQuery, From: 0, To: 4, Reg: "x", RPC: 1, Op: 9},
+		{Kind: KindSNAck, From: 4, To: 0, Reg: "x", RPC: 1, Op: 9, Tag: tag.Tag{Seq: 7, Writer: 2}},
+		{Kind: KindWrite, From: 1, To: 2, Reg: "register-with-long-name", RPC: 3, Op: 10, Depth: 1,
+			Tag: tag.Tag{Seq: 8, Writer: 1, Rec: 3}, Value: []byte("hello world")},
+		{Kind: KindWriteAck, From: 2, To: 1, RPC: 3, Op: 10, Depth: 2},
+		{Kind: KindRead, From: 3, To: 0, Reg: "k", RPC: 4, Op: 11},
+		{Kind: KindReadAck, From: 0, To: 3, Reg: "k", RPC: 4, Op: 11, Tag: tag.Tag{Seq: 1}, Value: []byte{0, 1, 2}},
+		{Kind: KindWriteBack, From: 3, To: 0, Reg: "k", RPC: 5, Op: 11, Tag: tag.Tag{Seq: 1}, Value: []byte{0xFF}},
+		{Kind: KindWrite, From: -1, To: -2, Reg: "", RPC: 0, Op: 0, Tag: tag.Tag{Seq: -5, Writer: -6, Rec: -7}},
+	}
+	for _, e := range tests {
+		buf, err := Encode(e)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", e, err)
+		}
+		if len(buf) != Size(e) {
+			t.Fatalf("Size(%v) = %d, encoded %d", e, Size(e), len(buf))
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", e, err)
+		}
+		if got.Kind != e.Kind || got.From != e.From || got.To != e.To || got.Reg != e.Reg ||
+			got.RPC != e.RPC || got.Op != e.Op || got.Depth != e.Depth || got.Tag != e.Tag ||
+			!bytes.Equal(got.Value, e.Value) {
+			t.Fatalf("round trip: got %+v, want %+v", got, e)
+		}
+	}
+}
+
+func TestEncodeRejectsOversizeValue(t *testing.T) {
+	_, err := Encode(Envelope{Kind: KindWrite, Value: make([]byte, MaxValueSize+1)})
+	if !errors.Is(err, ErrValueTooLarge) {
+		t.Fatalf("err = %v, want ErrValueTooLarge", err)
+	}
+	// Exactly the limit is fine (the paper's 64 KB UDP bound).
+	if _, err := Encode(Envelope{Kind: KindWrite, Value: make([]byte, MaxValueSize)}); err != nil {
+		t.Fatalf("value at limit rejected: %v", err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, err := Decode(make([]byte, 10)); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("short: %v", err)
+	}
+	good, err := Encode(Envelope{Kind: KindWrite, Reg: "x", Value: []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 99
+	if _, err := Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("version: %v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[1] = 0
+	if _, err := Decode(bad); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("kind: %v", err)
+	}
+	// Truncated payload.
+	if _, err := Decode(good[:len(good)-1]); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("truncated: %v", err)
+	}
+	// Trailing junk.
+	if _, err := Decode(append(append([]byte(nil), good...), 0)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("trailing: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindSNQuery: "SN", KindSNAck: "SN_ack",
+		KindWrite: "W", KindWriteAck: "W_ack",
+		KindRead: "R", KindReadAck: "R_ack",
+		KindWriteBack: "WB",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestIsAck(t *testing.T) {
+	acks := map[Kind]bool{
+		KindSNQuery: false, KindSNAck: true,
+		KindWrite: false, KindWriteAck: true,
+		KindRead: false, KindReadAck: true,
+		KindWriteBack: false,
+	}
+	for k, want := range acks {
+		if got := k.IsAck(); got != want {
+			t.Fatalf("Kind %s IsAck = %v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestRoundTripQuick fuzzes the codec with random envelopes.
+func TestRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(kind uint8, from, to int32, rpc, op uint64, depth uint8, seq int64, w, r int32, regLen uint8, valLen uint16) bool {
+		e := Envelope{
+			Kind: Kind(kind%7) + KindSNQuery,
+			From: from, To: to, RPC: rpc, Op: op, Depth: depth,
+			Tag: tag.Tag{Seq: seq, Writer: w, Rec: r},
+		}
+		reg := make([]byte, regLen)
+		rng.Read(reg)
+		e.Reg = string(reg)
+		if valLen > 0 {
+			e.Value = make([]byte, valLen)
+			rng.Read(e.Value)
+		}
+		buf, err := Encode(e)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return got.Kind == e.Kind && got.From == e.From && got.To == e.To &&
+			got.Reg == e.Reg && got.RPC == e.RPC && got.Op == e.Op &&
+			got.Depth == e.Depth && got.Tag == e.Tag && bytes.Equal(got.Value, e.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvelopeString(t *testing.T) {
+	e := Envelope{Kind: KindWrite, From: 1, To: 2, Reg: "x", RPC: 3, Op: 4, Depth: 1, Tag: tag.Tag{Seq: 5, Writer: 1}, Value: []byte("ab")}
+	s := e.String()
+	for _, want := range []string{"W{", "1->2", "reg=x", "tag=[5,1]", "|v|=2"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

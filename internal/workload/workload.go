@@ -1,0 +1,125 @@
+// Package workload generates and drives client workloads against a cluster:
+// closed-loop clients (one per process, operations back to back, as in the
+// paper's measurements of fifty consecutive writes), configurable read/write
+// mixes over one or more registers, and payload sizing for the Fig. 6
+// experiments. Written values are globally unique, which gives the atomicity
+// checkers maximal discriminating power.
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"recmem/internal/cluster"
+	"recmem/internal/core"
+)
+
+// Mix describes the operation mix of a workload.
+type Mix struct {
+	// ReadFraction is the probability in [0,1] that an operation is a read.
+	ReadFraction float64
+	// Registers is the set of register names operated on (default ["x"]).
+	Registers []string
+	// ValueSize pads written values to this many bytes (0 = unpadded short
+	// strings, like the paper's 4-byte integers).
+	ValueSize int
+}
+
+// Result summarizes a driven workload.
+type Result struct {
+	// Writes and Reads count completed operations.
+	Writes, Reads int
+	// Interrupted counts operations that failed with ErrCrashed or ErrDown
+	// (their invocations may stay pending in the history).
+	Interrupted int
+	// Errors counts unexpected failures.
+	Errors int
+}
+
+// Run drives opsPerProc operations at each listed process, one sequential
+// client per process (the paper's processes are sequential). It tolerates
+// crash interruptions — the natural situation under fault injection — and
+// returns aggregate counts. Run stops early when ctx is done.
+func Run(ctx context.Context, c *cluster.Cluster, procs []int32, opsPerProc int, mix Mix, seed int64) Result {
+	regs := mix.Registers
+	if len(regs) == 0 {
+		regs = []string{"x"}
+	}
+	var (
+		mu    sync.Mutex
+		total Result
+		wg    sync.WaitGroup
+	)
+	for _, proc := range procs {
+		wg.Add(1)
+		go func(proc int32) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(proc)*7919))
+			var local Result
+			for i := 0; i < opsPerProc && ctx.Err() == nil; i++ {
+				reg := regs[rng.Intn(len(regs))]
+				var err error
+				if rng.Float64() < mix.ReadFraction {
+					_, _, err = c.Read(ctx, proc, reg)
+					if err == nil {
+						local.Reads++
+					}
+				} else {
+					val := UniqueValue(proc, i, mix.ValueSize)
+					_, err = c.Write(ctx, proc, reg, []byte(val))
+					if err == nil {
+						local.Writes++
+					}
+				}
+				if err != nil {
+					switch {
+					case errors.Is(err, core.ErrCrashed), errors.Is(err, core.ErrDown):
+						local.Interrupted++
+						// Wait out the crash; the process may recover.
+						select {
+						case <-time.After(2 * time.Millisecond):
+						case <-ctx.Done():
+						}
+					case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+						// Run is ending.
+					default:
+						local.Errors++
+					}
+				}
+			}
+			mu.Lock()
+			total.Writes += local.Writes
+			total.Reads += local.Reads
+			total.Interrupted += local.Interrupted
+			total.Errors += local.Errors
+			mu.Unlock()
+		}(proc)
+	}
+	wg.Wait()
+	return total
+}
+
+// UniqueValue builds a globally unique value for process proc's i-th write,
+// padded to size bytes when size exceeds the identifying prefix.
+func UniqueValue(proc int32, i, size int) string {
+	v := fmt.Sprintf("p%d-%d", proc, i)
+	if size > len(v) {
+		v += strings.Repeat(".", size-len(v))
+	}
+	return v
+}
+
+// AllProcs returns [0, 1, ..., n-1], a convenience for driving every
+// process.
+func AllProcs(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}

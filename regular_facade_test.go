@@ -1,0 +1,111 @@
+package recmem_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"recmem"
+)
+
+func TestRegularRegisterFlow(t *testing.T) {
+	c := newTestCluster(t, 5, recmem.RegularRegister)
+	ctx := testCtx(t)
+
+	// Only process 0 may write.
+	if err := c.Process(1).Write(ctx, "x", []byte("v")); !errors.Is(err, recmem.ErrNotWriter) {
+		t.Fatalf("write at non-writer: %v", err)
+	}
+	if err := c.Process(0).Write(ctx, "x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Process(4).Read(ctx, "x")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+
+	// Cost profile (§VI): one causal log per write, none per read.
+	op, err := c.Process(0).WriteOp(ctx, "x", []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if cost := c.CostOf(op); cost.CausalLogs != 1 {
+		t.Fatalf("regular write cost = %+v, want 1 causal log", cost)
+	}
+	_, rop, err := c.Process(2).ReadOp(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if cost := c.CostOf(rop); cost.TotalLogs != 0 {
+		t.Fatalf("regular read cost = %+v, want no logs", cost)
+	}
+
+	if got := c.DefaultCriterion(); got != recmem.Regularity {
+		t.Fatalf("default criterion = %v", got)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	for _, cr := range []recmem.Criterion{recmem.Regularity, recmem.Safety} {
+		if err := c.VerifyCriterion(cr); err != nil {
+			t.Fatalf("%v: %v", cr, err)
+		}
+	}
+}
+
+func TestRegularRegisterCrashRecovery(t *testing.T) {
+	c := newTestCluster(t, 3, recmem.RegularRegister)
+	ctx := testCtx(t)
+	w := c.Process(0)
+	if err := w.Write(ctx, "x", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	w.Crash()
+	// Readers keep working while the writer is down.
+	got, err := c.Process(1).Read(ctx, "x")
+	if err != nil || string(got) != "before" {
+		t.Fatalf("read while writer down = %q, %v", got, err)
+	}
+	if err := w.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(ctx, "x", []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Process(2).Read(ctx, "x")
+	if err != nil || string(got) != "after" {
+		t.Fatalf("read after recovery = %q, %v", got, err)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriterionNames(t *testing.T) {
+	names := map[recmem.Criterion]string{
+		recmem.Linearizability:     "linearizable",
+		recmem.PersistentAtomicity: "persistent-atomic",
+		recmem.TransientAtomicity:  "transient-atomic",
+		recmem.Regularity:          "regular",
+		recmem.Safety:              "safe",
+	}
+	for cr, want := range names {
+		if got := cr.String(); got != want {
+			t.Fatalf("criterion %d name = %q, want %q", int(cr), got, want)
+		}
+	}
+	algos := map[recmem.Algorithm]string{
+		recmem.CrashStop:        "crash-stop",
+		recmem.TransientAtomic:  "transient",
+		recmem.PersistentAtomic: "persistent",
+		recmem.NaiveLogging:     "naive",
+		recmem.RegularRegister:  "regular-sw",
+	}
+	for a, want := range algos {
+		if got := a.String(); got != want {
+			t.Fatalf("algorithm %d name = %q, want %q", int(a), got, want)
+		}
+	}
+}

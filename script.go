@@ -1,0 +1,122 @@
+package recmem
+
+import (
+	"sync"
+
+	"recmem/internal/wire"
+)
+
+// Network scripting: deterministic control over message flow, used by demos
+// and tests to reproduce the paper's runs (Figures 1–3) — e.g. "the writer's
+// propagation reaches only p3" or "the read's quorum is {2,3,4}". Production
+// use of the library never needs these.
+
+type gate struct {
+	mu         sync.Mutex
+	installed  bool
+	partition  map[int32]bool
+	ackAllow   map[int32]map[int32]bool
+	writeAllow map[int32]map[int32]bool
+}
+
+func (c *Cluster) gateLocked() *gate {
+	if c.script == nil {
+		c.script = &gate{
+			partition:  make(map[int32]bool),
+			ackAllow:   make(map[int32]map[int32]bool),
+			writeAllow: make(map[int32]map[int32]bool),
+		}
+	}
+	if !c.script.installed {
+		c.script.installed = true
+		c.inner.Net().SetFilter(c.script.filter)
+	}
+	return c.script
+}
+
+func (g *gate) filter(e wire.Envelope) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.partition[e.From] || g.partition[e.To] {
+		return e.From == e.To // loopback still works inside a partition
+	}
+	if e.Kind.IsAck() {
+		if allowed := g.ackAllow[e.To]; allowed != nil && !allowed[e.From] {
+			return false
+		}
+		return true
+	}
+	if e.Kind == wire.KindWrite {
+		if allowed := g.writeAllow[e.From]; allowed != nil && !allowed[e.To] {
+			return false
+		}
+	}
+	return true
+}
+
+func toSet(ids []int) map[int32]bool {
+	m := make(map[int32]bool, len(ids))
+	for _, id := range ids {
+		m[int32(id)] = true
+	}
+	return m
+}
+
+// Partition disconnects a process from all others (it stays up but cannot
+// exchange messages) until Heal.
+func (c *Cluster) Partition(proc int) {
+	c.scriptMu.Lock()
+	g := c.gateLocked()
+	c.scriptMu.Unlock()
+	g.mu.Lock()
+	g.partition[int32(proc)] = true
+	g.mu.Unlock()
+}
+
+// Heal reconnects a partitioned process.
+func (c *Cluster) Heal(proc int) {
+	c.scriptMu.Lock()
+	g := c.gateLocked()
+	c.scriptMu.Unlock()
+	g.mu.Lock()
+	delete(g.partition, int32(proc))
+	g.mu.Unlock()
+}
+
+// RestrictWritePropagation limits the destinations that receive writer's
+// write-round messages (W), creating a partially propagated write. Read
+// write-backs and queries are unaffected.
+func (c *Cluster) RestrictWritePropagation(writer int, dests ...int) {
+	c.scriptMu.Lock()
+	g := c.gateLocked()
+	c.scriptMu.Unlock()
+	g.mu.Lock()
+	g.writeAllow[int32(writer)] = toSet(dests)
+	g.mu.Unlock()
+}
+
+// RestrictAcks pins the quorums of operations running at proc: only
+// acknowledgements from the listed senders are delivered to it.
+func (c *Cluster) RestrictAcks(proc int, senders ...int) {
+	c.scriptMu.Lock()
+	g := c.gateLocked()
+	c.scriptMu.Unlock()
+	g.mu.Lock()
+	g.ackAllow[int32(proc)] = toSet(senders)
+	g.mu.Unlock()
+}
+
+// ClearNetworkScript lifts all Partition/Restrict rules.
+func (c *Cluster) ClearNetworkScript() {
+	c.scriptMu.Lock()
+	g := c.script
+	c.scriptMu.Unlock()
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.partition = make(map[int32]bool)
+	g.ackAllow = make(map[int32]map[int32]bool)
+	g.writeAllow = make(map[int32]map[int32]bool)
+	g.mu.Unlock()
+}
