@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race bench fmt vet ci scenarios
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# scenarios runs the long-form cluster scenario suite (the Figures 1-3
+# schedules and the recovery scenarios) used by the nightly CI job.
+scenarios:
+	$(GO) test -run Scenario -v ./internal/cluster/...
+
+# ci is exactly what .github/workflows/ci.yml runs on every push.
+ci: build vet fmt test

@@ -175,6 +175,127 @@ func BenchmarkRegularRegister(b *testing.B) {
 	})
 }
 
+// batchedAlgos are the algorithm kinds compared by the batching benchmarks.
+var batchedAlgos = []struct {
+	name string
+	algo recmem.Algorithm
+}{
+	{"crash-stop", recmem.CrashStop},
+	{"transient", recmem.TransientAtomic},
+	{"persistent", recmem.PersistentAtomic},
+	{"naive", recmem.NaiveLogging},
+}
+
+// benchBurst is the number of operations per timed iteration of the
+// batching benchmarks: large enough for coalescing and pipelining to engage,
+// small enough that -benchtime=1x stays fast.
+const benchBurst = 64
+
+// batchBenchRegs spreads a burst over a few registers so pipelining (not
+// just same-register coalescing) contributes.
+var batchBenchRegs = []string{"r0", "r1", "r2", "r3"}
+
+// BenchmarkBatchedWrite drives bursts of writes through the asynchronous
+// submission API: writes to one register coalesce into shared quorum rounds
+// and the four registers' rounds pipeline. Compare with
+// BenchmarkUnbatchedWrite — the per-operation time here divides the full
+// two-round protocol cost by the effective batch size.
+func BenchmarkBatchedWrite(b *testing.B) {
+	for _, bc := range batchedAlgos {
+		b.Run(bc.name, func(b *testing.B) {
+			c := benchCluster(b, 5, bc.algo)
+			ctx := context.Background()
+			p := c.Process(0)
+			payload := []byte{1, 2, 3, 4}
+			if err := p.Write(ctx, batchBenchRegs[0], payload); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				futs := make([]*recmem.WriteFuture, benchBurst)
+				for j := range futs {
+					f, err := p.SubmitWrite(batchBenchRegs[j%len(batchBenchRegs)], payload)
+					if err != nil {
+						b.Fatal(err)
+					}
+					futs[j] = f
+				}
+				for _, f := range futs {
+					if err := f.Wait(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			reportOpsPerSec(b, benchBurst)
+		})
+	}
+}
+
+// BenchmarkUnbatchedWrite is the baseline for BenchmarkBatchedWrite: the
+// same burst of writes through the synchronous one-at-a-time API.
+func BenchmarkUnbatchedWrite(b *testing.B) {
+	for _, bc := range batchedAlgos {
+		b.Run(bc.name, func(b *testing.B) {
+			c := benchCluster(b, 5, bc.algo)
+			ctx := context.Background()
+			p := c.Process(0)
+			payload := []byte{1, 2, 3, 4}
+			if err := p.Write(ctx, batchBenchRegs[0], payload); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < benchBurst; j++ {
+					if err := p.Write(ctx, batchBenchRegs[j%len(batchBenchRegs)], payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			reportOpsPerSec(b, benchBurst)
+		})
+	}
+}
+
+// BenchmarkBatchedRead: bursts of submitted reads share quorum rounds.
+func BenchmarkBatchedRead(b *testing.B) {
+	for _, bc := range batchedAlgos {
+		b.Run(bc.name, func(b *testing.B) {
+			c := benchCluster(b, 5, bc.algo)
+			ctx := context.Background()
+			if err := c.Process(0).Write(ctx, "x", []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+			time.Sleep(10 * time.Millisecond) // full adoption
+			p := c.Process(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				futs := make([]*recmem.ReadFuture, benchBurst)
+				for j := range futs {
+					f, err := p.SubmitRead("x")
+					if err != nil {
+						b.Fatal(err)
+					}
+					futs[j] = f
+				}
+				for _, f := range futs {
+					if _, err := f.Wait(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			reportOpsPerSec(b, benchBurst)
+		})
+	}
+}
+
+// reportOpsPerSec normalizes a burst benchmark to operations per second.
+func reportOpsPerSec(b *testing.B, perIter int) {
+	b.Helper()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(perIter*b.N)/b.Elapsed().Seconds(), "ops/s")
+	}
+}
+
 // BenchmarkRecovery measures the recovery procedure (crash + recover cycle)
 // of the two crash-recovery algorithms: transient pays one local log;
 // persistent pays a write-back round per register.

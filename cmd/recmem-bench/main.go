@@ -6,12 +6,20 @@
 //
 //	recmem-bench -experiment fig6a          # write latency vs. cluster size
 //	recmem-bench -experiment fig6b          # write latency vs. payload size
+//	recmem-bench -experiment batch          # batched vs. unbatched throughput
 //	recmem-bench -experiment all -writes 50
+//	recmem-bench -experiment batch -batch 64 -pipeline 8
 //
 // The output is one table per experiment with a column per algorithm
 // (crash-stop / transient / persistent), directly comparable to the paper's
 // two graphs: expect the 4δ / 4δ+λ / 4δ+2λ ladder (≈ 500/700/900 µs at
 // n = 5) in fig6a and linear growth with payload size in fig6b.
+//
+// The batch experiment goes beyond the paper: it drives the same workload
+// through the synchronous one-at-a-time API and through the batching +
+// pipelining engine (-batch sets the per-client submission window, -pipeline
+// the number of independent registers) and reports the throughput each
+// achieves for every algorithm kind.
 package main
 
 import (
@@ -36,12 +44,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("recmem-bench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig6a, fig6b, or all")
+		experiment = fs.String("experiment", "all", "fig6a, fig6b, batch, or all")
 		writes     = fs.Int("writes", 50, "timed writes per data point (the paper uses 50)")
 		warmup     = fs.Int("warmup", 5, "untimed warmup writes per data point")
 		passes     = fs.Int("passes", 3, "time-spread passes per point; the best median is kept")
 		ns         = fs.String("ns", "", "comma-separated cluster sizes for fig6a (default 2..9)")
 		sizes      = fs.String("sizes", "", "comma-separated payload sizes in bytes for fig6b")
+		batch      = fs.Int("batch", 32, "submission window per client for the batch experiment")
+		pipeline   = fs.Int("pipeline", 4, "independent registers for the batch experiment")
 		timeout    = fs.Duration("timeout", 10*time.Minute, "overall deadline")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -50,7 +60,16 @@ func run(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	opts := experiments.Options{Writes: *writes, Warmup: *warmup, Passes: *passes}
+	if *batch < 2 {
+		return fmt.Errorf("-batch: window must be at least 2, got %d", *batch)
+	}
+	if *pipeline < 1 {
+		return fmt.Errorf("-pipeline: need at least one register, got %d", *pipeline)
+	}
+	opts := experiments.Options{
+		Writes: *writes, Warmup: *warmup, Passes: *passes,
+		Batch: *batch, Pipeline: *pipeline,
+	}
 	var err error
 	if opts.Ns, err = parseInts(*ns); err != nil {
 		return fmt.Errorf("-ns: %w", err)
@@ -78,7 +97,19 @@ func run(args []string) error {
 		}
 		experiments.PrintFig6b(os.Stdout, points)
 	}
-	if *experiment != "fig6a" && *experiment != "fig6b" && *experiment != "all" {
+	if *experiment == "batch" || *experiment == "all" {
+		if *experiment == "all" {
+			fmt.Println()
+		}
+		fmt.Printf("Batched vs. unbatched throughput, n = 5, %d registers, window %d\n", *pipeline, *batch)
+		fmt.Println("(coalesced quorum rounds + pipelined registers vs. one operation at a time)")
+		points, err := experiments.Batch(ctx, opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintBatch(os.Stdout, points)
+	}
+	if *experiment != "fig6a" && *experiment != "fig6b" && *experiment != "batch" && *experiment != "all" {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 	return nil

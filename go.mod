@@ -1,0 +1,3 @@
+module recmem
+
+go 1.24

@@ -65,6 +65,10 @@ type Cluster struct {
 
 	writeLat metrics.Histogram
 	readLat  metrics.Histogram
+
+	// vproc allocates history process ids for asynchronous submissions,
+	// starting past the real process ids.
+	vproc atomic.Int32
 }
 
 // New builds and starts a cluster.
@@ -84,6 +88,7 @@ func New(cfg Config) (*Cluster, error) {
 		msgs: metrics.NewOpMeter(),
 	}
 	c.rec = history.NewRecorder(c.clk)
+	c.vproc.Store(int32(cfg.N))
 	if cfg.TraceCapacity > 0 {
 		c.tr = trace.NewRing(cfg.TraceCapacity)
 	}
@@ -162,6 +167,42 @@ func (c *Cluster) Read(ctx context.Context, proc int32, reg string) ([]byte, Rep
 	lat := time.Since(start)
 	c.readLat.Add(lat)
 	return val, Report{Op: op, Latency: lat}, nil
+}
+
+// SubmitWrite asynchronously writes through process proc's batching engine
+// (core.Node.SubmitWrite): concurrent submissions to one register coalesce
+// into one quorum round, submissions to different registers pipeline.
+//
+// In the recorded history the operation is attributed to a fresh one-shot
+// logical client co-located with the node (process ids from N upwards): the
+// paper's processes are sequential, so a node multiplexing many concurrent
+// operations models a population of independent clients, each invoking once.
+// The atomicity checkers are interval-based, so this is sound — with one
+// deliberate relaxation: an operation left pending by a crash has no
+// "next invocation of the same process" to bound its completion, so it may
+// linearize at any later point, exactly like a client that never returned.
+// (CheckRegular's single-writer identification does not cover submitted
+// writes; verify RegularSW histories built with the async API against the
+// atomicity-family criteria instead.)
+func (c *Cluster) SubmitWrite(proc int32, reg string, val []byte) (*core.Future, error) {
+	vp := c.vproc.Add(1) - 1
+	obs := core.OpObserver{
+		OnInvoke: func(op uint64) { c.rec.InvokeWithID(vp, history.Write, op, reg, string(val)) },
+		OnReturn: func(op uint64, _ []byte) { c.rec.Return(vp, history.Write, op, reg, "") },
+	}
+	return c.nodes[proc].SubmitWrite(reg, val, obs)
+}
+
+// SubmitRead asynchronously reads through process proc's batching engine;
+// concurrent submitted reads of one register share a single quorum round.
+// History attribution follows SubmitWrite.
+func (c *Cluster) SubmitRead(proc int32, reg string) (*core.Future, error) {
+	vp := c.vproc.Add(1) - 1
+	obs := core.OpObserver{
+		OnInvoke: func(op uint64) { c.rec.InvokeWithID(vp, history.Read, op, reg, "") },
+		OnReturn: func(op uint64, v []byte) { c.rec.Return(vp, history.Read, op, reg, string(v)) },
+	}
+	return c.nodes[proc].SubmitRead(reg, obs)
 }
 
 // Crash fails process proc: its volatile state is lost, in-flight operations

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"context"
+	"hash/maphash"
+	"sync"
+	"time"
+
+	"recmem/internal/transport"
+	"recmem/internal/wire"
+)
+
+// This file implements the node's batching + pipelining engine (docs/adr/
+// 0001): an asynchronous submission API (SubmitWrite/SubmitRead returning
+// futures) backed by a per-register sharded dispatcher.
+//
+// Two amortizations stack on top of the paper's algorithms, neither of which
+// changes a single protocol rule:
+//
+//   - Operation coalescing. All writes to one register that are pending at
+//     the same process when a dispatch begins are folded into ONE execution
+//     of the two-round write protocol: one sequence-number query, one minted
+//     tag, one propagation of the last submitted value, and therefore one
+//     causal log chain for the whole batch. This is sound because the
+//     coalesced writes are pairwise concurrent (all submitted before the
+//     round starts, all completed after it commits), so linearizing them
+//     back to back at the commit point — earlier submissions immediately
+//     overwritten by later ones — is a valid ordering; the acknowledgement
+//     every submitter receives is backed by the batch's value being durable
+//     at a majority under a tag at least as high as any the folded writes
+//     would have minted. Pending reads coalesce the same way into one
+//     execution of the read protocol (query majority, write back), all
+//     returning its value.
+//   - Register pipelining. Each register's dispatcher runs independently, so
+//     rounds for different registers overlap in flight instead of
+//     serializing on the node's operation mutex; the node-level outbox
+//     group-commits the broadcasts of concurrently running rounds into
+//     per-destination batch frames (wire.EncodeBatch), so one network
+//     round-trip carries the coalesced rounds of many registers.
+//
+// The synchronous Write/Read path still serializes on opMu, modeling the
+// paper's sequential process. Mixing the synchronous and the asynchronous
+// API on the same register of the same node is safe for atomicity — tag-
+// minting write executions for one register serialize on the node's
+// per-register write lock (see writeProtocol), so racing paths can never
+// mint the same timestamp for different values — but it forfeits the
+// per-process program order the synchronous path guarantees.
+
+// Future is the pending result of a submitted operation. It completes when
+// the operation's quorum rounds commit (or fail); an operation interrupted
+// by a crash completes with ErrCrashed and its invocation stays pending in
+// the history, exactly like its synchronous counterpart.
+type Future struct {
+	op   uint64
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Op returns the operation id, usable for accounting as soon as the future
+// is created.
+func (f *Future) Op() uint64 { return f.op }
+
+// Done returns a channel closed when the operation completes.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the operation completes or ctx is done. For reads the
+// returned value is the register's value (nil is the initial value ⊥); for
+// writes it is nil. Cancelling ctx abandons the wait, not the operation.
+func (f *Future) Wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// complete resolves the future. Called exactly once.
+func (f *Future) complete(val []byte, err error) {
+	f.val = val
+	f.err = err
+	close(f.done)
+}
+
+// batchSub is one submitted operation waiting in a register's queue.
+type batchSub struct {
+	read  bool
+	val   []byte
+	obs   OpObserver
+	op    uint64
+	epoch uint64
+	fut   *Future
+}
+
+// engineShards is the number of locks the register-queue map is split
+// across; submissions for different registers rarely contend.
+const engineShards = 16
+
+// engine is the per-node batching dispatcher.
+type engine struct {
+	nd     *Node
+	seed   maphash.Seed
+	shards [engineShards]engineShard
+}
+
+type engineShard struct {
+	mu   sync.Mutex
+	regs map[string]*regQueue
+}
+
+// regQueue is the pending-submission queue of one register. running is true
+// while a dispatcher goroutine owns the register.
+type regQueue struct {
+	pending []*batchSub
+	running bool
+}
+
+func newEngine(nd *Node) *engine {
+	eng := &engine{nd: nd, seed: maphash.MakeSeed()}
+	for i := range eng.shards {
+		eng.shards[i].regs = make(map[string]*regQueue)
+	}
+	return eng
+}
+
+func (eng *engine) shardFor(reg string) *engineShard {
+	return &eng.shards[maphash.String(eng.seed, reg)%engineShards]
+}
+
+// enqueue appends a submission to the register's queue and starts a
+// dispatcher for the register if none is running.
+func (eng *engine) enqueue(reg string, sub *batchSub) {
+	sh := eng.shardFor(reg)
+	sh.mu.Lock()
+	q := sh.regs[reg]
+	if q == nil {
+		q = &regQueue{}
+		sh.regs[reg] = q
+	}
+	q.pending = append(q.pending, sub)
+	if !q.running {
+		q.running = true
+		go eng.run(reg, sh, q)
+	}
+	sh.mu.Unlock()
+}
+
+// run dispatches batches for one register until its queue drains: each
+// iteration takes everything currently pending and flushes it as one batch,
+// so submissions arriving during a flush form the next batch — group commit.
+func (eng *engine) run(reg string, sh *engineShard, q *regQueue) {
+	for {
+		sh.mu.Lock()
+		batch := q.pending
+		q.pending = nil
+		if len(batch) == 0 {
+			q.running = false
+			sh.mu.Unlock()
+			return
+		}
+		sh.mu.Unlock()
+		eng.flush(reg, batch)
+	}
+}
+
+// flush executes one batch: all writes coalesce into one write-protocol
+// execution propagating the last submitted value, then all reads coalesce
+// into one read-protocol execution. Reads ordered after the batch's writes
+// is a valid linearization because every operation in the batch is
+// concurrent with every other.
+func (eng *engine) flush(reg string, batch []*batchSub) {
+	nd := eng.nd
+	var writes, reads []*batchSub
+	for _, s := range batch {
+		if s.read {
+			reads = append(reads, s)
+		} else {
+			writes = append(writes, s)
+		}
+	}
+	ctx := context.Background() // rounds abort via crashCh on crash/close
+	if len(writes) > 0 {
+		carrier := writes[0].op
+		final := writes[len(writes)-1].val
+		err := nd.writeProtocol(ctx, carrier, reg, final, true)
+		for _, s := range writes {
+			s.fut.complete(nil, nd.endOp(s.op, s.epoch, s.obs, err, nil))
+		}
+	}
+	if len(reads) > 0 {
+		carrier := reads[0].op
+		val, err := nd.readProtocol(ctx, carrier, reg, true)
+		for _, s := range reads {
+			s.fut.complete(val, nd.endOp(s.op, s.epoch, s.obs, err, val))
+		}
+	}
+}
+
+// SubmitWrite asynchronously writes val to the named register through the
+// batching engine and returns a future for the acknowledgement. Concurrent
+// submissions to the same register coalesce into one quorum round;
+// submissions to different registers pipeline. Admission errors (down
+// process, oversized value, non-writer under RegularSW) are returned
+// immediately and leave no trace in the history.
+func (nd *Node) SubmitWrite(reg string, val []byte, obs OpObserver) (*Future, error) {
+	if len(val) > wire.MaxValueSize {
+		return nil, wire.ErrValueTooLarge
+	}
+	if nd.kind == RegularSW && nd.id != RegularWriter {
+		return nil, ErrNotWriter
+	}
+	val = append([]byte(nil), val...)
+	op, epoch, err := nd.beginOp(obs)
+	if err != nil {
+		return nil, err
+	}
+	fut := &Future{op: op, done: make(chan struct{})}
+	nd.eng.enqueue(reg, &batchSub{val: val, obs: obs, op: op, epoch: epoch, fut: fut})
+	return fut, nil
+}
+
+// SubmitRead asynchronously reads the named register through the batching
+// engine. Concurrent submitted reads of one register share a single quorum
+// round (and its single write-back) and all return its value.
+func (nd *Node) SubmitRead(reg string, obs OpObserver) (*Future, error) {
+	op, epoch, err := nd.beginOp(obs)
+	if err != nil {
+		return nil, err
+	}
+	fut := &Future{op: op, done: make(chan struct{})}
+	nd.eng.enqueue(reg, &batchSub{read: true, obs: obs, op: op, epoch: epoch, fut: fut})
+	return fut, nil
+}
+
+// flushWindow is the outbox's gather window: after waking, the flusher
+// waits this long before draining, so the sweeps of concurrently pipelined
+// rounds land in the same generation and share batch frames. Two orders of
+// magnitude below the protocol's default retransmission period and well
+// below a LAN round-trip, so it amortizes frames without moving the latency
+// needle; the synchronous (unbatched) path never pays it.
+const flushWindow = 50 * time.Microsecond
+
+// outbox group-commits outgoing round broadcasts into per-destination batch
+// frames. Senders enqueue and return; a single flusher goroutine gathers for
+// flushWindow, then drains everything staged — including whatever
+// accumulated while the previous flush was on the wire.
+type outbox struct {
+	nd      *Node
+	mu      sync.Mutex
+	buf     []wire.Envelope
+	running bool
+}
+
+// enqueue stages a round's sweep for transmission. The sender id is stamped
+// and the sends are traced here so trace order matches staging order.
+func (ob *outbox) enqueue(envs ...wire.Envelope) {
+	for i := range envs {
+		envs[i].From = ob.nd.id
+		if ob.nd.tr != nil {
+			ob.nd.traceEvent("send", envs[i].String())
+		}
+	}
+	ob.mu.Lock()
+	ob.buf = append(ob.buf, envs...)
+	if !ob.running {
+		ob.running = true
+		go ob.flushLoop()
+	}
+	ob.mu.Unlock()
+}
+
+// flushLoop drains the buffer until it stays empty, grouping each drained
+// generation by destination and handing every group to the endpoint as one
+// batch frame (transport.SendAll falls back to singles on endpoints without
+// batch support).
+func (ob *outbox) flushLoop() {
+	for {
+		time.Sleep(flushWindow)
+		ob.mu.Lock()
+		buf := ob.buf
+		ob.buf = nil
+		if len(buf) == 0 {
+			ob.running = false
+			ob.mu.Unlock()
+			return
+		}
+		ob.mu.Unlock()
+		perDest := make(map[int32][]wire.Envelope, ob.nd.n)
+		order := make([]int32, 0, ob.nd.n)
+		for _, env := range buf {
+			if perDest[env.To] == nil {
+				order = append(order, env.To)
+			}
+			perDest[env.To] = append(perDest[env.To], env)
+		}
+		for _, to := range order {
+			transport.SendAll(ob.nd.ep, perDest[to])
+		}
+	}
+}

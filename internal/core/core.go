@@ -24,6 +24,13 @@
 // All algorithms are multi-register: each register name runs an independent
 // instance of the protocol multiplexed over the same channels and stable
 // store.
+//
+// Beyond the paper's one-operation-at-a-time processes, every node carries a
+// batching + pipelining engine (batch.go): SubmitWrite/SubmitRead return
+// futures, concurrent submissions to one register coalesce into a single
+// execution of the protocol (one minted timestamp and one causal log chain
+// per batch), and different registers' rounds overlap, their broadcasts
+// group-committed into per-destination batch frames. See docs/adr/0001.
 package core
 
 import (
@@ -188,6 +195,19 @@ type Node struct {
 	pending map[uint64]chan wire.Envelope
 	crashCh chan struct{} // closed on crash; recreated on recovery
 
+	// eng is the batching + pipelining engine behind SubmitWrite/SubmitRead;
+	// ob group-commits its round broadcasts into batch frames.
+	eng *engine
+	ob  *outbox
+
+	// wlocks serializes tag-minting write-protocol executions per register
+	// (reg -> *sync.Mutex): two concurrent executions at one node would
+	// both observe the same majority maximum and mint the same timestamp
+	// for different values. The synchronous path (already serial under
+	// opMu) and the engine's per-register dispatchers only ever contend
+	// here when both APIs write the same register at once.
+	wlocks sync.Map
+
 	listenerDone chan struct{}
 }
 
@@ -227,6 +247,8 @@ func NewNode(id int32, n int, kind AlgorithmKind, opts Options, deps Deps) (*Nod
 		crashCh:      make(chan struct{}),
 		listenerDone: make(chan struct{}),
 	}
+	nd.eng = newEngine(nd)
+	nd.ob = &outbox{nd: nd}
 	go nd.listen()
 	return nd, nil
 }

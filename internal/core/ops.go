@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync"
 
 	"recmem/internal/causal"
 	"recmem/internal/tag"
@@ -77,7 +78,7 @@ func (nd *Node) Write(ctx context.Context, reg string, val []byte, obs OpObserve
 	if err != nil {
 		return 0, err
 	}
-	err = nd.writeProtocol(ctx, op, reg, val)
+	err = nd.writeProtocol(ctx, op, reg, val, false)
 	return op, nd.endOp(op, epoch, obs, err, nil)
 }
 
@@ -85,9 +86,20 @@ func (nd *Node) Write(ctx context.Context, reg string, val []byte, obs OpObserve
 // sequence-number query round, the timestamp mint (algorithm-specific), an
 // optional writer pre-log (persistent: Fig. 4 line 12), and the propagation
 // round. The single-writer regular register branches to its one-round form.
-func (nd *Node) writeProtocol(ctx context.Context, op uint64, reg string, val []byte) error {
+// With batched set, round broadcasts go through the node's outbox so that
+// concurrently pipelined registers share batch frames.
+//
+// The whole execution holds the node's per-register write lock: the minted
+// timestamp is derived from the queried majority maximum, so two concurrent
+// executions for one register (a synchronous Write racing a batch flush)
+// would mint the same timestamp for different values.
+func (nd *Node) writeProtocol(ctx context.Context, op uint64, reg string, val []byte, batched bool) error {
+	l, _ := nd.wlocks.LoadOrStore(reg, &sync.Mutex{})
+	mu := l.(*sync.Mutex)
+	mu.Lock()
+	defer mu.Unlock()
 	if nd.kind == RegularSW {
-		return nd.writeRegularSW(ctx, op, reg, val)
+		return nd.writeRegularSW(ctx, op, reg, val, batched)
 	}
 	depth := 0
 	if nd.kind == Naive {
@@ -101,7 +113,7 @@ func (nd *Node) writeProtocol(ctx context.Context, op uint64, reg string, val []
 	}
 
 	// Round 1: collect sequence numbers from a majority (Fig. 4 lines 7–10).
-	acks, err := nd.round(ctx, op, wire.Envelope{Kind: wire.KindSNQuery, Reg: reg, Depth: uint8(depth)})
+	acks, err := nd.runRound(ctx, op, wire.Envelope{Kind: wire.KindSNQuery, Reg: reg, Depth: uint8(depth)}, -1, batched)
 	if err != nil {
 		return err
 	}
@@ -121,9 +133,9 @@ func (nd *Node) writeProtocol(ctx context.Context, op uint64, reg string, val []
 	}
 
 	// Round 2: propagate the tagged value to a majority (Fig. 4 lines 13–15).
-	_, err = nd.round(ctx, op, wire.Envelope{
+	_, err = nd.runRound(ctx, op, wire.Envelope{
 		Kind: wire.KindWrite, Reg: reg, Tag: newTag, Value: val, Depth: uint8(depth),
-	})
+	}, -1, batched)
 	return err
 }
 
@@ -161,7 +173,7 @@ func (nd *Node) Read(ctx context.Context, reg string, obs OpObserver) ([]byte, u
 	if err != nil {
 		return nil, 0, err
 	}
-	val, err := nd.readProtocol(ctx, op, reg)
+	val, err := nd.readProtocol(ctx, op, reg, false)
 	if err := nd.endOp(op, epoch, obs, err, val); err != nil {
 		return nil, op, err
 	}
@@ -177,7 +189,7 @@ func (nd *Node) Read(ctx context.Context, reg string, obs OpObserver) ([]byte, u
 // completed write, which keeps timestamps strictly monotone — unfinished
 // writes are out-minted by the recovery count exactly as in Fig. 5. One
 // causal log (all adopters log in parallel), 2 communication steps.
-func (nd *Node) writeRegularSW(ctx context.Context, op uint64, reg string, val []byte) error {
+func (nd *Node) writeRegularSW(ctx context.Context, op uint64, reg string, val []byte, batched bool) error {
 	if nd.id != RegularWriter {
 		return ErrNotWriter
 	}
@@ -189,15 +201,15 @@ func (nd *Node) writeRegularSW(ctx context.Context, op uint64, reg string, val [
 	if nd.opts.HardenedTags {
 		newTag.Rec = rec
 	}
-	_, err := nd.roundRequiring(ctx, op, wire.Envelope{
+	_, err := nd.runRound(ctx, op, wire.Envelope{
 		Kind: wire.KindWrite, Reg: reg, Tag: newTag, Value: val,
-	}, nd.id)
+	}, nd.id, batched)
 	return err
 }
 
-func (nd *Node) readProtocol(ctx context.Context, op uint64, reg string) ([]byte, error) {
+func (nd *Node) readProtocol(ctx context.Context, op uint64, reg string, batched bool) ([]byte, error) {
 	// Round 1: collect tagged values from a majority.
-	acks, err := nd.round(ctx, op, wire.Envelope{Kind: wire.KindRead, Reg: reg})
+	acks, err := nd.runRound(ctx, op, wire.Envelope{Kind: wire.KindRead, Reg: reg}, -1, batched)
 	if err != nil {
 		return nil, err
 	}
@@ -226,9 +238,9 @@ func (nd *Node) readProtocol(ctx context.Context, op uint64, reg string) ([]byte
 	// Round 2: write the value with the highest timestamp back to a
 	// majority, so the read's result is never lost even if the original
 	// writer's propagation had only partially completed.
-	_, err = nd.round(ctx, op, wire.Envelope{
+	_, err = nd.runRound(ctx, op, wire.Envelope{
 		Kind: wire.KindWriteBack, Reg: reg, Tag: best.Tag, Value: best.Value, Depth: uint8(depth),
-	})
+	}, -1, batched)
 	if err != nil {
 		return nil, err
 	}

@@ -19,16 +19,19 @@ import (
 // unreachable, which is exactly the robustness contract (operations by
 // processes that do not crash terminate once a majority is permanently up).
 func (nd *Node) round(ctx context.Context, op uint64, req wire.Envelope) (map[int32]wire.Envelope, error) {
-	return nd.roundRequiring(ctx, op, req, -1)
+	return nd.runRound(ctx, op, req, -1, false)
 }
 
-// roundRequiring is round with an additional termination condition: if
-// require is a valid process id, the round does not complete until that
-// process's acknowledgement is among the collected majority. The RegularSW
-// writer requires its own acknowledgement, which certifies that its own
-// listener has logged the new timestamp — the synchronization that keeps the
-// single writer's timestamps strictly monotone across crashes.
-func (nd *Node) roundRequiring(ctx context.Context, op uint64, req wire.Envelope, require int32) (map[int32]wire.Envelope, error) {
+// runRound generalizes round along two axes: if require is a valid process
+// id, the round does not complete until that process's acknowledgement is
+// among the collected majority (the RegularSW writer requires its own
+// acknowledgement, which certifies that its own listener has logged the new
+// timestamp — the synchronization that keeps the single writer's timestamps
+// strictly monotone across crashes); with batched set, broadcasts are routed
+// through the node's outbox so that sweeps of concurrently running rounds
+// (different registers of the batching engine) group-commit into
+// per-destination batch frames instead of going out as individual messages.
+func (nd *Node) runRound(ctx context.Context, op uint64, req wire.Envelope, require int32, batched bool) (map[int32]wire.Envelope, error) {
 	rpc := nd.newID()
 	req.RPC = rpc
 	req.Op = op
@@ -58,10 +61,19 @@ func (nd *Node) roundRequiring(ctx context.Context, op uint64, req wire.Envelope
 	defer timer.Stop()
 	for {
 		sweeps++
-		for to := int32(0); to < int32(nd.n); to++ {
-			e := req
-			e.To = to
-			nd.send(e)
+		if batched {
+			sweep := make([]wire.Envelope, nd.n)
+			for to := int32(0); to < int32(nd.n); to++ {
+				sweep[to] = req
+				sweep[to].To = to
+			}
+			nd.ob.enqueue(sweep...)
+		} else {
+			for to := int32(0); to < int32(nd.n); to++ {
+				e := req
+				e.To = to
+				nd.send(e)
+			}
 		}
 	collect:
 		for {

@@ -29,10 +29,16 @@ import (
 	"recmem/internal/core"
 	"recmem/internal/netsim"
 	"recmem/internal/stable"
+	"recmem/internal/workload"
 )
 
 // Algorithms compared in Figure 6, in the paper's order.
 var Algorithms = []core.AlgorithmKind{core.CrashStop, core.Transient, core.Persistent}
+
+// BatchAlgorithms compared in the batching experiment: every multi-writer
+// kind, including the log-every-step ablation (batching amortizes its extra
+// logs the hardest).
+var BatchAlgorithms = []core.AlgorithmKind{core.CrashStop, core.Transient, core.Persistent, core.Naive}
 
 // Options configures an experiment run.
 type Options struct {
@@ -56,6 +62,14 @@ type Options struct {
 	// Ns are the cluster sizes for Fig6a (default 2…9, the paper's "up to
 	// nine workstations").
 	Ns []int
+	// Batch is the per-client submission window of the batching experiment
+	// (default 32): how many operations each client keeps in flight through
+	// the asynchronous API.
+	Batch int
+	// Pipeline is the number of independent registers of the batching
+	// experiment (default 4): registers whose quorum rounds the engine
+	// overlaps.
+	Pipeline int
 }
 
 // withDefaults fills unset options.
@@ -80,6 +94,14 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Ns) == 0 {
 		o.Ns = []int{2, 3, 4, 5, 6, 7, 8, 9}
+	}
+	if o.Batch < 2 {
+		// A window below 2 never engages the asynchronous path and would
+		// silently compare the synchronous API against itself.
+		o.Batch = 32
+	}
+	if o.Pipeline < 1 {
+		o.Pipeline = 4
 	}
 	return o
 }
@@ -183,6 +205,108 @@ func Fig6b(ctx context.Context, opts Options) ([]Point, error) {
 		}
 	}
 	return out, nil
+}
+
+// BatchPoint compares one algorithm's throughput with and without the
+// batching + pipelining engine.
+type BatchPoint struct {
+	Algorithm core.AlgorithmKind
+	// UnbatchedOps and BatchedOps are completed operations per second for
+	// the sequential closed-loop clients and for the windowed asynchronous
+	// clients respectively.
+	UnbatchedOps, BatchedOps float64
+	// Speedup is BatchedOps / UnbatchedOps.
+	Speedup float64
+}
+
+// MeasureBatch drives the same write workload (opts.Writes operations at
+// each of n processes over opts.Pipeline registers, on the calibrated LAN
+// testbed) twice: once through the synchronous one-at-a-time API and once
+// through the asynchronous submission API with a window of opts.Batch
+// operations per client — measuring how far coalesced quorum rounds and
+// pipelined registers move the throughput ceiling.
+func MeasureBatch(ctx context.Context, kind core.AlgorithmKind, n int, opts Options) (BatchPoint, error) {
+	opts = opts.withDefaults()
+	run := func(async int) (float64, error) {
+		c, err := cluster.New(cluster.Config{
+			N:         n,
+			Algorithm: kind,
+			Node:      core.Options{RetransmitEvery: 250 * time.Millisecond},
+			Net:       netsim.Options{Profile: opts.Net},
+			Disk:      opts.Disk,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		regs := make([]string, opts.Pipeline)
+		for i := range regs {
+			regs[i] = fmt.Sprintf("r%d", i)
+		}
+		mix := workload.Mix{Registers: regs, Async: async}
+		procs := workload.AllProcs(n)
+		// Warm every protocol path once.
+		workload.Run(ctx, c, procs, opts.Warmup, mix, 1)
+		start := time.Now()
+		res := workload.Run(ctx, c, procs, opts.Writes, mix, 2)
+		elapsed := time.Since(start)
+		if res.Errors > 0 {
+			return 0, fmt.Errorf("%d workload errors", res.Errors)
+		}
+		done := res.Writes + res.Reads
+		if done == 0 || elapsed <= 0 {
+			return 0, fmt.Errorf("no completed operations")
+		}
+		return float64(done) / elapsed.Seconds(), nil
+	}
+	p := BatchPoint{Algorithm: kind}
+	for pass := 0; pass < opts.Passes; pass++ {
+		if pass > 0 {
+			time.Sleep(50 * time.Millisecond)
+		}
+		unb, err := run(0)
+		if err != nil {
+			return p, fmt.Errorf("unbatched: %w", err)
+		}
+		bat, err := run(opts.Batch)
+		if err != nil {
+			return p, fmt.Errorf("batched: %w", err)
+		}
+		if unb > p.UnbatchedOps {
+			p.UnbatchedOps = unb
+		}
+		if bat > p.BatchedOps {
+			p.BatchedOps = bat
+		}
+	}
+	p.Speedup = p.BatchedOps / p.UnbatchedOps
+	return p, nil
+}
+
+// Batch sweeps the batched-vs-unbatched comparison over every multi-writer
+// algorithm kind at n = 5.
+func Batch(ctx context.Context, opts Options) ([]BatchPoint, error) {
+	opts = opts.withDefaults()
+	var out []BatchPoint
+	for _, kind := range BatchAlgorithms {
+		p, err := MeasureBatch(ctx, kind, 5, opts)
+		if err != nil {
+			return out, fmt.Errorf("batch %v: %w", kind, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// PrintBatch renders the throughput comparison: one line per algorithm.
+func PrintBatch(w io.Writer, points []BatchPoint) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tunbatched(op/s)\tbatched(op/s)\tspeedup")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%v\t%.0f\t%.0f\t%.1fx\n",
+			p.Algorithm, p.UnbatchedOps, p.BatchedOps, p.Speedup)
+	}
+	tw.Flush()
 }
 
 // PrintFig6a renders the sweep as the rows of Figure 6 (top): one line per

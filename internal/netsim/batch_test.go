@@ -1,0 +1,77 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"recmem/internal/transport"
+	"recmem/internal/wire"
+)
+
+func TestSendBatchDeliversAll(t *testing.T) {
+	nw, err := New(3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	envs := []wire.Envelope{
+		msg(0, 2, wire.KindSNQuery),
+		msg(0, 2, wire.KindRead),
+		msg(0, 2, wire.KindWrite),
+	}
+	transport.SendAll(nw.Endpoint(0), envs)
+	for i := range envs {
+		got := recvWithin(t, nw.Endpoint(2).Recv(), time.Second)
+		if got.Kind != envs[i].Kind {
+			t.Fatalf("delivery %d: kind %v, want %v (batch must preserve order)", i, got.Kind, envs[i].Kind)
+		}
+		if got.From != 0 || got.To != 2 {
+			t.Fatalf("delivery %d: %+v", i, got)
+		}
+	}
+	st := nw.Stats()
+	if st.Sent != 3 || st.Delivered != 3 || st.BatchFrames != 1 {
+		t.Fatalf("stats = %+v, want 3 sent / 3 delivered / 1 batch frame", st)
+	}
+}
+
+func TestSendBatchRespectsHoldsAndFilters(t *testing.T) {
+	nw, err := New(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	// A filter that drops read queries must apply inside batch frames too:
+	// scripted scenarios keep working when the engine batches.
+	nw.SetFilter(func(e wire.Envelope) bool { return e.Kind != wire.KindRead })
+	nw.Endpoint(0).(transport.BatchSender).SendBatch([]wire.Envelope{
+		msg(0, 1, wire.KindSNQuery),
+		msg(0, 1, wire.KindRead),
+	})
+	got := recvWithin(t, nw.Endpoint(1).Recv(), time.Second)
+	if got.Kind != wire.KindSNQuery {
+		t.Fatalf("got %v, want the SN query only", got.Kind)
+	}
+	select {
+	case e := <-nw.Endpoint(1).Recv():
+		t.Fatalf("filtered envelope delivered: %+v", e)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestSendBatchDownDrops(t *testing.T) {
+	nw, err := New(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.SetDown(1, true)
+	nw.Endpoint(0).(transport.BatchSender).SendBatch([]wire.Envelope{
+		msg(0, 1, wire.KindSNQuery),
+		msg(0, 1, wire.KindRead),
+	})
+	st := nw.Stats()
+	if st.Sent != 0 || st.DroppedDown != 2 {
+		t.Fatalf("stats = %+v, want everything dropped-down", st)
+	}
+}

@@ -106,7 +106,7 @@ type Net struct {
 	wake chan struct{}
 	done chan struct{}
 
-	sent, delivered, droppedLoss, droppedDown, droppedHeld, droppedQueue, duplicated atomic.Int64
+	sent, delivered, droppedLoss, droppedDown, droppedHeld, droppedQueue, duplicated, batchFrames atomic.Int64
 }
 
 type linkKey struct{ from, to int32 }
@@ -243,6 +243,7 @@ func (nw *Net) Stats() transport.Stats {
 		DroppedHeld:  nw.droppedHeld.Load(),
 		DroppedQueue: nw.droppedQueue.Load(),
 		Duplicated:   nw.duplicated.Load(),
+		BatchFrames:  nw.batchFrames.Load(),
 	}
 }
 
@@ -259,46 +260,68 @@ func (nw *Net) Close() {
 }
 
 func (nw *Net) send(env wire.Envelope) {
-	if env.To < 0 || int(env.To) >= nw.n {
-		return
-	}
-	size := wire.Size(env)
+	nw.sendBatch([]wire.Envelope{env})
+}
+
+// sendBatch transmits one frame — a single envelope, or several envelopes
+// to one destination coalesced by a batch-aware sender. The per-envelope
+// drop controls (down processes, held links, filters) apply individually,
+// but the surviving envelopes share one loss/duplication decision and one
+// delay computed from the frame's total encoded size — the amortization
+// batch frames exist for.
+func (nw *Net) sendBatch(envs []wire.Envelope) {
 	nw.mu.Lock()
 	if nw.closed {
 		nw.mu.Unlock()
 		return
 	}
-	if nw.down[env.From] || nw.down[env.To] {
-		nw.mu.Unlock()
-		nw.droppedDown.Add(1)
-		return
+	var live []wire.Envelope
+	for _, env := range envs {
+		if env.To < 0 || int(env.To) >= nw.n {
+			continue
+		}
+		if nw.down[env.From] || nw.down[env.To] {
+			nw.droppedDown.Add(1)
+			continue
+		}
+		if nw.held[linkKey{env.From, env.To}] {
+			nw.droppedHeld.Add(1)
+			continue
+		}
+		if nw.filter != nil && !nw.filter(env) {
+			nw.droppedHeld.Add(1)
+			continue
+		}
+		live = append(live, env)
 	}
-	if nw.held[linkKey{env.From, env.To}] {
+	if len(live) == 0 {
 		nw.mu.Unlock()
-		nw.droppedHeld.Add(1)
-		return
-	}
-	if nw.filter != nil && !nw.filter(env) {
-		nw.mu.Unlock()
-		nw.droppedHeld.Add(1)
 		return
 	}
 	if nw.loss > 0 && nw.rng.Float64() < nw.loss {
 		nw.mu.Unlock()
-		nw.droppedLoss.Add(1)
+		nw.droppedLoss.Add(int64(len(live)))
 		return
 	}
-	nw.sent.Add(1)
+	nw.sent.Add(int64(len(live)))
+	if len(live) > 1 {
+		nw.batchFrames.Add(1)
+	}
 	copies := 1
 	if nw.dup > 0 && nw.rng.Float64() < nw.dup {
 		copies = 2
 		nw.duplicated.Add(1)
 	}
+	// A lone envelope travels as a plain envelope, not a batch frame.
+	size := wire.Size(live[0])
+	if len(live) > 1 {
+		size = wire.BatchSize(live)
+	}
 	now := time.Now()
 	for c := 0; c < copies; c++ {
-		at := now.Add(nw.prof.delay(nw.rng, env.From, env.To, size))
+		at := now.Add(nw.prof.delay(nw.rng, live[0].From, live[0].To, size))
 		nw.seq++
-		heap.Push(&nw.queue, delivery{at: at, seq: nw.seq, env: env})
+		heap.Push(&nw.queue, delivery{at: at, seq: nw.seq, envs: live})
 	}
 	nw.mu.Unlock()
 	select {
@@ -338,27 +361,30 @@ func (nw *Net) dispatch() {
 			continue
 		}
 		heap.Pop(&nw.queue)
-		dst := nw.eps[top.env.To]
-		if nw.down[top.env.To] {
+		dst := nw.eps[top.envs[0].To]
+		if nw.down[top.envs[0].To] {
 			nw.mu.Unlock()
-			nw.droppedDown.Add(1)
+			nw.droppedDown.Add(int64(len(top.envs)))
 			continue
 		}
 		nw.mu.Unlock()
-		select {
-		case dst.ch <- top.env:
-			nw.delivered.Add(1)
-		default:
-			nw.droppedQueue.Add(1)
+		for _, env := range top.envs {
+			select {
+			case dst.ch <- env:
+				nw.delivered.Add(1)
+			default:
+				nw.droppedQueue.Add(1)
+			}
 		}
 	}
 }
 
-// delivery is a scheduled envelope.
+// delivery is a scheduled frame: one or more envelopes to one destination
+// released at the same instant.
 type delivery struct {
-	at  time.Time
-	seq uint64
-	env wire.Envelope
+	at   time.Time
+	seq  uint64
+	envs []wire.Envelope
 }
 
 // deliveryQueue is a min-heap on (at, seq).
@@ -395,6 +421,22 @@ func (e *endpoint) ID() int32 { return e.id }
 func (e *endpoint) Send(env wire.Envelope) {
 	env.From = e.id
 	e.net.send(env)
+}
+
+var _ transport.BatchSender = (*endpoint)(nil)
+
+// SendBatch implements transport.BatchSender: the envelopes travel as one
+// simulated frame (one loss decision, one delay for the combined size).
+func (e *endpoint) SendBatch(envs []wire.Envelope) {
+	if len(envs) == 0 {
+		return
+	}
+	stamped := make([]wire.Envelope, len(envs))
+	for i, env := range envs {
+		env.From = e.id
+		stamped[i] = env
+	}
+	e.net.sendBatch(stamped)
 }
 
 func (e *endpoint) Recv() <-chan wire.Envelope { return e.ch }

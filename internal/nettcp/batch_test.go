@@ -1,0 +1,72 @@
+package nettcp
+
+import (
+	"testing"
+	"time"
+
+	"recmem/internal/transport"
+	"recmem/internal/wire"
+)
+
+func TestSendBatchOverTCP(t *testing.T) {
+	meshes := newMeshes(t, 2)
+	envs := []wire.Envelope{
+		{Kind: wire.KindSNQuery, To: 1, Reg: "a", RPC: 1, Op: 10},
+		{Kind: wire.KindWrite, To: 1, Reg: "b", RPC: 2, Op: 11, Value: []byte("batched")},
+		{Kind: wire.KindRead, To: 1, Reg: "c", RPC: 3, Op: 12},
+	}
+	transport.SendAll(meshes[0], envs)
+	for i := range envs {
+		select {
+		case got := <-meshes[1].Recv():
+			if got.From != 0 || got.Kind != envs[i].Kind || got.Reg != envs[i].Reg {
+				t.Fatalf("delivery %d: got %+v want %+v", i, got, envs[i])
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no delivery for envelope %d", i)
+		}
+	}
+}
+
+func TestSendBatchLoopback(t *testing.T) {
+	meshes := newMeshes(t, 2)
+	meshes[1].SendBatch([]wire.Envelope{
+		{Kind: wire.KindSNQuery, To: 1, Reg: "x", RPC: 1},
+		{Kind: wire.KindRead, To: 1, Reg: "y", RPC: 2},
+	})
+	for i := 0; i < 2; i++ {
+		select {
+		case got := <-meshes[1].Recv():
+			if got.From != 1 {
+				t.Fatalf("got %+v", got)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("no loopback delivery")
+		}
+	}
+}
+
+// TestSendBatchSplitsOversizedBursts: a burst whose single-frame encoding
+// would exceed the receiver's frame limit must be split, not dropped (a
+// rejected frame would be rebuilt identically by every retransmission and
+// never get through).
+func TestSendBatchSplitsOversizedBursts(t *testing.T) {
+	meshes := newMeshes(t, 2)
+	val := make([]byte, wire.MaxValueSize)
+	const burst = 300 // ~19 MB encoded, beyond the 16 MB frame limit
+	envs := make([]wire.Envelope, burst)
+	for i := range envs {
+		envs[i] = wire.Envelope{
+			Kind: wire.KindWrite, To: 1, Reg: "r", RPC: uint64(i + 1), Value: val,
+		}
+	}
+	meshes[0].SendBatch(envs)
+	deadline := time.After(30 * time.Second)
+	for got := 0; got < burst; got++ {
+		select {
+		case <-meshes[1].Recv():
+		case <-deadline:
+			t.Fatalf("received %d of %d envelopes — oversized batch not split", got, burst)
+		}
+	}
+}

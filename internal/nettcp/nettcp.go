@@ -23,9 +23,9 @@ import (
 	"recmem/internal/wire"
 )
 
-// maxFrame bounds a frame: the wire header plus a maximal value plus slack
-// for the register name.
-const maxFrame = wire.MaxValueSize + 64<<10
+// maxFrame bounds a frame: large enough for a batch frame carrying maximal
+// values for many registers, small enough to reject garbage length prefixes.
+const maxFrame = 16 << 20
 
 // Options tunes a mesh.
 type Options struct {
@@ -122,12 +122,82 @@ func (m *Mesh) Send(env wire.Envelope) {
 		m.deliver(env)
 		return
 	}
-	pc, addr, ok := m.peer(env.To)
-	if !ok {
-		return
-	}
 	frame, err := encodeFrame(env)
 	if err != nil {
+		return
+	}
+	m.writeFrame(env.To, frame)
+}
+
+var _ transport.BatchSender = (*Mesh)(nil)
+
+// maxBatchBody bounds one batch frame's encoded body so that it always fits
+// under the receiver's maxFrame limit (with room for the length prefix): a
+// frame the receiver rejects would be rebuilt identically by every
+// retransmission sweep and never get through.
+const maxBatchBody = maxFrame - 4
+
+// SendBatch implements transport.BatchSender: all envelopes (one
+// destination) travel in length-prefixed batch frames — one write system
+// call per frame instead of one per envelope. Bursts whose encoding would
+// exceed the receiver's frame limit are split across several frames.
+func (m *Mesh) SendBatch(envs []wire.Envelope) {
+	if len(envs) == 0 {
+		return
+	}
+	stamped := make([]wire.Envelope, len(envs))
+	for i, env := range envs {
+		env.From = m.id
+		stamped[i] = env
+	}
+	if stamped[0].To == m.id {
+		for _, env := range stamped {
+			m.deliver(env)
+		}
+		return
+	}
+	for len(stamped) > 0 {
+		chunk := len(stamped)
+		if chunk > wire.MaxBatchLen {
+			chunk = wire.MaxBatchLen
+		}
+		if wire.BatchSize(stamped[:chunk]) > maxBatchBody {
+			for chunk = 1; chunk < len(stamped); chunk++ {
+				if wire.BatchSize(stamped[:chunk+1]) > maxBatchBody {
+					break
+				}
+			}
+		}
+		m.sendBatchFrame(stamped[:chunk])
+		stamped = stamped[chunk:]
+	}
+}
+
+// sendBatchFrame transmits one batch (or single-envelope) frame.
+func (m *Mesh) sendBatchFrame(envs []wire.Envelope) {
+	if len(envs) == 1 {
+		frame, err := encodeFrame(envs[0])
+		if err != nil {
+			return
+		}
+		m.writeFrame(envs[0].To, frame)
+		return
+	}
+	body, err := wire.EncodeBatch(envs)
+	if err != nil {
+		return
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	m.writeFrame(envs[0].To, frame)
+}
+
+// writeFrame transmits one length-prefixed frame to peer id, dialing lazily
+// and dropping the connection (and the frame) on any failure.
+func (m *Mesh) writeFrame(id int32, frame []byte) {
+	pc, addr, ok := m.peer(id)
+	if !ok {
 		return
 	}
 	pc.mu.Lock()
@@ -208,6 +278,16 @@ func (m *Mesh) readLoop(conn net.Conn) {
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
+		}
+		if wire.IsBatch(payload) {
+			envs, err := wire.DecodeBatch(payload)
+			if err != nil {
+				return
+			}
+			for _, env := range envs {
+				m.deliver(env)
+			}
+			continue
 		}
 		env, err := wire.Decode(payload)
 		if err != nil {

@@ -21,6 +21,33 @@ type Endpoint interface {
 	Recv() <-chan wire.Envelope
 }
 
+// BatchSender is implemented by endpoints that can transmit several
+// envelopes to one destination as a single batch frame (one datagram, one
+// TCP frame — see wire.EncodeBatch). Batch frames keep fair-lossy
+// semantics: the whole frame may be dropped, duplicated or reordered, but a
+// frame retransmitted forever between two correct processes is eventually
+// delivered.
+type BatchSender interface {
+	// SendBatch transmits all envelopes as one frame. Every envelope must
+	// address the same destination; env.From must equal the endpoint's ID.
+	SendBatch(envs []wire.Envelope)
+}
+
+// SendAll transmits envs (all to one destination) through ep, as a single
+// batch frame when the endpoint supports it and individually otherwise.
+// Single-envelope slices always take the plain path.
+func SendAll(ep Endpoint, envs []wire.Envelope) {
+	if len(envs) > 1 {
+		if bs, ok := ep.(BatchSender); ok {
+			bs.SendBatch(envs)
+			return
+		}
+	}
+	for _, e := range envs {
+		ep.Send(e)
+	}
+}
+
 // Stats aggregates network-level message accounting.
 type Stats struct {
 	// Sent counts Send calls that were accepted.
@@ -39,4 +66,7 @@ type Stats struct {
 	DroppedQueue int64
 	// Duplicated counts extra copies injected by duplication.
 	Duplicated int64
+	// BatchFrames counts multi-envelope batch frames accepted for
+	// transmission; Sent still counts the individual envelopes they carry.
+	BatchFrames int64
 }

@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"recmem/internal/tag"
+)
+
+func sampleEnvs(to int32) []Envelope {
+	return []Envelope{
+		{Kind: KindSNQuery, From: 1, To: to, Reg: "x", RPC: 10, Op: 100},
+		{Kind: KindWrite, From: 1, To: to, Reg: "y", RPC: 11, Op: 101,
+			Tag: tag.Tag{Seq: 7, Writer: 1}, Value: []byte("hello")},
+		{Kind: KindRead, From: 1, To: to, Reg: "z", RPC: 12, Op: 102, Depth: 2},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	envs := sampleEnvs(3)
+	buf, err := EncodeBatch(envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsBatch(buf) {
+		t.Fatal("IsBatch = false for a batch frame")
+	}
+	if got, want := len(buf), BatchSize(envs); got != want {
+		t.Fatalf("encoded size = %d, BatchSize = %d", got, want)
+	}
+	got, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(envs) {
+		t.Fatalf("decoded %d envelopes, want %d", len(got), len(envs))
+	}
+	for i := range envs {
+		if got[i].Kind != envs[i].Kind || got[i].Reg != envs[i].Reg ||
+			got[i].RPC != envs[i].RPC || got[i].Op != envs[i].Op ||
+			got[i].Tag != envs[i].Tag || !bytes.Equal(got[i].Value, envs[i].Value) {
+			t.Fatalf("envelope %d: got %+v want %+v", i, got[i], envs[i])
+		}
+	}
+}
+
+func TestBatchSingleEnvelopeDistinct(t *testing.T) {
+	// A v1 envelope must never be mistaken for a batch frame.
+	buf, err := Encode(Envelope{Kind: KindSNQuery, From: 0, To: 1, Reg: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsBatch(buf) {
+		t.Fatal("single envelope classified as batch")
+	}
+	if _, err := DecodeBatch(buf); err == nil {
+		t.Fatal("DecodeBatch accepted a single envelope")
+	}
+}
+
+func TestBatchRejectsMixedDestinations(t *testing.T) {
+	envs := sampleEnvs(3)
+	envs[1].To = 4
+	if _, err := EncodeBatch(envs); err != ErrMixedBatch {
+		t.Fatalf("err = %v, want ErrMixedBatch", err)
+	}
+}
+
+func TestBatchRejectsEmpty(t *testing.T) {
+	if _, err := EncodeBatch(nil); err == nil {
+		t.Fatal("EncodeBatch(nil) succeeded")
+	}
+}
+
+func TestBatchDecodeTruncated(t *testing.T) {
+	buf, err := EncodeBatch(sampleEnvs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(buf); cut += 7 {
+		if _, err := DecodeBatch(buf[:cut]); err == nil {
+			t.Fatalf("DecodeBatch accepted truncation at %d", cut)
+		}
+	}
+	// Trailing garbage must be rejected too.
+	if _, err := DecodeBatch(append(append([]byte(nil), buf...), 0xFF)); err == nil {
+		t.Fatal("DecodeBatch accepted trailing bytes")
+	}
+}

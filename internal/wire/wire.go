@@ -171,6 +171,104 @@ func Size(e Envelope) int {
 	return headerSize + len(e.Reg) + len(e.Value)
 }
 
+// Batch frames: one wire frame carrying several envelopes, all addressed to
+// the same destination. Batch-aware transports use them so that one network
+// round-trip (one datagram, one TCP frame) carries the coalesced protocol
+// rounds of many concurrent operations — the message-level half of the
+// batching architecture (docs/adr/0001). The first byte distinguishes a
+// batch frame from a v1 envelope, so a receiver can accept both on the same
+// connection.
+const (
+	batchVersion = 0xB1
+	batchHeader  = 1 + 2 // version, count
+	// MaxBatchLen bounds the number of envelopes in one batch frame.
+	MaxBatchLen = 0xFFFF
+)
+
+// Batch framing errors.
+var (
+	ErrBatchTooLarge = errors.New("wire: batch exceeds MaxBatchLen envelopes")
+	ErrNotBatch      = errors.New("wire: not a batch frame")
+	ErrMixedBatch    = errors.New("wire: batch envelopes address different destinations")
+)
+
+// IsBatch reports whether buf starts a batch frame (as opposed to a single
+// v1 envelope).
+func IsBatch(buf []byte) bool {
+	return len(buf) > 0 && buf[0] == batchVersion
+}
+
+// EncodeBatch serializes several envelopes as one frame. All envelopes must
+// share the same destination: a batch frame models one physical message on
+// one link.
+func EncodeBatch(envs []Envelope) ([]byte, error) {
+	if len(envs) == 0 || len(envs) > MaxBatchLen {
+		return nil, ErrBatchTooLarge
+	}
+	total := batchHeader
+	for _, e := range envs {
+		if e.To != envs[0].To {
+			return nil, ErrMixedBatch
+		}
+		total += 4 + Size(e)
+	}
+	buf := make([]byte, 0, total)
+	buf = append(buf, batchVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(envs)))
+	for _, e := range envs {
+		body, err := Encode(e)
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+		buf = append(buf, body...)
+	}
+	return buf, nil
+}
+
+// DecodeBatch parses a frame produced by EncodeBatch.
+func DecodeBatch(buf []byte) ([]Envelope, error) {
+	if !IsBatch(buf) {
+		return nil, ErrNotBatch
+	}
+	if len(buf) < batchHeader {
+		return nil, ErrShortBuffer
+	}
+	count := int(binary.BigEndian.Uint16(buf[1:]))
+	rest := buf[batchHeader:]
+	envs := make([]Envelope, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) < 4 {
+			return nil, ErrShortBuffer
+		}
+		n := int(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		if len(rest) < n {
+			return nil, ErrShortBuffer
+		}
+		e, err := Decode(rest[:n])
+		if err != nil {
+			return nil, err
+		}
+		envs = append(envs, e)
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, ErrBadMessage
+	}
+	return envs, nil
+}
+
+// BatchSize returns the encoded size of a batch frame carrying envs, without
+// encoding it.
+func BatchSize(envs []Envelope) int {
+	total := batchHeader
+	for _, e := range envs {
+		total += 4 + Size(e)
+	}
+	return total
+}
+
 // String renders the envelope for traces.
 func (e Envelope) String() string {
 	return fmt.Sprintf("%s{%d->%d reg=%s rpc=%d op=%d d=%d tag=%s |v|=%d}",

@@ -28,6 +28,13 @@ type Mix struct {
 	// ValueSize pads written values to this many bytes (0 = unpadded short
 	// strings, like the paper's 4-byte integers).
 	ValueSize int
+	// Async, when at least 2, drives each client through the asynchronous
+	// submission API (Cluster.SubmitWrite/SubmitRead) with up to Async
+	// operations in flight, engaging the batching + pipelining engine:
+	// concurrent operations on one register coalesce into shared quorum
+	// rounds and different registers' rounds overlap. 0 or 1 keeps the
+	// paper's closed-loop sequential clients.
+	Async int
 }
 
 // Result summarizes a driven workload.
@@ -61,6 +68,16 @@ func Run(ctx context.Context, c *cluster.Cluster, procs []int32, opsPerProc int,
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(proc)*7919))
 			var local Result
+			if mix.Async >= 2 {
+				local = runAsync(ctx, c, proc, opsPerProc, mix, regs, rng)
+				mu.Lock()
+				total.Writes += local.Writes
+				total.Reads += local.Reads
+				total.Interrupted += local.Interrupted
+				total.Errors += local.Errors
+				mu.Unlock()
+				return
+			}
 			for i := 0; i < opsPerProc && ctx.Err() == nil; i++ {
 				reg := regs[rng.Intn(len(regs))]
 				var err error
@@ -102,6 +119,72 @@ func Run(ctx context.Context, c *cluster.Cluster, procs []int32, opsPerProc int,
 	}
 	wg.Wait()
 	return total
+}
+
+// pendingOp is one submitted-but-unwaited operation of an async client.
+type pendingOp struct {
+	fut  *core.Future
+	read bool
+}
+
+// runAsync is the windowed-submission client: it keeps up to mix.Async
+// operations in flight through the batching engine, waiting the oldest out
+// when the window fills — a closed loop over the window rather than over a
+// single operation.
+func runAsync(ctx context.Context, c *cluster.Cluster, proc int32, opsPerProc int, mix Mix, regs []string, rng *rand.Rand) Result {
+	var local Result
+	window := make([]pendingOp, 0, mix.Async)
+	settle := func(p pendingOp) {
+		_, err := p.fut.Wait(ctx)
+		switch {
+		case err == nil:
+			if p.read {
+				local.Reads++
+			} else {
+				local.Writes++
+			}
+		case errors.Is(err, core.ErrCrashed), errors.Is(err, core.ErrDown):
+			local.Interrupted++
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		default:
+			local.Errors++
+		}
+	}
+	for i := 0; i < opsPerProc && ctx.Err() == nil; i++ {
+		reg := regs[rng.Intn(len(regs))]
+		var (
+			fut  *core.Future
+			read bool
+			err  error
+		)
+		if rng.Float64() < mix.ReadFraction {
+			read = true
+			fut, err = c.SubmitRead(proc, reg)
+		} else {
+			fut, err = c.SubmitWrite(proc, reg, []byte(UniqueValue(proc, i, mix.ValueSize)))
+		}
+		if err != nil {
+			if errors.Is(err, core.ErrCrashed) || errors.Is(err, core.ErrDown) {
+				local.Interrupted++
+				select {
+				case <-time.After(2 * time.Millisecond):
+				case <-ctx.Done():
+				}
+			} else {
+				local.Errors++
+			}
+			continue
+		}
+		window = append(window, pendingOp{fut: fut, read: read})
+		if len(window) >= mix.Async {
+			settle(window[0])
+			window = window[1:]
+		}
+	}
+	for _, p := range window {
+		settle(p)
+	}
+	return local
 }
 
 // UniqueValue builds a globally unique value for process proc's i-th write,

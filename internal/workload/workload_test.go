@@ -145,3 +145,61 @@ func TestRunStopsOnContextCancel(t *testing.T) {
 		t.Fatal("Run did not stop on cancellation")
 	}
 }
+
+func TestRunAsyncCompletesAndVerifies(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		N:         3,
+		Algorithm: core.Persistent,
+		Node:      core.Options{RetransmitEvery: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res := workload.Run(ctx, c, workload.AllProcs(3), 8,
+		workload.Mix{ReadFraction: 0.5, Registers: []string{"a", "b", "c", "d"}, Async: 4}, 1)
+	if res.Writes+res.Reads != 24 || res.Errors != 0 || res.Interrupted != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if got := len(c.History().Operations()); got != 24 {
+		t.Fatalf("history has %d operations, want 24", got)
+	}
+	if err := c.VerifyDefault(); err != nil {
+		t.Fatalf("async workload history does not verify: %v", err)
+	}
+}
+
+func TestRunAsyncToleratesCrashes(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		N:         3,
+		Algorithm: core.Transient,
+		Node:      core.Options{RetransmitEvery: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5; i++ {
+			c.Crash(1)
+			time.Sleep(2 * time.Millisecond)
+			for c.Recover(ctx, 1) != nil && ctx.Err() == nil {
+			}
+		}
+	}()
+	res := workload.Run(ctx, c, workload.AllProcs(3), 30,
+		workload.Mix{ReadFraction: 0.3, Registers: []string{"a", "b"}, Async: 8}, 7)
+	<-done
+	if res.Errors != 0 {
+		t.Fatalf("unexpected errors: %+v", res)
+	}
+	if res.Writes+res.Reads == 0 {
+		t.Fatal("no operations completed under crashes")
+	}
+}

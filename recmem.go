@@ -410,6 +410,74 @@ func (p *Process) ReadOp(ctx context.Context, register string) ([]byte, OpID, er
 	return val, OpID(rep.Op), err
 }
 
+// WriteFuture is the pending acknowledgement of a submitted write.
+type WriteFuture struct {
+	f *core.Future
+}
+
+// Op returns the operation id for cost accounting; valid immediately.
+func (w *WriteFuture) Op() OpID { return OpID(w.f.Op()) }
+
+// Done returns a channel closed when the write completes.
+func (w *WriteFuture) Done() <-chan struct{} { return w.f.Done() }
+
+// Wait blocks until the write is acknowledged by a majority (nil), the
+// process crashes mid-operation (ErrCrashed), or ctx is done. Cancelling ctx
+// abandons the wait, not the write.
+func (w *WriteFuture) Wait(ctx context.Context) error {
+	_, err := w.f.Wait(ctx)
+	return err
+}
+
+// ReadFuture is the pending result of a submitted read.
+type ReadFuture struct {
+	f *core.Future
+}
+
+// Op returns the operation id for cost accounting; valid immediately.
+func (r *ReadFuture) Op() OpID { return OpID(r.f.Op()) }
+
+// Done returns a channel closed when the read completes.
+func (r *ReadFuture) Done() <-chan struct{} { return r.f.Done() }
+
+// Wait blocks until the read completes and returns its value (nil is the
+// register's initial value ⊥).
+func (r *ReadFuture) Wait(ctx context.Context) ([]byte, error) {
+	return r.f.Wait(ctx)
+}
+
+// SubmitWrite asynchronously writes val to the named register through the
+// process's batching engine and returns a future for the acknowledgement.
+// Writes submitted while an earlier write to the same register is still in
+// flight coalesce with it into a single quorum round (one minted timestamp,
+// one causal log chain for the whole batch); submissions to different
+// registers pipeline, overlapping their network rounds. Unlike Write,
+// submissions from one process do not serialize with each other — use the
+// futures to order operations that must not overlap.
+//
+// Verify still checks histories containing submitted operations, but its
+// witness search is exponential in the number of mutually concurrent
+// operations per register: runs meant for verification should keep async
+// bursts small (tens, not thousands, in flight per register).
+func (p *Process) SubmitWrite(register string, val []byte) (*WriteFuture, error) {
+	f, err := p.c.SubmitWrite(p.id, register, val)
+	if err != nil {
+		return nil, err
+	}
+	return &WriteFuture{f: f}, nil
+}
+
+// SubmitRead asynchronously reads the named register through the process's
+// batching engine; concurrent submitted reads of one register share a single
+// quorum round and all return its value.
+func (p *Process) SubmitRead(register string) (*ReadFuture, error) {
+	f, err := p.c.SubmitRead(p.id, register)
+	if err != nil {
+		return nil, err
+	}
+	return &ReadFuture{f: f}, nil
+}
+
 // Crash fails the process: volatile state is lost and in-flight operations
 // return ErrCrashed. Returns false if it was already down.
 func (p *Process) Crash() bool { return p.c.Crash(p.id) }

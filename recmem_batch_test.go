@@ -1,0 +1,232 @@
+package recmem_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"recmem"
+)
+
+// TestSubmitBasic: the asynchronous API round-trips a value for every
+// algorithm and the recorded history verifies against the algorithm's own
+// criterion.
+func TestSubmitBasic(t *testing.T) {
+	for _, algo := range allAlgorithms() {
+		t.Run(algo.String(), func(t *testing.T) {
+			c := newTestCluster(t, 3, algo)
+			ctx := testCtx(t)
+			var futs []*recmem.WriteFuture
+			for i := 0; i < 10; i++ {
+				f, err := c.Process(0).SubmitWrite("x", []byte(fmt.Sprintf("v%d", i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				futs = append(futs, f)
+			}
+			for i, f := range futs {
+				if err := f.Wait(ctx); err != nil {
+					t.Fatalf("write %d: %v", i, err)
+				}
+			}
+			rf, err := c.Process(1).SubmitRead("x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rf.Wait(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "v9" {
+				t.Fatalf("read = %q, want the last submitted value", got)
+			}
+			if err := c.Verify(); err != nil {
+				t.Fatalf("history does not verify: %v", err)
+			}
+		})
+	}
+}
+
+// TestSubmitConcurrentLinearizes floods several processes' engines with
+// concurrent writes and reads over a handful of registers — coalescing and
+// pipelining at every node — and checks the complete recorded history
+// against the algorithm's atomicity criterion. This is the batching layer's
+// central correctness obligation: coalesced operations must still linearize.
+//
+// The per-register concurrency is kept small on purpose: the atomicity
+// checker's witness search is exponential in the number of mutually
+// concurrent operations, so each client submits in windows of four.
+func TestSubmitConcurrentLinearizes(t *testing.T) {
+	for _, algo := range allAlgorithms() {
+		t.Run(algo.String(), func(t *testing.T) {
+			const n, rounds, window = 3, 5, 4
+			c := newTestCluster(t, n, algo)
+			ctx := testCtx(t)
+			regs := []string{"a", "b"}
+			var wg sync.WaitGroup
+			errCh := make(chan error, n*rounds*window)
+			for p := 0; p < n; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						var pending []interface{ Done() <-chan struct{} }
+						for i := 0; i < window; i++ {
+							k := r*window + i
+							reg := regs[k%len(regs)]
+							if k%3 == 2 {
+								f, err := c.Process(p).SubmitRead(reg)
+								if err != nil {
+									errCh <- err
+									return
+								}
+								pending = append(pending, f)
+							} else {
+								f, err := c.Process(p).SubmitWrite(reg, []byte(fmt.Sprintf("p%d-%d", p, k)))
+								if err != nil {
+									errCh <- err
+									return
+								}
+								pending = append(pending, f)
+							}
+						}
+						for _, f := range pending {
+							select {
+							case <-f.Done():
+							case <-ctx.Done():
+								errCh <- ctx.Err()
+								return
+							}
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+			if err := c.Verify(); err != nil {
+				t.Fatalf("coalesced history does not linearize: %v", err)
+			}
+		})
+	}
+}
+
+// TestSubmitCrashRecoveryReplays interrupts in-flight batches with a crash,
+// recovers, keeps operating, and checks that the whole history — completed
+// ops, pending ops cut off by the crash, post-recovery ops — still verifies.
+func TestSubmitCrashRecoveryReplays(t *testing.T) {
+	for _, algo := range []recmem.Algorithm{recmem.TransientAtomic, recmem.PersistentAtomic, recmem.NaiveLogging} {
+		t.Run(algo.String(), func(t *testing.T) {
+			c := newTestCluster(t, 3, algo, recmem.WithNetwork(500*time.Microsecond, 0, 0))
+			ctx := testCtx(t)
+			var futs []*recmem.WriteFuture
+			for i := 0; i < 12; i++ {
+				f, err := c.Process(0).SubmitWrite("x", []byte(fmt.Sprintf("v%d", i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				futs = append(futs, f)
+			}
+			time.Sleep(time.Millisecond) // let part of the batch commit
+			c.Process(0).Crash()
+			for _, f := range futs {
+				if err := f.Wait(ctx); err != nil && !errors.Is(err, recmem.ErrCrashed) {
+					t.Fatalf("unexpected error: %v", err)
+				}
+			}
+			if err := c.Process(0).Recover(ctx); err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			// The recovered process resumes batched operation.
+			f, err := c.Process(0).SubmitWrite("x", []byte("after"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Wait(ctx); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Process(1).Read(ctx, "x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "after" {
+				t.Fatalf("read = %q after recovery", got)
+			}
+			if err := c.Verify(); err != nil {
+				t.Fatalf("crash-interrupted batch history does not verify: %v", err)
+			}
+		})
+	}
+}
+
+// TestSubmitAckedWriteSurvivesCrash: an operation whose future resolved
+// without error is acknowledged by a majority; no crash of the submitting
+// process may lose it.
+func TestSubmitAckedWriteSurvivesCrash(t *testing.T) {
+	for _, algo := range []recmem.Algorithm{recmem.TransientAtomic, recmem.PersistentAtomic} {
+		t.Run(algo.String(), func(t *testing.T) {
+			c := newTestCluster(t, 3, algo)
+			ctx := testCtx(t)
+			for i := 0; i < 10; i++ {
+				f, err := c.Process(0).SubmitWrite("x", []byte(fmt.Sprintf("v%d", i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := f.Wait(ctx); err != nil {
+					t.Fatalf("write %d: %v", i, err)
+				}
+				c.Process(0).Crash()
+				got, err := c.Process(1).Read(ctx, "x")
+				if err != nil {
+					t.Fatal(err)
+				}
+				var idx int
+				if _, err := fmt.Sscanf(string(got), "v%d", &idx); err != nil || idx < i {
+					t.Fatalf("after acked v%d and crash, read = %q — acknowledged write lost", i, got)
+				}
+				if err := c.Process(0).Recover(ctx); err != nil {
+					t.Fatalf("recover: %v", err)
+				}
+			}
+			if err := c.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSubmitRejections mirrors the synchronous API's admission errors.
+func TestSubmitRejections(t *testing.T) {
+	c := newTestCluster(t, 3, recmem.RegularRegister)
+	if _, err := c.Process(1).SubmitWrite("x", []byte("v")); !errors.Is(err, recmem.ErrNotWriter) {
+		t.Fatalf("non-writer submit: %v", err)
+	}
+	p := c.Process(2)
+	p.Crash()
+	if _, err := p.SubmitRead("x"); !errors.Is(err, recmem.ErrDown) {
+		t.Fatalf("down submit: %v", err)
+	}
+}
+
+// TestSubmitWaitHonorsContext: cancelling the wait abandons the wait, not
+// the operation.
+func TestSubmitWaitHonorsContext(t *testing.T) {
+	c := newTestCluster(t, 3, recmem.PersistentAtomic, recmem.WithLAN())
+	f, err := c.Process(0).SubmitWrite("x", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := f.Wait(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait on cancelled ctx = %v", err)
+	}
+	if err := f.Wait(testCtx(t)); err != nil {
+		t.Fatalf("the operation itself must still complete: %v", err)
+	}
+}
