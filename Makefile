@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci scenarios
+.PHONY: all build test race bench bench-disk fmt vet ci scenarios
 
 all: build
 
@@ -15,6 +15,12 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+
+# bench-disk compares the storage engines: per-record store cost and fsync
+# amortization (BenchmarkFileStore* vs BenchmarkWALStore*), feeding the
+# BENCH_*.json trajectories.
+bench-disk:
+	$(GO) test -bench 'Store' -benchtime=100x -run '^$$' ./internal/stable/
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -7,8 +7,9 @@
 //	recmem-bench -experiment fig6a          # write latency vs. cluster size
 //	recmem-bench -experiment fig6b          # write latency vs. payload size
 //	recmem-bench -experiment batch          # batched vs. unbatched throughput
+//	recmem-bench -experiment disks          # fsync amortization per storage engine
 //	recmem-bench -experiment all -writes 50
-//	recmem-bench -experiment batch -batch 64 -pipeline 8
+//	recmem-bench -experiment batch -batch 64 -pipeline 8 -disk wal
 //
 // The output is one table per experiment with a column per algorithm
 // (crash-stop / transient / persistent), directly comparable to the paper's
@@ -19,7 +20,11 @@
 // through the synchronous one-at-a-time API and through the batching +
 // pipelining engine (-batch sets the per-client submission window, -pipeline
 // the number of independent registers) and reports the throughput each
-// achieves for every algorithm kind.
+// achieves for every algorithm kind. -disk selects the stable-storage engine
+// (mem: the calibrated simulated disk; file: one fsynced file per record;
+// wal: the log-structured group-commit engine). The disks experiment runs
+// the batched workload on all three engines and reports each one's sync
+// bill — how many causal-log records one disk flush amortizes.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"time"
 
 	"recmem/internal/experiments"
+	"recmem/internal/stable"
 )
 
 func main() {
@@ -52,6 +58,7 @@ func run(args []string) error {
 		sizes      = fs.String("sizes", "", "comma-separated payload sizes in bytes for fig6b")
 		batch      = fs.Int("batch", 32, "submission window per client for the batch experiment")
 		pipeline   = fs.Int("pipeline", 4, "independent registers for the batch experiment")
+		disk       = fs.String("disk", "mem", "stable-storage engine for batch/disks: mem, file, or wal")
 		timeout    = fs.Duration("timeout", 10*time.Minute, "overall deadline")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,9 +73,12 @@ func run(args []string) error {
 	if *pipeline < 1 {
 		return fmt.Errorf("-pipeline: need at least one register, got %d", *pipeline)
 	}
+	if !stable.ValidBackend(*disk) {
+		return fmt.Errorf("-disk: unknown engine %q (want one of %s)", *disk, strings.Join(stable.Backends(), ", "))
+	}
 	opts := experiments.Options{
 		Writes: *writes, Warmup: *warmup, Passes: *passes,
-		Batch: *batch, Pipeline: *pipeline,
+		Batch: *batch, Pipeline: *pipeline, DiskBackend: *disk,
 	}
 	var err error
 	if opts.Ns, err = parseInts(*ns); err != nil {
@@ -101,7 +111,7 @@ func run(args []string) error {
 		if *experiment == "all" {
 			fmt.Println()
 		}
-		fmt.Printf("Batched vs. unbatched throughput, n = 5, %d registers, window %d\n", *pipeline, *batch)
+		fmt.Printf("Batched vs. unbatched throughput, n = 5, %d registers, window %d, %s disks\n", *pipeline, *batch, *disk)
 		fmt.Println("(coalesced quorum rounds + pipelined registers vs. one operation at a time)")
 		points, err := experiments.Batch(ctx, opts)
 		if err != nil {
@@ -109,10 +119,24 @@ func run(args []string) error {
 		}
 		experiments.PrintBatch(os.Stdout, points)
 	}
-	if *experiment != "fig6a" && *experiment != "fig6b" && *experiment != "batch" && *experiment != "all" {
+	if *experiment == "disks" || *experiment == "all" {
+		if *experiment == "all" {
+			fmt.Println()
+		}
+		fmt.Printf("Fsync amortization per storage engine, n = 5, persistent, %d registers, window %d\n", *pipeline, *batch)
+		fmt.Println("(same coalesced batched workload; records/sync is the group-commit amortization)")
+		points, err := experiments.Disks(ctx, opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintDisks(os.Stdout, points)
+	}
+	switch *experiment {
+	case "fig6a", "fig6b", "batch", "disks", "all":
+		return nil
+	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
-	return nil
 }
 
 // parseInts parses a comma-separated integer list ("" -> nil, meaning

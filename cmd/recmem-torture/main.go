@@ -8,19 +8,30 @@
 //
 //	recmem-torture -algorithm persistent -n 5 -ops 200 -rounds 10
 //	recmem-torture -algorithm transient -loss 0.2 -dup 0.1 -seed 7
+//	recmem-torture -algorithm persistent -disk wal -diskfail 0.2
+//
+// -disk selects the stable-storage engine (mem, file, or wal — the
+// log-structured group-commit engine). -diskfail wraps every disk in a
+// stable.Flaky that fails Store/StoreBatch with the given probability: a
+// replica whose group commit fails acknowledges nothing, so the checkers
+// prove that injected mid-group-commit failures never let an acknowledged
+// log be lost.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"recmem/internal/atomicity"
 	"recmem/internal/cluster"
 	"recmem/internal/core"
 	"recmem/internal/netsim"
+	"recmem/internal/stable"
 	"recmem/internal/workload"
 )
 
@@ -61,6 +72,8 @@ func run(args []string) error {
 		hardened  = fs.Bool("hardened", false, "use hardened tags for the transient algorithm")
 		faultFor  = fs.Duration("faults", time.Second, "fault-injection duration per round")
 		traceCap  = fs.Int("trace", 0, "protocol trace capacity; dumped when a violation is found (0 = off)")
+		disk      = fs.String("disk", "mem", "stable-storage engine: mem, file, or wal")
+		diskFail  = fs.Float64("diskfail", 0, "injected Store/StoreBatch failure rate [0,1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,10 +82,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if !stable.ValidBackend(*disk) {
+		return fmt.Errorf("-disk: unknown engine %q (want one of %s)", *disk, strings.Join(stable.Backends(), ", "))
+	}
 
 	for round := 0; round < *rounds; round++ {
 		roundSeed := *seed + int64(round)*1_000_003
-		if err := tortureRound(kind, *n, *ops, roundSeed, *loss, *dup, *reads, *regs, *hardened, *faultFor, *traceCap); err != nil {
+		if err := tortureRound(kind, *n, *ops, roundSeed, *loss, *dup, *reads, *regs, *hardened, *faultFor, *traceCap, *disk, *diskFail); err != nil {
 			return fmt.Errorf("round %d (seed %d): %w", round, roundSeed, err)
 		}
 		fmt.Printf("round %d ok (seed %d)\n", round, roundSeed)
@@ -93,8 +109,8 @@ func modeFor(kind core.AlgorithmKind) atomicity.Mode {
 	}
 }
 
-func tortureRound(kind core.AlgorithmKind, n, ops int, seed int64, loss, dup, reads float64, regs int, hardened bool, faultFor time.Duration, traceCap int) error {
-	c, err := cluster.New(cluster.Config{
+func tortureRound(kind core.AlgorithmKind, n, ops int, seed int64, loss, dup, reads float64, regs int, hardened bool, faultFor time.Duration, traceCap int, disk string, diskFail float64) error {
+	cfg := cluster.Config{
 		N:         n,
 		Algorithm: kind,
 		Node: core.Options{
@@ -103,7 +119,29 @@ func tortureRound(kind core.AlgorithmKind, n, ops int, seed int64, loss, dup, re
 		},
 		Net:           netsim.Options{LossRate: loss, DupRate: dup, Seed: seed},
 		TraceCapacity: traceCap,
-	})
+	}
+	var diskDir string
+	if disk != "mem" {
+		var err error
+		diskDir, err = os.MkdirTemp("", "recmem-torture-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(diskDir)
+	}
+	if disk != "mem" || diskFail > 0 {
+		cfg.DiskFactory = func(id int32) (stable.Storage, error) {
+			s, err := stable.OpenBackend(disk, fmt.Sprintf("%s/node%d", diskDir, id), stable.Profile{})
+			if err != nil {
+				return nil, err
+			}
+			if diskFail > 0 {
+				s = stable.NewFlaky(s, diskFail, seed+int64(id)*104_729)
+			}
+			return s, nil
+		}
+	}
+	c, err := cluster.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -129,11 +167,24 @@ func tortureRound(kind core.AlgorithmKind, n, ops int, seed int64, loss, dup, re
 	for i := range names {
 		names[i] = fmt.Sprintf("r%d", i)
 	}
-	res := workload.Run(ctx, c, workload.AllProcs(n), ops,
-		workload.Mix{ReadFraction: reads, Registers: names}, seed)
+	mix := workload.Mix{ReadFraction: reads, Registers: names}
+	if diskFail > 0 {
+		// A writer whose own log fails aborts its operation: expected under
+		// storage fault injection, equivalent to a crash for the checkers.
+		mix.Forgive = func(err error) bool { return errors.Is(err, stable.ErrInjected) }
+	}
+	res := workload.Run(ctx, c, workload.AllProcs(n), ops, mix, seed)
 	crashes := <-faultsDone
-	if err := c.RecoverAll(ctx); err != nil {
-		return fmt.Errorf("recover all: %w", err)
+	// With storage faults injected, a recovery's own log can fail too;
+	// retry until the store lets it through (faults are probabilistic).
+	for {
+		err := c.RecoverAll(ctx)
+		if err == nil {
+			break
+		}
+		if !(diskFail > 0 && errors.Is(err, stable.ErrInjected)) || ctx.Err() != nil {
+			return fmt.Errorf("recover all: %w", err)
+		}
 	}
 	if res.Errors > 0 {
 		return fmt.Errorf("workload saw %d unexpected errors", res.Errors)

@@ -22,21 +22,43 @@ func TestAlgorithmByName(t *testing.T) {
 }
 
 func TestTortureRoundPersistent(t *testing.T) {
-	err := tortureRound(mustKind(t, "persistent"), 3, 10, 42, 0, 0, 0.5, 1, false, 100_000_000 /* 100ms */, 256)
+	err := tortureRound(mustKind(t, "persistent"), 3, 10, 42, 0, 0, 0.5, 1, false, 100_000_000 /* 100ms */, 256, "mem", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestTortureRoundTransientWithLoss(t *testing.T) {
-	err := tortureRound(mustKind(t, "transient"), 3, 8, 7, 0.1, 0.05, 0.5, 2, true, 100_000_000, 0)
+	err := tortureRound(mustKind(t, "transient"), 3, 8, 7, 0.1, 0.05, 0.5, 2, true, 100_000_000, 0, "mem", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestTortureRoundCrashStop(t *testing.T) {
-	err := tortureRound(mustKind(t, "crash-stop"), 3, 10, 3, 0, 0, 0.5, 1, false, 0, 0)
+	err := tortureRound(mustKind(t, "crash-stop"), 3, 10, 3, 0, 0, 0.5, 1, false, 0, 0, "mem", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTortureRoundWALFlaky is the WALDisk torture scenario: crash/recovery
+// injection over the log-structured engine with injected Store/StoreBatch
+// failures mid-group-commit. The atomicity check proves that a failed group
+// commit never acknowledged a lost log — a violation would surface as a
+// read missing an acknowledged write after a crash.
+func TestTortureRoundWALFlaky(t *testing.T) {
+	err := tortureRound(mustKind(t, "persistent"), 3, 12, 99, 0, 0, 0.5, 2, false, 100_000_000, 256, "wal", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTortureRoundWALTransient exercises the recovery-counter path (Fig. 5)
+// over the wal engine, where the recovery log itself can be refused by an
+// injected fault and must be retried.
+func TestTortureRoundWALTransient(t *testing.T) {
+	err := tortureRound(mustKind(t, "transient"), 3, 10, 5, 0, 0, 0.4, 1, true, 100_000_000, 0, "wal", 0.15)
 	if err != nil {
 		t.Fatal(err)
 	}

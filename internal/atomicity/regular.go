@@ -22,34 +22,60 @@ import (
 // writer's next write propagates past it). The checkers below implement
 // these per-read candidate semantics directly — no search is needed because
 // the single writer totally orders the writes.
+//
+// The single writer may additionally issue writes through the batching
+// engine's asynchronous submission API, which the harness records as
+// one-shot virtual clients (process ids from the cluster size upwards).
+// Those writes can overlap each other and the writer's synchronous writes,
+// so "the last write before the read" generalizes to the maximal completed
+// writes: a completed write is a valid last-write candidate unless another
+// write began after it completed and itself completed before the read —
+// only such a strictly later write is guaranteed to supersede it. With a
+// purely sequential writer the maximal set is exactly the classic unique
+// last write, so the strict checkers are unchanged by the generalization.
 
 // CheckRegularSW verifies a well-formed single-writer history against
 // regularity (with the pending-write reading above). Multi-register
 // histories are checked per register. It returns a *Violation (with Mode
 // left zero and a textual reason) on failure.
 func CheckRegularSW(h history.History) error {
-	return checkSW(h, true)
+	return checkSW(h, true, -1)
+}
+
+// CheckRegularSWFrom is CheckRegularSW for histories whose writes may also
+// come from the one-shot virtual clients of asynchronous submissions:
+// processes with ids >= virtualFrom are virtual, their writes are attributed
+// to the single writer and may overlap; all writes from real processes
+// (below virtualFrom) must still come from one process.
+func CheckRegularSWFrom(h history.History, virtualFrom int32) error {
+	return checkSW(h, true, virtualFrom)
 }
 
 // CheckSafeSW verifies a well-formed single-writer history against safety:
 // only reads not concurrent with any write are constrained.
 func CheckSafeSW(h history.History) error {
-	return checkSW(h, false)
+	return checkSW(h, false, -1)
 }
 
-func checkSW(h history.History, regular bool) error {
+// CheckSafeSWFrom is CheckSafeSW with the virtual-client attribution of
+// CheckRegularSWFrom.
+func CheckSafeSWFrom(h history.History, virtualFrom int32) error {
+	return checkSW(h, false, virtualFrom)
+}
+
+func checkSW(h history.History, regular bool, virtualFrom int32) error {
 	if err := h.Validate(); err != nil {
 		return err
 	}
 	for _, reg := range h.Registers() {
-		if err := checkSWRegister(h.Restrict(reg), reg, regular); err != nil {
+		if err := checkSWRegister(h.Restrict(reg), reg, regular, virtualFrom); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func checkSWRegister(h history.History, reg string, regular bool) error {
+func checkSWRegister(h history.History, reg string, regular bool, virtualFrom int32) error {
 	criterion := "safe"
 	if regular {
 		criterion = "regular"
@@ -63,13 +89,15 @@ func checkSWRegister(h history.History, reg string, regular bool) error {
 	for _, op := range all {
 		switch op.Type {
 		case history.Write:
-			if writer == -1 {
-				writer = op.Proc
-			} else if writer != op.Proc {
-				return &Violation{
-					Reg:    reg,
-					Reason: fmt.Sprintf("%s register checker requires a single writer; saw writes from p%d and p%d", criterion, writer, op.Proc),
-					Ops:    all,
+			if virtualFrom < 0 || op.Proc < virtualFrom {
+				if writer == -1 {
+					writer = op.Proc
+				} else if writer != op.Proc {
+					return &Violation{
+						Reg:    reg,
+						Reason: fmt.Sprintf("%s register checker requires a single writer; saw writes from p%d and p%d", criterion, writer, op.Proc),
+						Ops:    all,
+					}
 				}
 			}
 			writes = append(writes, op)
@@ -81,16 +109,21 @@ func checkSWRegister(h history.History, reg string, regular bool) error {
 	}
 
 	for _, r := range reads {
-		// The last write completed before the read's invocation. The single
-		// writer is sequential, so completed writes are ordered by Inv.
-		var last *history.Operation
+		// Partition the writes relative to this read, tracking the latest
+		// invocation among those completed before it: a completed write is
+		// maximal — still a readable candidate — iff no completed write
+		// began after it returned, i.e. its return is at or past that
+		// latest invocation.
 		concurrent := false
 		candidates := make(map[string]bool)
+		var completed []history.Operation
+		maxInv := int64(-1)
 		for i := range writes {
 			w := &writes[i]
 			if !w.Pending() && w.Ret < r.Inv {
-				if last == nil || w.Inv > last.Inv {
-					last = w
+				completed = append(completed, *w)
+				if w.Inv > maxInv {
+					maxInv = w.Inv
 				}
 				continue
 			}
@@ -100,10 +133,13 @@ func checkSWRegister(h history.History, reg string, regular bool) error {
 				candidates[w.Value] = true
 			}
 		}
-		if last != nil {
-			candidates[last.Value] = true
-		} else {
+		if len(completed) == 0 {
 			candidates[history.Bottom] = true
+		}
+		for _, w := range completed {
+			if w.Ret >= maxInv {
+				candidates[w.Value] = true
+			}
 		}
 		if !regular && concurrent {
 			continue // a safe read concurrent with a write may return anything
@@ -111,7 +147,7 @@ func checkSWRegister(h history.History, reg string, regular bool) error {
 		if !candidates[r.Value] {
 			return &Violation{
 				Reg:    reg,
-				Reason: fmt.Sprintf("%s register read returned %q, not the latest completed or a concurrent write", criterion, r.Value),
+				Reason: fmt.Sprintf("%s register read returned %q, not a latest completed or a concurrent write", criterion, r.Value),
 				Ops:    all,
 			}
 		}

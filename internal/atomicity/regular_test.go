@@ -137,6 +137,94 @@ func TestRegularIllFormedRejected(t *testing.T) {
 	}
 }
 
+// TestRegularVirtualWritersOverlap: writes submitted through the batching
+// engine are recorded under one-shot virtual clients (procs >= virtualFrom)
+// and may overlap. A read after two overlapping completed writes may return
+// either (both are maximal), but a value strictly superseded by a later
+// non-overlapping write is a violation.
+func TestRegularVirtualWritersOverlap(t *testing.T) {
+	const virtualFrom = 3
+	// Two overlapping virtual writes, then a read: either value is legal.
+	mk := func(val string) history.History {
+		return hb(
+			inv(3, history.Write, 1, "a"),
+			inv(4, history.Write, 2, "b"),
+			ret(3, history.Write, 1, ""),
+			ret(4, history.Write, 2, ""),
+			inv(1, history.Read, 3, ""), ret(1, history.Read, 3, val),
+		)
+	}
+	for _, val := range []string{"a", "b"} {
+		if err := CheckRegularSWFrom(mk(val), virtualFrom); err != nil {
+			t.Fatalf("overlapping virtual write %q rejected: %v", val, err)
+		}
+	}
+	if err := CheckRegularSWFrom(mk("ghost"), virtualFrom); err == nil {
+		t.Fatal("accepted a never-written value")
+	}
+	// The strict checker must still reject this as multi-writer.
+	var v *Violation
+	if err := CheckRegularSW(mk("a")); !errors.As(err, &v) {
+		t.Fatalf("strict checker accepted multi-proc writes: %v", err)
+	}
+
+	// A write that completed strictly before a later completed write is no
+	// longer a candidate for a read after both.
+	stale := hb(
+		inv(3, history.Write, 1, "a"), ret(3, history.Write, 1, ""),
+		inv(4, history.Write, 2, "b"), ret(4, history.Write, 2, ""),
+		inv(1, history.Read, 3, ""), ret(1, history.Read, 3, "a"),
+	)
+	if err := CheckRegularSWFrom(stale, virtualFrom); !errors.As(err, &v) {
+		t.Fatalf("accepted a superseded virtual write: %v", err)
+	}
+}
+
+// TestRegularVirtualAndSyncWriterMix: the synchronous single writer and its
+// own submitted (virtual) writes coexist; a second real process writing is
+// still rejected.
+func TestRegularVirtualAndSyncWriterMix(t *testing.T) {
+	const virtualFrom = 3
+	h := hb(
+		inv(0, history.Write, 1, "s"), ret(0, history.Write, 1, ""),
+		inv(3, history.Write, 2, "v"),
+		inv(1, history.Read, 3, ""), ret(1, history.Read, 3, "v"), // concurrent with the virtual write
+		ret(3, history.Write, 2, ""),
+		inv(1, history.Read, 4, ""), ret(1, history.Read, 4, "v"),
+	)
+	if err := CheckRegularSWFrom(h, virtualFrom); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSafeSWFrom(h, virtualFrom); err != nil {
+		t.Fatal(err)
+	}
+	// Writes from two distinct real processes stay illegal.
+	bad := hb(
+		inv(0, history.Write, 1, "s"), ret(0, history.Write, 1, ""),
+		inv(1, history.Write, 2, "t"), ret(1, history.Write, 2, ""),
+	)
+	var v *Violation
+	if err := CheckRegularSWFrom(bad, virtualFrom); !errors.As(err, &v) {
+		t.Fatalf("accepted two real writers: %v", err)
+	}
+}
+
+// TestRegularVirtualPendingWrite: a virtual write left pending by a crash
+// stays a candidate for later reads, like its synchronous counterpart.
+func TestRegularVirtualPendingWrite(t *testing.T) {
+	h := hb(
+		inv(0, history.Write, 1, "a"), ret(0, history.Write, 1, ""),
+		inv(3, history.Write, 2, "b"),
+		crash(0),
+		recover1(0),
+		inv(1, history.Read, 3, ""), ret(1, history.Read, 3, "b"),
+		inv(1, history.Read, 4, ""), ret(1, history.Read, 4, "a"),
+	)
+	if err := CheckRegularSWFrom(h, 3); err != nil {
+		t.Fatalf("pending virtual write should stay a candidate: %v", err)
+	}
+}
+
 // TestAtomicImpliesRegular: every linearizable single-writer history is
 // regular (the paper's hierarchy: safe ⊂ regular ⊂ atomic).
 func TestAtomicImpliesRegular(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -39,10 +40,18 @@ type Config struct {
 	// duplication, seed).
 	Net netsim.Options
 	// Disk is the simulated stable-storage latency profile. Ignored when
-	// DiskFactory is set.
+	// DiskFactory is set or DiskBackend selects a real engine.
 	Disk stable.Profile
-	// DiskFactory, if set, supplies each process's stable storage (e.g.
-	// file-backed disks). The storage must survive Crash/Recover cycles.
+	// DiskBackend selects each process's stable-storage engine when
+	// DiskFactory is not set: "mem" (default — the simulated disk with the
+	// Disk profile), "file" (one file per record), or "wal" (the
+	// log-structured group-commit engine). The real engines live under
+	// DiskDir/node<i>.
+	DiskBackend string
+	// DiskDir roots the file and wal backends; required for them.
+	DiskDir string
+	// DiskFactory, if set, overrides DiskBackend and supplies each process's
+	// stable storage. The storage must survive Crash/Recover cycles.
 	DiskFactory func(id int32) (stable.Storage, error)
 	// TraceCapacity, when positive, attaches a protocol trace ring holding
 	// that many events (sends, deliveries, stores, crashes) for post-mortem
@@ -95,14 +104,22 @@ func New(cfg Config) (*Cluster, error) {
 	for i := 0; i < cfg.N; i++ {
 		var disk stable.Storage
 		if cfg.Algorithm.Recovers() {
-			if cfg.DiskFactory != nil {
+			switch {
+			case cfg.DiskFactory != nil:
 				disk, err = cfg.DiskFactory(int32(i))
-				if err != nil {
-					c.Close()
-					return nil, fmt.Errorf("cluster: disk %d: %w", i, err)
+			case cfg.DiskBackend != "" && cfg.DiskBackend != "mem":
+				if cfg.DiskDir == "" {
+					err = fmt.Errorf("backend %q needs DiskDir", cfg.DiskBackend)
+				} else {
+					disk, err = stable.OpenBackend(cfg.DiskBackend,
+						filepath.Join(cfg.DiskDir, fmt.Sprintf("node%d", i)), cfg.Disk)
 				}
-			} else {
+			default:
 				disk = stable.NewMemDisk(cfg.Disk)
+			}
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: disk %d: %w", i, err)
 			}
 			c.disks = append(c.disks, disk)
 		} else {
@@ -181,9 +198,9 @@ func (c *Cluster) Read(ctx context.Context, proc int32, reg string) ([]byte, Rep
 // deliberate relaxation: an operation left pending by a crash has no
 // "next invocation of the same process" to bound its completion, so it may
 // linearize at any later point, exactly like a client that never returned.
-// (CheckRegular's single-writer identification does not cover submitted
-// writes; verify RegularSW histories built with the async API against the
-// atomicity-family criteria instead.)
+// CheckRegular and CheckSafe attribute writes from these virtual clients to
+// the single writer (atomicity.CheckRegularSWFrom), so RegularSW histories
+// built with the async API verify directly.
 func (c *Cluster) SubmitWrite(proc int32, reg string, val []byte) (*core.Future, error) {
 	vp := c.vproc.Add(1) - 1
 	obs := core.OpObserver{
@@ -304,15 +321,17 @@ func (c *Cluster) Check(mode atomicity.Mode) error {
 }
 
 // CheckRegular verifies the recorded history against single-writer
-// regularity (§VI).
+// regularity (§VI). Writes submitted through the asynchronous API are
+// recorded under one-shot virtual clients (process ids from N upwards); the
+// checker attributes them to the single writer and lets them overlap.
 func (c *Cluster) CheckRegular() error {
-	return atomicity.CheckRegularSW(c.History())
+	return atomicity.CheckRegularSWFrom(c.History(), int32(c.cfg.N))
 }
 
 // CheckSafe verifies the recorded history against single-writer safety
-// (§VI).
+// (§VI), with the same virtual-client attribution as CheckRegular.
 func (c *Cluster) CheckSafe() error {
-	return atomicity.CheckSafeSW(c.History())
+	return atomicity.CheckSafeSWFrom(c.History(), int32(c.cfg.N))
 }
 
 // VerifyDefault checks the history against the criterion the cluster's

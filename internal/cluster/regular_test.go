@@ -28,6 +28,53 @@ func TestRegularClusterBasics(t *testing.T) {
 	}
 }
 
+// TestRegularAsyncSubmittedWrites closes the PR-1 gap: RegularSW writes
+// submitted through the batching engine are recorded as one-shot virtual
+// clients, and CheckRegular now attributes them to the single writer —
+// async histories verify directly against regularity.
+func TestRegularAsyncSubmittedWrites(t *testing.T) {
+	c := newCluster(t, testConfig(5, core.RegularSW))
+	ctx := testCtx(t)
+	// Interleave synchronous and submitted writes from the designated
+	// writer with reads everywhere.
+	if _, err := c.Write(ctx, core.RegularWriter, "x", []byte("s0")); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		futs := make([]*core.Future, 8)
+		for j := range futs {
+			f, err := c.SubmitWrite(core.RegularWriter, "x", []byte(workload.UniqueValue(0, round*100+j, 0)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			futs[j] = f
+		}
+		for p := int32(1); p < 5; p++ {
+			if _, _, err := c.Read(ctx, p, "x"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, f := range futs {
+			if _, err := f.Wait(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := c.Read(ctx, 2, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CheckRegular(); err != nil {
+		t.Fatalf("async regular verification: %v", err)
+	}
+	if err := c.CheckSafe(); err != nil {
+		t.Fatalf("async safe verification: %v", err)
+	}
+	// A non-writer still cannot submit.
+	if _, err := c.SubmitWrite(1, "x", []byte("nope")); err == nil {
+		t.Fatal("non-writer submission accepted")
+	}
+}
+
 // TestRegularWorkloadUnderCrashRecovery: a single writer streams values
 // while readers read everywhere and random crash/recovery runs; the history
 // must be regular.

@@ -2,8 +2,16 @@ package core
 
 import (
 	"recmem/internal/causal"
+	"recmem/internal/stable"
 	"recmem/internal/wire"
 )
+
+// listenerGatherLimit bounds how many already-delivered envelopes the
+// listener folds into one handling group. Gathering is non-blocking — it
+// only picks up what the transport has buffered, typically the contents of
+// one batch frame — so it adds no latency, and the bound keeps a single
+// group's StoreBatch from growing without limit under sustained load.
+const listenerGatherLimit = 128
 
 // listen is the node's message listener — the paper's dedicated listener
 // thread ("every workstation … one thread that listens for and executes read
@@ -11,28 +19,63 @@ import (
 // Handlers run sequentially; the node's own client operations run on the
 // callers' goroutines and rendezvous with the listener through the pending
 // acknowledgement channels.
+//
+// The listener is group-commit aware: everything already delivered (the
+// envelopes of a batch frame land back to back) is gathered and the write
+// adoptions of the whole group are persisted through one StoreBatch — one
+// coalesced engine batch arriving as one frame costs one disk flush instead
+// of one per register (see handleWriteGroup).
 func (nd *Node) listen() {
 	defer close(nd.listenerDone)
 	for env := range nd.ep.Recv() {
-		nd.handle(env)
+		group := nd.gather(env)
+		nd.handleGroup(group)
 	}
 }
 
-func (nd *Node) handle(env wire.Envelope) {
-	if env.Kind.IsAck() {
-		nd.routeAck(env)
-		return
+// gather returns first plus every envelope the transport has already
+// delivered, up to the group limit. It never blocks.
+func (nd *Node) gather(first wire.Envelope) []wire.Envelope {
+	group := []wire.Envelope{first}
+	for len(group) < listenerGatherLimit {
+		select {
+		case env, ok := <-nd.ep.Recv():
+			if !ok {
+				return group
+			}
+			group = append(group, env)
+		default:
+			return group
+		}
 	}
-	if nd.tr != nil {
-		nd.traceEvent("recv", env.String())
+	return group
+}
+
+// handleGroup dispatches one gathered delivery group: acknowledgements are
+// routed as they appear, query kinds are handled individually (they never
+// log outside the naive ablation), and the write kinds are folded into one
+// group-committed adoption.
+func (nd *Node) handleGroup(group []wire.Envelope) {
+	var writes []wire.Envelope
+	for _, env := range group {
+		if env.Kind.IsAck() {
+			nd.routeAck(env)
+			continue
+		}
+		if nd.tr != nil {
+			nd.traceEvent("recv", env.String())
+		}
+		switch env.Kind {
+		case wire.KindSNQuery:
+			nd.handleSNQuery(env)
+		case wire.KindRead:
+			nd.handleRead(env)
+		case wire.KindWrite, wire.KindWriteBack:
+			writes = append(writes, env)
+		}
 	}
-	switch env.Kind {
-	case wire.KindSNQuery:
-		nd.handleSNQuery(env)
-	case wire.KindRead:
-		nd.handleRead(env)
-	case wire.KindWrite, wire.KindWriteBack:
-		nd.handleWrite(env)
+	if len(writes) > 0 {
+		nd.handleWriteGroup(writes)
 	}
 }
 
@@ -156,6 +199,107 @@ func (nd *Node) handleWrite(env wire.Envelope) {
 		Kind: wire.KindWriteAck, To: env.From, Reg: env.Reg,
 		RPC: env.RPC, Op: env.Op, Depth: uint8(depth),
 	})
+}
+
+// handleWriteGroup handles the write/write-back envelopes of one delivery
+// group with a single StoreBatch. It is semantically a reordering of
+// individual deliveries — legal over fair-lossy channels, which reorder
+// freely: per register, the envelope carrying the highest timestamp is
+// processed first (it is the only possible adoption), after which the rest
+// of the register's envelopes find the local timestamp at least as high and
+// acknowledge without logging. All winning adoptions then persist as one
+// batch — one coalesced engine batch delivered as one frame, one group
+// commit — and nothing is acknowledged unless the whole batch is durable.
+//
+// The naive ablation bypasses the group path: its defining property is a
+// store per step, which folding would silently optimize away.
+func (nd *Node) handleWriteGroup(envs []wire.Envelope) {
+	if nd.kind == Naive || len(envs) == 1 {
+		for _, env := range envs {
+			nd.handleWrite(env)
+		}
+		return
+	}
+
+	nd.mu.Lock()
+	if !nd.servingLocked() {
+		nd.mu.Unlock()
+		return
+	}
+	epoch := nd.epoch
+	cur := make(map[string]regState, len(envs))
+	for _, env := range envs {
+		if _, ok := cur[env.Reg]; !ok {
+			cur[env.Reg] = nd.regs[env.Reg]
+		}
+	}
+	nd.mu.Unlock()
+
+	// The per-register winner: the highest delivered timestamp.
+	best := make(map[string]wire.Envelope, len(cur))
+	for _, env := range envs {
+		if b, ok := best[env.Reg]; !ok || b.Tag.Less(env.Tag) {
+			best[env.Reg] = env
+		}
+	}
+	// Split the winners into those that adopt (volatile update) and those
+	// whose adoption additionally requires a log; collect the logs into one
+	// batch. The two differ for the no-logging paths (crash-stop, the
+	// UnsafeNoReadLog ablation), which adopt without storing.
+	adopters := make(map[string]wire.Envelope)
+	logged := make(map[string]wire.Envelope)
+	var recs []stable.Record
+	for reg, env := range best {
+		adopt := cur[reg].tag.Less(env.Tag)
+		if adopt {
+			adopters[reg] = env
+		}
+		if payload, ok := nd.adoptionLog(env, cur[reg], adopt); ok {
+			recs = append(recs, stable.Record{Name: recWrittenPrefix + reg, Data: payload})
+			logged[reg] = env
+		}
+	}
+	if len(recs) > 0 {
+		if err := nd.st.StoreBatch(recs); err != nil {
+			// Cannot acknowledge what is not durable; the rounds retransmit
+			// and the whole group is retried.
+			return
+		}
+		for _, rec := range recs {
+			reg := rec.Name[len(recWrittenPrefix):]
+			env := logged[reg]
+			nd.recordLog(env.Op, causal.After(int(env.Depth)), len(rec.Data))
+			if nd.tr != nil {
+				nd.traceEvent("store", rec.Name+" tag="+env.Tag.String())
+			}
+		}
+	}
+
+	// Apply the volatile adoptions, then acknowledge every envelope of the
+	// group: the logged winners with their deepened causal depth, the rest
+	// exactly as if they had been delivered after the winner.
+	nd.mu.Lock()
+	if nd.epoch != epoch || !nd.servingLocked() {
+		nd.mu.Unlock()
+		return // crashed while logging; no acknowledgements
+	}
+	for reg, env := range adopters {
+		if nd.regs[reg].tag.Less(env.Tag) {
+			nd.regs[reg] = regState{tag: env.Tag, val: env.Value}
+		}
+	}
+	nd.mu.Unlock()
+
+	for _, env := range envs {
+		depth := int(env.Depth)
+		if win, ok := logged[env.Reg]; ok && win.RPC == env.RPC && win.From == env.From {
+			depth = causal.After(depth)
+		}
+		nd.send(wire.Envelope{
+			Kind: wire.KindWriteAck, To: env.From, Reg: env.Reg,
+			RPC: env.RPC, Op: env.Op, Depth: uint8(depth),
+		})
+	}
 }
 
 // adoptionLog decides whether handling env requires a store, and with what

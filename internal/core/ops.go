@@ -105,7 +105,7 @@ func (nd *Node) writeProtocol(ctx context.Context, op uint64, reg string, val []
 	if nd.kind == Naive {
 		// §I-C straw man: log the intent before doing anything.
 		payload := encodeTagged(tag.Tag{Writer: nd.id}, val)
-		if err := nd.st.Store(recWStartPrefix+reg, payload); err != nil {
+		if err := nd.storeLog(batched, recWStartPrefix+reg, payload); err != nil {
 			return err
 		}
 		depth = causal.After(depth)
@@ -122,10 +122,12 @@ func (nd *Node) writeProtocol(ctx context.Context, op uint64, reg string, val []
 
 	// Writer pre-log (Fig. 4 line 12): the persistent algorithm's second
 	// causal log; it lets recovery finish the write and pins the minted
-	// timestamp so it can never be reused for a different value.
+	// timestamp so it can never be reused for a different value. One
+	// coalesced batch mints one tag, so this is the batch's single pre-log,
+	// issued through the batched durability path.
 	if nd.kind == Persistent || nd.kind == Naive {
 		payload := encodeTagged(newTag, val)
-		if err := nd.st.Store(recWritingPrefix+reg, payload); err != nil {
+		if err := nd.storeLog(batched, recWritingPrefix+reg, payload); err != nil {
 			return err
 		}
 		depth = causal.After(depth)
@@ -228,7 +230,7 @@ func (nd *Node) readProtocol(ctx context.Context, op uint64, reg string, batched
 	if nd.kind == Naive {
 		// Straw man: the reader logs what it is about to write back.
 		payload := encodeTagged(best.Tag, best.Value)
-		if err := nd.st.Store(recWStartPrefix+reg, payload); err != nil {
+		if err := nd.storeLog(batched, recWStartPrefix+reg, payload); err != nil {
 			return nil, err
 		}
 		depth = causal.After(depth)

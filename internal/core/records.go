@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 
+	"recmem/internal/stable"
 	"recmem/internal/tag"
 )
 
@@ -28,6 +29,18 @@ const (
 
 // errBadRecord reports a corrupted stable record.
 var errBadRecord = errors.New("core: corrupted stable record")
+
+// storeLog persists one causal-log record. Operations running under the
+// batching engine go through the batched durability path, so the pre-logs of
+// concurrently pipelined registers coalesce into shared group commits on
+// engines that support them (stable.WALDisk, MemDisk's simulated disk); the
+// synchronous path keeps the paper's literal one-store call.
+func (nd *Node) storeLog(batched bool, record string, payload []byte) error {
+	if batched {
+		return nd.st.StoreBatch([]stable.Record{{Name: record, Data: payload}})
+	}
+	return nd.st.Store(record, payload)
+}
 
 // encodeTagged serializes a (tag, value) pair for stable storage.
 func encodeTagged(t tag.Tag, val []byte) []byte {

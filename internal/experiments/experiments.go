@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -70,6 +71,11 @@ type Options struct {
 	// experiment (default 4): registers whose quorum rounds the engine
 	// overlaps.
 	Pipeline int
+	// DiskBackend selects the stable-storage engine of the batch and disk
+	// experiments: "mem" (default — the simulated disk with the calibrated
+	// Disk profile), "file", or "wal". The real engines live in fresh
+	// temporary directories per run.
+	DiskBackend string
 }
 
 // withDefaults fills unset options.
@@ -228,13 +234,22 @@ type BatchPoint struct {
 func MeasureBatch(ctx context.Context, kind core.AlgorithmKind, n int, opts Options) (BatchPoint, error) {
 	opts = opts.withDefaults()
 	run := func(async int) (float64, error) {
-		c, err := cluster.New(cluster.Config{
+		cfg := cluster.Config{
 			N:         n,
 			Algorithm: kind,
 			Node:      core.Options{RetransmitEvery: 250 * time.Millisecond},
 			Net:       netsim.Options{Profile: opts.Net},
 			Disk:      opts.Disk,
-		})
+		}
+		if opts.DiskBackend != "" && opts.DiskBackend != "mem" {
+			dir, err := os.MkdirTemp("", "recmem-disk-*")
+			if err != nil {
+				return 0, err
+			}
+			defer os.RemoveAll(dir)
+			cfg.DiskBackend, cfg.DiskDir = opts.DiskBackend, dir
+		}
+		c, err := cluster.New(cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -296,6 +311,145 @@ func Batch(ctx context.Context, opts Options) ([]BatchPoint, error) {
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// DiskPoint compares one stable-storage engine under the same coalesced
+// batched workload: the fsync-amortization experiment. Records is the
+// number of causal-log records the protocol persisted (summed over all
+// nodes), Commits the durability points it issued (Store calls plus
+// StoreBatch groups — what a group-commit-free engine flushes), and Syncs
+// the flushes the engine actually performed: Commits for mem (each commit
+// pays one simulated λ), 2 × Records for file (every record is a temp-file
+// fsync plus a directory fsync), and the group-commit daemon's count for
+// wal.
+type DiskPoint struct {
+	Backend string
+	Ops     float64
+	Records int
+	Commits int
+	Syncs   int64
+}
+
+// RecordsPerSync is the amortization factor: causal-log records made
+// durable per disk flush.
+func (p DiskPoint) RecordsPerSync() float64 {
+	if p.Syncs == 0 {
+		return 0
+	}
+	return float64(p.Records) / float64(p.Syncs)
+}
+
+// MeasureDisk drives the batched write workload of MeasureBatch over the
+// named storage engine and reports throughput plus the engine's sync bill.
+func MeasureDisk(ctx context.Context, kind core.AlgorithmKind, n int, backend string, opts Options) (DiskPoint, error) {
+	opts = opts.withDefaults()
+	p := DiskPoint{Backend: backend}
+
+	var dir string
+	if backend != "mem" {
+		var err error
+		dir, err = os.MkdirTemp("", "recmem-disk-*")
+		if err != nil {
+			return p, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	counts := make([]*stable.Counting, n)
+	wals := make([]*stable.WALDisk, n)
+	c, err := cluster.New(cluster.Config{
+		N:         n,
+		Algorithm: kind,
+		Node:      core.Options{RetransmitEvery: 250 * time.Millisecond},
+		Net:       netsim.Options{Profile: opts.Net},
+		DiskFactory: func(id int32) (stable.Storage, error) {
+			inner, err := stable.OpenBackend(backend, fmt.Sprintf("%s/node%d", dir, id), opts.Disk)
+			if err != nil {
+				return nil, err
+			}
+			if w, ok := inner.(*stable.WALDisk); ok {
+				wals[id] = w
+			}
+			counts[id] = stable.NewCounting(inner)
+			return counts[id], nil
+		},
+	})
+	if err != nil {
+		return p, err
+	}
+	defer c.Close()
+
+	regs := make([]string, opts.Pipeline)
+	for i := range regs {
+		regs[i] = fmt.Sprintf("r%d", i)
+	}
+	mix := workload.Mix{Registers: regs, Async: opts.Batch}
+	procs := workload.AllProcs(n)
+	workload.Run(ctx, c, procs, opts.Warmup, mix, 1)
+	warmRecords, warmCommits := 0, 0
+	var warmSyncs int64
+	for i, ct := range counts {
+		warmRecords += ct.Stores()
+		warmCommits += ct.Commits()
+		if wals[i] != nil {
+			warmSyncs += wals[i].Syncs()
+		}
+	}
+	start := time.Now()
+	res := workload.Run(ctx, c, procs, opts.Writes, mix, 2)
+	elapsed := time.Since(start)
+	if res.Errors > 0 {
+		return p, fmt.Errorf("%d workload errors", res.Errors)
+	}
+	done := res.Writes + res.Reads
+	if done == 0 || elapsed <= 0 {
+		return p, fmt.Errorf("no completed operations")
+	}
+	p.Ops = float64(done) / elapsed.Seconds()
+	for i, ct := range counts {
+		p.Records += ct.Stores()
+		p.Commits += ct.Commits()
+		if wals[i] != nil {
+			p.Syncs += wals[i].Syncs()
+		}
+	}
+	p.Records -= warmRecords
+	p.Commits -= warmCommits
+	switch backend {
+	case "mem":
+		p.Syncs = int64(p.Commits)
+	case "file":
+		p.Syncs = 2 * int64(p.Records)
+	case "wal":
+		p.Syncs -= warmSyncs
+	}
+	return p, nil
+}
+
+// Disks sweeps the fsync-amortization comparison over every storage engine
+// at n = 5 with the persistent algorithm — the kind with the heaviest log
+// bill, where the engine choice moves the needle most.
+func Disks(ctx context.Context, opts Options) ([]DiskPoint, error) {
+	opts = opts.withDefaults()
+	var out []DiskPoint
+	for _, backend := range stable.Backends() {
+		p, err := MeasureDisk(ctx, core.Persistent, 5, backend, opts)
+		if err != nil {
+			return out, fmt.Errorf("disks %s: %w", backend, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// PrintDisks renders the engine comparison: one line per backend.
+func PrintDisks(w io.Writer, points []DiskPoint) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "backend\tbatched(op/s)\trecords\tcommits\tsyncs\trecords/sync")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%s\t%.0f\t%d\t%d\t%d\t%.1f\n",
+			p.Backend, p.Ops, p.Records, p.Commits, p.Syncs, p.RecordsPerSync())
+	}
+	tw.Flush()
 }
 
 // PrintBatch renders the throughput comparison: one line per algorithm.

@@ -9,11 +9,13 @@ import (
 // ErrInjected is the failure returned by a Flaky store when a fault fires.
 var ErrInjected = errors.New("stable: injected storage fault")
 
-// Flaky wraps a Storage and makes Store fail with a fixed probability,
-// without persisting anything. A replica whose log fails does not
-// acknowledge, so the protocol's retransmission retries the adoption — the
-// emulations must stay live as long as stores succeed eventually, which is
-// what the fault-injection tests assert.
+// Flaky wraps a Storage and makes Store and StoreBatch fail with a fixed
+// probability, without persisting anything. A replica whose log fails does
+// not acknowledge, so the protocol's retransmission retries the adoption —
+// the emulations must stay live as long as stores succeed eventually, which
+// is what the fault-injection tests assert. A StoreBatch fault fails the
+// whole group before it reaches the inner store, modelling a group commit
+// whose single fsync fails: none of the coalesced logs may be acknowledged.
 type Flaky struct {
 	inner Storage
 
@@ -42,6 +44,21 @@ func (f *Flaky) Store(record string, data []byte) error {
 		return ErrInjected
 	}
 	return f.inner.Store(record, data)
+}
+
+// StoreBatch implements Storage; a single injected fault fails the whole
+// batch.
+func (f *Flaky) StoreBatch(recs []Record) error {
+	f.mu.Lock()
+	fail := f.rng.Float64() < f.failRate
+	if fail {
+		f.failures++
+	}
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.inner.StoreBatch(recs)
 }
 
 // Retrieve implements Storage.

@@ -13,6 +13,13 @@
 //
 // Records are named; register emulations use one record per role per
 // register ("written/x", "writing/x", "recovered").
+//
+// A third implementation, WALDisk (wal.go), is the second-generation engine:
+// a single append-only log with CRC-framed records, a group-commit daemon
+// that coalesces concurrent stores into one fdatasync, and periodic
+// snapshot + truncation. All implementations additionally expose the batched
+// durability path StoreBatch, which WALDisk turns into one log append + one
+// sync per batch.
 package stable
 
 import (
@@ -29,11 +36,27 @@ import (
 	"recmem/internal/spin"
 )
 
+// Record is one named entry of the batched durability path.
+type Record struct {
+	// Name is the record name, as in Store.
+	Name string
+	// Data is the content stored under Name.
+	Data []byte
+}
+
 // Storage is the paper's stable storage abstraction.
 type Storage interface {
 	// Store durably saves data under the record name, replacing any previous
 	// content. It returns only after the data is stable (synchronous write).
 	Store(record string, data []byte) error
+	// StoreBatch durably saves all records as one group: it returns nil only
+	// after every record is stable. Implementations with a native group
+	// commit (WALDisk, MemDisk's simulated disk) pay the synchronous-write
+	// cost once for the whole batch; others fall back to sequential Store
+	// calls via BatchOf. When a batch contains several records with the same
+	// name, the last one wins. On error none of the batch is acknowledged —
+	// individual records may or may not have become durable.
+	StoreBatch(recs []Record) error
 	// Retrieve returns the last stored content of the record. ok is false if
 	// the record was never stored.
 	Retrieve(record string) (data []byte, ok bool, err error)
@@ -42,12 +65,56 @@ type Storage interface {
 	Records(prefix string) ([]string, error)
 	// Close releases resources. The stored content remains retrievable by a
 	// new Storage opened over the same substrate (MemDisk: same object;
-	// FileDisk: same directory).
+	// FileDisk: same directory; WALDisk: same directory).
 	Close() error
+}
+
+// BatchOf implements StoreBatch as sequential Store calls — the adapter for
+// backends without a native group commit (FileDisk's file-per-record layout
+// has nothing to amortize; wrappers delegate per record so their per-store
+// semantics apply uniformly).
+func BatchOf(s Storage, recs []Record) error {
+	for _, r := range recs {
+		if err := s.Store(r.Name, r.Data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ErrClosed is returned by operations on a closed storage.
 var ErrClosed = errors.New("stable: storage closed")
+
+// Backends lists the selectable storage engines, in presentation order.
+func Backends() []string { return []string{"mem", "file", "wal"} }
+
+// ValidBackend reports whether name selects a storage engine — the shared
+// flag validation of the CLIs.
+func ValidBackend(name string) bool {
+	for _, b := range Backends() {
+		if name == b {
+			return true
+		}
+	}
+	return false
+}
+
+// OpenBackend opens the named storage engine: "mem" (or "") is a MemDisk
+// with the given latency profile; "file" is a FileDisk and "wal" a WALDisk,
+// both rooted at dir. This is the single switch the cluster, the benchmarks
+// and the torture driver share, so every layer accepts the same -disk names.
+func OpenBackend(backend, dir string, prof Profile) (Storage, error) {
+	switch backend {
+	case "", "mem":
+		return NewMemDisk(prof), nil
+	case "file":
+		return NewFileDisk(dir)
+	case "wal":
+		return NewWALDisk(dir)
+	default:
+		return nil, fmt.Errorf("stable: unknown backend %q (want mem, file, or wal)", backend)
+	}
+}
 
 // Profile describes the latency of a simulated disk.
 type Profile struct {
@@ -109,6 +176,35 @@ func (d *MemDisk) Store(record string, data []byte) error {
 		return ErrClosed
 	}
 	d.records[record] = cp
+	return nil
+}
+
+// StoreBatch implements Storage with a simulated group commit: the batch
+// pays one StoreDelay (one "fsync") plus the bandwidth term for the combined
+// payload, instead of one StoreDelay per record — the simulated-disk
+// counterpart of WALDisk's group-commit daemon, which is what lets the
+// fsync-amortization experiments run on the calibrated in-memory testbed.
+func (d *MemDisk) StoreBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	total := 0
+	for _, r := range recs {
+		total += len(r.Data)
+	}
+	if delay := d.prof.delay(total); delay > 0 {
+		spin.Sleep(delay)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	for _, r := range recs {
+		cp := make([]byte, len(r.Data))
+		copy(cp, r.Data)
+		d.records[r.Name] = cp
+	}
 	return nil
 }
 
@@ -237,6 +333,12 @@ func (d *FileDisk) Store(record string, data []byte) error {
 	return nil
 }
 
+// StoreBatch implements Storage; the file-per-record layout has no shared
+// sync to amortize, so each record pays its own synchronous replacement.
+func (d *FileDisk) StoreBatch(recs []Record) error {
+	return BatchOf(d, recs)
+}
+
 // Retrieve implements Storage.
 func (d *FileDisk) Retrieve(record string) ([]byte, bool, error) {
 	d.mu.Lock()
@@ -292,6 +394,8 @@ type Counting struct {
 
 	mu        sync.Mutex
 	stores    int
+	batches   int
+	commits   int
 	retrieves int
 	bytes     int64
 	perRecord map[string]int
@@ -308,10 +412,27 @@ func NewCounting(inner Storage) *Counting {
 func (c *Counting) Store(record string, data []byte) error {
 	c.mu.Lock()
 	c.stores++
+	c.commits++
 	c.bytes += int64(len(data))
 	c.perRecord[record]++
 	c.mu.Unlock()
 	return c.inner.Store(record, data)
+}
+
+// StoreBatch implements Storage: every record counts as one store (so store
+// counts stay comparable across batched and unbatched paths) and the batch
+// itself is counted once.
+func (c *Counting) StoreBatch(recs []Record) error {
+	c.mu.Lock()
+	c.batches++
+	c.commits++
+	for _, r := range recs {
+		c.stores++
+		c.bytes += int64(len(r.Data))
+		c.perRecord[r.Name]++
+	}
+	c.mu.Unlock()
+	return c.inner.StoreBatch(recs)
 }
 
 // Retrieve implements Storage.
@@ -333,6 +454,24 @@ func (c *Counting) Stores() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stores
+}
+
+// Batches returns the number of StoreBatch calls observed.
+func (c *Counting) Batches() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batches
+}
+
+// Commits returns the number of durability points observed: one per Store
+// call plus one per StoreBatch call. On an engine without cross-call group
+// commit this is its flush bill (FileDisk pays two fsyncs per point);
+// WALDisk may merge many commits into one fdatasync — compare with its
+// Syncs counter to read off the amortization.
+func (c *Counting) Commits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.commits
 }
 
 // Retrieves returns the number of Retrieve calls observed.

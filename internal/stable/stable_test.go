@@ -4,19 +4,28 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 )
 
-// storageFactories returns a constructor per implementation so every test
-// runs against both.
+// storageFactories is the conformance harness: a constructor per
+// implementation so every Storage-contract test runs against all of them.
 func storageFactories(t *testing.T) map[string]func() Storage {
 	t.Helper()
 	return map[string]func() Storage{
 		"memdisk": func() Storage { return NewMemDisk(Profile{}) },
 		"filedisk": func() Storage {
 			d, err := NewFileDisk(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"waldisk": func() Storage {
+			d, err := NewWALDisk(t.TempDir())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -128,6 +137,81 @@ func TestClosedErrors(t *testing.T) {
 	}
 }
 
+func TestStoreBatch(t *testing.T) {
+	for name, mk := range storageFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			if err := s.StoreBatch(nil); err != nil {
+				t.Fatalf("empty batch: %v", err)
+			}
+			if err := s.StoreBatch([]Record{
+				{Name: "written/a", Data: []byte("v1")},
+				{Name: "written/b", Data: []byte("v2")},
+				{Name: "written/a", Data: []byte("v3")}, // same name: last wins
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if data, ok, err := s.Retrieve("written/a"); err != nil || !ok || !bytes.Equal(data, []byte("v3")) {
+				t.Fatalf("written/a = %q ok=%v err=%v", data, ok, err)
+			}
+			if data, ok, err := s.Retrieve("written/b"); err != nil || !ok || !bytes.Equal(data, []byte("v2")) {
+				t.Fatalf("written/b = %q ok=%v err=%v", data, ok, err)
+			}
+			// The batch must not alias caller buffers.
+			orig := []byte("mut")
+			if err := s.StoreBatch([]Record{{Name: "c", Data: orig}}); err != nil {
+				t.Fatal(err)
+			}
+			orig[0] = 'X'
+			if data, _, _ := s.Retrieve("c"); !bytes.Equal(data, []byte("mut")) {
+				t.Fatalf("StoreBatch aliased caller buffer: %q", data)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.StoreBatch([]Record{{Name: "d"}}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("StoreBatch after close: %v", err)
+			}
+		})
+	}
+}
+
+func TestConcurrentStoreBatches(t *testing.T) {
+	for name, mk := range storageFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 20; i++ {
+						recs := []Record{
+							{Name: fmt.Sprintf("a%d", w), Data: []byte{byte(i)}},
+							{Name: fmt.Sprintf("b%d", w), Data: []byte{byte(i)}},
+						}
+						if err := s.StoreBatch(recs); err != nil {
+							t.Errorf("batch: %v", err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for w := 0; w < 4; w++ {
+				for _, pre := range []string{"a", "b"} {
+					data, ok, err := s.Retrieve(fmt.Sprintf("%s%d", pre, w))
+					if err != nil || !ok || !bytes.Equal(data, []byte{19}) {
+						t.Fatalf("%s%d = %v ok=%v err=%v", pre, w, data, ok, err)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestMemDiskLatency(t *testing.T) {
 	d := NewMemDisk(Profile{StoreDelay: 20 * time.Millisecond})
 	defer d.Close()
@@ -214,9 +298,129 @@ func TestCounting(t *testing.T) {
 	if c.RecordStores("a") != 2 || c.RecordStores("b") != 1 || c.RecordStores("zzz") != 0 {
 		t.Fatal("per-record counts wrong")
 	}
+	// A batch counts once as a batch and per record as stores.
+	if err := c.StoreBatch([]Record{{Name: "a", Data: []byte("xy")}, {Name: "c", Data: []byte("z")}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Batches() != 1 || c.Stores() != 5 || c.Bytes() != 11 || c.RecordStores("c") != 1 {
+		t.Fatalf("after batch: batches=%d stores=%d bytes=%d", c.Batches(), c.Stores(), c.Bytes())
+	}
 	recs, err := c.Records("")
-	if err != nil || len(recs) != 2 {
+	if err != nil || len(recs) != 3 {
 		t.Fatalf("Records = %v err=%v", recs, err)
+	}
+}
+
+// TestFileDiskRecordsIgnoresForeignFiles: the record enumeration must skip
+// files the disk did not write — leftover temp files from an interrupted
+// Store, and anything a human dropped into the directory.
+func TestFileDiskRecordsIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewFileDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for _, rec := range []string{"written/a", "writing/a"} {
+		if err := d.Store(rec, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, stray := range []string{"tmp-123456", "README.txt", "zz!!.rec"} {
+		if err := os.WriteFile(filepath.Join(dir, stray), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := d.Records("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "writing/a" || got[1] != "written/a" {
+		t.Fatalf("Records = %v, want the two stored records only", got)
+	}
+	if got, err := d.Records("written/zzz"); err != nil || len(got) != 0 {
+		t.Fatalf("Records(no match) = %v err=%v", got, err)
+	}
+}
+
+// TestFileDiskPrefixEnumeration: prefixes select on the decoded record name,
+// including names that extend each other and prefixes that are not a whole
+// path segment.
+func TestFileDiskPrefixEnumeration(t *testing.T) {
+	d, err := NewFileDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for _, rec := range []string{"written/a", "written/ab", "written/b", "writing/a", "recovered"} {
+		if err := d.Store(rec, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		prefix string
+		want   []string
+	}{
+		{"written/", []string{"written/a", "written/ab", "written/b"}},
+		{"written/a", []string{"written/a", "written/ab"}},
+		{"writ", []string{"writing/a", "written/a", "written/ab", "written/b"}},
+		{"recovered", []string{"recovered"}},
+	}
+	for _, tc := range cases {
+		got, err := d.Records(tc.prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("Records(%q) = %v, want %v", tc.prefix, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("Records(%q) = %v, want %v", tc.prefix, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestFileDiskReopenAfterClose: a closed FileDisk keeps rejecting
+// operations, while a new FileDisk over the same directory recovers the
+// full state — enumeration, content, and the ability to store again.
+func TestFileDiskReopenAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewFileDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store("written/x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The closed handle stays closed even after the substrate is reopened.
+	d2, err := NewFileDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if err := d.Store("written/x", []byte("v2")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Store on closed handle: %v", err)
+	}
+	if _, err := d.Records(""); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Records on closed handle: %v", err)
+	}
+	recs, err := d2.Records("written/")
+	if err != nil || len(recs) != 1 || recs[0] != "written/x" {
+		t.Fatalf("reopened Records = %v err=%v", recs, err)
+	}
+	if data, ok, err := d2.Retrieve("written/x"); err != nil || !ok || !bytes.Equal(data, []byte("v1")) {
+		t.Fatalf("reopened Retrieve = %q ok=%v err=%v", data, ok, err)
+	}
+	if err := d2.Store("written/x", []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _, _ := d2.Retrieve("written/x"); !bytes.Equal(data, []byte("v3")) {
+		t.Fatalf("store after reopen = %q", data)
 	}
 }
 

@@ -35,6 +35,15 @@ type Mix struct {
 	// rounds and different registers' rounds overlap. 0 or 1 keeps the
 	// paper's closed-loop sequential clients.
 	Async int
+	// Forgive, if non-nil, classifies matching operation errors as
+	// Interrupted instead of Errors. Torture runs with storage fault
+	// injection use it for stable.ErrInjected: a writer whose own log fails
+	// aborts its operation — an expected casualty, not a protocol failure.
+	// The model has no aborted operations, so the sequential client then
+	// crashes and recovers the process: a process that cannot log abandons
+	// its operation only by crashing, which keeps the recorded history
+	// well-formed (the pending invocation is followed by a crash event).
+	Forgive func(error) bool
 }
 
 // Result summarizes a driven workload.
@@ -104,6 +113,9 @@ func Run(ctx context.Context, c *cluster.Cluster, procs []int32, opsPerProc int,
 						}
 					case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 						// Run is ending.
+					case mix.Forgive != nil && mix.Forgive(err):
+						local.Interrupted++
+						crashAfterAbort(ctx, c, proc)
 					default:
 						local.Errors++
 					}
@@ -119,6 +131,26 @@ func Run(ctx context.Context, c *cluster.Cluster, procs []int32, opsPerProc int,
 	}
 	wg.Wait()
 	return total
+}
+
+// crashAfterAbort turns a forgiven operation abort into the model's only
+// legal way out of an operation: a crash, followed by recovery attempts
+// (which may themselves be refused by injected storage faults) until the
+// process is back or the run ends.
+func crashAfterAbort(ctx context.Context, c *cluster.Cluster, proc int32) {
+	if !c.Crash(proc) {
+		return // already down; someone else records the crash
+	}
+	for ctx.Err() == nil {
+		err := c.Recover(ctx, proc)
+		if err == nil || errors.Is(err, core.ErrNotDown) {
+			return
+		}
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-ctx.Done():
+		}
+	}
 }
 
 // pendingOp is one submitted-but-unwaited operation of an async client.
@@ -146,6 +178,8 @@ func runAsync(ctx context.Context, c *cluster.Cluster, proc int32, opsPerProc in
 		case errors.Is(err, core.ErrCrashed), errors.Is(err, core.ErrDown):
 			local.Interrupted++
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		case mix.Forgive != nil && mix.Forgive(err):
+			local.Interrupted++
 		default:
 			local.Errors++
 		}

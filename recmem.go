@@ -153,10 +153,11 @@ var (
 
 // config collects option state.
 type config struct {
-	node    core.Options
-	net     netsim.Options
-	disk    stable.Profile
-	fileDir string
+	node        core.Options
+	net         netsim.Options
+	disk        stable.Profile
+	diskBackend string
+	diskDir     string
 }
 
 // Option customizes a cluster.
@@ -199,9 +200,19 @@ func WithDisk(storeDelay time.Duration, bytesPerSec float64) Option {
 }
 
 // WithFileStorage stores each process's stable state in dir/node<i>, using
-// real files with synchronous writes instead of the simulated disk.
+// real files with synchronous writes instead of the simulated disk: one file
+// per record, replaced atomically — two fsyncs per causal log.
 func WithFileStorage(dir string) Option {
-	return optionFunc(func(c *config) { c.fileDir = dir })
+	return optionFunc(func(c *config) { c.diskBackend = "file"; c.diskDir = dir })
+}
+
+// WithWALStorage stores each process's stable state in dir/node<i> on the
+// log-structured engine: one append-only CRC-framed log whose group-commit
+// daemon coalesces the causal logs of concurrent rounds into shared
+// fdatasyncs, with periodic snapshot + truncation. The fastest real-disk
+// backend; see docs/adr/0002-wal-group-commit-storage.md.
+func WithWALStorage(dir string) Option {
+	return optionFunc(func(c *config) { c.diskBackend = "wal"; c.diskDir = dir })
 }
 
 // WithMessageLoss drops each message with the given probability in [0,1).
@@ -262,17 +273,13 @@ func New(n int, algo Algorithm, opts ...Option) (*Cluster, error) {
 		o.apply(&cfg)
 	}
 	cc := cluster.Config{
-		N:         n,
-		Algorithm: kind,
-		Node:      cfg.node,
-		Net:       cfg.net,
-		Disk:      cfg.disk,
-	}
-	if cfg.fileDir != "" {
-		dir := cfg.fileDir
-		cc.DiskFactory = func(id int32) (stable.Storage, error) {
-			return stable.NewFileDisk(fmt.Sprintf("%s/node%d", dir, id))
-		}
+		N:           n,
+		Algorithm:   kind,
+		Node:        cfg.node,
+		Net:         cfg.net,
+		Disk:        cfg.disk,
+		DiskBackend: cfg.diskBackend,
+		DiskDir:     cfg.diskDir,
 	}
 	inner, err := cluster.New(cc)
 	if err != nil {
