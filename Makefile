@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-disk fmt vet ci scenarios
+.PHONY: all build test race bench bench-disk bench-handle smoke fmt vet ci scenarios
 
 all: build
 
@@ -21,6 +21,16 @@ bench:
 # BENCH_*.json trajectories.
 bench-disk:
 	$(GO) test -bench 'Store' -benchtime=100x -run '^$$' ./internal/stable/
+
+# bench-handle demonstrates the cached Register-handle hot path against the
+# per-operation string-map resolution it replaced.
+bench-handle:
+	$(GO) test -bench 'BenchmarkStringLookup|BenchmarkRegisterHandle' -benchtime=1000000x -run '^$$' ./internal/core/
+
+# smoke boots a real 3-node recmem-node mesh and drives it through the
+# remote client: the CI proof that the Client API works over live TCP.
+smoke:
+	./scripts/smoke-mesh.sh
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -314,7 +314,7 @@ func BenchmarkRecovery(b *testing.B) {
 			p := c.Process(0)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				p.Crash()
+				_ = p.Crash(ctx)
 				if err := p.Recover(ctx); err != nil {
 					b.Fatal(err)
 				}

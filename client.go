@@ -1,0 +1,97 @@
+package recmem
+
+import (
+	"context"
+	"time"
+)
+
+// Client is the backend-agnostic surface of the shared-memory emulation:
+// one process's view of the register space. Two implementations exist —
+// *Process (a process of the in-process simulated cluster) and
+// remote.Client (a TCP connection to a live recmem-node) — and they are
+// interchangeable: the same application, workload, or torture scenario runs
+// against either, selected only by which Client is passed in.
+//
+// Register returns a first-class handle on a named register; all reads and
+// writes go through handles. Crash and Recover inject the crash-recovery
+// model's process faults (on the simulator they fail the emulated process;
+// on a remote node they fail the live process behind the control port).
+// Close releases the client handle — it never shuts down the emulation
+// behind it.
+type Client interface {
+	// Register resolves a handle on the named register. Resolution work
+	// (dispatcher shard, submission queue, write lock — or the encoded name
+	// for remote clients) happens once, here: reuse handles on hot paths.
+	Register(name string) *Register
+	// Crash fails the process behind the client: volatile state is lost and
+	// in-flight operations return ErrCrashed. ErrDown if already down.
+	Crash(ctx context.Context) error
+	// Recover restarts the crashed process: stable state is reloaded and
+	// the algorithm's recovery procedure runs (requiring a reachable
+	// majority for the persistent algorithm). ErrNotDown if it is up.
+	Recover(ctx context.Context) error
+	// Close releases the client. The emulation keeps running.
+	Close() error
+}
+
+// OpOptions is the resolved per-operation option set. Backends receive it
+// through the RegisterBackend driver interface; applications build it with
+// the With... functional options.
+type OpOptions struct {
+	// Deadline bounds the operation (0 = none). Synchronous operations run
+	// under a context with this timeout; remote backends also ship it to
+	// the server so the node-side wait is bounded too.
+	Deadline time.Duration
+	// Consistency selects the read's criterion: 0 means the algorithm's
+	// native read; Regularity and Safety are selectable only under the
+	// RegularRegister algorithm (Safety buys a 2-message read served by the
+	// writer alone — see WithConsistency).
+	Consistency Criterion
+	// Cost, if non-nil, receives the operation id for CostOf accounting.
+	Cost *OpID
+}
+
+// OpOption customizes one operation on a Register handle.
+type OpOption func(*OpOptions)
+
+// WithDeadline bounds the operation to d. A synchronous operation whose
+// deadline expires returns context.DeadlineExceeded; the protocol execution
+// itself is abandoned by the wait, not aborted (exactly like cancelling the
+// context passed to Read/Write).
+func WithDeadline(d time.Duration) OpOption {
+	return func(o *OpOptions) { o.Deadline = d }
+}
+
+// WithCost captures the operation id into dst, for Cluster.CostOf log-
+// complexity accounting (the paper's §I-B metric). dst is written as soon
+// as the id is known: on return for synchronous operations.
+func WithCost(dst *OpID) OpOption {
+	return func(o *OpOptions) { o.Cost = dst }
+}
+
+// WithConsistency selects the read's criterion under the RegularRegister
+// algorithm: Regularity is the native one-round majority read; Safety is
+// the §VI safe read, served by the designated writer alone — 2 messages
+// instead of a majority fan-out and still log-free, at the price of
+// availability (safe reads block while the writer is down). Any selection
+// under another algorithm, or on a write, is an error.
+func WithConsistency(cr Criterion) OpOption {
+	return func(o *OpOptions) { o.Consistency = cr }
+}
+
+// resolveOpts folds functional options into the resolved set.
+func resolveOpts(opts []OpOption) OpOptions {
+	var o OpOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// opCtx derives the operation context from the deadline option.
+func (o OpOptions) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if o.Deadline > 0 {
+		return context.WithTimeout(ctx, o.Deadline)
+	}
+	return ctx, func() {}
+}

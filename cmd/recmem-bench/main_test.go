@@ -1,6 +1,18 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"recmem/internal/core"
+	"recmem/internal/nettcp"
+	"recmem/internal/stable"
+	"recmem/remote"
+)
 
 func TestParseInts(t *testing.T) {
 	tests := []struct {
@@ -68,5 +80,55 @@ func TestRunRejectsBadArgs(t *testing.T) {
 	}
 	if err := run([]string{"-sizes", "-1"}); err == nil {
 		t.Fatal("accepted bad -sizes")
+	}
+}
+
+// TestRemoteBench drives the remote experiment against an in-process
+// 3-node TCP mesh.
+func TestRemoteBench(t *testing.T) {
+	meshes := make([]*nettcp.Mesh, 3)
+	peers := make([]string, 3)
+	for i := range meshes {
+		m, err := nettcp.Listen(int32(i), "127.0.0.1:0", nettcp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m.Close() })
+		meshes[i] = m
+		peers[i] = m.Addr()
+	}
+	ids := &atomic.Uint64{}
+	addrs := make([]string, 3)
+	for i := range meshes {
+		meshes[i].SetPeers(peers)
+		nd, err := core.NewNode(int32(i), 3, core.Persistent,
+			core.Options{RetransmitEvery: 10 * time.Millisecond},
+			core.Deps{Endpoint: meshes[i], Storage: stable.NewMemDisk(stable.Profile{}), IDs: ids})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(nd.Close)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := remote.Serve(ln, nd, remote.ServerOptions{})
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+	var out strings.Builder
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := remoteBench(ctx, &out, addrs, 10, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pipelined") {
+		t.Fatalf("unexpected output: %q", out.String())
+	}
+}
+
+func TestRemoteExperimentNeedsNodes(t *testing.T) {
+	if err := run([]string{"-experiment", "remote"}); err == nil {
+		t.Fatal("accepted remote experiment without -nodes")
 	}
 }

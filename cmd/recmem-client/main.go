@@ -1,24 +1,33 @@
 // Command recmem-client drives operations on a running recmem-node through
-// its control port.
+// its binary control port, using the remote package — the same
+// recmem.Client API an application would use. It exits non-zero on any
+// error: refused operations (ERR responses of the old text protocol),
+// malformed or short server replies, and connection failures all fail the
+// command, so the client is safe to script against.
 //
 // Usage:
 //
 //	recmem-client -node 127.0.0.1:7200 write x hello
 //	recmem-client -node 127.0.0.1:7201 read x
+//	recmem-client -node 127.0.0.1:7201 read -safe x     # §VI safe read (regular algorithm)
 //	recmem-client -node 127.0.0.1:7202 crash
 //	recmem-client -node 127.0.0.1:7202 recover
-//	recmem-client -node 127.0.0.1:7200 bench 50      # 50 timed writes
+//	recmem-client -node 127.0.0.1:7200 info
+//	recmem-client -node 127.0.0.1:7200 bench 50         # 50 timed writes
+//	recmem-client -node 127.0.0.1:7200 bench 500 64     # 500 writes, 64 in flight
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"strconv"
 	"strings"
 	"time"
+
+	"recmem"
+	"recmem/remote"
 )
 
 func main() {
@@ -37,78 +46,139 @@ func run(args []string) error {
 	}
 	cmd := fs.Args()
 	if len(cmd) == 0 {
-		return fmt.Errorf("need a command: write, read, crash, recover, ping, bench")
+		return fmt.Errorf("need a command: write, read, crash, recover, ping, info, bench")
 	}
 
-	conn, err := net.DialTimeout("tcp", *node, *timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c, err := remote.Dial(*node, remote.Options{DialTimeout: *timeout})
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(*timeout))
-	rd := bufio.NewReader(conn)
-
-	send := func(line string) (string, error) {
-		if _, err := fmt.Fprintln(conn, line); err != nil {
-			return "", err
-		}
-		resp, err := rd.ReadString('\n')
-		return strings.TrimSpace(resp), err
-	}
+	defer c.Close()
 
 	switch strings.ToLower(cmd[0]) {
 	case "write":
 		if len(cmd) != 3 {
 			return fmt.Errorf("usage: write <register> <value>")
 		}
-		resp, err := send(fmt.Sprintf("WRITE %s %s", cmd[1], cmd[2]))
-		if err != nil {
+		var op recmem.OpID
+		start := time.Now()
+		if err := c.Register(cmd[1]).Write(ctx, []byte(cmd[2]), recmem.WithCost(&op)); err != nil {
 			return err
 		}
-		fmt.Println(resp)
+		fmt.Printf("OK op=%d %dus\n", op, time.Since(start).Microseconds())
+
 	case "read":
-		if len(cmd) != 2 {
-			return fmt.Errorf("usage: read <register>")
+		rest := cmd[1:]
+		var opts []recmem.OpOption
+		if len(rest) > 0 && rest[0] == "-safe" {
+			opts = append(opts, recmem.WithConsistency(recmem.Safety))
+			rest = rest[1:]
 		}
-		resp, err := send("READ " + cmd[1])
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: read [-safe] <register>")
+		}
+		val, err := c.Register(rest[0]).Read(ctx, opts...)
 		if err != nil {
 			return err
 		}
-		fmt.Println(resp)
-	case "crash", "recover", "ping":
-		resp, err := send(strings.ToUpper(cmd[0]))
+		fmt.Println(string(val))
+
+	case "crash":
+		if len(cmd) != 1 {
+			return fmt.Errorf("usage: crash")
+		}
+		if err := c.Crash(ctx); err != nil {
+			return err
+		}
+		fmt.Println("OK")
+
+	case "recover":
+		if len(cmd) != 1 {
+			return fmt.Errorf("usage: recover")
+		}
+		start := time.Now()
+		if err := c.Recover(ctx); err != nil {
+			return err
+		}
+		fmt.Printf("OK %dus\n", time.Since(start).Microseconds())
+
+	case "ping":
+		if err := c.Ping(ctx); err != nil {
+			return err
+		}
+		fmt.Println("PONG")
+
+	case "info":
+		info, err := c.Info(ctx)
 		if err != nil {
 			return err
 		}
-		fmt.Println(resp)
+		fmt.Printf("node %d of %d, quorum %d, algorithm %s\n",
+			info.NodeID, info.N, info.Quorum, info.Algorithm)
+
 	case "bench":
-		// The paper's measurement: repeated 4-byte writes, averaged.
-		writes := 50
+		// The paper's measurement: repeated 4-byte writes. With a window
+		// argument > 1 the writes are pipelined through the submission API,
+		// engaging the node's batching engine.
+		writes, window := 50, 1
 		if len(cmd) > 1 {
-			writes, err = strconv.Atoi(cmd[1])
-			if err != nil {
-				return fmt.Errorf("bench count: %w", err)
+			if writes, err = strconv.Atoi(cmd[1]); err != nil || writes <= 0 {
+				return fmt.Errorf("bench count: %q", cmd[1])
 			}
 		}
-		var totalUS int64
-		for i := 0; i < writes; i++ {
-			resp, err := send(fmt.Sprintf("WRITE bench v%04d", i))
-			if err != nil {
-				return err
+		if len(cmd) > 2 {
+			if window, err = strconv.Atoi(cmd[2]); err != nil || window <= 0 {
+				return fmt.Errorf("bench window: %q", cmd[2])
 			}
-			parts := strings.Fields(resp)
-			if len(parts) != 2 || parts[0] != "OK" {
-				return fmt.Errorf("unexpected response %q", resp)
-			}
-			us, err := strconv.ParseInt(parts[1], 10, 64)
-			if err != nil {
-				return err
-			}
-			totalUS += us
 		}
-		fmt.Printf("%d writes, average %d us\n", writes, totalUS/int64(writes))
+		if err := bench(ctx, c, writes, window); err != nil {
+			return err
+		}
+
 	default:
 		return fmt.Errorf("unknown command %q", cmd[0])
 	}
+	return nil
+}
+
+// bench times writes: sequentially for window 1 (the paper's fifty
+// consecutive writes), pipelined through the submission API otherwise.
+func bench(ctx context.Context, c *remote.Client, writes, window int) error {
+	reg := c.Register("bench")
+	start := time.Now()
+	if window <= 1 {
+		for i := 0; i < writes; i++ {
+			if err := reg.Write(ctx, []byte(fmt.Sprintf("v%04d", i))); err != nil {
+				return fmt.Errorf("write %d: %w", i, err)
+			}
+		}
+	} else {
+		pending := make([]*recmem.WriteFuture, 0, window)
+		for i := 0; i < writes; i++ {
+			f, err := reg.SubmitWrite([]byte(fmt.Sprintf("v%04d", i)))
+			if err != nil {
+				return fmt.Errorf("submit %d: %w", i, err)
+			}
+			pending = append(pending, f)
+			if len(pending) >= window {
+				if err := pending[0].Wait(ctx); err != nil {
+					return err
+				}
+				pending = pending[1:]
+			}
+		}
+		for _, f := range pending {
+			if err := f.Wait(ctx); err != nil {
+				return err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d writes in %v: average %dus, %.0f op/s\n",
+		writes, elapsed.Round(time.Millisecond),
+		elapsed.Microseconds()/int64(writes),
+		float64(writes)/elapsed.Seconds())
 	return nil
 }

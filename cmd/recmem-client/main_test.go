@@ -1,75 +1,104 @@
 package main
 
 import (
-	"bufio"
-	"fmt"
 	"net"
-	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"recmem/internal/core"
+	"recmem/internal/netsim"
+	"recmem/internal/stable"
+	"recmem/remote"
 )
 
-// fakeNode runs a minimal control-protocol server and returns its address.
-func fakeNode(t *testing.T, handle func(cmd []string) string) string {
+// fakeNode runs a real single-process node behind a remote.Server and
+// returns its control address.
+func fakeNode(t *testing.T, kind core.AlgorithmKind) string {
 	t.Helper()
+	nw, err := netsim.New(1, netsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+	var disk stable.Storage
+	if kind.Recovers() {
+		disk = stable.NewMemDisk(stable.Profile{})
+	}
+	nd, err := core.NewNode(0, 1, kind,
+		core.Options{RetransmitEvery: 10 * time.Millisecond},
+		core.Deps{Endpoint: nw.Endpoint(0), Storage: disk, IDs: &atomic.Uint64{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nd.Close)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { ln.Close() })
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go func(conn net.Conn) {
-				defer conn.Close()
-				sc := bufio.NewScanner(conn)
-				for sc.Scan() {
-					fmt.Fprintln(conn, handle(strings.Fields(sc.Text())))
-				}
-			}(conn)
-		}
-	}()
-	return ln.Addr().String()
+	srv := remote.Serve(ln, nd, remote.ServerOptions{})
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr()
 }
 
 func TestClientCommands(t *testing.T) {
-	store := make(map[string]string)
-	addr := fakeNode(t, func(cmd []string) string {
-		switch strings.ToUpper(cmd[0]) {
-		case "PING":
-			return "PONG"
-		case "WRITE":
-			store[cmd[1]] = cmd[2]
-			return "OK 123"
-		case "READ":
-			return "VAL " + store[cmd[1]]
-		case "CRASH", "RECOVER":
-			return "OK 1"
-		default:
-			return "ERR unknown"
-		}
-	})
+	addr := fakeNode(t, core.Persistent)
 	for _, cmd := range [][]string{
+		{"-node", addr, "ping"},
+		{"-node", addr, "info"},
 		{"-node", addr, "write", "x", "hello"},
 		{"-node", addr, "read", "x"},
-		{"-node", addr, "ping"},
 		{"-node", addr, "crash"},
 		{"-node", addr, "recover"},
+		{"-node", addr, "read", "x"},
 		{"-node", addr, "bench", "5"},
+		{"-node", addr, "bench", "20", "8"},
 	} {
 		if err := run(cmd); err != nil {
 			t.Fatalf("%v: %v", cmd, err)
 		}
 	}
-	if store["x"] != "hello" {
-		t.Fatalf("write did not reach the node: %v", store)
+}
+
+func TestSafeReadFlag(t *testing.T) {
+	addr := fakeNode(t, core.RegularSW)
+	if err := run([]string{"-node", addr, "write", "x", "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-node", addr, "read", "-safe", "x"}); err != nil {
+		t.Fatalf("safe read under regular: %v", err)
+	}
+	// Under an atomic algorithm the selection is refused — and the refusal
+	// is a non-zero exit, not a printed ERR line.
+	atomicAddr := fakeNode(t, core.Persistent)
+	if err := run([]string{"-node", atomicAddr, "read", "-safe", "x"}); err == nil {
+		t.Fatal("safe read under persistent must fail")
+	}
+}
+
+// TestErrorsExitNonZero is the scripting contract: every refused operation
+// surfaces as an error from run (→ non-zero exit), never as a printed
+// ERR with a zero exit.
+func TestErrorsExitNonZero(t *testing.T) {
+	addr := fakeNode(t, core.Persistent)
+	// recover of an up node → ErrNotDown
+	if err := run([]string{"-node", addr, "recover"}); err == nil {
+		t.Fatal("recover of an up node exited zero")
+	}
+	// crash, then write → ErrDown
+	if err := run([]string{"-node", addr, "crash"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-node", addr, "write", "x", "v"}); err == nil {
+		t.Fatal("write on a crashed node exited zero")
+	}
+	if err := run([]string{"-node", addr, "bench", "1"}); err == nil {
+		t.Fatal("bench on a crashed node exited zero")
 	}
 }
 
 func TestClientValidation(t *testing.T) {
-	addr := fakeNode(t, func([]string) string { return "ERR nothing" })
+	addr := fakeNode(t, core.Persistent)
 	if err := run([]string{"-node", addr}); err == nil {
 		t.Fatal("accepted missing command")
 	}
@@ -85,11 +114,34 @@ func TestClientValidation(t *testing.T) {
 	if err := run([]string{"-node", addr, "bench", "zebra"}); err == nil {
 		t.Fatal("accepted bad bench count")
 	}
-	// bench against an ERR-only server fails cleanly.
-	if err := run([]string{"-node", addr, "bench", "1"}); err == nil {
-		t.Fatal("bench accepted ERR responses")
+	if err := run([]string{"-node", addr, "bench", "5", "-3"}); err == nil {
+		t.Fatal("accepted bad bench window")
 	}
 	if err := run([]string{"-node", "127.0.0.1:1", "-timeout", "100ms", "ping"}); err == nil {
 		t.Fatal("accepted unreachable node")
+	}
+}
+
+// TestShortReplyFails cuts the connection mid-reply: the client must
+// surface an error, not print a partial result and exit zero.
+func TestShortReplyFails(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Read the request frame, answer with a truncated frame, hang up.
+		buf := make([]byte, 1024)
+		_, _ = conn.Read(buf)
+		_, _ = conn.Write([]byte{0, 0, 0, 50, 1}) // promises 50 bytes, sends 1
+		conn.Close()
+	}()
+	if err := run([]string{"-node", ln.Addr().String(), "-timeout", "2s", "ping"}); err == nil {
+		t.Fatal("short reply exited zero")
 	}
 }

@@ -1,8 +1,13 @@
 // Command recmem-node runs one process of the shared-memory emulation over
 // real TCP, the deployment shape of the paper's measurements (one process
 // per workstation). Processes find each other through a static peer list;
-// clients drive operations through a line-based control port (see
-// cmd/recmem-client).
+// clients drive operations through a binary control port speaking the
+// remote package's length-prefixed RPC protocol (docs/adr/0003): pipelined
+// request/response frames correlated by request id, so one connection
+// sustains arbitrarily many in-flight operations and the node feeds them
+// through its batching engine. Drive it with cmd/recmem-client, or from Go
+// with remote.Dial — the returned client is a recmem.Client, interchangeable
+// with the in-process simulation.
 //
 // A three-process register on one machine:
 //
@@ -11,19 +16,9 @@
 //	recmem-node -id 2 -peers :7100,:7101,:7102 -control :7202 -dir /tmp/n2 &
 //	recmem-client -node :7200 write x hello
 //	recmem-client -node :7201 read x
-//
-// Control protocol (one command per line):
-//
-//	WRITE <register> <value>   -> OK <latency-us> | ERR <reason>
-//	READ <register>            -> VAL <value>     | ERR <reason>
-//	CRASH                      -> OK              | ERR <reason>
-//	RECOVER                    -> OK <latency-us> | ERR <reason>
-//	PING                       -> PONG
 package main
 
 import (
-	"bufio"
-	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -35,6 +30,7 @@ import (
 	"recmem/internal/core"
 	"recmem/internal/nettcp"
 	"recmem/internal/stable"
+	"recmem/remote"
 )
 
 func main() {
@@ -44,144 +40,160 @@ func main() {
 	}
 }
 
+// nodeConfig is the parsed command line.
+type nodeConfig struct {
+	id         int
+	peers      []string
+	control    string
+	dir        string
+	algorithm  string
+	disk       string
+	hardened   bool
+	retransmit time.Duration
+	opTimeout  time.Duration
+}
+
+// nodeServer is one running node plus its control server.
+type nodeServer struct {
+	mesh *nettcp.Mesh
+	node *core.Node
+	disk stable.Storage
+	srv  *remote.Server
+}
+
+// ControlAddr returns the control port's actual address.
+func (ns *nodeServer) ControlAddr() string { return ns.srv.Addr() }
+
+// Done returns a channel closed when the control server stops.
+func (ns *nodeServer) Done() <-chan struct{} { return ns.srv.Done() }
+
+// Close shuts everything down.
+func (ns *nodeServer) Close() {
+	ns.srv.Close()
+	ns.node.Close()
+	ns.mesh.Close()
+	if ns.disk != nil {
+		_ = ns.disk.Close()
+	}
+}
+
+func algorithmByName(name string) (core.AlgorithmKind, error) {
+	switch name {
+	case "crash-stop":
+		return core.CrashStop, nil
+	case "transient":
+		return core.Transient, nil
+	case "persistent":
+		return core.Persistent, nil
+	case "naive":
+		return core.Naive, nil
+	case "regular":
+		return core.RegularSW, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (crash-stop, transient, persistent, naive, regular)", name)
+	}
+}
+
+// startNode validates the configuration and brings the node up; it returns
+// as soon as the mesh and the control port are listening.
+func startNode(cfg nodeConfig) (*nodeServer, error) {
+	if len(cfg.peers) < 1 || cfg.peers[0] == "" && len(cfg.peers) == 1 {
+		return nil, fmt.Errorf("need -peers")
+	}
+	if cfg.id < 0 || cfg.id >= len(cfg.peers) {
+		return nil, fmt.Errorf("-id %d out of range for %d peers", cfg.id, len(cfg.peers))
+	}
+	if cfg.control == "" {
+		return nil, fmt.Errorf("need -control")
+	}
+	kind, err := algorithmByName(cfg.algorithm)
+	if err != nil {
+		return nil, err
+	}
+	if !stable.ValidBackend(cfg.disk) {
+		return nil, fmt.Errorf("-disk: unknown engine %q (want one of %s)", cfg.disk, strings.Join(stable.Backends(), ", "))
+	}
+	if cfg.retransmit <= 0 {
+		cfg.retransmit = 100 * time.Millisecond
+	}
+
+	mesh, err := nettcp.Listen(int32(cfg.id), cfg.peers[cfg.id], nettcp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	mesh.SetPeers(cfg.peers)
+
+	var disk stable.Storage
+	if kind.Recovers() {
+		if cfg.disk == "mem" {
+			// Volatile stand-in for tests and demos: survives Crash/Recover
+			// but not a process restart.
+			disk = stable.NewMemDisk(stable.Profile{})
+		} else {
+			if cfg.dir == "" {
+				mesh.Close()
+				return nil, fmt.Errorf("algorithm %v needs -dir for stable storage", kind)
+			}
+			disk, err = stable.OpenBackend(cfg.disk, cfg.dir, stable.Profile{})
+			if err != nil {
+				mesh.Close()
+				return nil, err
+			}
+		}
+	}
+
+	node, err := core.NewNode(int32(cfg.id), len(cfg.peers), kind,
+		core.Options{RetransmitEvery: cfg.retransmit, HardenedTags: cfg.hardened},
+		core.Deps{Endpoint: mesh, Storage: disk, IDs: &atomic.Uint64{}},
+	)
+	if err != nil {
+		mesh.Close()
+		if disk != nil {
+			_ = disk.Close()
+		}
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", cfg.control)
+	if err != nil {
+		node.Close()
+		mesh.Close()
+		if disk != nil {
+			_ = disk.Close()
+		}
+		return nil, err
+	}
+	srv := remote.Serve(ln, node, remote.ServerOptions{OpTimeout: cfg.opTimeout})
+	return &nodeServer{mesh: mesh, node: node, disk: disk, srv: srv}, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("recmem-node", flag.ContinueOnError)
 	var (
-		id        = fs.Int("id", 0, "this process's id (index into -peers)")
-		peersFlag = fs.String("peers", "", "comma-separated listen addresses of all processes")
-		control   = fs.String("control", "", "address of the client control port")
-		dir       = fs.String("dir", "", "stable-storage directory (required for crash-recovery algorithms)")
-		algorithm = fs.String("algorithm", "persistent", "crash-stop, transient, persistent, or naive")
-		hardened  = fs.Bool("hardened", false, "hardened tags for the transient algorithm")
+		id         = fs.Int("id", 0, "this process's id (index into -peers)")
+		peersFlag  = fs.String("peers", "", "comma-separated listen addresses of all processes")
+		control    = fs.String("control", "", "address of the client control port")
+		dir        = fs.String("dir", "", "stable-storage directory (required for crash-recovery algorithms with a real -disk)")
+		algorithm  = fs.String("algorithm", "persistent", "crash-stop, transient, persistent, naive, or regular")
+		disk       = fs.String("disk", "file", "stable-storage engine: mem, file, or wal")
+		hardened   = fs.Bool("hardened", false, "hardened tags for the transient algorithm")
+		retransmit = fs.Duration("retransmit", 100*time.Millisecond, "protocol retransmission period")
+		opTimeout  = fs.Duration("op-timeout", time.Minute, "server-side bound on one operation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	peers := strings.Split(*peersFlag, ",")
-	if len(peers) < 1 || *peersFlag == "" {
-		return fmt.Errorf("need -peers")
-	}
-	if *id < 0 || *id >= len(peers) {
-		return fmt.Errorf("-id %d out of range for %d peers", *id, len(peers))
-	}
-	if *control == "" {
-		return fmt.Errorf("need -control")
-	}
-	var kind core.AlgorithmKind
-	switch *algorithm {
-	case "crash-stop":
-		kind = core.CrashStop
-	case "transient":
-		kind = core.Transient
-	case "persistent":
-		kind = core.Persistent
-	case "naive":
-		kind = core.Naive
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algorithm)
-	}
-
-	mesh, err := nettcp.Listen(int32(*id), peers[*id], nettcp.Options{})
+	ns, err := startNode(nodeConfig{
+		id: *id, peers: strings.Split(*peersFlag, ","), control: *control,
+		dir: *dir, algorithm: *algorithm, disk: *disk, hardened: *hardened,
+		retransmit: *retransmit, opTimeout: *opTimeout,
+	})
 	if err != nil {
 		return err
 	}
-	defer mesh.Close()
-	mesh.SetPeers(peers)
-
-	var disk stable.Storage
-	if kind.Recovers() {
-		if *dir == "" {
-			return fmt.Errorf("algorithm %v needs -dir for stable storage", kind)
-		}
-		disk, err = stable.NewFileDisk(*dir)
-		if err != nil {
-			return err
-		}
-		defer disk.Close()
-	}
-
-	node, err := core.NewNode(int32(*id), len(peers), kind,
-		core.Options{RetransmitEvery: 100 * time.Millisecond, HardenedTags: *hardened},
-		core.Deps{Endpoint: mesh, Storage: disk, IDs: &atomic.Uint64{}},
-	)
-	if err != nil {
-		return err
-	}
-	defer node.Close()
-
-	ln, err := net.Listen("tcp", *control)
-	if err != nil {
-		return err
-	}
-	defer ln.Close()
-	fmt.Printf("recmem-node %d (%v) serving protocol on %s, control on %s\n",
-		*id, kind, mesh.Addr(), ln.Addr())
-
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return nil // listener closed
-		}
-		go serveControl(conn, node)
-	}
-}
-
-func serveControl(conn net.Conn, node *core.Node) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 128<<10), 128<<10)
-	out := bufio.NewWriter(conn)
-	reply := func(format string, args ...any) {
-		fmt.Fprintf(out, format+"\n", args...)
-		out.Flush()
-	}
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 {
-			continue
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-		switch strings.ToUpper(fields[0]) {
-		case "PING":
-			reply("PONG")
-		case "WRITE":
-			if len(fields) != 3 {
-				reply("ERR usage: WRITE <register> <value>")
-				break
-			}
-			start := time.Now()
-			if _, err := node.Write(ctx, fields[1], []byte(fields[2]), core.OpObserver{}); err != nil {
-				reply("ERR %v", err)
-				break
-			}
-			reply("OK %d", time.Since(start).Microseconds())
-		case "READ":
-			if len(fields) != 2 {
-				reply("ERR usage: READ <register>")
-				break
-			}
-			val, _, err := node.Read(ctx, fields[1], core.OpObserver{})
-			if err != nil {
-				reply("ERR %v", err)
-				break
-			}
-			reply("VAL %s", string(val))
-		case "CRASH":
-			if node.Crash(nil) {
-				reply("OK")
-			} else {
-				reply("ERR already down")
-			}
-		case "RECOVER":
-			start := time.Now()
-			if err := node.Recover(ctx, nil, nil); err != nil {
-				reply("ERR %v", err)
-				break
-			}
-			reply("OK %d", time.Since(start).Microseconds())
-		default:
-			reply("ERR unknown command %q", fields[0])
-		}
-		cancel()
-	}
+	defer ns.Close()
+	fmt.Printf("recmem-node %d (%v, %s disk) serving protocol on %s, control on %s\n",
+		*id, ns.node.Algorithm(), *disk, ns.mesh.Addr(), ns.ControlAddr())
+	<-ns.Done()
+	return nil
 }

@@ -1,97 +1,117 @@
 package main
 
 import (
-	"bufio"
-	"fmt"
-	"net"
-	"strings"
-	"sync/atomic"
+	"context"
+	"errors"
 	"testing"
 	"time"
 
-	"recmem/internal/core"
-	"recmem/internal/netsim"
-	"recmem/internal/stable"
+	"recmem"
+	"recmem/remote"
 )
 
-// newControlledNode builds a 3-process in-memory emulation and serves node
-// 0's control protocol over a pipe; returns a client-side scanner pair.
-func newControlledNode(t *testing.T) (send func(string) string) {
+// startTestNode brings up a single-process node (n = 1, quorum 1 — the
+// mesh loopback short-circuits, so no real peer dialing happens) with the
+// control port on an ephemeral port, and dials it.
+func startTestNode(t *testing.T, algorithm string) *remote.Client {
 	t.Helper()
-	nw, err := netsim.New(3, netsim.Options{})
+	ns, err := startNode(nodeConfig{
+		id:        0,
+		peers:     []string{"127.0.0.1:0"},
+		control:   "127.0.0.1:0",
+		algorithm: algorithm,
+		disk:      "mem",
+		opTimeout: 30 * time.Second,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(nw.Close)
-	ids := &atomic.Uint64{}
-	var node0 *core.Node
-	for i := 0; i < 3; i++ {
-		nd, err := core.NewNode(int32(i), 3, core.Persistent,
-			core.Options{RetransmitEvery: 10 * time.Millisecond},
-			core.Deps{Endpoint: nw.Endpoint(int32(i)), Storage: stable.NewMemDisk(stable.Profile{}), IDs: ids})
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(nd.Close)
-		if i == 0 {
-			node0 = nd
-		}
+	t.Cleanup(ns.Close)
+	c, err := remote.Dial(ns.ControlAddr(), remote.Options{})
+	if err != nil {
+		t.Fatal(err)
 	}
-	client, server := net.Pipe()
-	t.Cleanup(func() { client.Close() })
-	go serveControl(server, node0)
-	rd := bufio.NewReader(client)
-	return func(line string) string {
-		t.Helper()
-		if _, err := fmt.Fprintln(client, line); err != nil {
-			t.Fatal(err)
-		}
-		resp, err := rd.ReadString('\n')
-		if err != nil {
-			t.Fatal(err)
-		}
-		return strings.TrimSpace(resp)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestControlProtocol drives a node end to end through the binary control
+// port: info, write/read, crash/recover, error surfacing.
+func TestControlProtocol(t *testing.T) {
+	c := startTestNode(t, "persistent")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	info, err := c.Info(ctx)
+	if err != nil || info.N != 1 || info.Algorithm != "persistent" {
+		t.Fatalf("info = %+v, %v", info, err)
+	}
+	x := c.Register("x")
+	if err := x.Write(ctx, []byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := x.Read(ctx)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	if got, err := c.Register("nothing").Read(ctx); err != nil || got != nil {
+		t.Fatalf("read of untouched register = %q, %v", got, err)
+	}
+	if err := c.Crash(ctx); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if err := c.Crash(ctx); !errors.Is(err, recmem.ErrDown) {
+		t.Fatalf("double crash: %v", err)
+	}
+	if err := x.Write(ctx, []byte("nope")); !errors.Is(err, recmem.ErrDown) {
+		t.Fatalf("write while down: %v", err)
+	}
+	if err := c.Recover(ctx); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	got, err = x.Read(ctx)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read after recover = %q, %v", got, err)
 	}
 }
 
-func TestControlProtocol(t *testing.T) {
-	send := newControlledNode(t)
-	if got := send("PING"); got != "PONG" {
-		t.Fatalf("PING -> %q", got)
+// TestWALBackedNode runs a node on the WAL storage engine.
+func TestWALBackedNode(t *testing.T) {
+	ns, err := startNode(nodeConfig{
+		id:        0,
+		peers:     []string{"127.0.0.1:0"},
+		control:   "127.0.0.1:0",
+		algorithm: "persistent",
+		disk:      "wal",
+		dir:       t.TempDir(),
+		opTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := send("WRITE x hello"); !strings.HasPrefix(got, "OK ") {
-		t.Fatalf("WRITE -> %q", got)
+	defer ns.Close()
+	c, err := remote.Dial(ns.ControlAddr(), remote.Options{})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := send("READ x"); got != "VAL hello" {
-		t.Fatalf("READ -> %q", got)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := c.Register("x").Write(ctx, []byte("walled")); err != nil {
+		t.Fatal(err)
 	}
-	if got := send("READ nothing"); got != "VAL" {
-		t.Fatalf("READ empty -> %q", got)
+	if err := c.Crash(ctx); err != nil {
+		t.Fatal(err)
 	}
-	if got := send("CRASH"); got != "OK" {
-		t.Fatalf("CRASH -> %q", got)
+	if err := c.Recover(ctx); err != nil {
+		t.Fatal(err)
 	}
-	if got := send("CRASH"); !strings.HasPrefix(got, "ERR") {
-		t.Fatalf("double CRASH -> %q", got)
-	}
-	if got := send("WRITE x nope"); !strings.HasPrefix(got, "ERR") {
-		t.Fatalf("WRITE while down -> %q", got)
-	}
-	if got := send("RECOVER"); !strings.HasPrefix(got, "OK ") {
-		t.Fatalf("RECOVER -> %q", got)
-	}
-	if got := send("READ x"); got != "VAL hello" {
-		t.Fatalf("READ after recover -> %q", got)
-	}
-	// Malformed input.
-	if got := send("WRITE"); !strings.HasPrefix(got, "ERR") {
-		t.Fatalf("bad WRITE -> %q", got)
-	}
-	if got := send("FROB x"); !strings.HasPrefix(got, "ERR") {
-		t.Fatalf("unknown -> %q", got)
-	}
-	if got := send("read x"); got != "VAL hello" {
-		t.Fatalf("lowercase READ -> %q", got)
+	got, err := c.Register("x").Read(ctx)
+	if err != nil || string(got) != "walled" {
+		t.Fatalf("read after WAL recovery = %q, %v", got, err)
 	}
 }
 
@@ -109,6 +129,9 @@ func TestRunValidation(t *testing.T) {
 		t.Fatal("accepted unknown algorithm")
 	}
 	if err := run([]string{"-peers", "127.0.0.1:0,x", "-id", "0", "-control", ":0", "-algorithm", "persistent"}); err == nil {
-		t.Fatal("accepted missing -dir for a recovery algorithm")
+		t.Fatal("accepted missing -dir for a recovery algorithm with a real disk")
+	}
+	if err := run([]string{"-peers", "127.0.0.1:0,x", "-id", "0", "-control", ":0", "-disk", "floppy"}); err == nil {
+		t.Fatal("accepted unknown disk engine")
 	}
 }

@@ -4,11 +4,24 @@
 // history against the algorithm's consistency criterion. A non-zero exit
 // means a real atomicity violation was found.
 //
+// The scenario itself — workload.RunClients plus workload.ClientFaults — is
+// written against the backend-agnostic recmem.Client interface and runs
+// unmodified against two backends:
+//
+//   - the default in-process simulated cluster, where the recorded history
+//     is verified after the run, and
+//   - a live TCP mesh (-remote addr,addr,...), where each address is a
+//     recmem-node control port dialed through the remote package; the same
+//     crash/recover sweeps and pipelined async windows are driven over the
+//     wire (no global history exists there, so the checkers are skipped and
+//     the run asserts operational health instead).
+//
 // Usage:
 //
 //	recmem-torture -algorithm persistent -n 5 -ops 200 -rounds 10
 //	recmem-torture -algorithm transient -loss 0.2 -dup 0.1 -seed 7
 //	recmem-torture -algorithm persistent -disk wal -diskfail 0.2
+//	recmem-torture -remote :7200,:7201,:7202 -ops 200 -async 16
 //
 // -disk selects the stable-storage engine (mem, file, or wal — the
 // log-structured group-commit engine). -diskfail wraps every disk in a
@@ -27,12 +40,14 @@ import (
 	"strings"
 	"time"
 
+	"recmem"
 	"recmem/internal/atomicity"
 	"recmem/internal/cluster"
 	"recmem/internal/core"
 	"recmem/internal/netsim"
 	"recmem/internal/stable"
 	"recmem/internal/workload"
+	"recmem/remote"
 )
 
 func main() {
@@ -57,23 +72,44 @@ func algorithmByName(name string) (core.AlgorithmKind, error) {
 	}
 }
 
+// options is the parsed command line shared by both backends.
+type options struct {
+	kind     core.AlgorithmKind
+	n        int
+	ops      int
+	seed     int64
+	loss     float64
+	dup      float64
+	reads    float64
+	regs     int
+	async    int
+	hardened bool
+	faultFor time.Duration
+	traceCap int
+	disk     string
+	diskFail float64
+	remote   []string
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("recmem-torture", flag.ContinueOnError)
 	var (
-		algorithm = fs.String("algorithm", "persistent", "crash-stop, transient, persistent, or naive")
-		n         = fs.Int("n", 5, "number of processes")
-		ops       = fs.Int("ops", 100, "operations per process per round")
-		rounds    = fs.Int("rounds", 5, "independent torture rounds")
-		seed      = fs.Int64("seed", time.Now().UnixNano(), "base random seed")
-		loss      = fs.Float64("loss", 0, "message loss rate [0,1)")
-		dup       = fs.Float64("dup", 0, "message duplication rate [0,1)")
-		reads     = fs.Float64("reads", 0.4, "fraction of operations that are reads")
-		regs      = fs.Int("registers", 2, "number of registers")
-		hardened  = fs.Bool("hardened", false, "use hardened tags for the transient algorithm")
-		faultFor  = fs.Duration("faults", time.Second, "fault-injection duration per round")
-		traceCap  = fs.Int("trace", 0, "protocol trace capacity; dumped when a violation is found (0 = off)")
-		disk      = fs.String("disk", "mem", "stable-storage engine: mem, file, or wal")
-		diskFail  = fs.Float64("diskfail", 0, "injected Store/StoreBatch failure rate [0,1)")
+		algorithm  = fs.String("algorithm", "persistent", "crash-stop, transient, persistent, or naive")
+		n          = fs.Int("n", 5, "number of processes")
+		ops        = fs.Int("ops", 100, "operations per process per round")
+		rounds     = fs.Int("rounds", 5, "independent torture rounds")
+		seed       = fs.Int64("seed", time.Now().UnixNano(), "base random seed")
+		loss       = fs.Float64("loss", 0, "message loss rate [0,1)")
+		dup        = fs.Float64("dup", 0, "message duplication rate [0,1)")
+		reads      = fs.Float64("reads", 0.4, "fraction of operations that are reads")
+		regs       = fs.Int("registers", 2, "number of registers")
+		async      = fs.Int("async", 0, "submission window per client (>= 2 engages the batching engine)")
+		hardened   = fs.Bool("hardened", false, "use hardened tags for the transient algorithm")
+		faultFor   = fs.Duration("faults", time.Second, "fault-injection duration per round")
+		traceCap   = fs.Int("trace", 0, "protocol trace capacity; dumped when a violation is found (0 = off)")
+		disk       = fs.String("disk", "mem", "stable-storage engine: mem, file, or wal")
+		diskFail   = fs.Float64("diskfail", 0, "injected Store/StoreBatch failure rate [0,1)")
+		remoteFlag = fs.String("remote", "", "comma-separated recmem-node control addresses: drive a live mesh instead of the simulator")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,13 +121,32 @@ func run(args []string) error {
 	if !stable.ValidBackend(*disk) {
 		return fmt.Errorf("-disk: unknown engine %q (want one of %s)", *disk, strings.Join(stable.Backends(), ", "))
 	}
+	o := options{
+		kind: kind, n: *n, ops: *ops, seed: *seed, loss: *loss, dup: *dup,
+		reads: *reads, regs: *regs, async: *async, hardened: *hardened,
+		faultFor: *faultFor, traceCap: *traceCap, disk: *disk, diskFail: *diskFail,
+	}
+	if *remoteFlag != "" {
+		o.remote = strings.Split(*remoteFlag, ",")
+	}
 
 	for round := 0; round < *rounds; round++ {
 		roundSeed := *seed + int64(round)*1_000_003
-		if err := tortureRound(kind, *n, *ops, roundSeed, *loss, *dup, *reads, *regs, *hardened, *faultFor, *traceCap, *disk, *diskFail); err != nil {
+		o.seed = roundSeed
+		var err error
+		if len(o.remote) > 0 {
+			err = remoteRound(o)
+		} else {
+			err = tortureRound(o)
+		}
+		if err != nil {
 			return fmt.Errorf("round %d (seed %d): %w", round, roundSeed, err)
 		}
 		fmt.Printf("round %d ok (seed %d)\n", round, roundSeed)
+	}
+	if len(o.remote) > 0 {
+		fmt.Printf("all %d rounds passed against the live mesh %v\n", *rounds, o.remote)
+		return nil
 	}
 	fmt.Printf("all %d rounds passed: %s emulation upheld %s\n",
 		*rounds, kind, modeFor(kind))
@@ -109,19 +164,57 @@ func modeFor(kind core.AlgorithmKind) atomicity.Mode {
 	}
 }
 
-func tortureRound(kind core.AlgorithmKind, n, ops int, seed int64, loss, dup, reads float64, regs int, hardened bool, faultFor time.Duration, traceCap int, disk string, diskFail float64) error {
+// mixFor builds the operation mix both backends drive.
+func mixFor(o options) workload.Mix {
+	names := make([]string, o.regs)
+	for i := range names {
+		names[i] = fmt.Sprintf("r%d", i)
+	}
+	mix := workload.Mix{ReadFraction: o.reads, Registers: names, Async: o.async}
+	if o.diskFail > 0 {
+		// A writer whose own log fails aborts its operation: expected under
+		// storage fault injection, equivalent to a crash for the checkers.
+		mix.Forgive = func(err error) bool { return errors.Is(err, stable.ErrInjected) }
+	}
+	return mix
+}
+
+// scenario is the backend-agnostic torture round: fault sweeps through the
+// Client interface while RunClients drives the mix. The identical function
+// runs against the simulator's clients and against remote.Dial'ed ones.
+func scenario(ctx context.Context, clients []recmem.Client, o options, faults bool) (workload.Result, int, error) {
+	faultsDone := make(chan int, 1)
+	if faults {
+		faultCtx, stopFaults := context.WithTimeout(ctx, o.faultFor)
+		defer stopFaults()
+		go func() {
+			faultsDone <- workload.ClientFaults(faultCtx, clients, workload.ClientFaultOptions{
+				Seed: o.seed, MeanInterval: 10 * time.Millisecond,
+			})
+		}()
+	} else {
+		faultsDone <- 0
+	}
+	res := workload.RunClients(ctx, clients, o.ops, mixFor(o), o.seed)
+	crashes := <-faultsDone
+	return res, crashes, nil
+}
+
+// tortureRound runs the scenario against a fresh simulated cluster and
+// model-checks the recorded history.
+func tortureRound(o options) error {
 	cfg := cluster.Config{
-		N:         n,
-		Algorithm: kind,
+		N:         o.n,
+		Algorithm: o.kind,
 		Node: core.Options{
 			RetransmitEvery: 5 * time.Millisecond,
-			HardenedTags:    hardened,
+			HardenedTags:    o.hardened,
 		},
-		Net:           netsim.Options{LossRate: loss, DupRate: dup, Seed: seed},
-		TraceCapacity: traceCap,
+		Net:           netsim.Options{LossRate: o.loss, DupRate: o.dup, Seed: o.seed},
+		TraceCapacity: o.traceCap,
 	}
 	var diskDir string
-	if disk != "mem" {
+	if o.disk != "mem" {
 		var err error
 		diskDir, err = os.MkdirTemp("", "recmem-torture-*")
 		if err != nil {
@@ -129,14 +222,15 @@ func tortureRound(kind core.AlgorithmKind, n, ops int, seed int64, loss, dup, re
 		}
 		defer os.RemoveAll(diskDir)
 	}
-	if disk != "mem" || diskFail > 0 {
+	if o.disk != "mem" || o.diskFail > 0 {
+		seed := o.seed
 		cfg.DiskFactory = func(id int32) (stable.Storage, error) {
-			s, err := stable.OpenBackend(disk, fmt.Sprintf("%s/node%d", diskDir, id), stable.Profile{})
+			s, err := stable.OpenBackend(o.disk, fmt.Sprintf("%s/node%d", diskDir, id), stable.Profile{})
 			if err != nil {
 				return nil, err
 			}
-			if diskFail > 0 {
-				s = stable.NewFlaky(s, diskFail, seed+int64(id)*104_729)
+			if o.diskFail > 0 {
+				s = stable.NewFlaky(s, o.diskFail, seed+int64(id)*104_729)
 			}
 			return s, nil
 		}
@@ -150,31 +244,11 @@ func tortureRound(kind core.AlgorithmKind, n, ops int, seed int64, loss, dup, re
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
-	faultsDone := make(chan int, 1)
-	if kind.Recovers() {
-		faultCtx, stopFaults := context.WithTimeout(ctx, faultFor)
-		defer stopFaults()
-		go func() {
-			faultsDone <- c.RandomFaults(faultCtx, cluster.FaultOptions{
-				Seed: seed, MeanInterval: 10 * time.Millisecond,
-			})
-		}()
-	} else {
-		faultsDone <- 0
+	clients := workload.Clients(c, workload.AllProcs(o.n))
+	res, crashes, err := scenario(ctx, clients, o, o.kind.Recovers())
+	if err != nil {
+		return err
 	}
-
-	names := make([]string, regs)
-	for i := range names {
-		names[i] = fmt.Sprintf("r%d", i)
-	}
-	mix := workload.Mix{ReadFraction: reads, Registers: names}
-	if diskFail > 0 {
-		// A writer whose own log fails aborts its operation: expected under
-		// storage fault injection, equivalent to a crash for the checkers.
-		mix.Forgive = func(err error) bool { return errors.Is(err, stable.ErrInjected) }
-	}
-	res := workload.Run(ctx, c, workload.AllProcs(n), ops, mix, seed)
-	crashes := <-faultsDone
 	// With storage faults injected, a recovery's own log can fail too;
 	// retry until the store lets it through (faults are probabilistic).
 	for {
@@ -182,7 +256,7 @@ func tortureRound(kind core.AlgorithmKind, n, ops int, seed int64, loss, dup, re
 		if err == nil {
 			break
 		}
-		if !(diskFail > 0 && errors.Is(err, stable.ErrInjected)) || ctx.Err() != nil {
+		if !(o.diskFail > 0 && errors.Is(err, stable.ErrInjected)) || ctx.Err() != nil {
 			return fmt.Errorf("recover all: %w", err)
 		}
 	}
@@ -191,12 +265,58 @@ func tortureRound(kind core.AlgorithmKind, n, ops int, seed int64, loss, dup, re
 	}
 	fmt.Printf("  %d writes, %d reads, %d interrupted, %d crashes injected\n",
 		res.Writes, res.Reads, res.Interrupted, crashes)
-	if err := c.Check(modeFor(kind)); err != nil {
+	if err := c.Check(modeFor(o.kind)); err != nil {
 		// A real violation: dump the protocol trace if one was kept.
 		if c.DumpTrace(os.Stderr) {
 			fmt.Fprintln(os.Stderr, "--- protocol trace above ---")
 		}
 		return err
 	}
+	return nil
+}
+
+// remoteRound runs the identical scenario against a live mesh of
+// recmem-nodes. There is no global history to verify, so the round asserts
+// operational health: no unexpected errors, every process healthy at the
+// end, and a read observing the run's effects.
+func remoteRound(o options) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	clients := make([]recmem.Client, len(o.remote))
+	for i, addr := range o.remote {
+		c, err := remote.Dial(strings.TrimSpace(addr), remote.Options{})
+		if err != nil {
+			return fmt.Errorf("dial %s: %w", addr, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	res, crashes, err := scenario(ctx, clients, o, true)
+	if err != nil {
+		return err
+	}
+	// Everything must be recoverable at the end of the round.
+	for i, c := range clients {
+		if err := c.Recover(ctx); err != nil && !errors.Is(err, recmem.ErrNotDown) {
+			return fmt.Errorf("final recover of node %d: %w", i, err)
+		}
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("workload saw %d unexpected errors", res.Errors)
+	}
+	// The mesh still serves: a write through one client is read through
+	// another.
+	probe := fmt.Sprintf("probe-%d", o.seed)
+	if err := clients[0].Register("r0").Write(ctx, []byte(probe)); err != nil {
+		return fmt.Errorf("final probe write: %w", err)
+	}
+	got, err := clients[len(clients)-1].Register("r0").Read(ctx)
+	if err != nil || string(got) != probe {
+		return fmt.Errorf("final probe read = %q, %v (want %q)", got, err, probe)
+	}
+	fmt.Printf("  %d writes, %d reads, %d interrupted, %d crashes injected (live mesh)\n",
+		res.Writes, res.Reads, res.Interrupted, crashes)
 	return nil
 }

@@ -1,9 +1,15 @@
 package main
 
 import (
+	"net"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"recmem/internal/core"
+	"recmem/internal/nettcp"
+	"recmem/internal/stable"
+	"recmem/remote"
 )
 
 func TestAlgorithmByName(t *testing.T) {
@@ -21,23 +27,43 @@ func TestAlgorithmByName(t *testing.T) {
 	}
 }
 
+// opts builds a small, fast round configuration.
+func opts(kind string, t *testing.T) options {
+	return options{
+		kind: mustKind(t, kind), n: 3, ops: 10, seed: 42,
+		reads: 0.5, regs: 1, faultFor: 100 * time.Millisecond, disk: "mem",
+	}
+}
+
 func TestTortureRoundPersistent(t *testing.T) {
-	err := tortureRound(mustKind(t, "persistent"), 3, 10, 42, 0, 0, 0.5, 1, false, 100_000_000 /* 100ms */, 256, "mem", 0)
-	if err != nil {
+	o := opts("persistent", t)
+	o.traceCap = 256
+	if err := tortureRound(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTortureRoundAsync(t *testing.T) {
+	o := opts("persistent", t)
+	o.async = 8
+	o.ops = 24
+	if err := tortureRound(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestTortureRoundTransientWithLoss(t *testing.T) {
-	err := tortureRound(mustKind(t, "transient"), 3, 8, 7, 0.1, 0.05, 0.5, 2, true, 100_000_000, 0, "mem", 0)
-	if err != nil {
+	o := opts("transient", t)
+	o.ops, o.seed, o.loss, o.dup, o.regs, o.hardened = 8, 7, 0.1, 0.05, 2, true
+	if err := tortureRound(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestTortureRoundCrashStop(t *testing.T) {
-	err := tortureRound(mustKind(t, "crash-stop"), 3, 10, 3, 0, 0, 0.5, 1, false, 0, 0, "mem", 0)
-	if err != nil {
+	o := opts("crash-stop", t)
+	o.seed, o.faultFor = 3, 0
+	if err := tortureRound(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -48,8 +74,9 @@ func TestTortureRoundCrashStop(t *testing.T) {
 // commit never acknowledged a lost log — a violation would surface as a
 // read missing an acknowledged write after a crash.
 func TestTortureRoundWALFlaky(t *testing.T) {
-	err := tortureRound(mustKind(t, "persistent"), 3, 12, 99, 0, 0, 0.5, 2, false, 100_000_000, 256, "wal", 0.2)
-	if err != nil {
+	o := opts("persistent", t)
+	o.ops, o.seed, o.regs, o.traceCap, o.disk, o.diskFail = 12, 99, 2, 256, "wal", 0.2
+	if err := tortureRound(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -58,8 +85,54 @@ func TestTortureRoundWALFlaky(t *testing.T) {
 // over the wal engine, where the recovery log itself can be refused by an
 // injected fault and must be retried.
 func TestTortureRoundWALTransient(t *testing.T) {
-	err := tortureRound(mustKind(t, "transient"), 3, 10, 5, 0, 0, 0.4, 1, true, 100_000_000, 0, "wal", 0.15)
-	if err != nil {
+	o := opts("transient", t)
+	o.seed, o.reads, o.hardened, o.disk, o.diskFail = 5, 0.4, true, "wal", 0.15
+	if err := tortureRound(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteRound is the acceptance scenario: the identical torture round —
+// same workload.RunClients, same workload.ClientFaults — driven against a
+// real 3-node TCP mesh through the remote package, selected only by which
+// clients are passed in.
+func TestRemoteRound(t *testing.T) {
+	meshes := make([]*nettcp.Mesh, 3)
+	peers := make([]string, 3)
+	for i := range meshes {
+		m, err := nettcp.Listen(int32(i), "127.0.0.1:0", nettcp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m.Close() })
+		meshes[i] = m
+		peers[i] = m.Addr()
+	}
+	ids := &atomic.Uint64{}
+	addrs := make([]string, 3)
+	for i := range meshes {
+		meshes[i].SetPeers(peers)
+		nd, err := core.NewNode(int32(i), 3, core.Persistent,
+			core.Options{RetransmitEvery: 10 * time.Millisecond},
+			core.Deps{Endpoint: meshes[i], Storage: stable.NewMemDisk(stable.Profile{}), IDs: ids})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(nd.Close)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := remote.Serve(ln, nd, remote.ServerOptions{OpTimeout: 30 * time.Second})
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+
+	o := opts("persistent", t)
+	o.remote = addrs
+	o.ops = 20
+	o.async = 6
+	if err := remoteRound(o); err != nil {
 		t.Fatal(err)
 	}
 }

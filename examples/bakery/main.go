@@ -24,18 +24,37 @@ import (
 	"recmem"
 )
 
-// contender is one thread of the bakery algorithm, bound to one emulated
-// process.
+// contender is one thread of the bakery algorithm, bound to one client.
+// The bakery's waiting loops poll the same registers over and over, so the
+// contender holds first-class Register handles: each register's dispatch
+// resolution happens once, not per poll — and because the contender is
+// written against recmem.Client, the identical code would run against a
+// live TCP mesh through remote.Dial.
 type contender struct {
-	p  *recmem.Process
-	id int
-	n  int // number of contenders
+	c    recmem.Client
+	id   int
+	n    int // number of contenders
+	regs map[string]*recmem.Register
+}
+
+func newContender(c recmem.Client, id, n int) *contender {
+	return &contender{c: c, id: id, n: n, regs: make(map[string]*recmem.Register)}
 }
 
 func register(prefix string, i int) string { return prefix + "/" + strconv.Itoa(i) }
 
+// reg returns the cached handle for a register name.
+func (c *contender) reg(name string) *recmem.Register {
+	r := c.regs[name]
+	if r == nil {
+		r = c.c.Register(name)
+		c.regs[name] = r
+	}
+	return r
+}
+
 func (c *contender) readInt(ctx context.Context, reg string) (int, error) {
-	val, err := c.p.Read(ctx, reg)
+	val, err := c.reg(reg).Read(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -46,7 +65,7 @@ func (c *contender) readInt(ctx context.Context, reg string) (int, error) {
 }
 
 func (c *contender) writeInt(ctx context.Context, reg string, v int) error {
-	return c.p.Write(ctx, reg, []byte(strconv.Itoa(v)))
+	return c.reg(reg).Write(ctx, []byte(strconv.Itoa(v)))
 }
 
 // lock runs the bakery doorway and waiting protocol.
@@ -135,7 +154,7 @@ func run() error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			me := &contender{p: c.Process(i), id: i, n: contenders}
+			me := newContender(c.Process(i), i, contenders)
 			for e := 0; e < entries; e++ {
 				if err := me.lock(ctx); err != nil {
 					errs <- fmt.Errorf("contender %d lock: %w", i, err)
@@ -164,7 +183,7 @@ func run() error {
 		return err
 	}
 
-	final, err := (&contender{p: c.Process(0), id: 0, n: contenders}).readInt(ctx, "counter")
+	final, err := newContender(c.Process(0), 0, contenders).readInt(ctx, "counter")
 	if err != nil {
 		return err
 	}

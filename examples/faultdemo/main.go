@@ -70,7 +70,9 @@ func schedule(algo recmem.Algorithm) error {
 	done := make(chan error, 1)
 	go func() { done <- writer.Write(ctx, "x", []byte("v2")) }()
 	waitForV2(ctx, c)
-	writer.Crash()
+	if err := writer.Crash(ctx); err != nil {
+		return err
+	}
 	if err := <-done; !errors.Is(err, recmem.ErrCrashed) {
 		return fmt.Errorf("W(v2) should be interrupted, got %v", err)
 	}

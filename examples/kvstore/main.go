@@ -22,21 +22,44 @@ import (
 )
 
 // KV is a multi-reader multi-writer key-value store. Each client is bound
-// to one emulated process; any client may access any key.
+// to one backend client; any client may access any key. The store is
+// written against the backend-agnostic recmem.Client interface, so the same
+// code runs on the simulated cluster (as here) or on a live TCP mesh
+// through remote.Dial. Register handles are cached per key: the per-key
+// dispatcher resolution happens on first touch, not on every operation.
 type KV struct {
-	p *recmem.Process
+	c    recmem.Client
+	mu   sync.Mutex
+	keys map[string]*recmem.Register
+}
+
+// NewKV builds a store over any backend client.
+func NewKV(c recmem.Client) *KV {
+	return &KV{c: c, keys: make(map[string]*recmem.Register)}
+}
+
+// register returns the cached handle for key.
+func (kv *KV) register(key string) *recmem.Register {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	r := kv.keys[key]
+	if r == nil {
+		r = kv.c.Register(key)
+		kv.keys[key] = r
+	}
+	return r
 }
 
 // Put stores value under key, surviving any minority of crashed processes
 // and any number of crash-recoveries.
 func (kv *KV) Put(ctx context.Context, key, value string) error {
-	return kv.p.Write(ctx, key, []byte(value))
+	return kv.register(key).Write(ctx, []byte(value))
 }
 
 // Get returns the latest value of key ("" if never set). Gets are atomic:
 // two sequential Gets never observe values out of write order.
 func (kv *KV) Get(ctx context.Context, key string) (string, error) {
-	val, err := kv.p.Read(ctx, key)
+	val, err := kv.register(key).Read(ctx)
 	return string(val), err
 }
 
@@ -58,7 +81,7 @@ func run() error {
 	defer c.Close()
 
 	// Three clients on three different processes share the store.
-	clients := []*KV{{c.Process(0)}, {c.Process(1)}, {c.Process(2)}}
+	clients := []*KV{NewKV(c.Process(0)), NewKV(c.Process(1)), NewKV(c.Process(2))}
 
 	var wg sync.WaitGroup
 	for i, kv := range clients {
@@ -84,7 +107,9 @@ func run() error {
 	// the clients never notice.
 	chaos := c.Process(4)
 	time.Sleep(5 * time.Millisecond)
-	chaos.Crash()
+	if err := chaos.Crash(ctx); err != nil {
+		return err
+	}
 	fmt.Println("process 4 crashed mid-run")
 	time.Sleep(10 * time.Millisecond)
 	if err := chaos.Recover(ctx); err != nil {
@@ -96,7 +121,7 @@ func run() error {
 
 	// Read the final state from the process that crashed: it catches up
 	// through the protocol (and its reads are atomic like everyone's).
-	kv4 := &KV{chaos}
+	kv4 := NewKV(chaos)
 	for k := 0; k < 3; k++ {
 		key := fmt.Sprintf("user:%d", k)
 		val, err := kv4.Get(ctx, key)

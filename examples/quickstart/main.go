@@ -36,13 +36,19 @@ func run() error {
 
 	writer, reader := c.Process(0), c.Process(3)
 
+	// First-class register handles: the dispatcher resolution happens here,
+	// once, not on every operation.
+	greeting := writer.Register("greeting")
+	greetingAt3 := reader.Register("greeting")
+
 	// A write is atomic: once it returns, every subsequent read anywhere
-	// sees it (or something newer).
-	op, err := writer.WriteOp(ctx, "greeting", []byte("hello, crash-recovery world"))
-	if err != nil {
+	// sees it (or something newer). WithCost captures the operation id for
+	// log-complexity accounting.
+	var op recmem.OpID
+	if err := greeting.Write(ctx, []byte("hello, crash-recovery world"), recmem.WithCost(&op)); err != nil {
 		return err
 	}
-	val, err := reader.Read(ctx, "greeting")
+	val, err := greetingAt3.Read(ctx)
 	if err != nil {
 		return err
 	}
@@ -54,21 +60,24 @@ func run() error {
 		c.CostOf(op).CausalLogs, c.CostOf(op).TotalLogs)
 
 	// Crash the writer: its volatile memory is gone...
-	writer.Crash()
+	if err := writer.Crash(ctx); err != nil {
+		return err
+	}
 	fmt.Println("process 0 crashed")
 
 	// ...but stable storage and the majority still hold the value.
-	if val, err = reader.Read(ctx, "greeting"); err != nil {
+	if val, err = greetingAt3.Read(ctx); err != nil {
 		return err
 	}
 	fmt.Printf("while 0 is down, process 3 still reads: %q\n", val)
 
 	// Recovery replays the recovery procedure of Fig. 4 (finish any
-	// interrupted write) and rejoins.
+	// interrupted write) and rejoins. The handle survives the crash —
+	// handles are bound to the process, not its incarnation.
 	if err := writer.Recover(ctx); err != nil {
 		return err
 	}
-	if val, err = writer.Read(ctx, "greeting"); err != nil {
+	if val, err = greeting.Read(ctx); err != nil {
 		return err
 	}
 	fmt.Printf("recovered process 0 reads: %q\n", val)

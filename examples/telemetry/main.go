@@ -70,7 +70,8 @@ func run() error {
 	defer c.Close()
 
 	const publishes = 20
-	sensor := c.Process(0) // the designated single writer
+	sensor := c.Process(0)            // the designated single writer
+	feed := sensor.Register("sensor") // the publish handle, resolved once
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -78,11 +79,19 @@ func run() error {
 	// Consumers on three other processes poll continuously and check that
 	// the sequence numbers they observe never regress by more than the one
 	// in-flight publish (regularity: last completed or concurrent).
+	// Consumer 3 polls with safe reads (WithConsistency(Safety)): a §VI
+	// safe read is served by the writer alone — 2 messages instead of a
+	// majority fan-out — and blocks while the sensor is down instead of
+	// degrading.
 	for _, p := range []int{1, 2, 3} {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			consumer := c.Process(p)
+			poll := c.Process(p).Register("sensor")
+			var opts []recmem.OpOption
+			if p == 3 {
+				opts = append(opts, recmem.WithConsistency(recmem.Safety))
+			}
 			var lastSeen uint32
 			polls := 0
 			for {
@@ -92,7 +101,7 @@ func run() error {
 					return
 				default:
 				}
-				raw, err := consumer.Read(ctx, "sensor")
+				raw, err := poll.Read(ctx, opts...)
 				if err != nil {
 					log.Printf("consumer %d: %v", p, err)
 					return
@@ -123,11 +132,13 @@ func run() error {
 	// The sensor publishes, surviving a crash in the middle of the run.
 	for i := uint32(1); i <= publishes; i++ {
 		r := reading{seq: i, temp: 20 + 5*math.Sin(float64(i)/3)}
-		if err := sensor.Write(ctx, "sensor", r.encode()); err != nil {
+		if err := feed.Write(ctx, r.encode()); err != nil {
 			return fmt.Errorf("publish %d: %w", i, err)
 		}
 		if i == publishes/2 {
-			sensor.Crash()
+			if err := sensor.Crash(ctx); err != nil {
+				return err
+			}
 			fmt.Println("sensor crashed mid-run")
 			if err := sensor.Recover(ctx); err != nil {
 				return err

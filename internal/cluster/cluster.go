@@ -154,12 +154,8 @@ type Report struct {
 // recorded in the history as a string.
 func (c *Cluster) Write(ctx context.Context, proc int32, reg string, val []byte) (Report, error) {
 	nd := c.nodes[proc]
-	obs := core.OpObserver{
-		OnInvoke: func(op uint64) { c.rec.InvokeWithID(proc, history.Write, op, reg, string(val)) },
-		OnReturn: func(op uint64, _ []byte) { c.rec.Return(proc, history.Write, op, reg, "") },
-	}
 	start := time.Now()
-	op, err := nd.Write(ctx, reg, val, obs)
+	op, err := nd.Write(ctx, reg, val, c.writeObs(proc, reg, val))
 	if err != nil {
 		return Report{Op: op}, err
 	}
@@ -172,12 +168,8 @@ func (c *Cluster) Write(ctx context.Context, proc int32, reg string, val []byte)
 // register's initial value ⊥.
 func (c *Cluster) Read(ctx context.Context, proc int32, reg string) ([]byte, Report, error) {
 	nd := c.nodes[proc]
-	obs := core.OpObserver{
-		OnInvoke: func(op uint64) { c.rec.InvokeWithID(proc, history.Read, op, reg, "") },
-		OnReturn: func(op uint64, v []byte) { c.rec.Return(proc, history.Read, op, reg, string(v)) },
-	}
 	start := time.Now()
-	val, op, err := nd.Read(ctx, reg, obs)
+	val, op, err := nd.Read(ctx, reg, c.readObs(proc, reg))
 	if err != nil {
 		return nil, Report{Op: op}, err
 	}
@@ -203,11 +195,7 @@ func (c *Cluster) Read(ctx context.Context, proc int32, reg string) ([]byte, Rep
 // built with the async API verify directly.
 func (c *Cluster) SubmitWrite(proc int32, reg string, val []byte) (*core.Future, error) {
 	vp := c.vproc.Add(1) - 1
-	obs := core.OpObserver{
-		OnInvoke: func(op uint64) { c.rec.InvokeWithID(vp, history.Write, op, reg, string(val)) },
-		OnReturn: func(op uint64, _ []byte) { c.rec.Return(vp, history.Write, op, reg, "") },
-	}
-	return c.nodes[proc].SubmitWrite(reg, val, obs)
+	return c.nodes[proc].SubmitWrite(reg, val, c.writeObs(vp, reg, val))
 }
 
 // SubmitRead asynchronously reads through process proc's batching engine;
@@ -215,11 +203,7 @@ func (c *Cluster) SubmitWrite(proc int32, reg string, val []byte) (*core.Future,
 // History attribution follows SubmitWrite.
 func (c *Cluster) SubmitRead(proc int32, reg string) (*core.Future, error) {
 	vp := c.vproc.Add(1) - 1
-	obs := core.OpObserver{
-		OnInvoke: func(op uint64) { c.rec.InvokeWithID(vp, history.Read, op, reg, "") },
-		OnReturn: func(op uint64, v []byte) { c.rec.Return(vp, history.Read, op, reg, string(v)) },
-	}
-	return c.nodes[proc].SubmitRead(reg, obs)
+	return c.nodes[proc].SubmitRead(reg, c.readObs(vp, reg))
 }
 
 // Crash fails process proc: its volatile state is lost, in-flight operations

@@ -128,9 +128,11 @@ func (eng *engine) shardFor(reg string) *engineShard {
 	return &eng.shards[maphash.String(eng.seed, reg)%engineShards]
 }
 
-// enqueue appends a submission to the register's queue and starts a
-// dispatcher for the register if none is running.
-func (eng *engine) enqueue(reg string, sub *batchSub) {
+// queueFor resolves (creating on first use) the register's queue and owning
+// shard. Queues are never removed from the map, so the returned pointers
+// stay valid for the node's lifetime — RegisterRef caches them to take the
+// maphash + map lookup off the per-operation hot path.
+func (eng *engine) queueFor(reg string) (*engineShard, *regQueue) {
 	sh := eng.shardFor(reg)
 	sh.mu.Lock()
 	q := sh.regs[reg]
@@ -138,6 +140,21 @@ func (eng *engine) enqueue(reg string, sub *batchSub) {
 		q = &regQueue{}
 		sh.regs[reg] = q
 	}
+	sh.mu.Unlock()
+	return sh, q
+}
+
+// enqueue appends a submission to the register's queue and starts a
+// dispatcher for the register if none is running.
+func (eng *engine) enqueue(reg string, sub *batchSub) {
+	sh, q := eng.queueFor(reg)
+	eng.enqueueResolved(sh, q, reg, sub)
+}
+
+// enqueueResolved is enqueue with the shard and queue already resolved (the
+// cached-handle fast path).
+func (eng *engine) enqueueResolved(sh *engineShard, q *regQueue, reg string, sub *batchSub) {
+	sh.mu.Lock()
 	q.pending = append(q.pending, sub)
 	if !q.running {
 		q.running = true

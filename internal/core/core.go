@@ -256,6 +256,9 @@ func NewNode(id int32, n int, kind AlgorithmKind, opts Options, deps Deps) (*Nod
 // ID returns the process id.
 func (nd *Node) ID() int32 { return nd.id }
 
+// N returns the number of processes in the emulation.
+func (nd *Node) N() int { return nd.n }
+
 // Quorum returns the majority size ⌈(n+1)/2⌉.
 func (nd *Node) Quorum() int { return nd.quorum }
 

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"recmem/internal/wire"
+)
+
+// This file implements first-class register handles: a RegisterRef resolves
+// everything per-register the node would otherwise look up on every
+// operation — the batching engine's shard and queue (maphash + map lookup)
+// and the per-register write-execution lock (sync.Map lookup) — exactly
+// once, so handle-based operations touch only pointer-stable state on the
+// hot path. It also implements the §VI read-consistency selection: the
+// regular register's read can be downgraded to a safe read served by the
+// writer alone.
+
+// ReadMode selects the consistency of a single read operation.
+type ReadMode int
+
+const (
+	// ReadDefault is the algorithm's native read: the two-round atomic read
+	// for the atomic emulations, the one-round majority read for RegularSW.
+	ReadDefault ReadMode = iota
+	// ReadRegular explicitly requests the regular read (RegularSW only);
+	// identical to ReadDefault under that algorithm.
+	ReadRegular
+	// ReadSafe requests the §VI safe read (RegularSW only): a round
+	// addressed to the designated writer alone — 2 communication steps and 2
+	// messages in total instead of a majority fan-out, and still no logging.
+	// The writer's adopted value never lags a completed write (its listener
+	// logs before the write's required self-acknowledgement), so a safe read
+	// that is not concurrent with a write returns the last completed write —
+	// in fact the result is even regular. The price is availability, not
+	// consistency: safe reads block while the writer is down, where the
+	// majority read keeps going.
+	ReadSafe
+)
+
+// ErrBadConsistency is returned when a read-consistency selection is not
+// available under the node's algorithm (only RegularSW has selectable
+// safe/regular reads).
+var ErrBadConsistency = errors.New("core: read-consistency selection requires the regular-register algorithm")
+
+// checkReadMode validates a read-consistency selection against the node's
+// algorithm.
+func (nd *Node) checkReadMode(mode ReadMode) error {
+	if mode != ReadDefault && nd.kind != RegularSW {
+		return ErrBadConsistency
+	}
+	return nil
+}
+
+// RegisterRef is a node's cached handle on one register. Obtain one with
+// Node.RegisterRef and reuse it: all per-register resolution (engine shard,
+// submission queue, write lock) happened at creation, so the per-operation
+// string-map lookups of the Node-level API disappear from the hot path.
+type RegisterRef struct {
+	nd  *Node
+	reg string
+	sh  *engineShard
+	q   *regQueue
+	wmu *sync.Mutex
+}
+
+// RegisterRef resolves a cached handle for the named register.
+func (nd *Node) RegisterRef(reg string) *RegisterRef {
+	sh, q := nd.eng.queueFor(reg)
+	return &RegisterRef{nd: nd, reg: reg, sh: sh, q: q, wmu: nd.wlock(reg)}
+}
+
+// Name returns the register name.
+func (r *RegisterRef) Name() string { return r.reg }
+
+// Node returns the node the handle operates through.
+func (r *RegisterRef) Node() *Node { return r.nd }
+
+// Write is Node.Write through the cached handle.
+func (r *RegisterRef) Write(ctx context.Context, val []byte, obs OpObserver) (uint64, error) {
+	nd := r.nd
+	if len(val) > wire.MaxValueSize {
+		return 0, wire.ErrValueTooLarge
+	}
+	if nd.kind == RegularSW && nd.id != RegularWriter {
+		return 0, ErrNotWriter
+	}
+	nd.opMu.Lock()
+	defer nd.opMu.Unlock()
+	val = append([]byte(nil), val...)
+	op, epoch, err := nd.beginOp(obs)
+	if err != nil {
+		return 0, err
+	}
+	err = nd.writeProtocolMu(ctx, op, r.reg, val, false, r.wmu)
+	return op, nd.endOp(op, epoch, obs, err, nil)
+}
+
+// Read is Node.Read through the cached handle, with a read-consistency
+// selection (ReadSafe and ReadRegular require the RegularSW algorithm).
+func (r *RegisterRef) Read(ctx context.Context, mode ReadMode, obs OpObserver) ([]byte, uint64, error) {
+	nd := r.nd
+	if err := nd.checkReadMode(mode); err != nil {
+		return nil, 0, err
+	}
+	nd.opMu.Lock()
+	defer nd.opMu.Unlock()
+	op, epoch, err := nd.beginOp(obs)
+	if err != nil {
+		return nil, 0, err
+	}
+	var val []byte
+	if mode == ReadSafe {
+		val, err = nd.safeReadSW(ctx, op, r.reg, false)
+	} else {
+		val, err = nd.readProtocol(ctx, op, r.reg, false)
+	}
+	if err := nd.endOp(op, epoch, obs, err, val); err != nil {
+		return nil, op, err
+	}
+	return val, op, nil
+}
+
+// SubmitWrite is Node.SubmitWrite through the cached handle: the submission
+// goes straight onto the pre-resolved register queue.
+func (r *RegisterRef) SubmitWrite(val []byte, obs OpObserver) (*Future, error) {
+	nd := r.nd
+	if len(val) > wire.MaxValueSize {
+		return nil, wire.ErrValueTooLarge
+	}
+	if nd.kind == RegularSW && nd.id != RegularWriter {
+		return nil, ErrNotWriter
+	}
+	val = append([]byte(nil), val...)
+	op, epoch, err := nd.beginOp(obs)
+	if err != nil {
+		return nil, err
+	}
+	fut := &Future{op: op, done: make(chan struct{})}
+	nd.eng.enqueueResolved(r.sh, r.q, r.reg, &batchSub{val: val, obs: obs, op: op, epoch: epoch, fut: fut})
+	return fut, nil
+}
+
+// SubmitRead is Node.SubmitRead through the cached handle. Default and
+// regular reads coalesce through the batching engine; safe reads bypass it —
+// they are a single 2-message exchange with the writer, so there is no
+// quorum round to share — and run on their own goroutine.
+func (r *RegisterRef) SubmitRead(mode ReadMode, obs OpObserver) (*Future, error) {
+	nd := r.nd
+	if err := nd.checkReadMode(mode); err != nil {
+		return nil, err
+	}
+	op, epoch, err := nd.beginOp(obs)
+	if err != nil {
+		return nil, err
+	}
+	fut := &Future{op: op, done: make(chan struct{})}
+	if mode == ReadSafe {
+		go func() {
+			// Like engine rounds, the safe read aborts via crashCh on
+			// crash/close rather than through a context.
+			val, err := nd.safeReadSW(context.Background(), op, r.reg, false)
+			fut.complete(val, nd.endOp(op, epoch, obs, err, val))
+		}()
+		return fut, nil
+	}
+	nd.eng.enqueueResolved(r.sh, r.q, r.reg, &batchSub{read: true, obs: obs, op: op, epoch: epoch, fut: fut})
+	return fut, nil
+}
+
+// safeReadSW is the §VI safe read: one round addressed to the designated
+// writer alone, requiring only the writer's acknowledgement. See ReadSafe
+// for why this is safe (and regular) yet blocks while the writer is down.
+func (nd *Node) safeReadSW(ctx context.Context, op uint64, reg string, batched bool) ([]byte, error) {
+	acks, err := nd.runRoundOpts(ctx, op, wire.Envelope{Kind: wire.KindRead, Reg: reg},
+		roundOpts{require: RegularWriter, to: RegularWriter, quorum: 1, batched: batched})
+	if err != nil {
+		return nil, err
+	}
+	return acks[RegularWriter].Value, nil
+}

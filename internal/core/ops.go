@@ -94,8 +94,19 @@ func (nd *Node) Write(ctx context.Context, reg string, val []byte, obs OpObserve
 // executions for one register (a synchronous Write racing a batch flush)
 // would mint the same timestamp for different values.
 func (nd *Node) writeProtocol(ctx context.Context, op uint64, reg string, val []byte, batched bool) error {
+	return nd.writeProtocolMu(ctx, op, reg, val, batched, nd.wlock(reg))
+}
+
+// wlock resolves (creating on first use) the register's write-execution
+// lock. RegisterRef caches the result, skipping the sync.Map lookup per op.
+func (nd *Node) wlock(reg string) *sync.Mutex {
 	l, _ := nd.wlocks.LoadOrStore(reg, &sync.Mutex{})
-	mu := l.(*sync.Mutex)
+	return l.(*sync.Mutex)
+}
+
+// writeProtocolMu is writeProtocol with the per-register write lock already
+// resolved (the cached-handle fast path).
+func (nd *Node) writeProtocolMu(ctx context.Context, op uint64, reg string, val []byte, batched bool, mu *sync.Mutex) error {
 	mu.Lock()
 	defer mu.Unlock()
 	if nd.kind == RegularSW {

@@ -32,9 +32,35 @@ func (nd *Node) round(ctx context.Context, op uint64, req wire.Envelope) (map[in
 // (different registers of the batching engine) group-commit into
 // per-destination batch frames instead of going out as individual messages.
 func (nd *Node) runRound(ctx context.Context, op uint64, req wire.Envelope, require int32, batched bool) (map[int32]wire.Envelope, error) {
+	return nd.runRoundOpts(ctx, op, req, roundOpts{require: require, to: -1, batched: batched})
+}
+
+// roundOpts generalizes a round beyond the default broadcast-to-all,
+// majority-acknowledged shape.
+type roundOpts struct {
+	// require, if a valid process id, must be among the collected
+	// acknowledgements before the round completes (-1: any quorum).
+	require int32
+	// to, if a valid process id, restricts the round to that single
+	// destination (-1: broadcast to all processes). The §VI safe read is a
+	// round addressed to the writer alone.
+	to int32
+	// quorum overrides the number of distinct acknowledgements required
+	// (0: the majority ⌈(n+1)/2⌉).
+	quorum int
+	// batched routes the broadcasts through the node's outbox.
+	batched bool
+}
+
+// runRoundOpts is the fully general round executor; see round and roundOpts.
+func (nd *Node) runRoundOpts(ctx context.Context, op uint64, req wire.Envelope, o roundOpts) (map[int32]wire.Envelope, error) {
 	rpc := nd.newID()
 	req.RPC = rpc
 	req.Op = op
+	quorum := o.quorum
+	if quorum <= 0 {
+		quorum = nd.quorum
+	}
 
 	ch := make(chan wire.Envelope, 4*nd.n)
 	nd.mu.Lock()
@@ -55,21 +81,30 @@ func (nd *Node) runRound(ctx context.Context, op uint64, req wire.Envelope, requ
 		nd.mu.Unlock()
 	}()
 
+	dests := make([]int32, 0, nd.n)
+	if o.to >= 0 {
+		dests = append(dests, o.to)
+	} else {
+		for to := int32(0); to < int32(nd.n); to++ {
+			dests = append(dests, to)
+		}
+	}
+
 	acks := make(map[int32]wire.Envelope, nd.n)
 	sweeps := 0
 	timer := time.NewTimer(nd.opts.RetransmitEvery)
 	defer timer.Stop()
 	for {
 		sweeps++
-		if batched {
-			sweep := make([]wire.Envelope, nd.n)
-			for to := int32(0); to < int32(nd.n); to++ {
-				sweep[to] = req
-				sweep[to].To = to
+		if o.batched {
+			sweep := make([]wire.Envelope, len(dests))
+			for i, to := range dests {
+				sweep[i] = req
+				sweep[i].To = to
 			}
 			nd.ob.enqueue(sweep...)
 		} else {
-			for to := int32(0); to < int32(nd.n); to++ {
+			for _, to := range dests {
 				e := req
 				e.To = to
 				nd.send(e)
@@ -83,13 +118,13 @@ func (nd *Node) runRound(ctx context.Context, op uint64, req wire.Envelope, requ
 					continue
 				}
 				acks[env.From] = env
-				if len(acks) >= nd.quorum {
-					if require >= 0 {
-						if _, ok := acks[require]; !ok {
+				if len(acks) >= quorum {
+					if o.require >= 0 {
+						if _, ok := acks[o.require]; !ok {
 							continue
 						}
 					}
-					nd.recordRound(op, sweeps*nd.n, sweeps-1)
+					nd.recordRound(op, sweeps*len(dests), sweeps-1)
 					return acks, nil
 				}
 			case <-timer.C:

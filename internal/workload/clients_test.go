@@ -1,0 +1,126 @@
+package workload_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"recmem"
+	"recmem/internal/cluster"
+	"recmem/internal/core"
+	"recmem/internal/workload"
+)
+
+// TestRunClientsOverClusterAdapter drives RunClients through the Clients
+// adapter and checks the histories verify exactly like the proc-based Run:
+// the adapter is the sim's recmem.Client face.
+func TestRunClientsOverClusterAdapter(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		N:         3,
+		Algorithm: core.Persistent,
+		Node:      core.Options{RetransmitEvery: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	clients := workload.Clients(c, workload.AllProcs(3))
+	res := workload.RunClients(ctx, clients, 12,
+		workload.Mix{ReadFraction: 0.5, Registers: []string{"a", "b"}}, 1)
+	if res.Writes+res.Reads != 36 || res.Errors != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if got := len(c.History().Operations()); got != 36 {
+		t.Fatalf("history has %d operations, want 36", got)
+	}
+	if err := c.VerifyDefault(); err != nil {
+		t.Fatalf("client-driven history does not verify: %v", err)
+	}
+}
+
+// TestClientFaultsKeepsMajority injects faults through the Client interface
+// while a workload runs and checks the invariants: never more than a
+// minority down, everything recovered at the end, history verifiable.
+func TestClientFaultsKeepsMajority(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		N:         3,
+		Algorithm: core.Persistent,
+		Node:      core.Options{RetransmitEvery: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	clients := workload.Clients(c, workload.AllProcs(3))
+	faultCtx, stopFaults := context.WithTimeout(ctx, 200*time.Millisecond)
+	defer stopFaults()
+	faultsDone := make(chan int, 1)
+	go func() {
+		faultsDone <- workload.ClientFaults(faultCtx, clients, workload.ClientFaultOptions{
+			Seed: 7, MeanInterval: 5 * time.Millisecond,
+		})
+	}()
+	res := workload.RunClients(ctx, clients, 40,
+		workload.Mix{ReadFraction: 0.4, Registers: []string{"a"}}, 3)
+	crashes := <-faultsDone
+	if res.Errors != 0 {
+		t.Fatalf("unexpected errors: %+v", res)
+	}
+	if crashes == 0 {
+		t.Fatal("fault injector never crashed anything")
+	}
+	// Everything is up again (ClientFaults recovers what it downed).
+	for p := int32(0); p < 3; p++ {
+		if !c.Node(p).Up() {
+			t.Fatalf("process %d still down after ClientFaults returned", p)
+		}
+	}
+	if err := c.Check(c.DefaultMode()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientFaultsRefusesTotalCrash: with one client there is no safe
+// minority to crash.
+func TestClientFaultsRefusesTotalCrash(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		N:         1,
+		Algorithm: core.Persistent,
+		Node:      core.Options{RetransmitEvery: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	clients := workload.Clients(c, workload.AllProcs(1))
+	if n := workload.ClientFaults(ctx, clients, workload.ClientFaultOptions{Seed: 1}); n != 0 {
+		t.Fatalf("injected %d crashes into a majority-less system", n)
+	}
+}
+
+// TestAdapterRegisterCaching pins that the adapter hands out one handle per
+// register name (the cached-resolution contract).
+func TestAdapterRegisterCaching(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		N:         1,
+		Algorithm: core.CrashStop,
+		Node:      core.Options{RetransmitEvery: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	client := workload.Clients(c, []int32{0})[0]
+	if client.Register("x") != client.Register("x") {
+		t.Fatal("adapter did not cache the register handle")
+	}
+	var _ recmem.Client = client
+}

@@ -8,15 +8,10 @@ package workload
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"math/rand"
 	"strings"
-	"sync"
-	"time"
 
 	"recmem/internal/cluster"
-	"recmem/internal/core"
 )
 
 // Mix describes the operation mix of a workload.
@@ -61,164 +56,13 @@ type Result struct {
 // client per process (the paper's processes are sequential). It tolerates
 // crash interruptions — the natural situation under fault injection — and
 // returns aggregate counts. Run stops early when ctx is done.
+//
+// Run is the cluster-specific entry point; it adapts the processes to
+// recmem.Client (see Clients) and delegates to the backend-agnostic
+// RunClients, so the driven scenario is byte-for-byte the one a live TCP
+// mesh gets.
 func Run(ctx context.Context, c *cluster.Cluster, procs []int32, opsPerProc int, mix Mix, seed int64) Result {
-	regs := mix.Registers
-	if len(regs) == 0 {
-		regs = []string{"x"}
-	}
-	var (
-		mu    sync.Mutex
-		total Result
-		wg    sync.WaitGroup
-	)
-	for _, proc := range procs {
-		wg.Add(1)
-		go func(proc int32) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(proc)*7919))
-			var local Result
-			if mix.Async >= 2 {
-				local = runAsync(ctx, c, proc, opsPerProc, mix, regs, rng)
-				mu.Lock()
-				total.Writes += local.Writes
-				total.Reads += local.Reads
-				total.Interrupted += local.Interrupted
-				total.Errors += local.Errors
-				mu.Unlock()
-				return
-			}
-			for i := 0; i < opsPerProc && ctx.Err() == nil; i++ {
-				reg := regs[rng.Intn(len(regs))]
-				var err error
-				if rng.Float64() < mix.ReadFraction {
-					_, _, err = c.Read(ctx, proc, reg)
-					if err == nil {
-						local.Reads++
-					}
-				} else {
-					val := UniqueValue(proc, i, mix.ValueSize)
-					_, err = c.Write(ctx, proc, reg, []byte(val))
-					if err == nil {
-						local.Writes++
-					}
-				}
-				if err != nil {
-					switch {
-					case errors.Is(err, core.ErrCrashed), errors.Is(err, core.ErrDown):
-						local.Interrupted++
-						// Wait out the crash; the process may recover.
-						select {
-						case <-time.After(2 * time.Millisecond):
-						case <-ctx.Done():
-						}
-					case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-						// Run is ending.
-					case mix.Forgive != nil && mix.Forgive(err):
-						local.Interrupted++
-						crashAfterAbort(ctx, c, proc)
-					default:
-						local.Errors++
-					}
-				}
-			}
-			mu.Lock()
-			total.Writes += local.Writes
-			total.Reads += local.Reads
-			total.Interrupted += local.Interrupted
-			total.Errors += local.Errors
-			mu.Unlock()
-		}(proc)
-	}
-	wg.Wait()
-	return total
-}
-
-// crashAfterAbort turns a forgiven operation abort into the model's only
-// legal way out of an operation: a crash, followed by recovery attempts
-// (which may themselves be refused by injected storage faults) until the
-// process is back or the run ends.
-func crashAfterAbort(ctx context.Context, c *cluster.Cluster, proc int32) {
-	if !c.Crash(proc) {
-		return // already down; someone else records the crash
-	}
-	for ctx.Err() == nil {
-		err := c.Recover(ctx, proc)
-		if err == nil || errors.Is(err, core.ErrNotDown) {
-			return
-		}
-		select {
-		case <-time.After(2 * time.Millisecond):
-		case <-ctx.Done():
-		}
-	}
-}
-
-// pendingOp is one submitted-but-unwaited operation of an async client.
-type pendingOp struct {
-	fut  *core.Future
-	read bool
-}
-
-// runAsync is the windowed-submission client: it keeps up to mix.Async
-// operations in flight through the batching engine, waiting the oldest out
-// when the window fills — a closed loop over the window rather than over a
-// single operation.
-func runAsync(ctx context.Context, c *cluster.Cluster, proc int32, opsPerProc int, mix Mix, regs []string, rng *rand.Rand) Result {
-	var local Result
-	window := make([]pendingOp, 0, mix.Async)
-	settle := func(p pendingOp) {
-		_, err := p.fut.Wait(ctx)
-		switch {
-		case err == nil:
-			if p.read {
-				local.Reads++
-			} else {
-				local.Writes++
-			}
-		case errors.Is(err, core.ErrCrashed), errors.Is(err, core.ErrDown):
-			local.Interrupted++
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		case mix.Forgive != nil && mix.Forgive(err):
-			local.Interrupted++
-		default:
-			local.Errors++
-		}
-	}
-	for i := 0; i < opsPerProc && ctx.Err() == nil; i++ {
-		reg := regs[rng.Intn(len(regs))]
-		var (
-			fut  *core.Future
-			read bool
-			err  error
-		)
-		if rng.Float64() < mix.ReadFraction {
-			read = true
-			fut, err = c.SubmitRead(proc, reg)
-		} else {
-			fut, err = c.SubmitWrite(proc, reg, []byte(UniqueValue(proc, i, mix.ValueSize)))
-		}
-		if err != nil {
-			if errors.Is(err, core.ErrCrashed) || errors.Is(err, core.ErrDown) {
-				local.Interrupted++
-				select {
-				case <-time.After(2 * time.Millisecond):
-				case <-ctx.Done():
-				}
-			} else {
-				local.Errors++
-			}
-			continue
-		}
-		window = append(window, pendingOp{fut: fut, read: read})
-		if len(window) >= mix.Async {
-			settle(window[0])
-			window = window[1:]
-		}
-	}
-	for _, p := range window {
-		settle(p)
-	}
-	return local
+	return RunClients(ctx, Clients(c, procs), opsPerProc, mix, seed)
 }
 
 // UniqueValue builds a globally unique value for process proc's i-th write,

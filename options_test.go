@@ -1,0 +1,64 @@
+package recmem_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"recmem"
+)
+
+// TestNewRejectsBadOptions checks that out-of-range probabilities and
+// negative latencies are refused at New with a descriptive error instead of
+// applying silently.
+func TestNewRejectsBadOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  recmem.Option
+		want string
+	}{
+		{"loss negative", recmem.WithMessageLoss(-0.1), "WithMessageLoss"},
+		{"loss one", recmem.WithMessageLoss(1), "WithMessageLoss"},
+		{"loss above one", recmem.WithMessageLoss(1.7), "WithMessageLoss"},
+		{"dup negative", recmem.WithDuplication(-0.2), "WithDuplication"},
+		{"dup one", recmem.WithDuplication(1), "WithDuplication"},
+		{"negative propagation", recmem.WithNetwork(-time.Millisecond, 0, 0), "network latency"},
+		{"negative jitter", recmem.WithNetwork(time.Millisecond, -time.Microsecond, 0), "network latency"},
+		{"negative bandwidth", recmem.WithNetwork(0, 0, -12.5e6), "network bandwidth"},
+		{"negative disk delay", recmem.WithDisk(-time.Millisecond, 0), "disk store delay"},
+		{"negative disk bandwidth", recmem.WithDisk(0, -1), "disk bandwidth"},
+		{"negative retransmit", recmem.WithRetransmitEvery(-time.Second), "retransmission"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := recmem.New(3, recmem.PersistentAtomic, tc.opt)
+			if err == nil {
+				c.Close()
+				t.Fatalf("New accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestNewAcceptsEdgeOptions checks the legal boundary values still work.
+func TestNewAcceptsEdgeOptions(t *testing.T) {
+	c, err := recmem.New(3, recmem.PersistentAtomic,
+		recmem.WithMessageLoss(0),
+		recmem.WithDuplication(0.5),
+		recmem.WithNetwork(0, 0, 0),
+		recmem.WithDisk(0, 0),
+		recmem.WithSeed(7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c, err = recmem.New(1, recmem.CrashStop, recmem.WithMessageLoss(0.999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}

@@ -21,19 +21,23 @@
 //
 // A cluster simulates its processes in-process over a configurable fair-lossy
 // network and per-process stable storage; every run records a history that
-// can be verified against the matching consistency criterion. For running a
-// register across real machines, see cmd/recmem-node and cmd/recmem-client.
+// can be verified against the matching consistency criterion.
+//
+// All operations go through the backend-agnostic Client interface and its
+// first-class Register handles. The simulated cluster's processes implement
+// Client; so does remote.Client, a TCP connection to a live recmem-node
+// (cmd/recmem-node) — the same application code runs against either.
 //
 // Quickstart:
 //
 //	c, err := recmem.New(5, recmem.PersistentAtomic)
 //	if err != nil { ... }
 //	defer c.Close()
-//	p0 := c.Process(0)
-//	err = p0.Write(ctx, "x", []byte("hello"))
-//	val, err := c.Process(1).Read(ctx, "x")
-//	p0.Crash()
-//	err = p0.Recover(ctx)
+//	x := c.Process(0).Register("x")
+//	err = x.Write(ctx, []byte("hello"))
+//	val, err := c.Process(1).Register("x").Read(ctx)
+//	err = c.Process(0).Crash(ctx)
+//	err = c.Process(0).Recover(ctx)
 //	err = c.Verify() // checks the recorded history
 package recmem
 
@@ -142,8 +146,11 @@ var (
 	// ErrCrashed is returned by an operation interrupted by its process's
 	// crash; the operation may or may not have taken effect.
 	ErrCrashed = core.ErrCrashed
-	// ErrDown is returned when invoking an operation on a crashed process.
+	// ErrDown is returned when invoking an operation on a crashed process
+	// (and by Crash on a process that is already down).
 	ErrDown = core.ErrDown
+	// ErrNotDown is returned by Recover on a process that is not crashed.
+	ErrNotDown = core.ErrNotDown
 	// ErrCannotRecover is returned by Recover under the CrashStop algorithm.
 	ErrCannotRecover = core.ErrCannotRecover
 	// ErrNotWriter is returned by Write at a process other than process 0
@@ -262,6 +269,36 @@ type Cluster struct {
 	script   *gate
 }
 
+// validate rejects option values that the simulation would otherwise apply
+// silently (or trip over later): probabilities outside [0,1) and negative
+// latencies or bandwidths.
+func (c *config) validate() error {
+	if r := c.net.LossRate; r < 0 || r >= 1 {
+		return fmt.Errorf("recmem: WithMessageLoss rate %v outside [0,1)", r)
+	}
+	if r := c.net.DupRate; r < 0 || r >= 1 {
+		return fmt.Errorf("recmem: WithDuplication rate %v outside [0,1)", r)
+	}
+	p := c.net.Profile
+	if p.Propagation < 0 || p.SelfDelay < 0 || p.Jitter < 0 {
+		return fmt.Errorf("recmem: negative network latency (propagation %v, self %v, jitter %v)",
+			p.Propagation, p.SelfDelay, p.Jitter)
+	}
+	if p.BytesPerSec < 0 {
+		return fmt.Errorf("recmem: negative network bandwidth %v bytes/s", p.BytesPerSec)
+	}
+	if c.disk.StoreDelay < 0 {
+		return fmt.Errorf("recmem: negative disk store delay %v", c.disk.StoreDelay)
+	}
+	if c.disk.BytesPerSec < 0 {
+		return fmt.Errorf("recmem: negative disk bandwidth %v bytes/s", c.disk.BytesPerSec)
+	}
+	if c.node.RetransmitEvery < 0 {
+		return fmt.Errorf("recmem: negative retransmission period %v", c.node.RetransmitEvery)
+	}
+	return nil
+}
+
 // New starts a cluster of n processes running the given algorithm.
 func New(n int, algo Algorithm, opts ...Option) (*Cluster, error) {
 	kind := algo.kind()
@@ -271,6 +308,9 @@ func New(n int, algo Algorithm, opts ...Option) (*Cluster, error) {
 	var cfg config
 	for _, o := range opts {
 		o.apply(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	cc := cluster.Config{
 		N:           n,
@@ -377,80 +417,46 @@ func (c *Cluster) Close() { c.inner.Close() }
 // OpID identifies a completed operation for accounting.
 type OpID uint64
 
-// Process is the client handle of one emulated process. Operations on a
-// process are sequential (the model's processes are sequential); calling
-// concurrently from multiple goroutines serializes them.
+// Process is the client handle of one emulated process; it implements
+// Client, making it interchangeable with remote.Client (a TCP connection to
+// a live recmem-node). Synchronous operations on a process are sequential
+// (the model's processes are sequential); calling concurrently from
+// multiple goroutines serializes them.
 type Process struct {
 	c  *cluster.Cluster
 	id int32
 }
 
+var _ Client = (*Process)(nil)
+
 // ID returns the process id.
 func (p *Process) ID() int { return int(p.id) }
+
+// Register resolves a first-class handle on the named register. The
+// dispatcher shard, submission queue and write lock are resolved here, once
+// — operations through the handle skip the per-operation string-map lookups
+// that Process.Write/Read pay, so hot paths should hold on to handles.
+func (p *Process) Register(name string) *Register {
+	return NewRegister(name, processRegister{h: p.c.Handle(p.id, name)})
+}
 
 // Write writes val to the named register. It blocks until a majority of
 // processes acknowledges and returns ErrCrashed if the process crashes
 // mid-operation (in which case the write may or may not take effect — its
-// invocation stays pending in the history).
+// invocation stays pending in the history). Equivalent to
+// p.Register(register).Write(ctx, val); use a handle on hot paths.
 func (p *Process) Write(ctx context.Context, register string, val []byte) error {
 	_, err := p.c.Write(ctx, p.id, register, val)
 	return err
 }
 
-// WriteOp is Write returning the operation id for cost accounting.
-func (p *Process) WriteOp(ctx context.Context, register string, val []byte) (OpID, error) {
-	rep, err := p.c.Write(ctx, p.id, register, val)
-	return OpID(rep.Op), err
-}
-
 // Read returns the register's current value (nil if never written). Reads
 // are atomic: they never return stale values relative to completed writes
-// and other completed reads, per the algorithm's criterion.
+// and other completed reads, per the algorithm's criterion. Equivalent to
+// p.Register(register).Read(ctx); use a handle on hot paths.
 func (p *Process) Read(ctx context.Context, register string) ([]byte, error) {
 	val, _, err := p.c.Read(ctx, p.id, register)
 	return val, err
-}
-
-// ReadOp is Read returning the operation id for cost accounting.
-func (p *Process) ReadOp(ctx context.Context, register string) ([]byte, OpID, error) {
-	val, rep, err := p.c.Read(ctx, p.id, register)
-	return val, OpID(rep.Op), err
-}
-
-// WriteFuture is the pending acknowledgement of a submitted write.
-type WriteFuture struct {
-	f *core.Future
-}
-
-// Op returns the operation id for cost accounting; valid immediately.
-func (w *WriteFuture) Op() OpID { return OpID(w.f.Op()) }
-
-// Done returns a channel closed when the write completes.
-func (w *WriteFuture) Done() <-chan struct{} { return w.f.Done() }
-
-// Wait blocks until the write is acknowledged by a majority (nil), the
-// process crashes mid-operation (ErrCrashed), or ctx is done. Cancelling ctx
-// abandons the wait, not the write.
-func (w *WriteFuture) Wait(ctx context.Context) error {
-	_, err := w.f.Wait(ctx)
-	return err
-}
-
-// ReadFuture is the pending result of a submitted read.
-type ReadFuture struct {
-	f *core.Future
-}
-
-// Op returns the operation id for cost accounting; valid immediately.
-func (r *ReadFuture) Op() OpID { return OpID(r.f.Op()) }
-
-// Done returns a channel closed when the read completes.
-func (r *ReadFuture) Done() <-chan struct{} { return r.f.Done() }
-
-// Wait blocks until the read completes and returns its value (nil is the
-// register's initial value ⊥).
-func (r *ReadFuture) Wait(ctx context.Context) ([]byte, error) {
-	return r.f.Wait(ctx)
 }
 
 // SubmitWrite asynchronously writes val to the named register through the
@@ -486,13 +492,24 @@ func (p *Process) SubmitRead(register string) (*ReadFuture, error) {
 }
 
 // Crash fails the process: volatile state is lost and in-flight operations
-// return ErrCrashed. Returns false if it was already down.
-func (p *Process) Crash() bool { return p.c.Crash(p.id) }
+// return ErrCrashed. Returns ErrDown if it was already down. The context is
+// unused in the simulation (crashes are instantaneous); it exists for the
+// Client contract, where a remote crash is a network round-trip.
+func (p *Process) Crash(_ context.Context) error {
+	if !p.c.Crash(p.id) {
+		return ErrDown
+	}
+	return nil
+}
 
 // Recover restarts a crashed process, reloading stable storage and running
 // the algorithm's recovery procedure (which for PersistentAtomic finishes
 // the interrupted write and requires a reachable majority).
 func (p *Process) Recover(ctx context.Context) error { return p.c.Recover(ctx, p.id) }
+
+// Close releases the client handle. The emulated process keeps running —
+// the cluster owns its lifecycle (Cluster.Close).
+func (p *Process) Close() error { return nil }
 
 // Up reports whether the process currently accepts operations.
 func (p *Process) Up() bool { return p.c.Node(p.id).Up() }

@@ -133,7 +133,7 @@ func TestSubmitCrashRecoveryReplays(t *testing.T) {
 				futs = append(futs, f)
 			}
 			time.Sleep(time.Millisecond) // let part of the batch commit
-			c.Process(0).Crash()
+			_ = c.Process(0).Crash(ctx)
 			for _, f := range futs {
 				if err := f.Wait(ctx); err != nil && !errors.Is(err, recmem.ErrCrashed) {
 					t.Fatalf("unexpected error: %v", err)
@@ -180,7 +180,7 @@ func TestSubmitAckedWriteSurvivesCrash(t *testing.T) {
 				if err := f.Wait(ctx); err != nil {
 					t.Fatalf("write %d: %v", i, err)
 				}
-				c.Process(0).Crash()
+				_ = c.Process(0).Crash(ctx)
 				got, err := c.Process(1).Read(ctx, "x")
 				if err != nil {
 					t.Fatal(err)
@@ -207,7 +207,7 @@ func TestSubmitRejections(t *testing.T) {
 		t.Fatalf("non-writer submit: %v", err)
 	}
 	p := c.Process(2)
-	p.Crash()
+	_ = p.Crash(context.Background())
 	if _, err := p.SubmitRead("x"); !errors.Is(err, recmem.ErrDown) {
 		t.Fatalf("down submit: %v", err)
 	}

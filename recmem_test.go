@@ -65,8 +65,8 @@ func TestCrashRecoverFlow(t *testing.T) {
 	if err := p0.Write(ctx, "x", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if !p0.Crash() {
-		t.Fatal("crash failed")
+	if err := p0.Crash(ctx); err != nil {
+		t.Fatalf("crash failed: %v", err)
 	}
 	if p0.Up() {
 		t.Fatal("up after crash")
@@ -91,7 +91,7 @@ func TestCrashRecoverFlow(t *testing.T) {
 
 func TestCrashStopCannotRecover(t *testing.T) {
 	c := newTestCluster(t, 3, recmem.CrashStop)
-	c.Process(0).Crash()
+	_ = c.Process(0).Crash(testCtx(t))
 	if err := c.Process(0).Recover(testCtx(t)); !errors.Is(err, recmem.ErrCannotRecover) {
 		t.Fatalf("recover: %v", err)
 	}
@@ -100,8 +100,8 @@ func TestCrashStopCannotRecover(t *testing.T) {
 func TestCostAccounting(t *testing.T) {
 	c := newTestCluster(t, 5, recmem.PersistentAtomic)
 	ctx := testCtx(t)
-	op, err := c.Process(0).WriteOp(ctx, "x", []byte("v"))
-	if err != nil {
+	var op recmem.OpID
+	if err := c.Process(0).Register("x").Write(ctx, []byte("v"), recmem.WithCost(&op)); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(20 * time.Millisecond)
@@ -112,8 +112,8 @@ func TestCostAccounting(t *testing.T) {
 	if cost.TotalLogs < 1+3 { // writer pre-log + majority adoptions
 		t.Fatalf("total logs = %+v", cost)
 	}
-	_, rop, err := c.Process(1).ReadOp(ctx, "x")
-	if err != nil {
+	var rop recmem.OpID
+	if _, err := c.Process(1).Register("x").Read(ctx, recmem.WithCost(&rop)); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(20 * time.Millisecond)
@@ -205,7 +205,7 @@ func TestFileStorageOption(t *testing.T) {
 		t.Fatal(err)
 	}
 	for p := 0; p < 3; p++ {
-		c.Process(p).Crash()
+		_ = c.Process(p).Crash(ctx)
 	}
 	var wg sync.WaitGroup
 	for p := 0; p < 3; p++ {
@@ -291,7 +291,7 @@ func TestScriptedOverlappingWrite(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	c.Process(0).Crash()
+	_ = c.Process(0).Crash(ctx)
 	if err := <-done; !errors.Is(err, recmem.ErrCrashed) {
 		t.Fatalf("crashed write returned %v", err)
 	}

@@ -25,16 +25,16 @@ func TestRegularRegisterFlow(t *testing.T) {
 	}
 
 	// Cost profile (§VI): one causal log per write, none per read.
-	op, err := c.Process(0).WriteOp(ctx, "x", []byte("v2"))
-	if err != nil {
+	var op recmem.OpID
+	if err := c.Process(0).Register("x").Write(ctx, []byte("v2"), recmem.WithCost(&op)); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(20 * time.Millisecond)
 	if cost := c.CostOf(op); cost.CausalLogs != 1 {
 		t.Fatalf("regular write cost = %+v, want 1 causal log", cost)
 	}
-	_, rop, err := c.Process(2).ReadOp(ctx, "x")
-	if err != nil {
+	var rop recmem.OpID
+	if _, err := c.Process(2).Register("x").Read(ctx, recmem.WithCost(&rop)); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(20 * time.Millisecond)
@@ -62,7 +62,7 @@ func TestRegularRegisterCrashRecovery(t *testing.T) {
 	if err := w.Write(ctx, "x", []byte("before")); err != nil {
 		t.Fatal(err)
 	}
-	w.Crash()
+	_ = w.Crash(ctx)
 	// Readers keep working while the writer is down.
 	got, err := c.Process(1).Read(ctx, "x")
 	if err != nil || string(got) != "before" {

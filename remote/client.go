@@ -1,0 +1,376 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"recmem"
+	"recmem/internal/core"
+)
+
+// Client errors.
+var (
+	// ErrClosed is returned by operations on a closed client.
+	ErrClosed = errors.New("remote: client closed")
+)
+
+// Error is a server-reported failure that does not map to one of the
+// recmem sentinel errors.
+type Error struct {
+	// Kind is the request the error answers.
+	Kind string
+	// Msg is the server's message.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("remote: %s: %s", e.Kind, e.Msg) }
+
+// Options tunes a client.
+type Options struct {
+	// DialTimeout bounds connection establishment (default 5 s).
+	DialTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Client is a recmem.Client backed by one TCP connection to a recmem-node
+// control port. Operations are pipelined: every request carries an id and
+// the client matches responses as they arrive, so arbitrarily many
+// operations may be in flight on the one connection — the node dispatches
+// them through its batching engine, giving remote submissions the same
+// coalescing and register pipelining as the simulated cluster's
+// asynchronous API. Clients are safe for concurrent use.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]*call
+	nextID  uint64
+	sticky  error // terminal transport error; set once
+}
+
+var _ recmem.Client = (*Client)(nil)
+
+// Dial connects to a recmem-node control port.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true) // pipelined request/response traffic
+	}
+	c := &Client{conn: conn, pending: make(map[uint64]*call)}
+	go c.readLoop()
+	return c, nil
+}
+
+// call is one in-flight request; it implements recmem.Future.
+type call struct {
+	kind reqKind
+	id   uint64
+	done chan struct{}
+	// set before done is closed, immutable after:
+	op   uint64
+	val  []byte
+	lat  time.Duration
+	info Info
+	err  error
+}
+
+// Op returns the server-side operation id, 0 until Done.
+func (c *call) Op() uint64 {
+	select {
+	case <-c.done:
+		return c.op
+	default:
+		return 0
+	}
+}
+
+// Done returns a channel closed when the response (or a connection error)
+// arrived.
+func (c *call) Done() <-chan struct{} { return c.done }
+
+// Wait blocks for the response. Cancelling ctx abandons the wait, not the
+// remote operation.
+func (c *call) Wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (c *call) complete(val []byte, op uint64, lat time.Duration, err error) {
+	c.val, c.op, c.lat, c.err = val, op, lat, err
+	close(c.done)
+}
+
+// send registers a call and writes its request frame.
+func (c *Client) send(req request) (*call, error) {
+	body, err := encodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	cl := &call{kind: req.Kind, done: make(chan struct{})}
+
+	c.mu.Lock()
+	if c.sticky != nil {
+		err := c.sticky
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	cl.id = c.nextID
+	c.pending[cl.id] = cl
+	c.mu.Unlock()
+
+	// Patch the id into the encoded frame (offset 2, after version+kind).
+	for i, b := 0, cl.id; i < 8; i++ {
+		body[2+7-i] = byte(b)
+		b >>= 8
+	}
+
+	c.wmu.Lock()
+	err = writeFrame(c.conn, body)
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("remote: write: %w", err))
+		return nil, err
+	}
+	return cl, nil
+}
+
+// readLoop matches response frames to pending calls until the connection
+// dies, then fails everything still in flight.
+func (c *Client) readLoop() {
+	for {
+		body, err := readFrame(c.conn)
+		if err != nil {
+			// The error may be protocol-level (e.g. an oversized length
+			// prefix) with the socket still open: close it so the server
+			// side is released too.
+			c.fail(fmt.Errorf("remote: connection: %w", err))
+			_ = c.conn.Close()
+			return
+		}
+		resp, err := decodeResponse(body)
+		if err != nil {
+			c.fail(fmt.Errorf("remote: %w", err))
+			_ = c.conn.Close()
+			return
+		}
+		c.mu.Lock()
+		cl := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if cl == nil {
+			continue // response to an abandoned id; ignore
+		}
+		if resp.Code != 0 {
+			cl.complete(nil, 0, 0, errorFromCode(cl.kind, resp.Code, resp.Msg))
+			continue
+		}
+		val := resp.Value
+		if resp.Kind == reqRead && !resp.Present {
+			val = nil
+		}
+		if resp.Kind == reqInfo {
+			cl.info = Info{NodeID: int(resp.NodeID), N: int(resp.N), Quorum: int(resp.Quorum),
+				Algorithm: core.AlgorithmKind(resp.Algorithm).String()}
+		}
+		cl.complete(val, resp.Op, time.Duration(resp.LatencyUS)*time.Microsecond, nil)
+	}
+}
+
+// fail terminates the client: the sticky error answers every pending and
+// future call.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.sticky == nil {
+		c.sticky = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]*call)
+	c.mu.Unlock()
+	for _, cl := range pending {
+		cl.complete(nil, 0, 0, err)
+	}
+}
+
+// Close closes the connection; pending operations fail with ErrClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	return c.conn.Close()
+}
+
+// errorFromCode maps a server error code back to the canonical error.
+func errorFromCode(kind reqKind, code errCode, msg string) error {
+	switch code {
+	case codeCrashed:
+		return recmem.ErrCrashed
+	case codeDown:
+		return recmem.ErrDown
+	case codeNotDown:
+		return recmem.ErrNotDown
+	case codeCannotRecover:
+		return recmem.ErrCannotRecover
+	case codeNotWriter:
+		return recmem.ErrNotWriter
+	case codeBadConsistency:
+		return recmem.ErrBadConsistency
+	case codeDeadline:
+		return context.DeadlineExceeded
+	default:
+		return &Error{Kind: kind.String(), Msg: msg}
+	}
+}
+
+// Register resolves a handle on the named register; the request template
+// (encoded name, consistency validation) is fixed once per handle.
+func (c *Client) Register(name string) *recmem.Register {
+	return recmem.NewRegister(name, &remoteRegister{c: c, name: name})
+}
+
+// do sends a request and waits it out. The call's result fields are only
+// touched through the done-gated Wait — an abandoned wait (ctx expiry)
+// leaves them to the reader goroutine.
+func (c *Client) do(ctx context.Context, req request) error {
+	cl, err := c.send(req)
+	if err != nil {
+		return err
+	}
+	_, err = cl.Wait(ctx)
+	return err
+}
+
+// Ping round-trips the connection.
+func (c *Client) Ping(ctx context.Context) error {
+	return c.do(ctx, request{Kind: reqPing})
+}
+
+// Info describes the node behind the connection.
+type Info struct {
+	// NodeID is the node's process id; N the emulation size; Quorum the
+	// majority ⌈(N+1)/2⌉.
+	NodeID, N, Quorum int
+	// Algorithm is the emulation algorithm the node runs.
+	Algorithm string
+}
+
+// Info queries the node's identity and emulation parameters.
+func (c *Client) Info(ctx context.Context) (Info, error) {
+	cl, err := c.send(request{Kind: reqInfo})
+	if err != nil {
+		return Info{}, err
+	}
+	if _, err := cl.Wait(ctx); err != nil {
+		return Info{}, err
+	}
+	return cl.info, nil
+}
+
+// Crash fails the process behind the node: its volatile state is lost and
+// in-flight operations (of every client) return ErrCrashed.
+func (c *Client) Crash(ctx context.Context) error {
+	return c.do(ctx, request{Kind: reqCrash})
+}
+
+// Recover restarts the crashed process, blocking until the algorithm's
+// recovery procedure completes (a reachable majority for the persistent
+// algorithm).
+func (c *Client) Recover(ctx context.Context) error {
+	return c.do(ctx, request{Kind: reqRecover, DeadlineUS: deadlineUS(ctx)})
+}
+
+// deadlineUS converts a context deadline to the wire's microsecond field.
+// Deadlines beyond the field's range (~71 minutes) are clamped to its
+// maximum, never to 0 ("no deadline"), so a long client deadline is not
+// silently replaced by the server's much shorter default.
+func deadlineUS(ctx context.Context) uint32 {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	return clampUS(time.Until(d).Microseconds())
+}
+
+// clampUS clamps a microsecond count into the wire field: at least 1 (an
+// already-expired deadline must still read as "bounded"), at most the
+// field's maximum.
+func clampUS(us int64) uint32 {
+	if us <= 0 {
+		return 1
+	}
+	if us > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(us)
+}
+
+// remoteRegister is the recmem.RegisterBackend over one connection.
+type remoteRegister struct {
+	c    *Client
+	name string
+}
+
+var _ recmem.RegisterBackend = (*remoteRegister)(nil)
+
+// opDeadlineUS resolves the per-op deadline shipped to the server; like
+// deadlineUS, oversized deadlines clamp to the field's maximum.
+func opDeadlineUS(o recmem.OpOptions) uint32 {
+	if o.Deadline <= 0 {
+		return 0
+	}
+	return clampUS(o.Deadline.Microseconds())
+}
+
+func (r *remoteRegister) Read(ctx context.Context, o recmem.OpOptions) ([]byte, recmem.OpID, error) {
+	fut, err := r.SubmitRead(o)
+	if err != nil {
+		return nil, 0, err
+	}
+	val, err := fut.Wait(ctx)
+	return val, recmem.OpID(fut.Op()), err
+}
+
+func (r *remoteRegister) Write(ctx context.Context, val []byte, o recmem.OpOptions) (recmem.OpID, error) {
+	fut, err := r.SubmitWrite(val, o)
+	if err != nil {
+		return 0, err
+	}
+	_, err = fut.Wait(ctx)
+	return recmem.OpID(fut.Op()), err
+}
+
+func (r *remoteRegister) SubmitRead(o recmem.OpOptions) (recmem.Future, error) {
+	// The shared mapping is the wire contract: core.ReadMode numbering is
+	// the protocol's consistency byte. Algorithm validation happens at the
+	// node.
+	mode, err := o.ReadMode()
+	if err != nil {
+		return nil, err
+	}
+	return r.c.send(request{Kind: reqRead, Reg: r.name,
+		Consistency: uint8(mode), DeadlineUS: opDeadlineUS(o)})
+}
+
+func (r *remoteRegister) SubmitWrite(val []byte, o recmem.OpOptions) (recmem.Future, error) {
+	return r.c.send(request{Kind: reqWrite, Reg: r.name,
+		Value: val, DeadlineUS: opDeadlineUS(o)})
+}

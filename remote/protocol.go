@@ -1,0 +1,348 @@
+// Package remote connects a recmem.Client to a live recmem-node over TCP:
+// the deployment shape of the paper's measurements (one process per
+// workstation), driven through the same API as the in-process simulation.
+//
+// The control protocol is a length-prefixed binary RPC built in the style
+// of internal/wire's envelope codec (fixed-width big-endian header fields,
+// then variable sections) and sharing its value-size contract
+// (wire.MaxValueSize). Every request carries a client-chosen request id and
+// the server replies out of order as operations complete, so one connection
+// sustains arbitrarily many in-flight operations — remote clients get the
+// same pipelining and coalescing the simulated cluster's batching engine
+// provides, because the server dispatches every operation through it.
+//
+// Frame and body layout (all integers big-endian):
+//
+//	frame    := u32 bodyLen | body            (bodyLen ≤ MaxFrame)
+//	request  := u8 version | u8 kind | u64 id | u32 deadline_us |
+//	            u8 consistency | u16 regLen | reg | u32 valLen | val
+//	response := u8 version | u8 kind|0x80 | u64 id | u8 code | rest
+//	rest     := u16 msgLen | msg                        (code != 0)
+//	          | per-kind payload                        (code == 0):
+//	              ping/crash: (empty)
+//	              write:      u64 op | u64 latency_us
+//	              read:       u64 op | u8 present | u32 valLen | val
+//	              recover:    u64 latency_us
+//	              info:       u32 nodeID | u32 n | u32 quorum | u8 algorithm
+//
+// Versioning rules (docs/adr/0003): the version byte is bumped only for
+// incompatible layout changes; a server receiving an unknown version or
+// kind answers with an error response (code 1) instead of dropping the
+// connection, so old clients fail op-by-op, not connection-wide. New
+// request kinds and new error codes are backward-compatible extensions.
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"recmem/internal/wire"
+)
+
+// Version is the protocol version this package speaks.
+const Version = 1
+
+// MaxFrame bounds one frame body: generous for a maximal value
+// (wire.MaxValueSize) plus headers, small enough to reject garbage length
+// prefixes before allocating.
+const MaxFrame = 1 << 20
+
+// reqKind identifies a request type.
+type reqKind uint8
+
+// Request kinds.
+const (
+	reqPing reqKind = iota + 1
+	reqWrite
+	reqRead
+	reqCrash
+	reqRecover
+	reqInfo
+	reqKindMax = reqInfo
+)
+
+// respFlag marks a response's kind byte.
+const respFlag = 0x80
+
+// String returns the request kind mnemonic.
+func (k reqKind) String() string {
+	switch k {
+	case reqPing:
+		return "PING"
+	case reqWrite:
+		return "WRITE"
+	case reqRead:
+		return "READ"
+	case reqCrash:
+		return "CRASH"
+	case reqRecover:
+		return "RECOVER"
+	case reqInfo:
+		return "INFO"
+	default:
+		return fmt.Sprintf("reqKind(%d)", uint8(k))
+	}
+}
+
+// errCode classifies an error response; codes map back to the recmem
+// sentinel errors on the client.
+type errCode uint8
+
+// Error codes (0 is success).
+const (
+	codeGeneric errCode = iota + 1
+	codeCrashed
+	codeDown
+	codeNotDown
+	codeCannotRecover
+	codeNotWriter
+	codeValueTooLarge
+	codeBadConsistency
+	codeDeadline
+	codeBadRequest
+)
+
+// Protocol errors.
+var (
+	// ErrFrameTooLarge is returned when a frame exceeds MaxFrame.
+	ErrFrameTooLarge = errors.New("remote: frame exceeds MaxFrame")
+	// ErrBadVersion is returned for an unknown protocol version byte.
+	ErrBadVersion = errors.New("remote: unknown protocol version")
+	// ErrBadFrame is returned for a structurally malformed frame body.
+	ErrBadFrame = errors.New("remote: malformed frame")
+)
+
+// request is one decoded request.
+type request struct {
+	Kind reqKind
+	// ID correlates the response; chosen by the client, echoed verbatim.
+	ID uint64
+	// DeadlineUS bounds the server-side wait in microseconds (0 = none).
+	DeadlineUS uint32
+	// Consistency is the read mode byte (core.ReadMode numbering).
+	Consistency uint8
+	// Reg names the register for reads and writes.
+	Reg string
+	// Value is the written value.
+	Value []byte
+}
+
+// response is one decoded response.
+type response struct {
+	Kind reqKind
+	ID   uint64
+	Code errCode
+	Msg  string
+	// Op is the server-side operation id (write and read).
+	Op uint64
+	// LatencyUS is the server-observed operation latency (write, recover).
+	LatencyUS uint64
+	// Present distinguishes a written empty value from the initial ⊥ (read).
+	Present bool
+	// Value is the read result.
+	Value []byte
+	// Info payload.
+	NodeID, N, Quorum int32
+	Algorithm         uint8
+}
+
+const reqHeader = 1 + 1 + 8 + 4 + 1 + 2 + 4 // version..valLen
+
+// encodeRequest serializes a request body.
+func encodeRequest(r request) ([]byte, error) {
+	if len(r.Value) > wire.MaxValueSize {
+		return nil, wire.ErrValueTooLarge
+	}
+	if len(r.Reg) > 0xFFFF {
+		return nil, fmt.Errorf("remote: register name too long (%d bytes)", len(r.Reg))
+	}
+	buf := make([]byte, 0, reqHeader+len(r.Reg)+len(r.Value))
+	buf = append(buf, Version, byte(r.Kind))
+	buf = binary.BigEndian.AppendUint64(buf, r.ID)
+	buf = binary.BigEndian.AppendUint32(buf, r.DeadlineUS)
+	buf = append(buf, r.Consistency)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Reg)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Value)))
+	buf = append(buf, r.Reg...)
+	buf = append(buf, r.Value...)
+	return buf, nil
+}
+
+// decodeRequest parses a request body.
+func decodeRequest(buf []byte) (request, error) {
+	var r request
+	if len(buf) < reqHeader {
+		return r, ErrBadFrame
+	}
+	if buf[0] != Version {
+		return r, ErrBadVersion
+	}
+	r.Kind = reqKind(buf[1])
+	r.ID = binary.BigEndian.Uint64(buf[2:])
+	r.DeadlineUS = binary.BigEndian.Uint32(buf[10:])
+	r.Consistency = buf[14]
+	regLen := int(binary.BigEndian.Uint16(buf[15:]))
+	valLen := int(binary.BigEndian.Uint32(buf[17:]))
+	if valLen > wire.MaxValueSize {
+		return r, wire.ErrValueTooLarge
+	}
+	rest := buf[reqHeader:]
+	if len(rest) != regLen+valLen {
+		return r, ErrBadFrame
+	}
+	r.Reg = string(rest[:regLen])
+	if valLen > 0 {
+		r.Value = make([]byte, valLen)
+		copy(r.Value, rest[regLen:])
+	}
+	return r, nil
+}
+
+const respHeader = 1 + 1 + 8 + 1 // version, kind, id, code
+
+// encodeResponse serializes a response body.
+func encodeResponse(r response) ([]byte, error) {
+	buf := make([]byte, 0, respHeader+16+len(r.Msg)+len(r.Value))
+	buf = append(buf, Version, byte(r.Kind)|respFlag)
+	buf = binary.BigEndian.AppendUint64(buf, r.ID)
+	buf = append(buf, byte(r.Code))
+	if r.Code != 0 {
+		if len(r.Msg) > 0xFFFF {
+			r.Msg = r.Msg[:0xFFFF]
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Msg)))
+		buf = append(buf, r.Msg...)
+		return buf, nil
+	}
+	switch r.Kind {
+	case reqPing, reqCrash:
+	case reqWrite:
+		buf = binary.BigEndian.AppendUint64(buf, r.Op)
+		buf = binary.BigEndian.AppendUint64(buf, r.LatencyUS)
+	case reqRead:
+		if len(r.Value) > wire.MaxValueSize {
+			return nil, wire.ErrValueTooLarge
+		}
+		buf = binary.BigEndian.AppendUint64(buf, r.Op)
+		present := byte(0)
+		if r.Present {
+			present = 1
+		}
+		buf = append(buf, present)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Value)))
+		buf = append(buf, r.Value...)
+	case reqRecover:
+		buf = binary.BigEndian.AppendUint64(buf, r.LatencyUS)
+	case reqInfo:
+		buf = binary.BigEndian.AppendUint32(buf, uint32(r.NodeID))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(r.N))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(r.Quorum))
+		buf = append(buf, r.Algorithm)
+	default:
+		return nil, ErrBadFrame
+	}
+	return buf, nil
+}
+
+// decodeResponse parses a response body.
+func decodeResponse(buf []byte) (response, error) {
+	var r response
+	if len(buf) < respHeader {
+		return r, ErrBadFrame
+	}
+	if buf[0] != Version {
+		return r, ErrBadVersion
+	}
+	if buf[1]&respFlag == 0 {
+		return r, ErrBadFrame
+	}
+	r.Kind = reqKind(buf[1] &^ byte(respFlag))
+	r.ID = binary.BigEndian.Uint64(buf[2:])
+	r.Code = errCode(buf[10])
+	rest := buf[respHeader:]
+	if r.Code != 0 {
+		if len(rest) < 2 {
+			return r, ErrBadFrame
+		}
+		n := int(binary.BigEndian.Uint16(rest))
+		if len(rest) != 2+n {
+			return r, ErrBadFrame
+		}
+		r.Msg = string(rest[2:])
+		return r, nil
+	}
+	switch r.Kind {
+	case reqPing, reqCrash:
+		if len(rest) != 0 {
+			return r, ErrBadFrame
+		}
+	case reqWrite:
+		if len(rest) != 16 {
+			return r, ErrBadFrame
+		}
+		r.Op = binary.BigEndian.Uint64(rest)
+		r.LatencyUS = binary.BigEndian.Uint64(rest[8:])
+	case reqRead:
+		if len(rest) < 13 {
+			return r, ErrBadFrame
+		}
+		r.Op = binary.BigEndian.Uint64(rest)
+		r.Present = rest[8] == 1
+		n := int(binary.BigEndian.Uint32(rest[9:]))
+		if n > wire.MaxValueSize || len(rest) != 13+n {
+			return r, ErrBadFrame
+		}
+		if n > 0 {
+			r.Value = make([]byte, n)
+			copy(r.Value, rest[13:])
+		}
+	case reqRecover:
+		if len(rest) != 8 {
+			return r, ErrBadFrame
+		}
+		r.LatencyUS = binary.BigEndian.Uint64(rest)
+	case reqInfo:
+		if len(rest) != 13 {
+			return r, ErrBadFrame
+		}
+		r.NodeID = int32(binary.BigEndian.Uint32(rest))
+		r.N = int32(binary.BigEndian.Uint32(rest[4:]))
+		r.Quorum = int32(binary.BigEndian.Uint32(rest[8:]))
+		r.Algorithm = rest[12]
+	default:
+		return r, ErrBadFrame
+	}
+	return r, nil
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	_, err := w.Write(frame)
+	return err
+}
+
+// readFrame reads one length-prefixed frame body. A short or oversized
+// frame is an error, never a silent truncation.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

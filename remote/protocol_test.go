@@ -1,0 +1,137 @@
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"recmem/internal/wire"
+)
+
+// TestRequestRoundTrip round-trips every request kind through the codec.
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []request{
+		{Kind: reqPing, ID: 1},
+		{Kind: reqWrite, ID: 2, Reg: "x", Value: []byte("hello"), DeadlineUS: 1500},
+		{Kind: reqWrite, ID: 3, Reg: "", Value: nil},
+		{Kind: reqRead, ID: 4, Reg: "sensor", Consistency: 2, DeadlineUS: 42},
+		{Kind: reqCrash, ID: 5},
+		{Kind: reqRecover, ID: 6, DeadlineUS: 7},
+		{Kind: reqInfo, ID: 7},
+	}
+	for _, want := range reqs {
+		body, err := encodeRequest(want)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", want.Kind, err)
+		}
+		got, err := decodeRequest(body)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", want.Kind, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: round trip = %+v, want %+v", want.Kind, got, want)
+		}
+	}
+}
+
+// TestResponseRoundTrip round-trips every response kind, both success and
+// error shapes.
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []response{
+		{Kind: reqPing, ID: 1},
+		{Kind: reqWrite, ID: 2, Op: 77, LatencyUS: 1234},
+		{Kind: reqRead, ID: 3, Op: 78, Present: true, Value: []byte("v")},
+		{Kind: reqRead, ID: 4}, // absent value (⊥)
+		{Kind: reqCrash, ID: 5},
+		{Kind: reqRecover, ID: 6, LatencyUS: 99},
+		{Kind: reqInfo, ID: 7, NodeID: 2, N: 5, Quorum: 3, Algorithm: 3},
+		{Kind: reqWrite, ID: 8, Code: codeCrashed, Msg: "process crashed"},
+		{Kind: reqRead, ID: 9, Code: codeDown, Msg: "down"},
+		{Kind: reqRecover, ID: 10, Code: codeNotDown, Msg: "not down"},
+		{Kind: reqPing, ID: 11, Code: codeGeneric, Msg: ""},
+	}
+	for _, want := range resps {
+		body, err := encodeResponse(want)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", want.Kind, err)
+		}
+		got, err := decodeResponse(body)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", want.Kind, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: round trip = %+v, want %+v", want.Kind, got, want)
+		}
+	}
+}
+
+// TestCodecRejections exercises the malformed-input paths: short buffers,
+// bad versions, truncated payloads, oversized values.
+func TestCodecRejections(t *testing.T) {
+	good, err := encodeRequest(request{Kind: reqWrite, ID: 1, Reg: "x", Value: []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeRequest(good[:reqHeader-1]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short request: %v", err)
+	}
+	if _, err := decodeRequest(good[:len(good)-1]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated request: %v", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 99
+	if _, err := decodeRequest(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	if _, err := encodeRequest(request{Kind: reqWrite, Reg: "x",
+		Value: make([]byte, wire.MaxValueSize+1)}); !errors.Is(err, wire.ErrValueTooLarge) {
+		t.Fatalf("oversized value: %v", err)
+	}
+	if _, err := encodeRequest(request{Kind: reqWrite, Reg: strings.Repeat("r", 1<<17)}); err == nil {
+		t.Fatal("oversized register name accepted")
+	}
+
+	goodResp, err := encodeResponse(response{Kind: reqRead, ID: 1, Present: true, Value: []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeResponse(goodResp[:len(goodResp)-1]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated response: %v", err)
+	}
+	// A request byte where a response is expected (missing respFlag).
+	notResp := append([]byte(nil), goodResp...)
+	notResp[1] &^= respFlag
+	if _, err := decodeResponse(notResp); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("non-response kind byte: %v", err)
+	}
+}
+
+// TestFrameIO checks the length-prefixed framing, including the size cap
+// and short reads.
+func TestFrameIO(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	body, err := readFrame(&buf)
+	if err != nil || string(body) != "abc" {
+		t.Fatalf("frame round trip = %q, %v", body, err)
+	}
+	if err := writeFrame(&buf, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write: %v", err)
+	}
+	// A length prefix larger than the cap is rejected before allocation.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized prefix: %v", err)
+	}
+	// A truncated frame is an error, never a silent short read.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 10, 'x', 'y'})
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}

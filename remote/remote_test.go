@@ -1,0 +1,396 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"recmem"
+	"recmem/internal/core"
+	"recmem/internal/nettcp"
+	"recmem/internal/stable"
+)
+
+// testMesh is a live n-process emulation over real TCP, each node serving
+// the binary control protocol on its own port — an in-process recmem-node
+// deployment.
+type testMesh struct {
+	nodes   []*core.Node
+	servers []*Server
+}
+
+// controlAddr returns node i's control-port address.
+func (m *testMesh) controlAddr(i int) string { return m.servers[i].Addr() }
+
+// startMesh builds the mesh; everything is cleaned up with the test.
+func startMesh(t *testing.T, n int, kind core.AlgorithmKind) *testMesh {
+	t.Helper()
+	meshes := make([]*nettcp.Mesh, n)
+	peers := make([]string, n)
+	for i := range meshes {
+		m, err := nettcp.Listen(int32(i), "127.0.0.1:0", nettcp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m.Close() })
+		meshes[i] = m
+		peers[i] = m.Addr()
+	}
+	tm := &testMesh{}
+	ids := &atomic.Uint64{}
+	for i := range meshes {
+		meshes[i].SetPeers(peers)
+		var disk stable.Storage
+		if kind.Recovers() {
+			disk = stable.NewMemDisk(stable.Profile{})
+		}
+		nd, err := core.NewNode(int32(i), n, kind,
+			core.Options{RetransmitEvery: 10 * time.Millisecond},
+			core.Deps{Endpoint: meshes[i], Storage: disk, IDs: ids})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(nd.Close)
+		tm.nodes = append(tm.nodes, nd)
+
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := Serve(ln, nd, ServerOptions{OpTimeout: 30 * time.Second})
+		t.Cleanup(func() { srv.Close() })
+		tm.servers = append(tm.servers, srv)
+	}
+	return tm
+}
+
+// dial connects a client to node i's control port.
+func (m *testMesh) dial(t *testing.T, i int) *Client {
+	t.Helper()
+	c, err := Dial(m.controlAddr(i), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func testCtx(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestEndToEndWriteRead(t *testing.T) {
+	mesh := startMesh(t, 3, core.Persistent)
+	ctx := testCtx(t)
+	c0, c1 := mesh.dial(t, 0), mesh.dial(t, 1)
+
+	if err := c0.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c0.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NodeID != 0 || info.N != 3 || info.Quorum != 2 || info.Algorithm != "persistent" {
+		t.Fatalf("info = %+v", info)
+	}
+
+	x := c0.Register("x")
+	var op recmem.OpID
+	if err := x.Write(ctx, []byte("hello"), recmem.WithCost(&op)); err != nil {
+		t.Fatal(err)
+	}
+	if op == 0 {
+		t.Fatal("write reported no operation id")
+	}
+	got, err := c1.Register("x").Read(ctx)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read at node 1 = %q, %v", got, err)
+	}
+
+	// Initial value of an untouched register is nil (⊥), not empty.
+	none, err := c1.Register("untouched").Read(ctx)
+	if err != nil || none != nil {
+		t.Fatalf("initial read = %v, %v (want nil)", none, err)
+	}
+
+	// An empty written value is indistinguishable from ⊥ end to end (the
+	// wire codec carries zero-length as nil); remote matches the simulator.
+	if err := x.Write(ctx, []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c1.Register("x").Read(ctx)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("read of written empty value = %v, %v", got, err)
+	}
+}
+
+// TestPipelinedInFlight drives 150 concurrent operations down ONE
+// connection and checks every one completes: the request-id protocol
+// sustains arbitrarily many in-flight operations, and the server feeds them
+// through the node's batching engine.
+func TestPipelinedInFlight(t *testing.T) {
+	mesh := startMesh(t, 3, core.Persistent)
+	ctx := testCtx(t)
+	c := mesh.dial(t, 0)
+
+	const inflight = 150
+	regs := []*recmem.Register{c.Register("r0"), c.Register("r1"), c.Register("r2"), c.Register("r3")}
+	writes := make([]*recmem.WriteFuture, 0, inflight)
+	for i := 0; i < inflight; i++ {
+		f, err := regs[i%len(regs)].SubmitWrite([]byte(fmt.Sprintf("v%03d", i)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		writes = append(writes, f)
+	}
+	for i, f := range writes {
+		if err := f.Wait(ctx); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if f.Op() == 0 {
+			t.Fatalf("write %d: no op id after completion", i)
+		}
+	}
+
+	// A read on each register sees its last write.
+	for ri, r := range regs {
+		last := -1
+		for i := 0; i < inflight; i++ {
+			if i%len(regs) == ri {
+				last = i
+			}
+		}
+		want := fmt.Sprintf("v%03d", last)
+		got, err := r.Read(ctx)
+		if err != nil || string(got) != want {
+			t.Fatalf("register r%d = %q, %v (want %q)", ri, got, err, want)
+		}
+	}
+
+	// Pipelined reads share rounds too; all complete.
+	reads := make([]*recmem.ReadFuture, 0, inflight)
+	for i := 0; i < inflight; i++ {
+		f, err := regs[i%len(regs)].SubmitRead()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads = append(reads, f)
+	}
+	for i, f := range reads {
+		if _, err := f.Wait(ctx); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+}
+
+// TestCrashRecoverFlow exercises fault injection through the protocol:
+// crash, refused operations, double crash, recovery, durability.
+func TestCrashRecoverFlow(t *testing.T) {
+	mesh := startMesh(t, 3, core.Persistent)
+	ctx := testCtx(t)
+	c0, c1 := mesh.dial(t, 0), mesh.dial(t, 1)
+
+	if err := c0.Register("x").Write(ctx, []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.Crash(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.Crash(ctx); !errors.Is(err, recmem.ErrDown) {
+		t.Fatalf("double crash: %v", err)
+	}
+	if err := c0.Register("x").Write(ctx, []byte("nope")); !errors.Is(err, recmem.ErrDown) {
+		t.Fatalf("write while down: %v", err)
+	}
+	// The other replicas keep serving.
+	got, err := c1.Register("x").Read(ctx)
+	if err != nil || string(got) != "survives" {
+		t.Fatalf("read while node 0 down = %q, %v", got, err)
+	}
+	if err := c1.Recover(ctx); !errors.Is(err, recmem.ErrNotDown) {
+		t.Fatalf("recover of an up node: %v", err)
+	}
+	if err := c0.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c0.Register("x").Read(ctx)
+	if err != nil || string(got) != "survives" {
+		t.Fatalf("read after recovery = %q, %v", got, err)
+	}
+}
+
+// TestCrashMidRequest checks that operations in flight when the serving
+// node crashes surface ErrCrashed through the protocol.
+func TestCrashMidRequest(t *testing.T) {
+	mesh := startMesh(t, 3, core.Persistent)
+	ctx := testCtx(t)
+	c := mesh.dial(t, 0)
+
+	// Take the other two nodes down so node 0's quorum rounds cannot
+	// complete: submitted writes hang in flight.
+	mesh.nodes[1].Crash(nil)
+	mesh.nodes[2].Crash(nil)
+
+	var futs []*recmem.WriteFuture
+	for i := 0; i < 8; i++ {
+		f, err := c.Register("x").SubmitWrite([]byte("stuck"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	// Crash the serving node mid-request: every in-flight op must resolve
+	// with ErrCrashed (never hang, never report success).
+	if err := c.Crash(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		if err := f.Wait(ctx); !errors.Is(err, recmem.ErrCrashed) {
+			t.Fatalf("in-flight write %d after crash: %v (want ErrCrashed)", i, err)
+		}
+	}
+}
+
+// TestConnectionDropFailsPending checks that tearing the TCP connection
+// down mid-request fails every pending operation with a connection error —
+// a partial/short reply is never silently dropped.
+func TestConnectionDropFailsPending(t *testing.T) {
+	mesh := startMesh(t, 3, core.Persistent)
+	ctx := testCtx(t)
+	c := mesh.dial(t, 0)
+
+	mesh.nodes[1].Crash(nil)
+	mesh.nodes[2].Crash(nil)
+	var futs []*recmem.WriteFuture
+	for i := 0; i < 5; i++ {
+		f, err := c.Register("x").SubmitWrite([]byte("stuck"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	// Kill the server side of the connection.
+	mesh.servers[0].Close()
+	for i, f := range futs {
+		err := f.Wait(ctx)
+		if err == nil || errors.Is(err, recmem.ErrCrashed) {
+			t.Fatalf("pending write %d after connection drop: %v (want connection error)", i, err)
+		}
+	}
+	// The client is dead for good: new submissions fail immediately.
+	if _, err := c.Register("x").SubmitWrite([]byte("after")); err == nil {
+		t.Fatal("submission on a dead connection succeeded")
+	}
+}
+
+// TestDeadlinePropagation checks WithDeadline reaches the server: an
+// operation that cannot complete (majority down) fails with
+// context.DeadlineExceeded instead of hanging for the server default.
+func TestDeadlinePropagation(t *testing.T) {
+	mesh := startMesh(t, 3, core.Persistent)
+	ctx := testCtx(t)
+	c := mesh.dial(t, 0)
+
+	mesh.nodes[1].Crash(nil)
+	mesh.nodes[2].Crash(nil)
+	start := time.Now()
+	err := c.Register("x").Write(ctx, []byte("v"), recmem.WithDeadline(50*time.Millisecond))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline write: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline took %v", elapsed)
+	}
+}
+
+// TestSafeReadRemote checks read-consistency selection over the wire under
+// the RegularSW algorithm, and its rejection under an atomic algorithm.
+func TestSafeReadRemote(t *testing.T) {
+	mesh := startMesh(t, 3, core.RegularSW)
+	ctx := testCtx(t)
+	c0, c2 := mesh.dial(t, 0), mesh.dial(t, 2)
+
+	if err := c0.Register("x").Write(ctx, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Register("x").Read(ctx, recmem.WithConsistency(recmem.Safety))
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("safe read = %q, %v", got, err)
+	}
+	got, err = c2.Register("x").Read(ctx, recmem.WithConsistency(recmem.Regularity))
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("regular read = %q, %v", got, err)
+	}
+	// Writes at a non-writer are refused with the sentinel.
+	if err := c2.Register("x").Write(ctx, []byte("nope")); !errors.Is(err, recmem.ErrNotWriter) {
+		t.Fatalf("non-writer write: %v", err)
+	}
+
+	atomicMesh := startMesh(t, 3, core.Persistent)
+	ca := atomicMesh.dial(t, 0)
+	if _, err := ca.Register("x").Read(ctx, recmem.WithConsistency(recmem.Safety)); !errors.Is(err, recmem.ErrBadConsistency) {
+		t.Fatalf("safe read under persistent: %v", err)
+	}
+}
+
+// TestUnknownConsistencyByteRejected sends a raw read request with an
+// out-of-range consistency byte: the server must answer with an error
+// response, not silently run a default read.
+func TestUnknownConsistencyByteRejected(t *testing.T) {
+	mesh := startMesh(t, 3, core.RegularSW)
+	conn, err := net.Dial("tcp", mesh.controlAddr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	body, err := encodeRequest(request{Kind: reqRead, ID: 42, Reg: "x", Consistency: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, body); err != nil {
+		t.Fatal(err)
+	}
+	respBody, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := decodeResponse(respBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 42 || resp.Code != codeBadRequest {
+		t.Fatalf("response = %+v, want id 42 code bad-request", resp)
+	}
+}
+
+// TestClampUS pins the deadline-field clamping: oversized deadlines clamp
+// to the field maximum (never 0, which would mean "no deadline" and let
+// the server substitute its much shorter default).
+func TestClampUS(t *testing.T) {
+	if got := clampUS(0); got != 1 {
+		t.Fatalf("clampUS(0) = %d", got)
+	}
+	if got := clampUS(-5); got != 1 {
+		t.Fatalf("clampUS(-5) = %d", got)
+	}
+	if got := clampUS(1500); got != 1500 {
+		t.Fatalf("clampUS(1500) = %d", got)
+	}
+	twoHours := (2 * time.Hour).Microseconds()
+	if got := clampUS(twoHours); got != ^uint32(0) {
+		t.Fatalf("clampUS(2h) = %d, want max", got)
+	}
+	if got := opDeadlineUS(recmem.OpOptions{Deadline: 2 * time.Hour}); got != ^uint32(0) {
+		t.Fatalf("opDeadlineUS(2h) = %d, want max", got)
+	}
+	if got := opDeadlineUS(recmem.OpOptions{}); got != 0 {
+		t.Fatalf("opDeadlineUS(none) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,313 @@
+package remote
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"recmem/internal/core"
+	"recmem/internal/wire"
+)
+
+// ServerOptions tunes a control-port server.
+type ServerOptions struct {
+	// OpTimeout bounds a single operation's server-side execution when the
+	// request carries no deadline of its own (default 1 minute). Without a
+	// bound, an operation invoked while a majority is unreachable would pin
+	// its response goroutine forever.
+	OpTimeout time.Duration
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = time.Minute
+	}
+	return o
+}
+
+// Server serves the binary control protocol for one node: the recmem-node
+// control port. Every write and read is dispatched through the node's
+// batching engine (SubmitWrite/SubmitRead), so the operations of all
+// connected clients — and the pipelined operations of a single client —
+// coalesce and pipeline exactly like the simulated cluster's asynchronous
+// API: concurrent writes to one register share a quorum round and a causal
+// log chain, different registers' rounds overlap.
+type Server struct {
+	node *core.Node
+	ln   net.Listener
+	opts ServerOptions
+
+	// refs caches the per-register handles, so repeated operations on one
+	// register skip the node's per-op resolution — the server-side
+	// equivalent of the client API's Register handles.
+	refMu sync.Mutex
+	refs  map[string]*core.RegisterRef
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving the control protocol on ln for node. It returns
+// immediately; use Done to wait and Close to stop. The server does not own
+// the node: closing the server leaves the node running.
+func Serve(ln net.Listener, node *core.Node, opts ServerOptions) *Server {
+	s := &Server{
+		node:  node,
+		ln:    ln,
+		opts:  opts.withDefaults(),
+		refs:  make(map[string]*core.RegisterRef),
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Done returns a channel closed when the server has stopped accepting.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Close stops the server and closes every client connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// ref resolves the cached register handle.
+func (s *Server) ref(reg string) *core.RegisterRef {
+	s.refMu.Lock()
+	defer s.refMu.Unlock()
+	r := s.refs[reg]
+	if r == nil {
+		r = s.node.RegisterRef(reg)
+		s.refs[reg] = r
+	}
+	return r
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	defer close(s.done)
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn runs one connection: a read loop decoding and dispatching
+// requests, and a single writer goroutine serializing response frames.
+// Operations are dispatched asynchronously and respond through the writer
+// as they complete — out of order, correlated by request id — so the read
+// loop never blocks on an operation and the connection pipelines.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	resp := make(chan response, 128)
+	connDone := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for {
+			select {
+			case r := <-resp:
+				body, err := encodeResponse(r)
+				if err != nil {
+					body, _ = encodeResponse(response{
+						Kind: r.Kind, ID: r.ID, Code: codeGeneric, Msg: err.Error(),
+					})
+				}
+				if err := writeFrame(conn, body); err != nil {
+					_ = conn.Close() // unblocks the read loop
+					return
+				}
+			case <-connDone:
+				return
+			}
+		}
+	}()
+	reply := func(r response) {
+		select {
+		case resp <- r:
+		case <-connDone:
+		}
+	}
+
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			break
+		}
+		req, err := decodeRequest(body)
+		if err != nil {
+			// Answer decodable-but-unsupported requests (bad version, bad
+			// kind) with an error response; drop the connection only on
+			// frames too broken to carry an id.
+			if len(body) >= 10 {
+				reply(response{Kind: reqKind(body[1] &^ byte(respFlag)), ID: binary.BigEndian.Uint64(body[2:]),
+					Code: codeBadRequest, Msg: err.Error()})
+				continue
+			}
+			break
+		}
+		s.dispatch(req, reply)
+	}
+	close(connDone)
+	writerWG.Wait()
+}
+
+// dispatch executes one request, replying asynchronously for operations
+// that block.
+func (s *Server) dispatch(req request, reply func(response)) {
+	switch req.Kind {
+	case reqPing:
+		reply(response{Kind: reqPing, ID: req.ID})
+
+	case reqInfo:
+		reply(response{Kind: reqInfo, ID: req.ID,
+			NodeID: s.node.ID(), N: int32(s.node.N()), Quorum: int32(s.node.Quorum()),
+			Algorithm: uint8(s.node.Algorithm())})
+
+	case reqCrash:
+		if !s.node.Crash(nil) {
+			reply(errResponse(req, core.ErrDown))
+			return
+		}
+		reply(response{Kind: reqCrash, ID: req.ID})
+
+	case reqRecover:
+		go func() {
+			ctx, cancel := s.opCtx(req)
+			defer cancel()
+			start := time.Now()
+			if err := s.node.Recover(ctx, nil, nil); err != nil {
+				reply(errResponse(req, err))
+				return
+			}
+			reply(response{Kind: reqRecover, ID: req.ID,
+				LatencyUS: uint64(time.Since(start).Microseconds())})
+		}()
+
+	case reqWrite:
+		start := time.Now()
+		fut, err := s.ref(req.Reg).SubmitWrite(req.Value, core.OpObserver{})
+		if err != nil {
+			reply(errResponse(req, err))
+			return
+		}
+		go func() {
+			ctx, cancel := s.opCtx(req)
+			defer cancel()
+			if _, err := fut.Wait(ctx); err != nil {
+				reply(errResponse(req, err))
+				return
+			}
+			reply(response{Kind: reqWrite, ID: req.ID, Op: fut.Op(),
+				LatencyUS: uint64(time.Since(start).Microseconds())})
+		}()
+
+	case reqRead:
+		if req.Consistency > uint8(core.ReadSafe) {
+			reply(response{Kind: req.Kind, ID: req.ID, Code: codeBadRequest,
+				Msg: fmt.Sprintf("unknown read-consistency byte %d", req.Consistency)})
+			return
+		}
+		fut, err := s.ref(req.Reg).SubmitRead(core.ReadMode(req.Consistency), core.OpObserver{})
+		if err != nil {
+			reply(errResponse(req, err))
+			return
+		}
+		go func() {
+			ctx, cancel := s.opCtx(req)
+			defer cancel()
+			val, err := fut.Wait(ctx)
+			if err != nil {
+				reply(errResponse(req, err))
+				return
+			}
+			reply(response{Kind: reqRead, ID: req.ID, Op: fut.Op(),
+				Present: val != nil, Value: val})
+		}()
+
+	default:
+		reply(response{Kind: req.Kind, ID: req.ID, Code: codeBadRequest,
+			Msg: "unknown request kind"})
+	}
+}
+
+// opCtx builds the operation context from the request deadline or the
+// server default.
+func (s *Server) opCtx(req request) (context.Context, context.CancelFunc) {
+	d := s.opts.OpTimeout
+	if req.DeadlineUS > 0 {
+		d = time.Duration(req.DeadlineUS) * time.Microsecond
+	}
+	return context.WithTimeout(context.Background(), d)
+}
+
+// errResponse maps an operation error to its wire code.
+func errResponse(req request, err error) response {
+	code := codeGeneric
+	switch {
+	case errors.Is(err, core.ErrCrashed):
+		code = codeCrashed
+	case errors.Is(err, core.ErrDown):
+		code = codeDown
+	case errors.Is(err, core.ErrNotDown):
+		code = codeNotDown
+	case errors.Is(err, core.ErrCannotRecover):
+		code = codeCannotRecover
+	case errors.Is(err, core.ErrNotWriter):
+		code = codeNotWriter
+	case errors.Is(err, wire.ErrValueTooLarge):
+		code = codeValueTooLarge
+	case errors.Is(err, core.ErrBadConsistency):
+		code = codeBadConsistency
+	case errors.Is(err, context.DeadlineExceeded):
+		code = codeDeadline
+	}
+	return response{Kind: req.Kind, ID: req.ID, Code: code, Msg: err.Error()}
+}
