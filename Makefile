@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-disk bench-handle smoke fmt vet ci scenarios
+.PHONY: all build test race bench bench-disk bench-handle smoke verify-mesh fmt vet ci scenarios
 
 all: build
 
@@ -28,9 +28,18 @@ bench-handle:
 	$(GO) test -bench 'BenchmarkStringLookup|BenchmarkRegisterHandle' -benchtime=1000000x -run '^$$' ./internal/core/
 
 # smoke boots a real 3-node recmem-node mesh and drives it through the
-# remote client: the CI proof that the Client API works over live TCP.
+# remote client, then runs the VERIFIED live-mesh torture round (recording
+# clients + tag-witness merge + model check, docs/adr/0004) including the
+# stale-node negative control: the CI proof that the Client API works — and
+# is verifiably correct — over live TCP.
 smoke:
 	./scripts/smoke-mesh.sh
+
+# verify-mesh runs only the verification half of the mesh smoke: boot the
+# mesh, run `recmem-torture -remote -verify`, and prove a stale-serving
+# node fails the check.
+verify-mesh:
+	SMOKE_VERIFY_ONLY=1 ./scripts/smoke-mesh.sh
 
 fmt:
 	@out=$$(gofmt -l .); \

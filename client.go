@@ -38,9 +38,10 @@ type Client interface {
 // through the RegisterBackend driver interface; applications build it with
 // the With... functional options.
 type OpOptions struct {
-	// Deadline bounds the operation (0 = none). Synchronous operations run
-	// under a context with this timeout; remote backends also ship it to
-	// the server so the node-side wait is bounded too.
+	// Deadline bounds the operation (0 = none; negative = already expired).
+	// Synchronous operations run under a context with this timeout; remote
+	// backends also ship it to the server so the node-side wait is bounded
+	// too.
 	Deadline time.Duration
 	// Consistency selects the read's criterion: 0 means the algorithm's
 	// native read; Regularity and Safety are selectable only under the
@@ -49,6 +50,11 @@ type OpOptions struct {
 	Consistency Criterion
 	// Cost, if non-nil, receives the operation id for CostOf accounting.
 	Cost *OpID
+	// Witness, if non-nil, receives the operation's tag witness on a
+	// successful synchronous operation: the tag the emulation adopted for
+	// the written or returned value (see WithWitness). Backends that cannot
+	// report one leave it zero.
+	Witness *Tag
 }
 
 // OpOption customizes one operation on a Register handle.
@@ -57,9 +63,23 @@ type OpOption func(*OpOptions)
 // WithDeadline bounds the operation to d. A synchronous operation whose
 // deadline expires returns context.DeadlineExceeded; the protocol execution
 // itself is abandoned by the wait, not aborted (exactly like cancelling the
-// context passed to Read/Write).
+// context passed to Read/Write). A non-positive d (other than the zero
+// value, which means "no deadline" when resolved) is an already-expired
+// deadline: the operation fails with context.DeadlineExceeded immediately —
+// it is never silently converted into an unbounded one.
 func WithDeadline(d time.Duration) OpOption {
 	return func(o *OpOptions) { o.Deadline = d }
+}
+
+// WithWitness captures the operation's tag witness into dst: the tag the
+// emulation adopted for the written value (the write's minted timestamp) or
+// for the value a read returned. dst is left zero when the operation fails,
+// when a read returns the initial value ⊥, and for the rare coalesced write
+// whose value was superseded within its batch. The witness is the
+// server-side ordering evidence history.Merge uses to order merged
+// live-mesh histories where client clocks cannot.
+func WithWitness(dst *Tag) OpOption {
+	return func(o *OpOptions) { o.Witness = dst }
 }
 
 // WithCost captures the operation id into dst, for Cluster.CostOf log-
@@ -88,9 +108,11 @@ func resolveOpts(opts []OpOption) OpOptions {
 	return o
 }
 
-// opCtx derives the operation context from the deadline option.
+// opCtx derives the operation context from the deadline option. A negative
+// deadline (already expired) yields an already-cancelled context — the old
+// `> 0` guard silently turned an expired deadline into no deadline at all.
 func (o OpOptions) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
-	if o.Deadline > 0 {
+	if o.Deadline != 0 {
 		return context.WithTimeout(ctx, o.Deadline)
 	}
 	return ctx, func() {}

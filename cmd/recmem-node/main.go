@@ -51,6 +51,7 @@ type nodeConfig struct {
 	hardened   bool
 	retransmit time.Duration
 	opTimeout  time.Duration
+	staleReads bool
 }
 
 // nodeServer is one running node plus its control server.
@@ -163,7 +164,7 @@ func startNode(cfg nodeConfig) (*nodeServer, error) {
 		}
 		return nil, err
 	}
-	srv := remote.Serve(ln, node, remote.ServerOptions{OpTimeout: cfg.opTimeout})
+	srv := remote.Serve(ln, node, remote.ServerOptions{OpTimeout: cfg.opTimeout, StaleReads: cfg.staleReads})
 	return &nodeServer{mesh: mesh, node: node, disk: disk, srv: srv}, nil
 }
 
@@ -179,6 +180,7 @@ func run(args []string) error {
 		hardened   = fs.Bool("hardened", false, "hardened tags for the transient algorithm")
 		retransmit = fs.Duration("retransmit", 100*time.Millisecond, "protocol retransmission period")
 		opTimeout  = fs.Duration("op-timeout", time.Minute, "server-side bound on one operation")
+		staleReads = fs.Bool("stale-reads", false, "FAULT INJECTION: serve every read from the first reply ever produced for its register (frozen value + stale tag witness) — a deliberately dishonest node for exercising recmem-torture -verify")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -186,14 +188,18 @@ func run(args []string) error {
 	ns, err := startNode(nodeConfig{
 		id: *id, peers: strings.Split(*peersFlag, ","), control: *control,
 		dir: *dir, algorithm: *algorithm, disk: *disk, hardened: *hardened,
-		retransmit: *retransmit, opTimeout: *opTimeout,
+		retransmit: *retransmit, opTimeout: *opTimeout, staleReads: *staleReads,
 	})
 	if err != nil {
 		return err
 	}
 	defer ns.Close()
-	fmt.Printf("recmem-node %d (%v, %s disk) serving protocol on %s, control on %s\n",
-		*id, ns.node.Algorithm(), *disk, ns.mesh.Addr(), ns.ControlAddr())
+	dishonest := ""
+	if *staleReads {
+		dishonest = " [DISHONEST: -stale-reads]"
+	}
+	fmt.Printf("recmem-node %d (%v, %s disk) serving protocol on %s, control on %s%s\n",
+		*id, ns.node.Algorithm(), *disk, ns.mesh.Addr(), ns.ControlAddr(), dishonest)
 	<-ns.Done()
 	return nil
 }

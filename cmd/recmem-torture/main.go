@@ -13,15 +13,19 @@
 //   - a live TCP mesh (-remote addr,addr,...), where each address is a
 //     recmem-node control port dialed through the remote package; the same
 //     crash/recover sweeps and pipelined async windows are driven over the
-//     wire (no global history exists there, so the checkers are skipped and
-//     the run asserts operational health instead).
+//     wire. With -verify, every client is wrapped in a recording client
+//     (recmem.RecordingGroup): the per-client histories — wall-clock
+//     stamped, carrying the protocol's tag witnesses — are merged onto one
+//     timeline (history.Merge, docs/adr/0004) and model-checked against the
+//     criterion of the algorithm the mesh reports, exactly like a simulated
+//     round. Without -verify the round only asserts operational health.
 //
 // Usage:
 //
 //	recmem-torture -algorithm persistent -n 5 -ops 200 -rounds 10
 //	recmem-torture -algorithm transient -loss 0.2 -dup 0.1 -seed 7
 //	recmem-torture -algorithm persistent -disk wal -diskfail 0.2
-//	recmem-torture -remote :7200,:7201,:7202 -ops 200 -async 16
+//	recmem-torture -remote :7200,:7201,:7202 -ops 200 -async 16 -verify
 //
 // -disk selects the stable-storage engine (mem, file, or wal — the
 // log-structured group-commit engine). -diskfail wraps every disk in a
@@ -89,6 +93,7 @@ type options struct {
 	disk     string
 	diskFail float64
 	remote   []string
+	verify   bool
 }
 
 func run(args []string) error {
@@ -110,6 +115,7 @@ func run(args []string) error {
 		disk       = fs.String("disk", "mem", "stable-storage engine: mem, file, or wal")
 		diskFail   = fs.Float64("diskfail", 0, "injected Store/StoreBatch failure rate [0,1)")
 		remoteFlag = fs.String("remote", "", "comma-separated recmem-node control addresses: drive a live mesh instead of the simulator")
+		verify     = fs.Bool("verify", false, "with -remote: record per-client histories, merge them by wall clock + tag witness, and model-check the round (docs/adr/0004)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,9 +131,13 @@ func run(args []string) error {
 		kind: kind, n: *n, ops: *ops, seed: *seed, loss: *loss, dup: *dup,
 		reads: *reads, regs: *regs, async: *async, hardened: *hardened,
 		faultFor: *faultFor, traceCap: *traceCap, disk: *disk, diskFail: *diskFail,
+		verify: *verify,
 	}
 	if *remoteFlag != "" {
 		o.remote = strings.Split(*remoteFlag, ",")
+	}
+	if o.verify && len(o.remote) == 0 {
+		return fmt.Errorf("-verify applies to -remote runs (simulated rounds always verify)")
 	}
 
 	for round := 0; round < *rounds; round++ {
@@ -276,21 +286,35 @@ func tortureRound(o options) error {
 }
 
 // remoteRound runs the identical scenario against a live mesh of
-// recmem-nodes. There is no global history to verify, so the round asserts
-// operational health: no unexpected errors, every process healthy at the
-// end, and a read observing the run's effects.
+// recmem-nodes. The round always asserts operational health (no unexpected
+// errors, every process healthy at the end, a read observing the run's
+// effects); with -verify it additionally records every client's history,
+// merges them by wall clock and tag witness, and model-checks the result
+// against the criterion of the algorithm the mesh reports — a non-atomic
+// live run fails the process exactly like a non-atomic simulated one.
 func remoteRound(o options) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
+	raw := make([]*remote.Client, len(o.remote))
 	clients := make([]recmem.Client, len(o.remote))
+	var group *recmem.RecordingGroup
+	if o.verify {
+		group = recmem.NewRecordingGroup()
+	}
 	for i, addr := range o.remote {
 		c, err := remote.Dial(strings.TrimSpace(addr), remote.Options{})
 		if err != nil {
 			return fmt.Errorf("dial %s: %w", addr, err)
 		}
 		defer c.Close()
+		raw[i] = c
 		clients[i] = c
+		if group != nil {
+			// All traffic — workload, faults, final probes — goes through
+			// the recording wrapper, so the merged history is complete.
+			clients[i] = group.Wrap(c)
+		}
 	}
 
 	res, crashes, err := scenario(ctx, clients, o, true)
@@ -318,5 +342,47 @@ func remoteRound(o options) error {
 	}
 	fmt.Printf("  %d writes, %d reads, %d interrupted, %d crashes injected (live mesh)\n",
 		res.Writes, res.Reads, res.Interrupted, crashes)
+	if group == nil {
+		return nil
+	}
+	return verifyRemote(ctx, group, raw[0])
+}
+
+// verifyRemote merges the recorded per-client histories and checks them
+// against the criterion of the algorithm the mesh reports.
+func verifyRemote(ctx context.Context, group *recmem.RecordingGroup, node *remote.Client) error {
+	info, err := node.Info(ctx)
+	if err != nil {
+		return fmt.Errorf("verify: info: %w", err)
+	}
+	cr, err := criterionFor(info.Algorithm)
+	if err != nil {
+		return err
+	}
+	merged, err := group.Merged()
+	if err != nil {
+		return fmt.Errorf("verify: merge: %w", err)
+	}
+	if err := recmem.VerifyHistory(merged, cr); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	fmt.Printf("  verified %d merged events against %v\n", len(merged), cr)
 	return nil
+}
+
+// criterionFor maps the algorithm a node reports to the criterion it
+// promises.
+func criterionFor(algorithm string) (recmem.Criterion, error) {
+	switch algorithm {
+	case "crash-stop":
+		return recmem.Linearizability, nil
+	case "transient":
+		return recmem.TransientAtomicity, nil
+	case "persistent", "naive":
+		return recmem.PersistentAtomicity, nil
+	case "regular-sw":
+		return recmem.Regularity, nil
+	default:
+		return 0, fmt.Errorf("verify: mesh reports unknown algorithm %q", algorithm)
+	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"net"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -92,13 +93,13 @@ func TestTortureRoundWALTransient(t *testing.T) {
 	}
 }
 
-// TestRemoteRound is the acceptance scenario: the identical torture round —
-// same workload.RunClients, same workload.ClientFaults — driven against a
-// real 3-node TCP mesh through the remote package, selected only by which
-// clients are passed in.
-func TestRemoteRound(t *testing.T) {
-	meshes := make([]*nettcp.Mesh, 3)
-	peers := make([]string, 3)
+// bootMesh starts a live n-node TCP mesh; staleNode (if >= 0) gets a
+// dishonest control server that freezes read replies (ServerOptions.
+// StaleReads). It returns the control addresses.
+func bootMesh(t *testing.T, n int, staleNode int) []string {
+	t.Helper()
+	meshes := make([]*nettcp.Mesh, n)
+	peers := make([]string, n)
 	for i := range meshes {
 		m, err := nettcp.Listen(int32(i), "127.0.0.1:0", nettcp.Options{})
 		if err != nil {
@@ -109,10 +110,10 @@ func TestRemoteRound(t *testing.T) {
 		peers[i] = m.Addr()
 	}
 	ids := &atomic.Uint64{}
-	addrs := make([]string, 3)
+	addrs := make([]string, n)
 	for i := range meshes {
 		meshes[i].SetPeers(peers)
-		nd, err := core.NewNode(int32(i), 3, core.Persistent,
+		nd, err := core.NewNode(int32(i), n, core.Persistent,
 			core.Options{RetransmitEvery: 10 * time.Millisecond},
 			core.Deps{Endpoint: meshes[i], Storage: stable.NewMemDisk(stable.Profile{}), IDs: ids})
 		if err != nil {
@@ -123,17 +124,53 @@ func TestRemoteRound(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv := remote.Serve(ln, nd, remote.ServerOptions{OpTimeout: 30 * time.Second})
+		srv := remote.Serve(ln, nd, remote.ServerOptions{
+			OpTimeout: 30 * time.Second, StaleReads: i == staleNode,
+		})
 		t.Cleanup(func() { srv.Close() })
 		addrs[i] = srv.Addr()
 	}
+	return addrs
+}
 
+// TestRemoteRound is the acceptance scenario: the identical torture round —
+// same workload.RunClients, same workload.ClientFaults — driven against a
+// real 3-node TCP mesh through the remote package, selected only by which
+// clients are passed in; with verify on, the recorded per-client histories
+// are merged and model-checked.
+func TestRemoteRound(t *testing.T) {
 	o := opts("persistent", t)
-	o.remote = addrs
+	o.remote = bootMesh(t, 3, -1)
 	o.ops = 20
 	o.async = 6
+	o.verify = true
 	if err := remoteRound(o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRemoteRoundVerifyCatchesStaleMesh is the negative control of the
+// acceptance criterion: the same verified round against a mesh whose node 1
+// serves stale reads must fail with an atomicity violation.
+func TestRemoteRoundVerifyCatchesStaleMesh(t *testing.T) {
+	o := opts("persistent", t)
+	o.remote = bootMesh(t, 3, 1)
+	o.ops = 20
+	o.faultFor = 0 // keep the stale reads completed, not crash-interrupted
+	o.verify = true
+	err := remoteRound(o)
+	if err == nil {
+		t.Fatal("verified round passed against a stale-serving mesh")
+	}
+	if !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("err = %v, want an atomicity violation", err)
+	}
+	// The identical dishonest mesh passes when verification is off — the
+	// old operational-health round cannot see the lie (the PR-3 gap).
+	o.verify = false
+	o.seed++
+	if err := remoteRound(o); err != nil {
+		t.Fatalf("unverified round should not detect staleness: %v", err)
 	}
 }
 

@@ -368,7 +368,7 @@ func TestViolationErrorString(t *testing.T) {
 		Mode:   Persistent,
 		Reg:    "x",
 		Reason: "why",
-		Ops:    []history.Operation{{Proc: 1, Type: history.Write, Value: "v"}},
+		Ops:    []history.Operation{{Proc: 1, Type: history.Write, Value: "v", Ret: history.PendingRet}},
 	}
 	got := v.Error()
 	for _, want := range []string{"persistent-atomic", `"x"`, "why", "p1:W(v)?"} {

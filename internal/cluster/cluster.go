@@ -23,6 +23,7 @@ import (
 	"recmem/internal/metrics"
 	"recmem/internal/netsim"
 	"recmem/internal/stable"
+	"recmem/internal/tag"
 	"recmem/internal/trace"
 	"recmem/internal/transport"
 )
@@ -148,34 +149,22 @@ type Report struct {
 	Op uint64
 	// Latency is the wall-clock duration of the operation.
 	Latency time.Duration
+	// Tag is the operation's tag witness: the tag the protocol adopted for
+	// the written or returned value (zero on failure, for the initial value
+	// ⊥, and for coalesced writes superseded within their batch).
+	Tag tag.Tag
 }
 
 // Write invokes the write operation at process proc. The written value is
 // recorded in the history as a string.
 func (c *Cluster) Write(ctx context.Context, proc int32, reg string, val []byte) (Report, error) {
-	nd := c.nodes[proc]
-	start := time.Now()
-	op, err := nd.Write(ctx, reg, val, c.writeObs(proc, reg, val))
-	if err != nil {
-		return Report{Op: op}, err
-	}
-	lat := time.Since(start)
-	c.writeLat.Add(lat)
-	return Report{Op: op, Latency: lat}, nil
+	return c.Handle(proc, reg).Write(ctx, val)
 }
 
 // Read invokes the read operation at process proc. A nil result is the
 // register's initial value ⊥.
 func (c *Cluster) Read(ctx context.Context, proc int32, reg string) ([]byte, Report, error) {
-	nd := c.nodes[proc]
-	start := time.Now()
-	val, op, err := nd.Read(ctx, reg, c.readObs(proc, reg))
-	if err != nil {
-		return nil, Report{Op: op}, err
-	}
-	lat := time.Since(start)
-	c.readLat.Add(lat)
-	return val, Report{Op: op, Latency: lat}, nil
+	return c.Handle(proc, reg).Read(ctx, core.ReadDefault)
 }
 
 // SubmitWrite asynchronously writes through process proc's batching engine

@@ -6,6 +6,7 @@ import (
 
 	"recmem/internal/core"
 	"recmem/internal/history"
+	"recmem/internal/tag"
 )
 
 // Handle is a cached (process, register) operation handle: the core-level
@@ -31,11 +32,15 @@ func (h *Handle) Register() string { return h.reg }
 // Proc returns the process id the handle operates at.
 func (h *Handle) Proc() int32 { return h.proc }
 
-// writeObs builds the history observer of a synchronous write at proc.
+// writeObs builds the history observer of a synchronous write at proc. The
+// recorded reply carries the operation's tag witness, so simulated
+// histories are witness-complete exactly like merged live-mesh ones.
 func (c *Cluster) writeObs(proc int32, reg string, val []byte) core.OpObserver {
 	return core.OpObserver{
 		OnInvoke: func(op uint64) { c.rec.InvokeWithID(proc, history.Write, op, reg, string(val)) },
-		OnReturn: func(op uint64, _ []byte) { c.rec.Return(proc, history.Write, op, reg, "") },
+		OnReturn: func(op uint64, _ []byte, wit tag.Tag) {
+			c.rec.ReturnTagged(proc, history.Write, op, reg, "", wit)
+		},
 	}
 }
 
@@ -43,7 +48,9 @@ func (c *Cluster) writeObs(proc int32, reg string, val []byte) core.OpObserver {
 func (c *Cluster) readObs(proc int32, reg string) core.OpObserver {
 	return core.OpObserver{
 		OnInvoke: func(op uint64) { c.rec.InvokeWithID(proc, history.Read, op, reg, "") },
-		OnReturn: func(op uint64, v []byte) { c.rec.Return(proc, history.Read, op, reg, string(v)) },
+		OnReturn: func(op uint64, v []byte, wit tag.Tag) {
+			c.rec.ReturnTagged(proc, history.Read, op, reg, string(v), wit)
+		},
 	}
 }
 
@@ -51,13 +58,13 @@ func (c *Cluster) readObs(proc int32, reg string) core.OpObserver {
 // recording match Cluster.Write.
 func (h *Handle) Write(ctx context.Context, val []byte) (Report, error) {
 	start := time.Now()
-	op, err := h.ref.Write(ctx, val, h.c.writeObs(h.proc, h.reg, val))
+	op, wit, err := h.ref.Write(ctx, val, h.c.writeObs(h.proc, h.reg, val))
 	if err != nil {
 		return Report{Op: op}, err
 	}
 	lat := time.Since(start)
 	h.c.writeLat.Add(lat)
-	return Report{Op: op, Latency: lat}, nil
+	return Report{Op: op, Latency: lat, Tag: wit}, nil
 }
 
 // Read invokes the read operation through the handle with the given
@@ -65,13 +72,13 @@ func (h *Handle) Write(ctx context.Context, val []byte) (Report, error) {
 // semantics and recording match Cluster.Read.
 func (h *Handle) Read(ctx context.Context, mode core.ReadMode) ([]byte, Report, error) {
 	start := time.Now()
-	val, op, err := h.ref.Read(ctx, mode, h.c.readObs(h.proc, h.reg))
+	val, op, wit, err := h.ref.Read(ctx, mode, h.c.readObs(h.proc, h.reg))
 	if err != nil {
 		return nil, Report{Op: op}, err
 	}
 	lat := time.Since(start)
 	h.c.readLat.Add(lat)
-	return val, Report{Op: op, Latency: lat}, nil
+	return val, Report{Op: op, Latency: lat, Tag: wit}, nil
 }
 
 // SubmitWrite asynchronously writes through the handle's cached queue;

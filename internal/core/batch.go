@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"recmem/internal/tag"
 	"recmem/internal/transport"
 	"recmem/internal/wire"
 )
@@ -54,6 +55,7 @@ type Future struct {
 	op   uint64
 	done chan struct{}
 	val  []byte
+	wit  tag.Tag
 	err  error
 }
 
@@ -76,9 +78,25 @@ func (f *Future) Wait(ctx context.Context) ([]byte, error) {
 	}
 }
 
+// TagWitness returns the operation's tag witness once the future is done:
+// the tag the protocol adopted for the written or returned value. ok is
+// false before completion and for operations without a witness (a failed
+// operation, or a coalesced write whose value was superseded within its
+// batch — only the batch's surviving value carries the minted tag, because
+// a tag names exactly one committed value).
+func (f *Future) TagWitness() (wit tag.Tag, ok bool) {
+	select {
+	case <-f.done:
+		return f.wit, !f.wit.IsZero()
+	default:
+		return tag.Tag{}, false
+	}
+}
+
 // complete resolves the future. Called exactly once.
-func (f *Future) complete(val []byte, err error) {
+func (f *Future) complete(val []byte, wit tag.Tag, err error) {
 	f.val = val
+	f.wit = wit
 	f.err = err
 	close(f.done)
 }
@@ -200,16 +218,23 @@ func (eng *engine) flush(reg string, batch []*batchSub) {
 	if len(writes) > 0 {
 		carrier := writes[0].op
 		final := writes[len(writes)-1].val
-		err := nd.writeProtocol(ctx, carrier, reg, final, true)
-		for _, s := range writes {
-			s.fut.complete(nil, nd.endOp(s.op, s.epoch, s.obs, err, nil))
+		wit, err := nd.writeProtocol(ctx, carrier, reg, final, true)
+		for i, s := range writes {
+			// The batch mints one tag for its surviving (last) value; the
+			// overwritten submissions carry no witness — a tag names exactly
+			// one committed value.
+			w := tag.Tag{}
+			if i == len(writes)-1 {
+				w = wit
+			}
+			s.fut.complete(nil, w, nd.endOp(s.op, s.epoch, s.obs, err, nil, w))
 		}
 	}
 	if len(reads) > 0 {
 		carrier := reads[0].op
-		val, err := nd.readProtocol(ctx, carrier, reg, true)
+		val, wit, err := nd.readProtocol(ctx, carrier, reg, true)
 		for _, s := range reads {
-			s.fut.complete(val, nd.endOp(s.op, s.epoch, s.obs, err, val))
+			s.fut.complete(val, wit, nd.endOp(s.op, s.epoch, s.obs, err, val, wit))
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"recmem/internal/metrics"
 	"recmem/internal/netsim"
 	"recmem/internal/stable"
+	"recmem/internal/tag"
 	"recmem/internal/wire"
 )
 
@@ -631,7 +632,7 @@ func TestObserverCallbacks(t *testing.T) {
 	var invoked, returned atomic.Uint64
 	obs := OpObserver{
 		OnInvoke: func(op uint64) { invoked.Store(op) },
-		OnReturn: func(op uint64, _ []byte) { returned.Store(op) },
+		OnReturn: func(op uint64, _ []byte, _ tag.Tag) { returned.Store(op) },
 	}
 	op, err := tc.nodes[0].Write(tc.ctx(), "x", []byte("v"), obs)
 	if err != nil {
@@ -651,7 +652,7 @@ func TestObserverNoReturnOnCrash(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		_, err := tc.nodes[0].Write(tc.ctx(), "x", []byte("v"),
-			OpObserver{OnReturn: func(uint64, []byte) { returned.Store(true) }})
+			OpObserver{OnReturn: func(uint64, []byte, tag.Tag) { returned.Store(true) }})
 		done <- err
 	}()
 	time.Sleep(20 * time.Millisecond)

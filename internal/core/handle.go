@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 
+	"recmem/internal/tag"
 	"recmem/internal/wire"
 )
 
@@ -77,49 +78,55 @@ func (r *RegisterRef) Name() string { return r.reg }
 // Node returns the node the handle operates through.
 func (r *RegisterRef) Node() *Node { return r.nd }
 
-// Write is Node.Write through the cached handle.
-func (r *RegisterRef) Write(ctx context.Context, val []byte, obs OpObserver) (uint64, error) {
+// Write is Node.Write through the cached handle; it additionally returns
+// the minted tag — the write's tag witness (zero on failure).
+func (r *RegisterRef) Write(ctx context.Context, val []byte, obs OpObserver) (uint64, tag.Tag, error) {
 	nd := r.nd
 	if len(val) > wire.MaxValueSize {
-		return 0, wire.ErrValueTooLarge
+		return 0, tag.Tag{}, wire.ErrValueTooLarge
 	}
 	if nd.kind == RegularSW && nd.id != RegularWriter {
-		return 0, ErrNotWriter
+		return 0, tag.Tag{}, ErrNotWriter
 	}
 	nd.opMu.Lock()
 	defer nd.opMu.Unlock()
 	val = append([]byte(nil), val...)
 	op, epoch, err := nd.beginOp(obs)
 	if err != nil {
-		return 0, err
+		return 0, tag.Tag{}, err
 	}
-	err = nd.writeProtocolMu(ctx, op, r.reg, val, false, r.wmu)
-	return op, nd.endOp(op, epoch, obs, err, nil)
+	wit, err := nd.writeProtocolMu(ctx, op, r.reg, val, false, r.wmu)
+	return op, wit, nd.endOp(op, epoch, obs, err, nil, wit)
 }
 
 // Read is Node.Read through the cached handle, with a read-consistency
-// selection (ReadSafe and ReadRegular require the RegularSW algorithm).
-func (r *RegisterRef) Read(ctx context.Context, mode ReadMode, obs OpObserver) ([]byte, uint64, error) {
+// selection (ReadSafe and ReadRegular require the RegularSW algorithm); it
+// additionally returns the tag under which the returned value was adopted —
+// the read's tag witness (zero on failure or for the initial value ⊥).
+func (r *RegisterRef) Read(ctx context.Context, mode ReadMode, obs OpObserver) ([]byte, uint64, tag.Tag, error) {
 	nd := r.nd
 	if err := nd.checkReadMode(mode); err != nil {
-		return nil, 0, err
+		return nil, 0, tag.Tag{}, err
 	}
 	nd.opMu.Lock()
 	defer nd.opMu.Unlock()
 	op, epoch, err := nd.beginOp(obs)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, tag.Tag{}, err
 	}
-	var val []byte
+	var (
+		val []byte
+		wit tag.Tag
+	)
 	if mode == ReadSafe {
-		val, err = nd.safeReadSW(ctx, op, r.reg, false)
+		val, wit, err = nd.safeReadSW(ctx, op, r.reg, false)
 	} else {
-		val, err = nd.readProtocol(ctx, op, r.reg, false)
+		val, wit, err = nd.readProtocol(ctx, op, r.reg, false)
 	}
-	if err := nd.endOp(op, epoch, obs, err, val); err != nil {
-		return nil, op, err
+	if err := nd.endOp(op, epoch, obs, err, val, wit); err != nil {
+		return nil, op, tag.Tag{}, err
 	}
-	return val, op, nil
+	return val, op, wit, nil
 }
 
 // SubmitWrite is Node.SubmitWrite through the cached handle: the submission
@@ -160,8 +167,8 @@ func (r *RegisterRef) SubmitRead(mode ReadMode, obs OpObserver) (*Future, error)
 		go func() {
 			// Like engine rounds, the safe read aborts via crashCh on
 			// crash/close rather than through a context.
-			val, err := nd.safeReadSW(context.Background(), op, r.reg, false)
-			fut.complete(val, nd.endOp(op, epoch, obs, err, val))
+			val, wit, err := nd.safeReadSW(context.Background(), op, r.reg, false)
+			fut.complete(val, wit, nd.endOp(op, epoch, obs, err, val, wit))
 		}()
 		return fut, nil
 	}
@@ -172,11 +179,12 @@ func (r *RegisterRef) SubmitRead(mode ReadMode, obs OpObserver) (*Future, error)
 // safeReadSW is the §VI safe read: one round addressed to the designated
 // writer alone, requiring only the writer's acknowledgement. See ReadSafe
 // for why this is safe (and regular) yet blocks while the writer is down.
-func (nd *Node) safeReadSW(ctx context.Context, op uint64, reg string, batched bool) ([]byte, error) {
+// The returned tag is the writer's adopted tag — the read's tag witness.
+func (nd *Node) safeReadSW(ctx context.Context, op uint64, reg string, batched bool) ([]byte, tag.Tag, error) {
 	acks, err := nd.runRoundOpts(ctx, op, wire.Envelope{Kind: wire.KindRead, Reg: reg},
 		roundOpts{require: RegularWriter, to: RegularWriter, quorum: 1, batched: batched})
 	if err != nil {
-		return nil, err
+		return nil, tag.Tag{}, err
 	}
-	return acks[RegularWriter].Value, nil
+	return acks[RegularWriter].Value, acks[RegularWriter].Tag, nil
 }

@@ -13,12 +13,15 @@ import (
 // events become definitive. OnInvoke runs inside the node's state lock right
 // after the operation is admitted; OnReturn runs inside the same lock only
 // if the process did not crash during the operation — val is the value a
-// read returns (nil for writes). The harness uses these to record
-// invocation/reply events whose order is consistent with the crash/recovery
-// events it records through Crash and Recover.
+// read returns (nil for writes), wit the operation's tag witness: the tag
+// the protocol adopted for the written or returned value (zero when none,
+// e.g. a coalesced write whose value was superseded within its batch). The
+// harness uses these to record invocation/reply events whose order is
+// consistent with the crash/recovery events it records through Crash and
+// Recover.
 type OpObserver struct {
 	OnInvoke func(op uint64)
-	OnReturn func(op uint64, val []byte)
+	OnReturn func(op uint64, val []byte, wit tag.Tag)
 }
 
 // beginOp admits a client operation on an alive process and fires OnInvoke.
@@ -42,7 +45,7 @@ func (nd *Node) beginOp(obs OpObserver) (op uint64, epoch uint64, err error) {
 // endOp fires OnReturn if the operation ran to completion on a process that
 // is still in the same incarnation; an operation that raced with a crash is
 // reported as ErrCrashed and its invocation stays pending.
-func (nd *Node) endOp(op, epoch uint64, obs OpObserver, err error, val []byte) error {
+func (nd *Node) endOp(op, epoch uint64, obs OpObserver, err error, val []byte, wit tag.Tag) error {
 	if err != nil {
 		return err
 	}
@@ -52,7 +55,7 @@ func (nd *Node) endOp(op, epoch uint64, obs OpObserver, err error, val []byte) e
 		return ErrCrashed
 	}
 	if obs.OnReturn != nil {
-		obs.OnReturn(op, val)
+		obs.OnReturn(op, val, wit)
 	}
 	return nil
 }
@@ -78,8 +81,8 @@ func (nd *Node) Write(ctx context.Context, reg string, val []byte, obs OpObserve
 	if err != nil {
 		return 0, err
 	}
-	err = nd.writeProtocol(ctx, op, reg, val, false)
-	return op, nd.endOp(op, epoch, obs, err, nil)
+	wit, err := nd.writeProtocol(ctx, op, reg, val, false)
+	return op, nd.endOp(op, epoch, obs, err, nil, wit)
 }
 
 // writeProtocol is the write common to the multi-writer algorithms: a
@@ -87,13 +90,15 @@ func (nd *Node) Write(ctx context.Context, reg string, val []byte, obs OpObserve
 // optional writer pre-log (persistent: Fig. 4 line 12), and the propagation
 // round. The single-writer regular register branches to its one-round form.
 // With batched set, round broadcasts go through the node's outbox so that
-// concurrently pipelined registers share batch frames.
+// concurrently pipelined registers share batch frames. The returned tag is
+// the minted timestamp — the write's tag witness (zero if the execution
+// failed before minting).
 //
 // The whole execution holds the node's per-register write lock: the minted
 // timestamp is derived from the queried majority maximum, so two concurrent
 // executions for one register (a synchronous Write racing a batch flush)
 // would mint the same timestamp for different values.
-func (nd *Node) writeProtocol(ctx context.Context, op uint64, reg string, val []byte, batched bool) error {
+func (nd *Node) writeProtocol(ctx context.Context, op uint64, reg string, val []byte, batched bool) (tag.Tag, error) {
 	return nd.writeProtocolMu(ctx, op, reg, val, batched, nd.wlock(reg))
 }
 
@@ -106,7 +111,7 @@ func (nd *Node) wlock(reg string) *sync.Mutex {
 
 // writeProtocolMu is writeProtocol with the per-register write lock already
 // resolved (the cached-handle fast path).
-func (nd *Node) writeProtocolMu(ctx context.Context, op uint64, reg string, val []byte, batched bool, mu *sync.Mutex) error {
+func (nd *Node) writeProtocolMu(ctx context.Context, op uint64, reg string, val []byte, batched bool, mu *sync.Mutex) (tag.Tag, error) {
 	mu.Lock()
 	defer mu.Unlock()
 	if nd.kind == RegularSW {
@@ -117,7 +122,7 @@ func (nd *Node) writeProtocolMu(ctx context.Context, op uint64, reg string, val 
 		// §I-C straw man: log the intent before doing anything.
 		payload := encodeTagged(tag.Tag{Writer: nd.id}, val)
 		if err := nd.storeLog(batched, recWStartPrefix+reg, payload); err != nil {
-			return err
+			return tag.Tag{}, err
 		}
 		depth = causal.After(depth)
 		nd.recordLog(op, depth, len(payload))
@@ -126,7 +131,7 @@ func (nd *Node) writeProtocolMu(ctx context.Context, op uint64, reg string, val 
 	// Round 1: collect sequence numbers from a majority (Fig. 4 lines 7–10).
 	acks, err := nd.runRound(ctx, op, wire.Envelope{Kind: wire.KindSNQuery, Reg: reg, Depth: uint8(depth)}, -1, batched)
 	if err != nil {
-		return err
+		return tag.Tag{}, err
 	}
 	depth = maxAckDepth(acks, depth)
 	newTag := nd.mintTag(maxAckSeq(acks))
@@ -139,7 +144,7 @@ func (nd *Node) writeProtocolMu(ctx context.Context, op uint64, reg string, val 
 	if nd.kind == Persistent || nd.kind == Naive {
 		payload := encodeTagged(newTag, val)
 		if err := nd.storeLog(batched, recWritingPrefix+reg, payload); err != nil {
-			return err
+			return tag.Tag{}, err
 		}
 		depth = causal.After(depth)
 		nd.recordLog(op, depth, len(payload))
@@ -149,7 +154,10 @@ func (nd *Node) writeProtocolMu(ctx context.Context, op uint64, reg string, val 
 	_, err = nd.runRound(ctx, op, wire.Envelope{
 		Kind: wire.KindWrite, Reg: reg, Tag: newTag, Value: val, Depth: uint8(depth),
 	}, -1, batched)
-	return err
+	if err != nil {
+		return tag.Tag{}, err
+	}
+	return newTag, nil
 }
 
 // mintTag computes the new write timestamp from the highest sequence number
@@ -186,8 +194,8 @@ func (nd *Node) Read(ctx context.Context, reg string, obs OpObserver) ([]byte, u
 	if err != nil {
 		return nil, 0, err
 	}
-	val, err := nd.readProtocol(ctx, op, reg, false)
-	if err := nd.endOp(op, epoch, obs, err, val); err != nil {
+	val, wit, err := nd.readProtocol(ctx, op, reg, false)
+	if err := nd.endOp(op, epoch, obs, err, val, wit); err != nil {
 		return nil, op, err
 	}
 	return val, op, nil
@@ -202,9 +210,9 @@ func (nd *Node) Read(ctx context.Context, reg string, obs OpObserver) ([]byte, u
 // completed write, which keeps timestamps strictly monotone — unfinished
 // writes are out-minted by the recovery count exactly as in Fig. 5. One
 // causal log (all adopters log in parallel), 2 communication steps.
-func (nd *Node) writeRegularSW(ctx context.Context, op uint64, reg string, val []byte, batched bool) error {
+func (nd *Node) writeRegularSW(ctx context.Context, op uint64, reg string, val []byte, batched bool) (tag.Tag, error) {
 	if nd.id != RegularWriter {
-		return ErrNotWriter
+		return tag.Tag{}, ErrNotWriter
 	}
 	nd.mu.Lock()
 	own := nd.regs[reg].tag
@@ -217,14 +225,19 @@ func (nd *Node) writeRegularSW(ctx context.Context, op uint64, reg string, val [
 	_, err := nd.runRound(ctx, op, wire.Envelope{
 		Kind: wire.KindWrite, Reg: reg, Tag: newTag, Value: val,
 	}, nd.id, batched)
-	return err
+	if err != nil {
+		return tag.Tag{}, err
+	}
+	return newTag, nil
 }
 
-func (nd *Node) readProtocol(ctx context.Context, op uint64, reg string, batched bool) ([]byte, error) {
+// readProtocol returns the read value together with the tag under which it
+// was adopted — the read's tag witness.
+func (nd *Node) readProtocol(ctx context.Context, op uint64, reg string, batched bool) ([]byte, tag.Tag, error) {
 	// Round 1: collect tagged values from a majority.
 	acks, err := nd.runRound(ctx, op, wire.Envelope{Kind: wire.KindRead, Reg: reg}, -1, batched)
 	if err != nil {
-		return nil, err
+		return nil, tag.Tag{}, err
 	}
 	best := bestAck(acks)
 
@@ -234,7 +247,7 @@ func (nd *Node) readProtocol(ctx context.Context, op uint64, reg string, batched
 	// weaker registers are not worth emulating where logging dominates:
 	// the atomic read also logs nothing unless it observes concurrency.
 	if nd.kind == RegularSW {
-		return best.Value, nil
+		return best.Value, best.Tag, nil
 	}
 
 	depth := 0
@@ -242,7 +255,7 @@ func (nd *Node) readProtocol(ctx context.Context, op uint64, reg string, batched
 		// Straw man: the reader logs what it is about to write back.
 		payload := encodeTagged(best.Tag, best.Value)
 		if err := nd.storeLog(batched, recWStartPrefix+reg, payload); err != nil {
-			return nil, err
+			return nil, tag.Tag{}, err
 		}
 		depth = causal.After(depth)
 		nd.recordLog(op, depth, len(payload))
@@ -255,7 +268,7 @@ func (nd *Node) readProtocol(ctx context.Context, op uint64, reg string, batched
 		Kind: wire.KindWriteBack, Reg: reg, Tag: best.Tag, Value: best.Value, Depth: uint8(depth),
 	}, -1, batched)
 	if err != nil {
-		return nil, err
+		return nil, tag.Tag{}, err
 	}
-	return best.Value, nil
+	return best.Value, best.Tag, nil
 }

@@ -1,0 +1,212 @@
+package history
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"recmem/internal/tag"
+)
+
+// valloc returns a shared virtual-process allocator starting at base.
+func valloc(base int32) func() int32 {
+	var n atomic.Int32
+	n.Store(base)
+	return func() int32 { return n.Add(1) - 1 }
+}
+
+func TestClientRecorderSequentialFlow(t *testing.T) {
+	r := NewClientRecorder(0, valloc(100))
+	w := r.Invoke(Write, "x", "v1", false)
+	r.Return(w, "", tag.Tag{Seq: 1})
+	rd := r.Invoke(Read, "x", "", false)
+	r.Return(rd, "v1", tag.Tag{Seq: 1})
+	h := r.History()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 4 {
+		t.Fatalf("recorded %d events, want 4", len(h))
+	}
+	for _, e := range h {
+		if e.Proc != 0 {
+			t.Fatalf("sequential op attributed to virtual process %d", e.Proc)
+		}
+		if e.At == 0 {
+			t.Fatal("event missing wall-clock stamp")
+		}
+	}
+	ops := h.Operations()
+	if len(ops) != 2 || ops[0].Pending() || ops[1].Pending() {
+		t.Fatalf("ops = %+v", ops)
+	}
+	if ops[1].Tag != (tag.Tag{Seq: 1}) {
+		t.Fatalf("read witness = %v", ops[1].Tag)
+	}
+}
+
+func TestClientRecorderAsyncGoesVirtual(t *testing.T) {
+	r := NewClientRecorder(0, valloc(100))
+	a := r.Invoke(Write, "x", "a", true)
+	b := r.Invoke(Write, "x", "b", true)
+	r.Return(a, "", tag.Tag{Seq: 1})
+	r.Return(b, "", tag.Tag{Seq: 2})
+	h := r.History()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	procs := map[int32]bool{}
+	for _, e := range h {
+		procs[e.Proc] = true
+		if e.Proc < 100 {
+			t.Fatalf("async op attributed to real process %d", e.Proc)
+		}
+	}
+	if len(procs) != 2 {
+		t.Fatalf("async ops share a virtual process: %v", procs)
+	}
+}
+
+func TestClientRecorderRejectedErased(t *testing.T) {
+	r := NewClientRecorder(0, valloc(100))
+	id := r.Invoke(Write, "x", "v", false)
+	r.Abort(id, AbortRejected)
+	if h := r.History(); len(h) != 0 {
+		t.Fatalf("rejected invocation survived: %+v", h)
+	}
+	// The real process id is free again.
+	id = r.Invoke(Write, "x", "v2", false)
+	r.Return(id, "", tag.Tag{Seq: 1})
+	h := r.History()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 2 || h[0].Proc != 0 {
+		t.Fatalf("h = %+v", h)
+	}
+}
+
+func TestClientRecorderUnknownFateStaysPendingVirtual(t *testing.T) {
+	r := NewClientRecorder(0, valloc(100))
+	id := r.Invoke(Write, "x", "v", false)
+	r.Abort(id, AbortUnknown)
+	next := r.Invoke(Write, "x", "v2", false)
+	r.Return(next, "", tag.Tag{Seq: 1})
+	h := r.History()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ops := h.Operations()
+	if len(ops) != 2 {
+		t.Fatalf("ops = %+v", ops)
+	}
+	if !ops[0].Pending() || ops[0].Proc < 100 {
+		t.Fatalf("unknown-fate op = %+v (want pending on a virtual process)", ops[0])
+	}
+	if ops[1].Proc != 0 {
+		t.Fatalf("next op = %+v (want the real process)", ops[1])
+	}
+}
+
+func TestClientRecorderCrashRecover(t *testing.T) {
+	r := NewClientRecorder(0, valloc(100))
+	id := r.Invoke(Write, "x", "v", false)
+	r.Crash()
+	r.Crash() // duplicate confirmation: ignored
+	r.Abort(id, AbortUnknown)
+	r.Recover()
+	next := r.Invoke(Read, "x", "", false)
+	r.Return(next, "v", tag.Tag{Seq: 1})
+	h := r.History()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var crashes, recovers int
+	for _, e := range h {
+		switch e.Kind {
+		case Crash:
+			crashes++
+		case Recover:
+			recovers++
+		}
+	}
+	if crashes != 1 || recovers != 1 {
+		t.Fatalf("%d crashes, %d recovers", crashes, recovers)
+	}
+}
+
+// A success reply racing past the recorded crash is reattributed, never
+// forged into the pre-crash past.
+func TestClientRecorderLateSuccessAfterCrash(t *testing.T) {
+	r := NewClientRecorder(0, valloc(100))
+	id := r.Invoke(Write, "x", "v", false)
+	r.Crash()
+	r.Return(id, "", tag.Tag{Seq: 1})
+	h := r.History()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ops := h.Operations()
+	if len(ops) != 1 || ops[0].Pending() || ops[0].Proc < 100 {
+		t.Fatalf("ops = %+v (want completed on a virtual process)", ops)
+	}
+}
+
+// Regression: the reply may race past an entire crash/recover cycle — the
+// process is up again when it lands, but a crash still intervened since the
+// invocation, so it must be reattributed (the `down` check alone produced
+// Invoke, Crash, Recover, Return on one process: ill-formed).
+func TestClientRecorderLateSuccessAfterCrashAndRecover(t *testing.T) {
+	r := NewClientRecorder(0, valloc(100))
+	id := r.Invoke(Write, "x", "v", false)
+	r.Crash()
+	r.Recover()
+	r.Return(id, "", tag.Tag{Seq: 1})
+	h := r.History()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ops := h.Operations()
+	if len(ops) != 1 || ops[0].Pending() || ops[0].Proc < 100 {
+		t.Fatalf("ops = %+v (want completed on a virtual process)", ops)
+	}
+	// The real process is free for the next sequential op.
+	next := r.Invoke(Read, "x", "", false)
+	r.Return(next, "v", tag.Tag{Seq: 1})
+	h = r.History()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if last := h[len(h)-1]; last.Proc != 0 {
+		t.Fatalf("next op attributed to %d, want the real process", last.Proc)
+	}
+}
+
+// An invocation while the process is believed down (or while an earlier
+// real invocation is unresolved) goes virtual so the local history stays
+// well-formed whatever the reply order.
+func TestClientRecorderInvokeWhileDownOrPending(t *testing.T) {
+	r := NewClientRecorder(0, valloc(100))
+	r.Crash()
+	id := r.Invoke(Read, "x", "", false)
+	r.Return(id, "", tag.Tag{})
+	r.Recover()
+
+	first := r.Invoke(Write, "x", "a", false)
+	second := r.Invoke(Write, "x", "b", false) // first still unresolved
+	r.Return(second, "", tag.Tag{Seq: 2})
+	r.Return(first, "", tag.Tag{Seq: 1})
+	h := r.History()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ops := h.Operations()
+	if len(ops) != 3 {
+		t.Fatalf("ops = %+v", ops)
+	}
+	if ops[0].Proc < 100 || ops[2].Proc < 100 {
+		t.Fatalf("down-time and overlapping invocations must go virtual: %+v", ops)
+	}
+	if ops[1].Proc != 0 {
+		t.Fatalf("first write should hold the real process: %+v", ops)
+	}
+}

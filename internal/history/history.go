@@ -10,6 +10,8 @@ package history
 import (
 	"fmt"
 	"sort"
+
+	"recmem/internal/tag"
 )
 
 // Kind classifies history events.
@@ -82,6 +84,21 @@ type Event struct {
 	// Value is the written value on a write invocation and the returned
 	// value on a read reply; empty otherwise.
 	Value string
+	// At is the wall-clock capture time of the event in nanoseconds since
+	// the Unix epoch, or 0 when unknown. The global observer of a simulated
+	// cluster does not need it (Seq is already a total order); per-client
+	// recorders on a live mesh stamp it so Merge can interleave histories.
+	// Invocations are stamped before the request leaves the client and
+	// replies after the response arrived, so cross-client precedence derived
+	// from At is genuine whenever the recorders share a clock.
+	At int64
+	// Tag is the operation's tag witness on Return events: the tag the
+	// emulation adopted for the written or returned value, as reported by
+	// the serving process. The zero tag means "no witness" (the backend
+	// could not report one, or the read returned the initial value ⊥).
+	// Merge uses witnesses to order events real time cannot and to
+	// cross-check that one tag never binds two values.
+	Tag tag.Tag
 }
 
 // History is a sequence of events ordered by Seq.
@@ -195,8 +212,14 @@ func (h History) Validate() error {
 	return nil
 }
 
+// PendingRet is the Ret sentinel of an operation with no matching reply.
+// It is negative — never a legal event position — so it cannot collide with
+// any real reply Seq, unlike the old 0 sentinel, which a renumbered history
+// (Merge starts timelines at 0-adjacent positions) could have produced.
+const PendingRet = int64(-1)
+
 // Operation is an operation execution extracted from a history: a matched
-// invocation/reply pair, or a pending invocation (Ret == 0).
+// invocation/reply pair, or a pending invocation (Ret == PendingRet).
 type Operation struct {
 	OpID  uint64
 	Proc  int32
@@ -204,11 +227,13 @@ type Operation struct {
 	Reg   string
 	Value string // write: value written; read: value returned (if complete)
 	Inv   int64  // Seq of the invocation event
-	Ret   int64  // Seq of the reply event; 0 if pending
+	Ret   int64  // Seq of the reply event; PendingRet if pending
+	// Tag is the reply's tag witness (zero if pending or unwitnessed).
+	Tag tag.Tag
 }
 
 // Pending reports whether the operation has no matching reply.
-func (o Operation) Pending() bool { return o.Ret == 0 }
+func (o Operation) Pending() bool { return o.Ret < 0 }
 
 // String renders the operation in the paper's W(v)/R(v) notation.
 func (o Operation) String() string {
@@ -240,6 +265,7 @@ func (h History) Operations() []Operation {
 				Reg:   e.Reg,
 				Value: e.Value,
 				Inv:   e.Seq,
+				Ret:   PendingRet,
 			})
 		case Return:
 			i, ok := indexOf[e.OpID]
@@ -247,6 +273,7 @@ func (h History) Operations() []Operation {
 				continue
 			}
 			ops[i].Ret = e.Seq
+			ops[i].Tag = e.Tag
 			if ops[i].Type == Read {
 				ops[i].Value = e.Value
 			}

@@ -206,7 +206,7 @@ func TestOperationString(t *testing.T) {
 	if got := w.String(); got != "p1:W(v1)" {
 		t.Fatalf("String = %q", got)
 	}
-	r := Operation{Proc: 2, Type: Read, Value: "v1", Ret: 0}
+	r := Operation{Proc: 2, Type: Read, Value: "v1", Ret: PendingRet}
 	if got := r.String(); got != "p2:R(v1)?" {
 		t.Fatalf("String = %q", got)
 	}

@@ -1,0 +1,194 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"recmem/internal/tag"
+)
+
+// This file merges the per-client histories of a live mesh onto one global
+// timeline so the atomicity checkers — which assume the simulated cluster's
+// single observer — can verify a real deployment.
+//
+// What Merge can and cannot order (docs/adr/0004):
+//
+//   - Per-client order is exact: each recorder observed its own events.
+//   - Cross-client order comes from the wall-clock stamps (Event.At).
+//     Because invocations are stamped before the request leaves the client
+//     and replies after the response arrived, any precedence derived from
+//     the stamps (reply before invocation) is genuine whenever the
+//     recorders share a clock; across machines it is genuine up to the
+//     clock skew bound.
+//   - Within the skew bound, real-time order is ambiguous. There the tag
+//     witness — the server-reported tag under which a value was adopted —
+//     breaks the tie: two witnessed replies on one register are ordered by
+//     their tags, which is the order the emulation itself committed them
+//     in. Events the witness cannot reach (invocations, unwitnessed
+//     replies) keep stamp order.
+//
+// Merge never reorders beyond the skew bound: a read that genuinely
+// completed after a newer write completed cannot be rescued by its stale
+// tag, so a lying or buggy node still fails the checkers.
+
+// DefaultMergeSkew is the cross-client clock ambiguity bound Merge assumes:
+// stamps closer than this are treated as concurrent and may be tag-witness
+// ordered. Generous for one machine (scheduling jitter between a server
+// commit and the client-side stamp), far below real operation latencies.
+const DefaultMergeSkew = 200 * time.Microsecond
+
+// Merge renumbers the per-client histories of one run onto a single global
+// timeline and returns the merged history, ready for the atomicity
+// checkers. See MergeWithin for the ordering rules; the skew bound is
+// DefaultMergeSkew.
+func Merge(hs []History) (History, error) { return MergeWithin(hs, DefaultMergeSkew) }
+
+// MergeWithin is Merge with an explicit clock ambiguity bound. The input
+// histories must be individually well-formed and operate disjoint process
+// id sets (one recorder per process); the merge result is independent of
+// the order the histories are passed in. Beyond interleaving, MergeWithin
+// audits the tag witnesses: one tag binding two different values on one
+// register is reported as an error — no checker search needed for that
+// class of corruption.
+func MergeWithin(hs []History, skew time.Duration) (History, error) {
+	type src struct {
+		h   History
+		pos int
+		min int32 // lowest process id, for canonical source order
+	}
+	var srcs []*src
+	procOwner := make(map[int32]int)
+	total := 0
+	for _, h := range hs {
+		if len(h) == 0 {
+			continue
+		}
+		if err := h.Validate(); err != nil {
+			return nil, fmt.Errorf("history: merge input: %w", err)
+		}
+		s := &src{h: h, min: h[0].Proc}
+		for _, e := range h {
+			if e.Proc < s.min {
+				s.min = e.Proc
+			}
+		}
+		srcs = append(srcs, s)
+		total += len(h)
+	}
+	// Disjointness and canonical order: the verdict must not depend on the
+	// order the per-client histories were collected in.
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].min < srcs[j].min })
+	for i, s := range srcs {
+		for _, e := range s.h {
+			if prev, ok := procOwner[e.Proc]; ok && prev != i {
+				return nil, fmt.Errorf("history: merge inputs share process %d", e.Proc)
+			}
+			procOwner[e.Proc] = i
+		}
+	}
+
+	// K-way merge preserving each source's internal order. Each pick is
+	// anchored at the earliest head E: by default E wins, but if E is a
+	// witnessed reply, any witnessed reply on the same register within the
+	// skew bound OF E may be picked instead when its tag is smaller. The
+	// anchor is what keeps the bound global: an event is only ever popped
+	// within skew of the earliest remaining event, so chained pairwise
+	// preferences cannot drift a reply past anything more than skew older
+	// (a pairwise comparator would be non-transitive and could), and the
+	// pick is independent of which source holds which history.
+	skewNS := skew.Nanoseconds()
+	type opKey struct {
+		src int
+		id  uint64
+	}
+	var (
+		out    = make(History, 0, total)
+		ids    = make(map[opKey]uint64, total/2)
+		nextID uint64
+	)
+	for len(out) < total {
+		// The anchor: earliest head by stamp (ties to the canonically
+		// first source).
+		best := -1
+		for i, s := range srcs {
+			if s.pos >= len(s.h) {
+				continue
+			}
+			if best < 0 || s.h[s.pos].At < srcs[best].h[srcs[best].pos].At {
+				best = i
+			}
+		}
+		if e := srcs[best].h[srcs[best].pos]; e.Kind == Return && !e.Tag.IsZero() {
+			// Tag tie-break inside the anchor's ambiguity window.
+			for i, s := range srcs {
+				if s.pos >= len(s.h) {
+					continue
+				}
+				h := s.h[s.pos]
+				if h.Kind == Return && !h.Tag.IsZero() && h.Reg == e.Reg &&
+					h.At-e.At <= skewNS && h.Tag.Less(srcs[best].h[srcs[best].pos].Tag) {
+					best = i
+				}
+			}
+		}
+		e := srcs[best].h[srcs[best].pos]
+		srcs[best].pos++
+		e.Seq = int64(len(out) + 1)
+		if e.Kind == Invoke || e.Kind == Return {
+			k := opKey{src: best, id: e.OpID}
+			id, ok := ids[k]
+			if !ok {
+				nextID++
+				id = nextID
+				ids[k] = id
+			}
+			e.OpID = id
+		}
+		out = append(out, e)
+	}
+
+	if err := auditWitnesses(out); err != nil {
+		return nil, err
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("history: merge result: %w", err)
+	}
+	return out, nil
+}
+
+// auditWitnesses cross-checks the tag witnesses of a merged history: a tag
+// names exactly one committed value per register, so one tag bound to two
+// values means a node reported corrupt metadata — an error in its own
+// right, caught without any checker search.
+func auditWitnesses(h History) error {
+	type bind struct {
+		reg string
+		t   tag.Tag
+	}
+	writeVal := make(map[uint64]string)
+	vals := make(map[bind]string)
+	for _, e := range h {
+		switch e.Kind {
+		case Invoke:
+			if e.Op == Write {
+				writeVal[e.OpID] = e.Value
+			}
+		case Return:
+			if e.Tag.IsZero() {
+				continue
+			}
+			v := e.Value
+			if e.Op == Write {
+				v = writeVal[e.OpID]
+			}
+			k := bind{reg: e.Reg, t: e.Tag}
+			if prev, ok := vals[k]; ok && prev != v {
+				return fmt.Errorf("history: tag witness %v on register %q bound to both %q and %q",
+					e.Tag, e.Reg, prev, v)
+			}
+			vals[k] = v
+		}
+	}
+	return nil
+}

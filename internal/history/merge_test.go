@@ -1,0 +1,251 @@
+package history_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"recmem/internal/atomicity"
+	"recmem/internal/history"
+	"recmem/internal/tag"
+)
+
+// seqd assigns 1..n local sequence numbers, as a ClientRecorder snapshot
+// would.
+func seqd(events ...history.Event) history.History {
+	h := make(history.History, len(events))
+	for i, e := range events {
+		e.Seq = int64(i + 1)
+		h[i] = e
+	}
+	return h
+}
+
+const us = int64(time.Microsecond)
+
+func tg(seq int64, writer int32) tag.Tag { return tag.Tag{Seq: seq, Writer: writer} }
+
+// TestMergeRenumbers: per-client timelines (overlapping Seq and OpID) merge
+// onto one strictly increasing timeline with unique operation ids, and the
+// result feeds the checker unchanged.
+func TestMergeRenumbers(t *testing.T) {
+	h1 := seqd(
+		history.Event{Proc: 0, Kind: history.Invoke, Op: history.Write, OpID: 1, Reg: "x", Value: "a", At: 100 * us},
+		history.Event{Proc: 0, Kind: history.Return, Op: history.Write, OpID: 1, Reg: "x", Tag: tg(1, 0), At: 200 * us},
+	)
+	h2 := seqd(
+		history.Event{Proc: 1, Kind: history.Invoke, Op: history.Read, OpID: 1, Reg: "x", At: 1000 * us},
+		history.Event{Proc: 1, Kind: history.Return, Op: history.Read, OpID: 1, Reg: "x", Value: "a", Tag: tg(1, 0), At: 1100 * us},
+	)
+	merged, err := history.Merge([]history.History{h1, h2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 4 {
+		t.Fatalf("merged %d events, want 4", len(merged))
+	}
+	for i, e := range merged {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has Seq %d", i, e.Seq)
+		}
+	}
+	ops := merged.Operations()
+	if len(ops) != 2 || ops[0].OpID == ops[1].OpID {
+		t.Fatalf("ops = %+v (want 2 with distinct ids)", ops)
+	}
+	if err := atomicity.Check(merged, atomicity.Linearizable); err != nil {
+		t.Fatalf("checker rejected a clean merged history: %v", err)
+	}
+}
+
+// TestMergePermutationInvariant: merging the same per-client histories in
+// any order yields the identical merged history, hence one verdict.
+func TestMergePermutationInvariant(t *testing.T) {
+	h1 := seqd(
+		history.Event{Proc: 0, Kind: history.Invoke, Op: history.Write, OpID: 1, Reg: "x", Value: "a", At: 100 * us},
+		history.Event{Proc: 0, Kind: history.Return, Op: history.Write, OpID: 1, Reg: "x", Tag: tg(1, 0), At: 300 * us},
+		history.Event{Proc: 0, Kind: history.Crash, At: 400 * us},
+		history.Event{Proc: 0, Kind: history.Recover, At: 500 * us},
+	)
+	h2 := seqd(
+		history.Event{Proc: 1, Kind: history.Invoke, Op: history.Read, OpID: 1, Reg: "x", At: 150 * us},
+		history.Event{Proc: 1, Kind: history.Return, Op: history.Read, OpID: 1, Reg: "x", Value: "a", Tag: tg(1, 0), At: 320 * us},
+	)
+	h3 := seqd(
+		history.Event{Proc: 2, Kind: history.Invoke, Op: history.Write, OpID: 1, Reg: "x", Value: "b", At: 600 * us},
+		history.Event{Proc: 2, Kind: history.Return, Op: history.Write, OpID: 1, Reg: "x", Tag: tg(2, 2), At: 800 * us},
+	)
+	base, err := history.Merge([]history.History{h1, h2, h3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perms := [][]history.History{
+		{h1, h3, h2}, {h2, h1, h3}, {h2, h3, h1}, {h3, h1, h2}, {h3, h2, h1},
+	}
+	for i, p := range perms {
+		got, err := history.Merge(p)
+		if err != nil {
+			t.Fatalf("perm %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("perm %d merged differently:\n got %+v\nwant %+v", i, got, base)
+		}
+	}
+}
+
+// TestMergeTagWitnessTieBreak: two replies whose wall-clock stamps are
+// inside the skew bound are ordered by their tag witnesses, the server-side
+// commit order, not by the (ambiguous) stamps.
+func TestMergeTagWitnessTieBreak(t *testing.T) {
+	// Client 0 read "a" (tag [1,0]); its reply stamp lands 20µs AFTER
+	// client 1's reply of "b" (tag [2,0]) — within any realistic skew.
+	h1 := seqd(
+		history.Event{Proc: 0, Kind: history.Invoke, Op: history.Read, OpID: 1, Reg: "x", At: 100 * us},
+		history.Event{Proc: 0, Kind: history.Return, Op: history.Read, OpID: 1, Reg: "x", Value: "a", Tag: tg(1, 0), At: 520 * us},
+	)
+	h2 := seqd(
+		history.Event{Proc: 1, Kind: history.Invoke, Op: history.Read, OpID: 1, Reg: "x", At: 110 * us},
+		history.Event{Proc: 1, Kind: history.Return, Op: history.Read, OpID: 1, Reg: "x", Value: "b", Tag: tg(2, 0), At: 500 * us},
+	)
+	merged, err := history.MergeWithin([]history.History{h1, h2}, 100*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rets []string
+	for _, e := range merged {
+		if e.Kind == history.Return {
+			rets = append(rets, e.Value)
+		}
+	}
+	if len(rets) != 2 || rets[0] != "a" || rets[1] != "b" {
+		t.Fatalf("witnessed replies ordered %v, want [a b]", rets)
+	}
+
+	// Outside the skew bound the stamps win: the same histories with a
+	// tighter bound keep stamp order.
+	merged, err = history.MergeWithin([]history.History{h1, h2}, time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rets = rets[:0]
+	for _, e := range merged {
+		if e.Kind == history.Return {
+			rets = append(rets, e.Value)
+		}
+	}
+	if rets[0] != "b" || rets[1] != "a" {
+		t.Fatalf("beyond-skew replies ordered %v, want [b a]", rets)
+	}
+}
+
+// TestMergeTieBreakCannotChainBeyondSkew is the regression for the
+// non-transitive-comparator bug: with three witnessed replies each within
+// skew of its neighbor but the ends beyond skew (0µs/tag-10, 190µs/tag-5,
+// 380µs/tag-1 at 200µs skew), chained pairwise tag preferences used to pop
+// the 380µs reply first — moving it past events ~2× the skew bound older,
+// exactly the rescue a stale tag must never get. The anchored pick keeps
+// every reply within skew of the earliest remaining event, and the result
+// must not depend on which process holds which timeline.
+func TestMergeTieBreakCannotChainBeyondSkew(t *testing.T) {
+	mk := func(proc int32, at int64, val string, tg tag.Tag) history.History {
+		return seqd(
+			history.Event{Proc: proc, Kind: history.Invoke, Op: history.Read, OpID: 1, Reg: "x", At: at - 50*us},
+			history.Event{Proc: proc, Kind: history.Return, Op: history.Read, OpID: 1, Reg: "x", Value: val, Tag: tg, At: at},
+		)
+	}
+	order := func(hs []history.History) []string {
+		t.Helper()
+		merged, err := history.MergeWithin(hs, 200*time.Microsecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rets []string
+		for _, e := range merged {
+			if e.Kind == history.Return {
+				rets = append(rets, e.Value)
+			}
+		}
+		return rets
+	}
+	got := order([]history.History{
+		mk(0, 0*us, "a", tg(10, 0)),
+		mk(1, 190*us, "b", tg(5, 0)),
+		mk(2, 380*us, "c", tg(1, 0)),
+	})
+	// "b" may tie-break ahead of "a" (within skew of it); "c" must not be
+	// popped first — it is 380µs past the earliest event.
+	if got[0] == "c" {
+		t.Fatalf("reply 380µs late jumped to the front: %v", got)
+	}
+	// Renumbering the processes (same timelines) must not change the order.
+	swapped := order([]history.History{
+		mk(2, 0*us, "a", tg(10, 0)),
+		mk(1, 190*us, "b", tg(5, 0)),
+		mk(0, 380*us, "c", tg(1, 0)),
+	})
+	if !reflect.DeepEqual(got, swapped) {
+		t.Fatalf("merge order depends on process numbering: %v vs %v", got, swapped)
+	}
+}
+
+// TestMergeRejectsNonAtomic: a crafted merged history with a stale read —
+// the injected-violation shape of a lying node — must fail the checker.
+func TestMergeRejectsNonAtomic(t *testing.T) {
+	h1 := seqd(
+		history.Event{Proc: 0, Kind: history.Invoke, Op: history.Write, OpID: 1, Reg: "x", Value: "v1", At: 1000 * us},
+		history.Event{Proc: 0, Kind: history.Return, Op: history.Write, OpID: 1, Reg: "x", Tag: tg(1, 0), At: 2000 * us},
+		history.Event{Proc: 0, Kind: history.Invoke, Op: history.Write, OpID: 2, Reg: "x", Value: "v2", At: 3000 * us},
+		history.Event{Proc: 0, Kind: history.Return, Op: history.Write, OpID: 2, Reg: "x", Tag: tg(2, 0), At: 4000 * us},
+	)
+	// The stale read begins long after W(v2) completed and still returns
+	// v1, with v1's (honest, but stale) witness.
+	h2 := seqd(
+		history.Event{Proc: 1, Kind: history.Invoke, Op: history.Read, OpID: 1, Reg: "x", At: 5000 * us},
+		history.Event{Proc: 1, Kind: history.Return, Op: history.Read, OpID: 1, Reg: "x", Value: "v1", Tag: tg(1, 0), At: 6000 * us},
+	)
+	merged, err := history.Merge([]history.History{h1, h2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []atomicity.Mode{atomicity.Linearizable, atomicity.Persistent, atomicity.Transient} {
+		if err := atomicity.Check(merged, mode); err == nil {
+			t.Fatalf("%v accepted a stale-read merged history", mode)
+		}
+	}
+}
+
+// TestMergeWitnessConflict: one tag bound to two values is corrupt metadata
+// and fails the merge itself.
+func TestMergeWitnessConflict(t *testing.T) {
+	h1 := seqd(
+		history.Event{Proc: 0, Kind: history.Invoke, Op: history.Write, OpID: 1, Reg: "x", Value: "a", At: 100 * us},
+		history.Event{Proc: 0, Kind: history.Return, Op: history.Write, OpID: 1, Reg: "x", Tag: tg(1, 0), At: 200 * us},
+	)
+	h2 := seqd(
+		history.Event{Proc: 1, Kind: history.Invoke, Op: history.Read, OpID: 1, Reg: "x", At: 300 * us},
+		history.Event{Proc: 1, Kind: history.Return, Op: history.Read, OpID: 1, Reg: "x", Value: "OTHER", Tag: tg(1, 0), At: 400 * us},
+	)
+	_, err := history.Merge([]history.History{h1, h2})
+	if err == nil || !strings.Contains(err.Error(), "witness") {
+		t.Fatalf("err = %v, want tag witness conflict", err)
+	}
+}
+
+// TestMergeRejectsSharedProcs: two recorders claiming one process id is a
+// harness bug, not something to paper over.
+func TestMergeRejectsSharedProcs(t *testing.T) {
+	h1 := seqd(history.Event{Proc: 0, Kind: history.Crash, At: 100 * us})
+	h2 := seqd(history.Event{Proc: 0, Kind: history.Crash, At: 200 * us})
+	if _, err := history.Merge([]history.History{h1, h2}); err == nil {
+		t.Fatal("merged histories sharing a process id")
+	}
+}
+
+// TestMergeEmptyInputs: empty and nil histories are dropped, not errors.
+func TestMergeEmptyInputs(t *testing.T) {
+	merged, err := history.Merge([]history.History{nil, {}})
+	if err != nil || len(merged) != 0 {
+		t.Fatalf("merged = %v, %v", merged, err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"recmem/internal/clock"
+	"recmem/internal/tag"
 )
 
 // Recorder accumulates the events of a run, stamping them on a global clock.
@@ -45,6 +46,13 @@ func (r *Recorder) InvokeWithID(proc int32, op OpType, id uint64, reg, value str
 // value is the value returned.
 func (r *Recorder) Return(proc int32, op OpType, opID uint64, reg, value string) {
 	r.append(Event{Proc: proc, Kind: Return, Op: op, OpID: opID, Reg: reg, Value: value})
+}
+
+// ReturnTagged is Return carrying the operation's tag witness (the tag the
+// emulation adopted for the written or returned value); the zero tag means
+// no witness was available.
+func (r *Recorder) ReturnTagged(proc int32, op OpType, opID uint64, reg, value string, wit tag.Tag) {
+	r.append(Event{Proc: proc, Kind: Return, Op: op, OpID: opID, Reg: reg, Value: value, Tag: wit})
 }
 
 // Crash records a crash event of proc.

@@ -82,11 +82,17 @@ func (b *clusterRegister) Read(ctx context.Context, o recmem.OpOptions) ([]byte,
 		return nil, 0, err
 	}
 	val, rep, err := b.h.Read(ctx, m)
+	if o.Witness != nil {
+		*o.Witness = rep.Tag
+	}
 	return val, recmem.OpID(rep.Op), err
 }
 
 func (b *clusterRegister) Write(ctx context.Context, val []byte, o recmem.OpOptions) (recmem.OpID, error) {
 	rep, err := b.h.Write(ctx, val)
+	if o.Witness != nil {
+		*o.Witness = rep.Tag
+	}
 	return recmem.OpID(rep.Op), err
 }
 
@@ -109,6 +115,9 @@ func (b *clusterRegister) SubmitWrite(val []byte, o recmem.OpOptions) (recmem.Fu
 // early when ctx is done. The scenario is backend-agnostic: pass the
 // simulated cluster's clients (Clients) or remote.Dial'ed connections.
 func RunClients(ctx context.Context, clients []recmem.Client, opsPerClient int, mix Mix, seed int64) Result {
+	if mix.Record != nil {
+		clients = RecordClients(mix.Record, clients)
+	}
 	regs := mix.Registers
 	if len(regs) == 0 {
 		regs = []string{"x"}
@@ -286,6 +295,19 @@ func crashClientAfterAbort(ctx context.Context, client recmem.Client) {
 	}
 }
 
+// RecordClients wraps every client through the group for history recording
+// (recmem.RecordingGroup.Wrap is idempotent, so a workload driver and a
+// fault injector recording the same clients share one wrapper per client).
+// The returned slice preserves order: client i records as process i when
+// the group is fresh.
+func RecordClients(g *recmem.RecordingGroup, clients []recmem.Client) []recmem.Client {
+	out := make([]recmem.Client, len(clients))
+	for i, c := range clients {
+		out[i] = g.Wrap(c)
+	}
+	return out
+}
+
 // ClientFaultOptions configures client-driven crash/recovery injection.
 type ClientFaultOptions struct {
 	// Seed seeds the injector's private random source.
@@ -297,6 +319,11 @@ type ClientFaultOptions struct {
 	// MeanInterval is the average pause between fault actions (default
 	// 5 ms).
 	MeanInterval time.Duration
+	// Record, when non-nil, wraps the injected clients through the group so
+	// crash and recovery events land in the recorded histories — required
+	// whenever the workload itself records (see Mix.Record), or the merged
+	// history would miss the faults.
+	Record *recmem.RecordingGroup
 }
 
 // ClientFaults injects random crashes and recoveries through the Client
@@ -304,6 +331,9 @@ type ClientFaultOptions struct {
 // returns the number of crashes injected. It works identically against the
 // simulated cluster and a live mesh.
 func ClientFaults(ctx context.Context, clients []recmem.Client, opts ClientFaultOptions) int {
+	if opts.Record != nil {
+		clients = RecordClients(opts.Record, clients)
+	}
 	n := len(clients)
 	if opts.MaxDown <= 0 {
 		opts.MaxDown = n - (n+2)/2

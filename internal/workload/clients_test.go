@@ -124,3 +124,98 @@ func TestAdapterRegisterCaching(t *testing.T) {
 	}
 	var _ recmem.Client = client
 }
+
+// TestRunClientsRecorded drives the identical scenario with Mix.Record and
+// ClientFaultOptions.Record set: both observers — the cluster's global
+// recorder and the merged per-client recordings — must verify the run.
+func TestRunClientsRecorded(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		N:         3,
+		Algorithm: core.Persistent,
+		Node:      core.Options{RetransmitEvery: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	group := recmem.NewRecordingGroup()
+	clients := workload.Clients(c, workload.AllProcs(3))
+
+	faultCtx, stopFaults := context.WithTimeout(ctx, 300*time.Millisecond)
+	defer stopFaults()
+	faultsDone := make(chan int, 1)
+	go func() {
+		faultsDone <- workload.ClientFaults(faultCtx, clients, workload.ClientFaultOptions{
+			Seed: 9, MeanInterval: 10 * time.Millisecond, Record: group,
+		})
+	}()
+	res := workload.RunClients(ctx, clients, 15,
+		workload.Mix{ReadFraction: 0.5, Registers: []string{"a", "b"}, Record: group}, 2)
+	<-faultsDone
+	if err := c.RecoverAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	hs := group.Histories()
+	if len(hs) != 3 {
+		t.Fatalf("recorded %d per-client histories, want 3", len(hs))
+	}
+	var events int
+	for _, h := range hs {
+		events += len(h)
+	}
+	if events == 0 {
+		t.Fatal("recorded no events")
+	}
+	if err := group.Verify(recmem.PersistentAtomicity); err != nil {
+		t.Fatalf("merged recording: %v", err)
+	}
+	if err := c.VerifyDefault(); err != nil {
+		t.Fatalf("global observer: %v", err)
+	}
+}
+
+// TestRunClientsRecordedAsync engages the batching engine under recording:
+// async submissions ride one-shot virtual clients in the merged history.
+func TestRunClientsRecordedAsync(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		N:         3,
+		Algorithm: core.Persistent,
+		Node:      core.Options{RetransmitEvery: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	group := recmem.NewRecordingGroup()
+	res := workload.RunClients(ctx, workload.Clients(c, workload.AllProcs(3)), 12,
+		workload.Mix{ReadFraction: 0.4, Async: 4, Record: group}, 3)
+	if res.Errors != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	merged, err := group.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	virtual := false
+	for _, e := range merged {
+		if e.Proc >= recmem.RecordingVirtualBase {
+			virtual = true
+			break
+		}
+	}
+	if !virtual {
+		t.Fatal("async recording attributed no virtual clients")
+	}
+	if err := group.Verify(recmem.PersistentAtomicity); err != nil {
+		t.Fatalf("merged async recording: %v", err)
+	}
+}

@@ -6,7 +6,23 @@ import (
 
 	"recmem/internal/cluster"
 	"recmem/internal/core"
+	"recmem/internal/tag"
 )
+
+// Tag is a write timestamp of the emulation: the paper's lexicographic
+// [sn, pid] pair (plus the hardened-variant recovery tiebreak). Operations
+// report the tag adopted for their value as a "tag witness" — server-side
+// ordering evidence that history merging uses where client clocks cannot
+// order events (see WithWitness and docs/adr/0004).
+type Tag = tag.Tag
+
+// TagWitness is implemented by operation futures that can report their
+// operation's tag witness once complete — the simulated cluster's futures
+// and the remote package's. ok is false before completion and for
+// operations without a witness.
+type TagWitness interface {
+	TagWitness() (wit Tag, ok bool)
+}
 
 // Register is a first-class handle on one named register, obtained from a
 // Client (Process.Register or remote.Client.Register). The handle caches
@@ -196,11 +212,17 @@ func (b processRegister) Read(ctx context.Context, o OpOptions) ([]byte, OpID, e
 		return nil, 0, err
 	}
 	val, rep, err := b.h.Read(ctx, mode)
+	if o.Witness != nil {
+		*o.Witness = rep.Tag
+	}
 	return val, OpID(rep.Op), err
 }
 
 func (b processRegister) Write(ctx context.Context, val []byte, o OpOptions) (OpID, error) {
 	rep, err := b.h.Write(ctx, val)
+	if o.Witness != nil {
+		*o.Witness = rep.Tag
+	}
 	return OpID(rep.Op), err
 }
 
@@ -216,5 +238,9 @@ func (b processRegister) SubmitWrite(val []byte, o OpOptions) (Future, error) {
 	return b.h.SubmitWrite(val)
 }
 
-// The cluster backend's futures satisfy the driver interface directly.
-var _ Future = (*core.Future)(nil)
+// The cluster backend's futures satisfy the driver interface directly, and
+// report tag witnesses.
+var (
+	_ Future     = (*core.Future)(nil)
+	_ TagWitness = (*core.Future)(nil)
+)

@@ -10,6 +10,7 @@ import (
 
 	"recmem"
 	"recmem/internal/core"
+	"recmem/internal/tag"
 )
 
 // Client errors.
@@ -61,7 +62,11 @@ type Client struct {
 	sticky  error // terminal transport error; set once
 }
 
-var _ recmem.Client = (*Client)(nil)
+var (
+	_ recmem.Client     = (*Client)(nil)
+	_ recmem.Future     = (*call)(nil)
+	_ recmem.TagWitness = (*call)(nil)
+)
 
 // Dial connects to a recmem-node control port.
 func Dial(addr string, opts Options) (*Client, error) {
@@ -78,8 +83,10 @@ func Dial(addr string, opts Options) (*Client, error) {
 	return c, nil
 }
 
-// call is one in-flight request; it implements recmem.Future.
+// call is one in-flight request; it implements recmem.Future and
+// recmem.TagWitness.
 type call struct {
+	cl   *Client
 	kind reqKind
 	id   uint64
 	done chan struct{}
@@ -87,6 +94,7 @@ type call struct {
 	op   uint64
 	val  []byte
 	lat  time.Duration
+	tg   tag.Tag
 	info Info
 	err  error
 }
@@ -101,23 +109,46 @@ func (c *call) Op() uint64 {
 	}
 }
 
+// TagWitness returns the operation's tag witness once done: the tag the
+// node adopted for the written or returned value. ok is false before
+// completion and for operations without a witness.
+func (c *call) TagWitness() (recmem.Tag, bool) {
+	select {
+	case <-c.done:
+		return c.tg, !c.tg.IsZero()
+	default:
+		return tag.Tag{}, false
+	}
+}
+
 // Done returns a channel closed when the response (or a connection error)
 // arrived.
 func (c *call) Done() <-chan struct{} { return c.done }
 
-// Wait blocks for the response. Cancelling ctx abandons the wait, not the
-// remote operation.
+// Wait blocks for the response. Cancelling ctx abandons the operation: the
+// call is deregistered — completing with ctx's error for every waiter — so
+// a late server reply is discarded instead of leaking the pending-call
+// entry for the connection's lifetime. The server may still execute the
+// operation; only the client-side wait is released.
 func (c *call) Wait(ctx context.Context) ([]byte, error) {
 	select {
 	case <-c.done:
 		return c.val, c.err
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		if c.cl.deregister(c) {
+			// We won the race against the reader: no reply will complete
+			// this call, so resolve it with the cancellation.
+			c.complete(nil, 0, 0, tag.Tag{}, ctx.Err())
+		}
+		// Either we completed it above, or the reader (a reply or a
+		// connection failure) owns the entry and is about to.
+		<-c.done
+		return c.val, c.err
 	}
 }
 
-func (c *call) complete(val []byte, op uint64, lat time.Duration, err error) {
-	c.val, c.op, c.lat, c.err = val, op, lat, err
+func (c *call) complete(val []byte, op uint64, lat time.Duration, tg tag.Tag, err error) {
+	c.val, c.op, c.lat, c.tg, c.err = val, op, lat, tg, err
 	close(c.done)
 }
 
@@ -127,7 +158,7 @@ func (c *Client) send(req request) (*call, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl := &call{kind: req.Kind, done: make(chan struct{})}
+	cl := &call{cl: c, kind: req.Kind, done: make(chan struct{})}
 
 	c.mu.Lock()
 	if c.sticky != nil {
@@ -180,10 +211,10 @@ func (c *Client) readLoop() {
 		delete(c.pending, resp.ID)
 		c.mu.Unlock()
 		if cl == nil {
-			continue // response to an abandoned id; ignore
+			continue // response to an abandoned (deregistered) id; ignore
 		}
 		if resp.Code != 0 {
-			cl.complete(nil, 0, 0, errorFromCode(cl.kind, resp.Code, resp.Msg))
+			cl.complete(nil, 0, 0, tag.Tag{}, errorFromCode(cl.kind, resp.Code, resp.Msg))
 			continue
 		}
 		val := resp.Value
@@ -194,8 +225,23 @@ func (c *Client) readLoop() {
 			cl.info = Info{NodeID: int(resp.NodeID), N: int(resp.N), Quorum: int(resp.Quorum),
 				Algorithm: core.AlgorithmKind(resp.Algorithm).String()}
 		}
-		cl.complete(val, resp.Op, time.Duration(resp.LatencyUS)*time.Microsecond, nil)
+		cl.complete(val, resp.Op, time.Duration(resp.LatencyUS)*time.Microsecond, resp.Tag, nil)
 	}
+}
+
+// deregister removes cl from the pending map if it still owns its entry,
+// reporting whether the caller is now responsible for completing it. The
+// map entry is the completion token: whoever removes it (a reply in
+// readLoop, fail's map swap, or a cancelled Wait) completes the call
+// exactly once.
+func (c *Client) deregister(cl *call) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pending[cl.id] != cl {
+		return false
+	}
+	delete(c.pending, cl.id)
+	return true
 }
 
 // fail terminates the client: the sticky error answers every pending and
@@ -209,7 +255,7 @@ func (c *Client) fail(err error) {
 	c.pending = make(map[uint64]*call)
 	c.mu.Unlock()
 	for _, cl := range pending {
-		cl.complete(nil, 0, 0, err)
+		cl.complete(nil, 0, 0, tag.Tag{}, err)
 	}
 }
 
@@ -332,9 +378,12 @@ type remoteRegister struct {
 var _ recmem.RegisterBackend = (*remoteRegister)(nil)
 
 // opDeadlineUS resolves the per-op deadline shipped to the server; like
-// deadlineUS, oversized deadlines clamp to the field's maximum.
+// deadlineUS, oversized deadlines clamp to the field's maximum. Only the
+// zero value means "no deadline": a negative (already-expired) deadline
+// ships the minimum representable bound (1µs) — the old `<= 0` guard
+// silently converted a dead operation into an unbounded one.
 func opDeadlineUS(o recmem.OpOptions) uint32 {
-	if o.Deadline <= 0 {
+	if o.Deadline == 0 {
 		return 0
 	}
 	return clampUS(o.Deadline.Microseconds())
@@ -346,6 +395,7 @@ func (r *remoteRegister) Read(ctx context.Context, o recmem.OpOptions) ([]byte, 
 		return nil, 0, err
 	}
 	val, err := fut.Wait(ctx)
+	setWitness(o, fut, err)
 	return val, recmem.OpID(fut.Op()), err
 }
 
@@ -355,7 +405,21 @@ func (r *remoteRegister) Write(ctx context.Context, val []byte, o recmem.OpOptio
 		return 0, err
 	}
 	_, err = fut.Wait(ctx)
+	setWitness(o, fut, err)
 	return recmem.OpID(fut.Op()), err
+}
+
+// setWitness resolves the WithWitness capture like every backend: the
+// operation's tag on success, zero on failure — a failed operation must
+// never leave a previous operation's witness in the caller's variable.
+func setWitness(o recmem.OpOptions, fut recmem.Future, err error) {
+	if o.Witness == nil {
+		return
+	}
+	*o.Witness = tag.Tag{}
+	if err == nil {
+		*o.Witness, _ = fut.(*call).TagWitness()
+	}
 }
 
 func (r *remoteRegister) SubmitRead(o recmem.OpOptions) (recmem.Future, error) {

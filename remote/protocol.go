@@ -20,16 +20,26 @@
 //	rest     := u16 msgLen | msg                        (code != 0)
 //	          | per-kind payload                        (code == 0):
 //	              ping/crash: (empty)
-//	              write:      u64 op | u64 latency_us
-//	              read:       u64 op | u8 present | u32 valLen | val
+//	              write:      u64 op | u64 latency_us | tag
+//	              read:       u64 op | u8 present | tag | u32 valLen | val
 //	              recover:    u64 latency_us
 //	              info:       u32 nodeID | u32 n | u32 quorum | u8 algorithm
+//	tag      := u64 seq | u32 writer | u32 rec          (16 bytes)
+//
+// The tag section (since version 2) is the operation's tag witness: the
+// [sn, pid] timestamp the node adopted for the written or returned value,
+// or all-zero when there is none (a read of the initial value ⊥, a
+// coalesced write superseded within its batch). It gives merged client-side
+// histories a server-side ordering witness (docs/adr/0004) instead of
+// trusting client clocks.
 //
 // Versioning rules (docs/adr/0003): the version byte is bumped only for
-// incompatible layout changes; a server receiving an unknown version or
-// kind answers with an error response (code 1) instead of dropping the
-// connection, so old clients fail op-by-op, not connection-wide. New
-// request kinds and new error codes are backward-compatible extensions.
+// incompatible layout changes — version 2 widened the write and read reply
+// payloads by the tag section, which a version-1 decoder would reject.
+// A server receiving an unknown version or kind answers with an error
+// response (code badRequest) instead of dropping the connection, so old
+// clients fail op-by-op, not connection-wide. New request kinds and new
+// error codes are backward-compatible extensions.
 package remote
 
 import (
@@ -38,11 +48,13 @@ import (
 	"fmt"
 	"io"
 
+	"recmem/internal/tag"
 	"recmem/internal/wire"
 )
 
-// Version is the protocol version this package speaks.
-const Version = 1
+// Version is the protocol version this package speaks. Version 2 added the
+// tag-witness section to write and read replies.
+const Version = 2
 
 // MaxFrame bounds one frame body: generous for a maximal value
 // (wire.MaxValueSize) plus headers, small enough to reject garbage length
@@ -143,9 +155,31 @@ type response struct {
 	Present bool
 	// Value is the read result.
 	Value []byte
+	// Tag is the operation's tag witness (write and read; zero = none).
+	Tag tag.Tag
 	// Info payload.
 	NodeID, N, Quorum int32
 	Algorithm         uint8
+}
+
+// tagSize is the wire width of a tag section: u64 seq, u32 writer, u32 rec.
+const tagSize = 8 + 4 + 4
+
+// appendTag serializes a tag section.
+func appendTag(buf []byte, t tag.Tag) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, uint64(t.Seq))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(t.Writer))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(t.Rec))
+	return buf
+}
+
+// decodeTag parses a tag section (the caller has checked the length).
+func decodeTag(b []byte) tag.Tag {
+	return tag.Tag{
+		Seq:    int64(binary.BigEndian.Uint64(b)),
+		Writer: int32(binary.BigEndian.Uint32(b[8:])),
+		Rec:    int32(binary.BigEndian.Uint32(b[12:])),
+	}
 }
 
 const reqHeader = 1 + 1 + 8 + 4 + 1 + 2 + 4 // version..valLen
@@ -221,6 +255,7 @@ func encodeResponse(r response) ([]byte, error) {
 	case reqWrite:
 		buf = binary.BigEndian.AppendUint64(buf, r.Op)
 		buf = binary.BigEndian.AppendUint64(buf, r.LatencyUS)
+		buf = appendTag(buf, r.Tag)
 	case reqRead:
 		if len(r.Value) > wire.MaxValueSize {
 			return nil, wire.ErrValueTooLarge
@@ -231,6 +266,7 @@ func encodeResponse(r response) ([]byte, error) {
 			present = 1
 		}
 		buf = append(buf, present)
+		buf = appendTag(buf, r.Tag)
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Value)))
 		buf = append(buf, r.Value...)
 	case reqRecover:
@@ -279,24 +315,26 @@ func decodeResponse(buf []byte) (response, error) {
 			return r, ErrBadFrame
 		}
 	case reqWrite:
-		if len(rest) != 16 {
+		if len(rest) != 16+tagSize {
 			return r, ErrBadFrame
 		}
 		r.Op = binary.BigEndian.Uint64(rest)
 		r.LatencyUS = binary.BigEndian.Uint64(rest[8:])
+		r.Tag = decodeTag(rest[16:])
 	case reqRead:
-		if len(rest) < 13 {
+		if len(rest) < 13+tagSize {
 			return r, ErrBadFrame
 		}
 		r.Op = binary.BigEndian.Uint64(rest)
 		r.Present = rest[8] == 1
-		n := int(binary.BigEndian.Uint32(rest[9:]))
-		if n > wire.MaxValueSize || len(rest) != 13+n {
+		r.Tag = decodeTag(rest[9:])
+		n := int(binary.BigEndian.Uint32(rest[9+tagSize:]))
+		if n > wire.MaxValueSize || len(rest) != 13+tagSize+n {
 			return r, ErrBadFrame
 		}
 		if n > 0 {
 			r.Value = make([]byte, n)
-			copy(r.Value, rest[13:])
+			copy(r.Value, rest[13+tagSize:])
 		}
 	case reqRecover:
 		if len(rest) != 8 {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"recmem/internal/tag"
 	"recmem/internal/wire"
 )
 
@@ -42,8 +43,10 @@ func TestResponseRoundTrip(t *testing.T) {
 	resps := []response{
 		{Kind: reqPing, ID: 1},
 		{Kind: reqWrite, ID: 2, Op: 77, LatencyUS: 1234},
+		{Kind: reqWrite, ID: 12, Op: 79, LatencyUS: 5, Tag: tag.Tag{Seq: 42, Writer: 2, Rec: 1}},
 		{Kind: reqRead, ID: 3, Op: 78, Present: true, Value: []byte("v")},
-		{Kind: reqRead, ID: 4}, // absent value (⊥)
+		{Kind: reqRead, ID: 13, Op: 80, Present: true, Value: []byte("w"), Tag: tag.Tag{Seq: 7, Writer: 1}},
+		{Kind: reqRead, ID: 4}, // absent value (⊥), no witness
 		{Kind: reqCrash, ID: 5},
 		{Kind: reqRecover, ID: 6, LatencyUS: 99},
 		{Kind: reqInfo, ID: 7, NodeID: 2, N: 5, Quorum: 3, Algorithm: 3},

@@ -20,6 +20,14 @@ type ServerOptions struct {
 	// bound, an operation invoked while a majority is unreachable would pin
 	// its response goroutine forever.
 	OpTimeout time.Duration
+	// StaleReads makes the server DISHONEST: every read of a register is
+	// answered with the first reply the server ever produced for it — value
+	// and tag witness frozen forever — while the emulation underneath keeps
+	// running correctly. It exists to prove the verification pipeline works:
+	// a mesh containing one stale node must fail `recmem-torture -remote
+	// -verify` (the merged history shows reads returning superseded values).
+	// Never enable it outside fault-injection testing.
+	StaleReads bool
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -47,6 +55,10 @@ type Server struct {
 	refMu sync.Mutex
 	refs  map[string]*core.RegisterRef
 
+	// stale pins the first read reply per register under StaleReads.
+	staleMu sync.Mutex
+	stale   map[string]response
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -63,6 +75,7 @@ func Serve(ln net.Listener, node *core.Node, opts ServerOptions) *Server {
 		ln:    ln,
 		opts:  opts.withDefaults(),
 		refs:  make(map[string]*core.RegisterRef),
+		stale: make(map[string]response),
 		conns: make(map[net.Conn]struct{}),
 		done:  make(chan struct{}),
 	}
@@ -147,10 +160,12 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	resp := make(chan response, 128)
 	connDone := make(chan struct{})
+	writerDone := make(chan struct{})
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
+		defer close(writerDone)
 		for {
 			select {
 			case r := <-resp:
@@ -169,10 +184,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 	}()
+	// reply must also select on writerDone: when a stalled client wedges the
+	// writer (full resp channel, blocked writeFrame) and the connection then
+	// dies, the writer exits on the write error — without the writerDone arm
+	// a reply() caller (the read loop included) would block forever on the
+	// full channel, leaking the connection goroutines and hanging Close.
 	reply := func(r response) {
 		select {
 		case resp <- r:
 		case <-connDone:
+		case <-writerDone:
 		}
 	}
 
@@ -245,8 +266,9 @@ func (s *Server) dispatch(req request, reply func(response)) {
 				reply(errResponse(req, err))
 				return
 			}
+			wit, _ := fut.TagWitness()
 			reply(response{Kind: reqWrite, ID: req.ID, Op: fut.Op(),
-				LatencyUS: uint64(time.Since(start).Microseconds())})
+				LatencyUS: uint64(time.Since(start).Microseconds()), Tag: wit})
 		}()
 
 	case reqRead:
@@ -268,14 +290,36 @@ func (s *Server) dispatch(req request, reply func(response)) {
 				reply(errResponse(req, err))
 				return
 			}
-			reply(response{Kind: reqRead, ID: req.ID, Op: fut.Op(),
-				Present: val != nil, Value: val})
+			wit, _ := fut.TagWitness()
+			resp := response{Kind: reqRead, ID: req.ID, Op: fut.Op(),
+				Present: val != nil, Value: val, Tag: wit}
+			if s.opts.StaleReads {
+				resp = s.staleize(req.Reg, resp)
+			}
+			reply(resp)
 		}()
 
 	default:
 		reply(response{Kind: req.Kind, ID: req.ID, Code: codeBadRequest,
 			Msg: "unknown request kind"})
 	}
+}
+
+// staleize implements ServerOptions.StaleReads: the first read reply ever
+// produced for a register is pinned (value, presence and tag witness) and
+// served for every later read of it, with only the correlation fields
+// (request id, op id) kept fresh.
+func (s *Server) staleize(reg string, fresh response) response {
+	s.staleMu.Lock()
+	defer s.staleMu.Unlock()
+	pinned, ok := s.stale[reg]
+	if !ok {
+		s.stale[reg] = fresh
+		return fresh
+	}
+	pinned.ID = fresh.ID
+	pinned.Op = fresh.Op
+	return pinned
 }
 
 // opCtx builds the operation context from the request deadline or the

@@ -1,19 +1,28 @@
 #!/usr/bin/env bash
 # smoke-mesh.sh: boot a real 3-node recmem-node mesh on localhost, drive it
 # through the binary remote client (write / read / crash / recover / a
-# pipelined bench), and assert the examples keep building. This is the CI
-# proof that the same Client API the simulator serves works against a live
-# TCP deployment.
+# pipelined bench), run a VERIFIED torture round (recording clients, merged
+# per-client histories model-checked — docs/adr/0004), prove the checker has
+# teeth against a mesh with a stale-serving node, and assert the examples
+# keep building. This is the CI proof that the same Client API the simulator
+# serves works — and is verifiably correct — against a live TCP deployment.
+#
+# SMOKE_VERIFY_ONLY=1 skips the client-CLI exercises and runs only the
+# verification half (make verify-mesh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASE=${SMOKE_BASE_PORT:-7610}
 P0=$((BASE)) P1=$((BASE + 1)) P2=$((BASE + 2))
 C0=$((BASE + 10)) C1=$((BASE + 11)) C2=$((BASE + 12))
+# Second mesh for the dishonest-node control.
+S0=$((BASE + 20)) S1=$((BASE + 21)) S2=$((BASE + 22))
+D0=$((BASE + 30)) D1=$((BASE + 31)) D2=$((BASE + 32))
 WORK=$(mktemp -d)
 BIN="$WORK/bin"
 mkdir -p "$BIN"
 
+pids=()
 cleanup() {
     kill "${pids[@]}" 2>/dev/null || true
     wait "${pids[@]}" 2>/dev/null || true
@@ -24,61 +33,101 @@ trap cleanup EXIT
 echo "== build"
 go build -o "$BIN" ./cmd/recmem-node ./cmd/recmem-client ./cmd/recmem-torture
 
-echo "== start 3-node mesh (persistent algorithm, wal disks)"
-PEERS="127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2"
-pids=()
-for i in 0 1 2; do
-    ctrl_var="C$i"
-    "$BIN/recmem-node" -id "$i" -peers "$PEERS" \
-        -control "127.0.0.1:${!ctrl_var}" -dir "$WORK/n$i" -disk wal \
-        -retransmit 20ms >"$WORK/node$i.log" 2>&1 &
+# start_node <mesh-name> <id> <peer-list> <control-addr> [extra flags...]
+start_node() {
+    local name=$1 id=$2 peerlist=$3 ctrl=$4
+    shift 4
+    "$BIN/recmem-node" -id "$id" -peers "$peerlist" \
+        -control "$ctrl" -dir "$WORK/$name$id" -disk wal \
+        -retransmit 20ms "$@" >"$WORK/$name$id.log" 2>&1 &
     pids+=($!)
-done
+}
 
 client() { "$BIN/recmem-client" -node "127.0.0.1:$1" -timeout 30s "${@:2}"; }
 
-echo "== wait for the control ports"
-for port in $C0 $C1 $C2; do
-    for attempt in $(seq 1 50); do
-        if client "$port" ping >/dev/null 2>&1; then break; fi
-        if [ "$attempt" -eq 50 ]; then
-            echo "node on port $port never became reachable" >&2
-            cat "$WORK"/node*.log >&2
-            exit 1
-        fi
-        sleep 0.2
+wait_ports() {
+    for port in "$@"; do
+        for attempt in $(seq 1 50); do
+            if client "$port" ping >/dev/null 2>&1; then break; fi
+            if [ "$attempt" -eq 50 ]; then
+                echo "node on port $port never became reachable" >&2
+                cat "$WORK"/*.log >&2
+                exit 1
+            fi
+            sleep 0.2
+        done
     done
+}
+
+echo "== start 3-node mesh (persistent algorithm, wal disks)"
+PEERS="127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2"
+for i in 0 1 2; do
+    ctrl_var="C$i"
+    start_node n "$i" "$PEERS" "127.0.0.1:${!ctrl_var}"
 done
 
-echo "== info"
-client "$C0" info
+echo "== wait for the control ports"
+wait_ports "$C0" "$C1" "$C2"
 
-echo "== write at node 0, read at nodes 1 and 2"
-client "$C0" write x hello-mesh
-test "$(client "$C1" read x)" = "hello-mesh"
-test "$(client "$C2" read x)" = "hello-mesh"
+if [ "${SMOKE_VERIFY_ONLY:-0}" != "1" ]; then
+    echo "== info"
+    client "$C0" info
 
-echo "== crash node 1, mesh keeps serving, node 1 refuses ops"
-client "$C1" crash
-if client "$C1" read x >/dev/null 2>&1; then
-    echo "read on a crashed node exited zero" >&2
+    echo "== write at node 0, read at nodes 1 and 2"
+    client "$C0" write x hello-mesh
+    test "$(client "$C1" read x)" = "hello-mesh"
+    test "$(client "$C2" read x)" = "hello-mesh"
+
+    echo "== crash node 1, mesh keeps serving, node 1 refuses ops"
+    client "$C1" crash
+    if client "$C1" read x >/dev/null 2>&1; then
+        echo "read on a crashed node exited zero" >&2
+        exit 1
+    fi
+    client "$C0" write x while-down
+    test "$(client "$C2" read x)" = "while-down"
+
+    echo "== recover node 1, it catches up"
+    client "$C1" recover
+    test "$(client "$C1" read x)" = "while-down"
+
+    echo "== pipelined bench through one connection (batching engine over TCP)"
+    client "$C0" bench 100 32
+fi
+
+echo "== VERIFIED torture round against the live mesh (crash/recover + model check)"
+"$BIN/recmem-torture" -remote "127.0.0.1:$C0,127.0.0.1:$C1,127.0.0.1:$C2" \
+    -ops 30 -rounds 1 -async 8 -faults 500ms -seed 7 -verify
+
+echo "== start a second mesh whose node 1 serves stale reads (-stale-reads)"
+SPEERS="127.0.0.1:$S0,127.0.0.1:$S1,127.0.0.1:$S2"
+for i in 0 1 2; do
+    ctrl_var="D$i"
+    extra=""
+    if [ "$i" -eq 1 ]; then extra="-stale-reads"; fi
+    # shellcheck disable=SC2086 — $extra is intentionally word-split (and
+    # an empty array would trip `set -u` on bash 3.2).
+    start_node s "$i" "$SPEERS" "127.0.0.1:${!ctrl_var}" $extra
+done
+wait_ports "$D0" "$D1" "$D2"
+
+echo "== the verified torture round must FAIL against the dishonest mesh"
+if "$BIN/recmem-torture" -remote "127.0.0.1:$D0,127.0.0.1:$D1,127.0.0.1:$D2" \
+    -ops 20 -rounds 1 -faults 0s -seed 7 -verify >"$WORK/stale.out" 2>&1; then
+    echo "stale-serving mesh PASSED verification — the checker has no teeth" >&2
+    cat "$WORK/stale.out" >&2
     exit 1
 fi
-client "$C0" write x while-down
-test "$(client "$C2" read x)" = "while-down"
+if ! grep -q "violation" "$WORK/stale.out"; then
+    echo "stale mesh failed for the wrong reason:" >&2
+    cat "$WORK/stale.out" >&2
+    exit 1
+fi
+echo "   caught: $(grep -m1 -o 'violation on register[^]]*' "$WORK/stale.out" | head -c 100)"
 
-echo "== recover node 1, it catches up"
-client "$C1" recover
-test "$(client "$C1" read x)" = "while-down"
-
-echo "== pipelined bench through one connection (batching engine over TCP)"
-client "$C0" bench 100 32
-
-echo "== torture scenario against the live mesh"
-"$BIN/recmem-torture" -remote "127.0.0.1:$C0,127.0.0.1:$C1,127.0.0.1:$C2" \
-    -ops 30 -rounds 1 -async 8 -faults 500ms -seed 7
-
-echo "== examples still build"
-go build ./examples/...
+if [ "${SMOKE_VERIFY_ONLY:-0}" != "1" ]; then
+    echo "== examples still build"
+    go build ./examples/...
+fi
 
 echo "mesh smoke: OK"
