@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-disk bench-handle smoke verify-mesh fmt vet ci scenarios
+.PHONY: all build test race bench bench-disk bench-handle smoke verify-mesh kill-mesh fmt vet ci scenarios
 
 all: build
 
@@ -29,9 +29,11 @@ bench-handle:
 
 # smoke boots a real 3-node recmem-node mesh and drives it through the
 # remote client, then runs the VERIFIED live-mesh torture round (recording
-# clients + tag-witness merge + model check, docs/adr/0004) including the
-# stale-node negative control: the CI proof that the Client API works — and
-# is verifiably correct — over live TCP.
+# clients + tag-witness merge + model check, docs/adr/0004), the
+# KILL-RESTART round (real SIGKILL + re-exec of node processes mid-run,
+# docs/adr/0005), and the stale-node negative control: the CI proof that
+# the Client API works — and is verifiably correct — over a live TCP
+# deployment that really dies and really recovers.
 smoke:
 	./scripts/smoke-mesh.sh
 
@@ -40,6 +42,12 @@ smoke:
 # node fails the check.
 verify-mesh:
 	SMOKE_VERIFY_ONLY=1 ./scripts/smoke-mesh.sh
+
+# kill-mesh runs only the kill-restart round: recmem-torture spawns a wal
+# mesh, SIGKILLs and re-execs real node processes mid-run, and the merged
+# recorded history must still pass the atomicity checker.
+kill-mesh:
+	SMOKE_KILL_ONLY=1 ./scripts/smoke-mesh.sh
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -42,16 +43,17 @@ func main() {
 
 // nodeConfig is the parsed command line.
 type nodeConfig struct {
-	id         int
-	peers      []string
-	control    string
-	dir        string
-	algorithm  string
-	disk       string
-	hardened   bool
-	retransmit time.Duration
-	opTimeout  time.Duration
-	staleReads bool
+	id             int
+	peers          []string
+	control        string
+	dir            string
+	algorithm      string
+	disk           string
+	hardened       bool
+	retransmit     time.Duration
+	opTimeout      time.Duration
+	recoverTimeout time.Duration
+	staleReads     bool
 }
 
 // nodeServer is one running node plus its control server.
@@ -60,6 +62,10 @@ type nodeServer struct {
 	node *core.Node
 	disk stable.Storage
 	srv  *remote.Server
+
+	// bootRecovery is how long the startup recovery procedure took; zero
+	// when the node started on a volatile (mem) backend.
+	bootRecovery time.Duration
 }
 
 // ControlAddr returns the control port's actual address.
@@ -155,6 +161,29 @@ func startNode(cfg nodeConfig) (*nodeServer, error) {
 		return nil, err
 	}
 
+	// Restart safety: a process that starts on a persistent backend treats
+	// its startup as the paper's crash+recover — rebuild the volatile state
+	// from the persisted logs and run the algorithm's recovery procedure
+	// (finish the pending write / bump the recovery counter) BEFORE the
+	// control port opens, so a SIGKILL + re-exec is a faithful paper-model
+	// crash and no client operation can observe a half-recovered node. A
+	// cold start with an empty directory recovers trivially; a restart with
+	// a pending write blocks here until a majority of peers is reachable,
+	// exactly as Recover would.
+	var bootRecovery time.Duration
+	if kind.Recovers() && cfg.disk != "mem" {
+		start := time.Now()
+		if err := bootRecover(node, cfg.recoverTimeout); err != nil {
+			node.Close()
+			mesh.Close()
+			if disk != nil {
+				_ = disk.Close()
+			}
+			return nil, fmt.Errorf("startup recovery: %w", err)
+		}
+		bootRecovery = time.Since(start)
+	}
+
 	ln, err := net.Listen("tcp", cfg.control)
 	if err != nil {
 		node.Close()
@@ -165,7 +194,24 @@ func startNode(cfg nodeConfig) (*nodeServer, error) {
 		return nil, err
 	}
 	srv := remote.Serve(ln, node, remote.ServerOptions{OpTimeout: cfg.opTimeout, StaleReads: cfg.staleReads})
-	return &nodeServer{mesh: mesh, node: node, disk: disk, srv: srv}, nil
+	return &nodeServer{mesh: mesh, node: node, disk: disk, srv: srv, bootRecovery: bootRecovery}, nil
+}
+
+// bootRecover runs the crash+recover transition of a freshly exec'd process:
+// the node is flipped to the crashed state (its volatile state is empty — the
+// real loss happened when the previous incarnation died) and recovered from
+// stable storage. timeout 0 means wait indefinitely for a reachable majority.
+func bootRecover(node *core.Node, timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if !node.Crash(nil) {
+		return fmt.Errorf("node refused the boot crash transition")
+	}
+	return node.Recover(ctx, nil, nil)
 }
 
 func run(args []string) error {
@@ -180,6 +226,7 @@ func run(args []string) error {
 		hardened   = fs.Bool("hardened", false, "hardened tags for the transient algorithm")
 		retransmit = fs.Duration("retransmit", 100*time.Millisecond, "protocol retransmission period")
 		opTimeout  = fs.Duration("op-timeout", time.Minute, "server-side bound on one operation")
+		recTimeout = fs.Duration("recover-timeout", 2*time.Minute, "bound on the startup recovery procedure with a persistent -disk (0 = wait for a majority forever)")
 		staleReads = fs.Bool("stale-reads", false, "FAULT INJECTION: serve every read from the first reply ever produced for its register (frozen value + stale tag witness) — a deliberately dishonest node for exercising recmem-torture -verify")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -188,7 +235,8 @@ func run(args []string) error {
 	ns, err := startNode(nodeConfig{
 		id: *id, peers: strings.Split(*peersFlag, ","), control: *control,
 		dir: *dir, algorithm: *algorithm, disk: *disk, hardened: *hardened,
-		retransmit: *retransmit, opTimeout: *opTimeout, staleReads: *staleReads,
+		retransmit: *retransmit, opTimeout: *opTimeout, recoverTimeout: *recTimeout,
+		staleReads: *staleReads,
 	})
 	if err != nil {
 		return err
@@ -198,8 +246,13 @@ func run(args []string) error {
 	if *staleReads {
 		dishonest = " [DISHONEST: -stale-reads]"
 	}
-	fmt.Printf("recmem-node %d (%v, %s disk) serving protocol on %s, control on %s%s\n",
-		*id, ns.node.Algorithm(), *disk, ns.mesh.Addr(), ns.ControlAddr(), dishonest)
+	recovered := ""
+	if ns.bootRecovery > 0 {
+		recovered = fmt.Sprintf(", recovered from stable storage in %v (rec=%d)",
+			ns.bootRecovery.Round(time.Microsecond), ns.node.RecoveryCount())
+	}
+	fmt.Printf("recmem-node %d (%v, %s disk) serving protocol on %s, control on %s%s%s\n",
+		*id, ns.node.Algorithm(), *disk, ns.mesh.Addr(), ns.ControlAddr(), dishonest, recovered)
 	<-ns.Done()
 	return nil
 }

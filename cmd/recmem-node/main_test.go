@@ -135,3 +135,90 @@ func TestRunValidation(t *testing.T) {
 		t.Fatal("accepted unknown disk engine")
 	}
 }
+
+// TestRestartRecovery proves a recmem-node restart is the paper's
+// crash+recover: the process's volatile state dies with it (here: the first
+// nodeServer is torn down without any protocol-level Crash/Recover), and a
+// fresh process over the same -dir rebuilds its registers from the
+// persisted logs and runs the recovery procedure before the control port
+// opens.
+func TestRestartRecovery(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for _, disk := range []string{"wal", "file"} {
+		t.Run(disk, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := nodeConfig{
+				id:        0,
+				peers:     []string{"127.0.0.1:0"},
+				control:   "127.0.0.1:0",
+				algorithm: "persistent",
+				disk:      disk,
+				dir:       dir,
+				opTimeout: 30 * time.Second,
+			}
+			ns, err := startNode(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := remote.Dial(ns.ControlAddr(), remote.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Register("x").Write(ctx, []byte("survives-restart")); err != nil {
+				t.Fatal(err)
+			}
+			c.Close()
+			ns.Close() // SIGKILL stand-in: no Crash/Recover ran, volatile state is gone
+
+			ns2, err := startNode(cfg)
+			if err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			defer ns2.Close()
+			c2, err := remote.Dial(ns2.ControlAddr(), remote.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c2.Close()
+			got, err := c2.Register("x").Read(ctx)
+			if err != nil || string(got) != "survives-restart" {
+				t.Fatalf("read after restart = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+// TestRestartBumpsRecoveryCounter: under the transient-family algorithms the
+// startup recovery procedure is Fig. 5's counter bump — every real process
+// restart must advance the persisted recovery count, or a writer that died
+// mid-write could re-mint the interrupted write's timestamp.
+func TestRestartBumpsRecoveryCounter(t *testing.T) {
+	dir := t.TempDir()
+	cfg := nodeConfig{
+		id:        0,
+		peers:     []string{"127.0.0.1:0"},
+		control:   "127.0.0.1:0",
+		algorithm: "transient",
+		disk:      "wal",
+		dir:       dir,
+		opTimeout: 30 * time.Second,
+	}
+	var recs []int32
+	for i := 0; i < 3; i++ {
+		ns, err := startNode(cfg)
+		if err != nil {
+			t.Fatalf("start %d: %v", i, err)
+		}
+		recs = append(recs, ns.node.RecoveryCount())
+		if ns.bootRecovery <= 0 {
+			t.Fatalf("start %d: no boot recovery ran", i)
+		}
+		ns.Close()
+	}
+	for i, rec := range recs {
+		if want := int32(i + 1); rec != want {
+			t.Fatalf("recovery counts across restarts = %v, want [1 2 3]", recs)
+		}
+	}
+}

@@ -20,12 +20,24 @@
 //     criterion of the algorithm the mesh reports, exactly like a simulated
 //     round. Without -verify the round only asserts operational health.
 //
+// With -kill (docs/adr/0005) the run additionally injects REAL process
+// death: it spawns the mesh's recmem-node processes itself (one command
+// line per -remote address, ';;'-separated) and, mid-round, SIGKILLs one
+// and re-execs it — the process loses its volatile state and every client
+// connection; the restarted incarnation recovers from stable storage before
+// reopening its control port, and the reconnect layer in the remote client
+// brings the same handles back without the scenario re-dialing. Combined
+// with -verify, the merged recorded history of a round spanning real
+// process death is model-checked like any other.
+//
 // Usage:
 //
 //	recmem-torture -algorithm persistent -n 5 -ops 200 -rounds 10
 //	recmem-torture -algorithm transient -loss 0.2 -dup 0.1 -seed 7
 //	recmem-torture -algorithm persistent -disk wal -diskfail 0.2
 //	recmem-torture -remote :7200,:7201,:7202 -ops 200 -async 16 -verify
+//	recmem-torture -remote :7200,:7201,:7202 -verify \
+//	    -kill 'recmem-node -id 0 ...;;recmem-node -id 1 ...;;recmem-node -id 2 ...'
 //
 // -disk selects the stable-storage engine (mem, file, or wal — the
 // log-structured group-commit engine). -diskfail wraps every disk in a
@@ -49,6 +61,7 @@ import (
 	"recmem/internal/cluster"
 	"recmem/internal/core"
 	"recmem/internal/netsim"
+	"recmem/internal/procfault"
 	"recmem/internal/stable"
 	"recmem/internal/workload"
 	"recmem/remote"
@@ -94,6 +107,15 @@ type options struct {
 	diskFail float64
 	remote   []string
 	verify   bool
+
+	// killCmds, when non-empty, makes the torture run OWN the mesh's node
+	// processes: it spawns one command per -remote address and the kill
+	// schedule SIGKILLs + re-execs them mid-round (internal/procfault) — a
+	// real process death, not a simulated one.
+	killCmds   [][]string
+	killCycles int
+	killDelay  time.Duration
+	killDown   time.Duration
 }
 
 func run(args []string) error {
@@ -116,6 +138,10 @@ func run(args []string) error {
 		diskFail   = fs.Float64("diskfail", 0, "injected Store/StoreBatch failure rate [0,1)")
 		remoteFlag = fs.String("remote", "", "comma-separated recmem-node control addresses: drive a live mesh instead of the simulator")
 		verify     = fs.Bool("verify", false, "with -remote: record per-client histories, merge them by wall clock + tag witness, and model-check the round (docs/adr/0004)")
+		killFlag   = fs.String("kill", "", "with -remote: ';;'-separated recmem-node command lines, one per control address; the torture run spawns them and SIGKILLs + restarts real node processes mid-round (docs/adr/0005)")
+		killCycles = fs.Int("kill-cycles", 2, "SIGKILL+restart cycles per round under -kill")
+		killDelay  = fs.Duration("kill-delay", 300*time.Millisecond, "pause before the first kill and between cycles")
+		killDown   = fs.Duration("kill-down", 200*time.Millisecond, "how long a killed process stays dead before re-exec")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,18 +160,52 @@ func run(args []string) error {
 		verify: *verify,
 	}
 	if *remoteFlag != "" {
-		o.remote = strings.Split(*remoteFlag, ",")
+		// Trimmed once here: every consumer (round dials, readiness
+		// probes, the kill schedule) sees the same canonical addresses.
+		for _, addr := range strings.Split(*remoteFlag, ",") {
+			o.remote = append(o.remote, strings.TrimSpace(addr))
+		}
 	}
 	if o.verify && len(o.remote) == 0 {
 		return fmt.Errorf("-verify applies to -remote runs (simulated rounds always verify)")
 	}
+	o.killCycles, o.killDelay, o.killDown = *killCycles, *killDelay, *killDown
+	if *killFlag != "" {
+		if len(o.remote) == 0 {
+			return fmt.Errorf("-kill applies to -remote runs")
+		}
+		for _, cmd := range strings.Split(*killFlag, ";;") {
+			argv := strings.Fields(strings.TrimSpace(cmd))
+			if len(argv) == 0 {
+				return fmt.Errorf("-kill: empty command")
+			}
+			o.killCmds = append(o.killCmds, argv)
+		}
+		if len(o.killCmds) != len(o.remote) {
+			return fmt.Errorf("-kill: %d commands for %d -remote addresses", len(o.killCmds), len(o.remote))
+		}
+	}
+
+	// Under -kill the torture run owns the node processes for its whole
+	// lifetime (they persist across rounds, like an externally managed
+	// mesh); the kill schedule inside each round SIGKILLs and re-execs
+	// them.
+	procs, err := spawnMesh(o)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Stop()
+		}
+	}()
 
 	for round := 0; round < *rounds; round++ {
 		roundSeed := *seed + int64(round)*1_000_003
 		o.seed = roundSeed
 		var err error
 		if len(o.remote) > 0 {
-			err = remoteRound(o)
+			err = remoteRound(o, procs)
 		} else {
 			err = tortureRound(o)
 		}
@@ -285,14 +345,108 @@ func tortureRound(o options) error {
 	return nil
 }
 
+// spawnMesh starts the node processes of a -kill run and waits until every
+// control port answers. A run without -kill returns nil and dials whatever
+// mesh the caller points it at.
+func spawnMesh(o options) ([]*procfault.Proc, error) {
+	if len(o.killCmds) == 0 {
+		return nil, nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	procs := make([]*procfault.Proc, 0, len(o.killCmds))
+	stop := func() {
+		for _, p := range procs {
+			p.Stop()
+		}
+	}
+	for i, argv := range o.killCmds {
+		p, err := procfault.Start(argv, os.Stderr, os.Stderr)
+		if err != nil {
+			stop()
+			return nil, fmt.Errorf("spawn node %d: %w", i, err)
+		}
+		procs = append(procs, p)
+	}
+	for i, p := range procs {
+		if err := p.WaitReady(ctx, pingProbe(o.remote[i]), 50*time.Millisecond); err != nil {
+			stop()
+			return nil, fmt.Errorf("node %d never became ready: %w", i, err)
+		}
+	}
+	fmt.Printf("spawned %d node processes (pids", len(procs))
+	for _, p := range procs {
+		fmt.Printf(" %d", p.Pid())
+	}
+	fmt.Println(") for kill-restart injection")
+	return procs, nil
+}
+
+// pingProbe is the readiness probe for one control address: a fresh dial —
+// which runs the version/Info handshake — plus a ping. recmem-node only
+// opens the control port after its startup recovery, so a passing probe
+// means the node is recovered and serving.
+func pingProbe(addr string) func(context.Context) error {
+	return func(ctx context.Context) error {
+		c, err := remote.Dial(addr, remote.Options{DialTimeout: time.Second, RedialAttempts: -1})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		defer cancel()
+		return c.Ping(pctx)
+	}
+}
+
+// killSchedule is the process-death fault schedule: every cycle SIGKILLs
+// one node process mid-run — volatile state and every TCP connection die
+// with it — waits out the outage, re-execs the same command (the node runs
+// its recovery procedure from stable storage before reopening the control
+// port), and blocks until the control port answers again. Returns the
+// number of kills delivered.
+func killSchedule(ctx context.Context, o options, procs []*procfault.Proc) (int, error) {
+	kills := 0
+	for cycle := 0; cycle < o.killCycles && ctx.Err() == nil; cycle++ {
+		if !sleepCtx(ctx, o.killDelay) {
+			break
+		}
+		i := cycle % len(procs)
+		if err := procs[i].Kill(); err != nil {
+			return kills, err
+		}
+		kills++
+		sleepCtx(ctx, o.killDown)
+		if err := procs[i].Restart(); err != nil {
+			return kills, err
+		}
+		if err := procs[i].WaitReady(ctx, pingProbe(o.remote[i]), 50*time.Millisecond); err != nil {
+			return kills, err
+		}
+	}
+	return kills, nil
+}
+
+// sleepCtx pauses for d, reporting false when ctx expired instead.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // remoteRound runs the identical scenario against a live mesh of
 // recmem-nodes. The round always asserts operational health (no unexpected
 // errors, every process healthy at the end, a read observing the run's
 // effects); with -verify it additionally records every client's history,
 // merges them by wall clock and tag witness, and model-checks the result
 // against the criterion of the algorithm the mesh reports — a non-atomic
-// live run fails the process exactly like a non-atomic simulated one.
-func remoteRound(o options) error {
+// live run fails the process exactly like a non-atomic simulated one. With
+// -kill, the killSchedule SIGKILLs and restarts real node processes while
+// the workload and the protocol-level fault sweeps run.
+func remoteRound(o options, procs []*procfault.Proc) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
@@ -303,7 +457,7 @@ func remoteRound(o options) error {
 		group = recmem.NewRecordingGroup()
 	}
 	for i, addr := range o.remote {
-		c, err := remote.Dial(strings.TrimSpace(addr), remote.Options{})
+		c, err := remote.Dial(addr, remote.Options{})
 		if err != nil {
 			return fmt.Errorf("dial %s: %w", addr, err)
 		}
@@ -317,13 +471,53 @@ func remoteRound(o options) error {
 		}
 	}
 
+	type killResult struct {
+		kills int
+		err   error
+	}
+	killDone := make(chan killResult, 1)
+	if len(procs) > 0 {
+		go func() {
+			kills, err := killSchedule(ctx, o, procs)
+			killDone <- killResult{kills, err}
+		}()
+	} else {
+		killDone <- killResult{}
+	}
+	var (
+		kr       killResult
+		joinedKr bool
+	)
+	joinKill := func() killResult {
+		if !joinedKr {
+			kr = <-killDone
+			joinedKr = true
+		}
+		return kr
+	}
+	// The schedule must be joined on EVERY exit path: a Restart racing the
+	// deferred proc Stop in run() would re-exec a node after cleanup and
+	// leak it (the Linux parent-death signal is only a best-effort net).
+	// Cancelling first bounds the wait.
+	defer func() {
+		cancel()
+		joinKill()
+	}()
+
 	res, crashes, err := scenario(ctx, clients, o, true)
 	if err != nil {
 		return err
 	}
-	// Everything must be recoverable at the end of the round.
+	// The round proceeds only once every killed process is back: the
+	// schedule's last restart must have completed.
+	if kr := joinKill(); kr.err != nil {
+		return fmt.Errorf("kill schedule: %w", kr.err)
+	}
+	// Everything must be recoverable at the end of the round. Clients whose
+	// connection died with a killed process may still be redialing — ride
+	// that out instead of failing the round on a transient ErrDown.
 	for i, c := range clients {
-		if err := c.Recover(ctx); err != nil && !errors.Is(err, recmem.ErrNotDown) {
+		if err := recoverWhenReachable(ctx, c); err != nil {
 			return fmt.Errorf("final recover of node %d: %w", i, err)
 		}
 	}
@@ -333,19 +527,65 @@ func remoteRound(o options) error {
 	// The mesh still serves: a write through one client is read through
 	// another.
 	probe := fmt.Sprintf("probe-%d", o.seed)
-	if err := clients[0].Register("r0").Write(ctx, []byte(probe)); err != nil {
+	if err := retryOutage(ctx, func() error {
+		return clients[0].Register("r0").Write(ctx, []byte(probe))
+	}); err != nil {
 		return fmt.Errorf("final probe write: %w", err)
 	}
-	got, err := clients[len(clients)-1].Register("r0").Read(ctx)
+	var got []byte
+	err = retryOutage(ctx, func() error {
+		var rerr error
+		got, rerr = clients[len(clients)-1].Register("r0").Read(ctx)
+		return rerr
+	})
 	if err != nil || string(got) != probe {
 		return fmt.Errorf("final probe read = %q, %v (want %q)", got, err, probe)
 	}
-	fmt.Printf("  %d writes, %d reads, %d interrupted, %d crashes injected (live mesh)\n",
-		res.Writes, res.Reads, res.Interrupted, crashes)
+	fmt.Printf("  %d writes, %d reads, %d interrupted, %d crashes injected, %d processes SIGKILLed (live mesh)\n",
+		res.Writes, res.Reads, res.Interrupted, crashes, kr.kills)
 	if group == nil {
 		return nil
 	}
 	return verifyRemote(ctx, group, raw[0])
+}
+
+// recoverWhenReachable drives Recover until the process is confirmed up:
+// nil and ErrNotDown both mean "up"; ErrDown and ErrCrashed mean the
+// transport (or the process behind it) is still coming back — retry until
+// the redialer lands.
+func recoverWhenReachable(ctx context.Context, c recmem.Client) error {
+	for {
+		err := c.Recover(ctx)
+		switch {
+		case err == nil, errors.Is(err, recmem.ErrNotDown):
+			return nil
+		case errors.Is(err, recmem.ErrDown), errors.Is(err, recmem.ErrCrashed),
+			errors.Is(err, context.DeadlineExceeded):
+		default:
+			return err
+		}
+		if !sleepCtx(ctx, 20*time.Millisecond) {
+			return ctx.Err()
+		}
+	}
+}
+
+// retryOutage runs op, riding out the reconnect-layer outage errors the
+// same way the workload driver does.
+func retryOutage(ctx context.Context, op func() error) error {
+	for {
+		err := op()
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, recmem.ErrDown), errors.Is(err, recmem.ErrCrashed):
+		default:
+			return err
+		}
+		if !sleepCtx(ctx, 20*time.Millisecond) {
+			return ctx.Err()
+		}
+	}
 }
 
 // verifyRemote merges the recorded per-client histories and checks them

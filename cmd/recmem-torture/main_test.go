@@ -144,7 +144,7 @@ func TestRemoteRound(t *testing.T) {
 	o.ops = 20
 	o.async = 6
 	o.verify = true
-	if err := remoteRound(o); err != nil {
+	if err := remoteRound(o, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -158,7 +158,7 @@ func TestRemoteRoundVerifyCatchesStaleMesh(t *testing.T) {
 	o.ops = 20
 	o.faultFor = 0 // keep the stale reads completed, not crash-interrupted
 	o.verify = true
-	err := remoteRound(o)
+	err := remoteRound(o, nil)
 	if err == nil {
 		t.Fatal("verified round passed against a stale-serving mesh")
 	}
@@ -169,7 +169,7 @@ func TestRemoteRoundVerifyCatchesStaleMesh(t *testing.T) {
 	// old operational-health round cannot see the lie (the PR-3 gap).
 	o.verify = false
 	o.seed++
-	if err := remoteRound(o); err != nil {
+	if err := remoteRound(o, nil); err != nil {
 		t.Fatalf("unverified round should not detect staleness: %v", err)
 	}
 }
@@ -197,4 +197,18 @@ func mustKind(t *testing.T, name string) core.AlgorithmKind {
 		t.Fatal(err)
 	}
 	return kind
+}
+
+// TestKillFlagValidation pins the -kill command-line contract: it requires
+// -remote, exactly one command per control address, and no empty commands.
+func TestKillFlagValidation(t *testing.T) {
+	if err := run([]string{"-kill", "a b"}); err == nil {
+		t.Fatal("accepted -kill without -remote")
+	}
+	if err := run([]string{"-remote", ":1,:2", "-kill", "only-one-cmd"}); err == nil {
+		t.Fatal("accepted a command-count mismatch")
+	}
+	if err := run([]string{"-remote", ":1,:2", "-kill", "a;; ;;c"}); err == nil {
+		t.Fatal("accepted an empty command")
+	}
 }

@@ -161,24 +161,30 @@ func (nd *Node) writeProtocolMu(ctx context.Context, op uint64, reg string, val 
 }
 
 // mintTag computes the new write timestamp from the highest sequence number
-// collected in round 1.
+// collected in round 1. All minting goes through tag.Next, so the [sn, pid]
+// advancement rule lives in exactly one place.
 func (nd *Node) mintTag(maxSeq int64) tag.Tag {
 	switch nd.kind {
 	case Transient:
 		// Fig. 5 line 11: sn := sn + rec + 1. The persisted recovery count
 		// compensates for pre-logs the transient write does not perform.
 		rec := nd.RecoveryCount()
-		t := tag.Tag{Seq: maxSeq + int64(rec) + 1, Writer: nd.id}
-		if nd.opts.HardenedTags {
-			// DESIGN.md §7: the recovery count as a final lexicographic
-			// tiebreak removes the residual tag-collision window.
-			t.Rec = rec
-		}
-		return t
+		return tag.Tag{Seq: maxSeq}.Next(nd.id, int64(rec), nd.hardenedRec(rec))
 	default:
 		// Fig. 4 line 11: sn := sn + 1.
-		return tag.Tag{Seq: maxSeq + 1, Writer: nd.id}
+		return tag.Tag{Seq: maxSeq}.Next(nd.id, 0, 0)
 	}
+}
+
+// hardenedRec resolves the Rec tiebreak component a minted tag carries:
+// zero under the paper's literal algorithms, the persisted recovery count
+// under hardened tags — DESIGN.md §7's fix for the residual tag-collision
+// window.
+func (nd *Node) hardenedRec(rec int32) int32 {
+	if nd.opts.HardenedTags {
+		return rec
+	}
+	return 0
 }
 
 // Read emulates the register's read operation at this process: query a
@@ -218,10 +224,10 @@ func (nd *Node) writeRegularSW(ctx context.Context, op uint64, reg string, val [
 	own := nd.regs[reg].tag
 	rec := nd.rec
 	nd.mu.Unlock()
-	newTag := tag.Tag{Seq: own.Seq + int64(rec) + 1, Writer: nd.id}
-	if nd.opts.HardenedTags {
-		newTag.Rec = rec
-	}
+	// Fig. 5's advancement rule applied to the writer's own view: the
+	// recovery count out-mints any write the last incarnation left
+	// unfinished.
+	newTag := own.Next(nd.id, int64(rec), nd.hardenedRec(rec))
 	_, err := nd.runRound(ctx, op, wire.Envelope{
 		Kind: wire.KindWrite, Reg: reg, Tag: newTag, Value: val,
 	}, nd.id, batched)

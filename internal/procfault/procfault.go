@@ -1,0 +1,164 @@
+// Package procfault supervises real operating-system processes for fault
+// injection: it starts them, SIGKILLs them mid-run, and re-execs them with
+// the same argv. It is the process-death counterpart of the protocol-level
+// Crash/Recover injection in internal/workload — where workload.ClientFaults
+// exercises the paper's crash model inside a live process, procfault
+// exercises it on the process itself: a SIGKILL loses exactly the volatile
+// state, and the restarted process must rebuild itself from stable storage
+// (recmem-node runs its recovery procedure before reopening the control
+// port).
+package procfault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// Proc is one supervised process. All methods are safe for concurrent use,
+// but Kill/Restart are meant to be driven by one fault schedule at a time.
+type Proc struct {
+	argv   []string
+	stdout io.Writer
+	stderr io.Writer
+
+	mu    sync.Mutex
+	cmd   *exec.Cmd
+	done  chan struct{} // closed when the current incarnation is reaped
+	alive bool
+}
+
+// Start launches argv[0] with argv[1:] as a supervised process. stdout and
+// stderr, when non-nil, receive the process's output (they are reused
+// across restarts, so one log stream spans all incarnations).
+func Start(argv []string, stdout, stderr io.Writer) (*Proc, error) {
+	if len(argv) == 0 || argv[0] == "" {
+		return nil, fmt.Errorf("procfault: empty command")
+	}
+	p := &Proc{argv: argv, stdout: stdout, stderr: stderr}
+	if err := p.spawn(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// spawn execs the argv. Callers other than Start hold no lock; spawn takes
+// it.
+func (p *Proc) spawn() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.alive {
+		return fmt.Errorf("procfault: %s already running (pid %d)", p.argv[0], p.cmd.Process.Pid)
+	}
+	cmd := exec.Command(p.argv[0], p.argv[1:]...)
+	cmd.Stdout = p.stdout
+	cmd.Stderr = p.stderr
+	setSysProcAttr(cmd) // die with the supervisor (best effort, platform-specific)
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("procfault: start %s: %w", p.argv[0], err)
+	}
+	done := make(chan struct{})
+	p.cmd, p.done, p.alive = cmd, done, true
+	// The monitor reaps every exit — killed or on the process's own
+	// initiative (a crash-looping node, a bad flag) — so Alive reflects
+	// reality, WaitReady can fail fast on a self-exit, and no incarnation
+	// lingers as a zombie until Stop.
+	go func() {
+		_ = cmd.Wait()
+		p.mu.Lock()
+		if p.cmd == cmd {
+			p.alive = false
+		}
+		p.mu.Unlock()
+		close(done)
+	}()
+	return nil
+}
+
+// Pid returns the current incarnation's process id, or 0 if not running.
+func (p *Proc) Pid() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.alive {
+		return 0
+	}
+	return p.cmd.Process.Pid
+}
+
+// Alive reports whether the current incarnation is running.
+func (p *Proc) Alive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.alive
+}
+
+// Kill SIGKILLs the current incarnation and reaps it — the paper's crash:
+// the process gets no chance to flush, shut down, or say goodbye; whatever
+// was not on stable storage is lost. It is an error to Kill a process that
+// is not running.
+func (p *Proc) Kill() error {
+	p.mu.Lock()
+	if !p.alive {
+		p.mu.Unlock()
+		return fmt.Errorf("procfault: %s is not running", p.argv[0])
+	}
+	cmd, done := p.cmd, p.done
+	p.mu.Unlock()
+	// A process that beat us to death's door (self-exit racing the kill)
+	// is dead either way; only a genuinely failed signal is an error.
+	if err := cmd.Process.Kill(); err != nil && !errors.Is(err, os.ErrProcessDone) {
+		return fmt.Errorf("procfault: kill %s (pid %d): %w", p.argv[0], cmd.Process.Pid, err)
+	}
+	<-done // reaped by the monitor
+	return nil
+}
+
+// Restart re-execs the same argv after a Kill — the paper's recover: a new
+// incarnation over the same stable storage.
+func (p *Proc) Restart() error {
+	return p.spawn()
+}
+
+// Stop tears the process down for good (SIGKILL + reap). Unlike Kill it is
+// idempotent and never errors on an already-dead process: it is the cleanup
+// path, not a fault.
+func (p *Proc) Stop() {
+	p.mu.Lock()
+	cmd, done := p.cmd, p.done
+	p.mu.Unlock()
+	if cmd == nil {
+		return
+	}
+	_ = cmd.Process.Kill()
+	<-done // closed by the monitor even when the process already exited
+}
+
+// WaitReady polls probe until it returns nil, the context expires, or the
+// supervised process dies: the barrier between Restart and resuming the
+// workload. probe is typically a control-port ping.
+func (p *Proc) WaitReady(ctx context.Context, probe func(context.Context) error, every time.Duration) error {
+	if every <= 0 {
+		every = 50 * time.Millisecond
+	}
+	var lastErr error
+	for {
+		if err := probe(ctx); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+		if !p.Alive() {
+			return fmt.Errorf("procfault: %s died while waiting for readiness (last probe: %v)", p.argv[0], lastErr)
+		}
+		select {
+		case <-time.After(every):
+		case <-ctx.Done():
+			return fmt.Errorf("procfault: %s not ready: %w (last probe: %v)", p.argv[0], ctx.Err(), lastErr)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package procfault
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+)
+
+// sleepBin is a long-running command available on the CI platforms.
+func sleepBin(t *testing.T) []string {
+	t.Helper()
+	for _, p := range []string{"/bin/sleep", "/usr/bin/sleep"} {
+		if _, err := os.Stat(p); err == nil {
+			return []string{p, "300"}
+		}
+	}
+	t.Skip("no sleep binary on this platform")
+	return nil
+}
+
+func TestKillRestartCycle(t *testing.T) {
+	p, err := Start(sleepBin(t), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	pid1 := p.Pid()
+	if pid1 == 0 || !p.Alive() {
+		t.Fatalf("started process: pid=%d alive=%v", pid1, p.Alive())
+	}
+	if err := p.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if p.Alive() || p.Pid() != 0 {
+		t.Fatal("process still reported alive after SIGKILL")
+	}
+	// Killing a dead process is a schedule bug, not a cleanup.
+	if err := p.Kill(); err == nil {
+		t.Fatal("double kill succeeded")
+	}
+	if err := p.Restart(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	pid2 := p.Pid()
+	if pid2 == 0 || pid2 == pid1 {
+		t.Fatalf("restart pid = %d (previous %d)", pid2, pid1)
+	}
+	// A second restart while running must refuse: exactly one incarnation.
+	if err := p.Restart(); err == nil {
+		t.Fatal("restart of a running process succeeded")
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	if p.Alive() {
+		t.Fatal("alive after stop")
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(nil, nil, nil); err == nil {
+		t.Fatal("accepted empty argv")
+	}
+	if _, err := Start([]string{"/nonexistent-binary-recmem"}, nil, nil); err == nil {
+		t.Fatal("accepted unlaunchable binary")
+	}
+}
+
+func TestWaitReady(t *testing.T) {
+	p, err := Start(sleepBin(t), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	calls := 0
+	err = p.WaitReady(ctx, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return context.DeadlineExceeded
+		}
+		return nil
+	}, time.Millisecond)
+	if err != nil || calls != 3 {
+		t.Fatalf("WaitReady = %v after %d probes", err, calls)
+	}
+
+	// A probe that can never succeed fails fast once the process dies.
+	if err := p.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	err = p.WaitReady(ctx, func(context.Context) error { return context.DeadlineExceeded }, time.Millisecond)
+	if err == nil {
+		t.Fatal("WaitReady succeeded against a dead process")
+	}
+}
+
+// TestSelfExitIsObserved: a process that dies on its own initiative (crash
+// loop, bad flags) must flip Alive without anyone calling Kill, so
+// WaitReady fails fast instead of polling a corpse for its whole timeout.
+func TestSelfExitIsObserved(t *testing.T) {
+	argv := sleepBin(t)
+	argv[len(argv)-1] = "0.05"
+	p, err := Start(argv, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Alive() {
+		if time.Now().After(deadline) {
+			t.Fatal("self-exited process still reported alive")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	start := time.Now()
+	err = p.WaitReady(ctx, func(context.Context) error { return context.DeadlineExceeded }, time.Millisecond)
+	if err == nil || time.Since(start) > 10*time.Second {
+		t.Fatalf("WaitReady against a self-exited process = %v after %v", err, time.Since(start))
+	}
+	// The corpse is restartable.
+	if err := p.Restart(); err != nil {
+		t.Fatalf("restart after self-exit: %v", err)
+	}
+	if !p.Alive() {
+		t.Fatal("restarted process not alive")
+	}
+}

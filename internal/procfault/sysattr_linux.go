@@ -1,0 +1,15 @@
+//go:build linux
+
+package procfault
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setSysProcAttr asks the kernel to SIGKILL the supervised process if the
+// supervisor itself dies, so an aborted torture run cannot leak node
+// processes.
+func setSysProcAttr(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package procfault
+
+import "os/exec"
+
+// setSysProcAttr is a no-op where parent-death signals are unavailable;
+// cleanup relies on Stop.
+func setSysProcAttr(cmd *exec.Cmd) {}

@@ -64,9 +64,13 @@ func (t Tag) Less(u Tag) bool { return t.Compare(u) < 0 }
 func (t Tag) IsZero() bool { return t == Tag{} }
 
 // Next returns the tag a writer mints after observing t as the highest
-// sequence number in its query round: the sequence number is incremented by
-// 1 + extra (the paper's Fig. 5 uses extra = rec, Fig. 4 uses extra = 0) and
-// the writer id replaces the old one.
+// timestamp — the majority maximum of a query round (Fig. 4), or the
+// writer's own stable-backed view (§VI single-writer): the sequence number
+// is incremented by 1 + extra (Fig. 5 uses extra = rec, Fig. 4 uses
+// extra = 0) and the writer id replaces the old one. rec is the Rec
+// tiebreak the minted tag carries: zero under the paper's literal
+// algorithms, the persisted recovery count under hardened tags. This is the
+// minting rule — core's write paths all advance timestamps through it.
 func (t Tag) Next(writer int32, extra int64, rec int32) Tag {
 	return Tag{Seq: t.Seq + extra + 1, Writer: writer, Rec: rec}
 }

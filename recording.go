@@ -185,11 +185,17 @@ func (r *Recording) Crash(ctx context.Context) error {
 }
 
 // Recover recovers through the wrapped client and records the recovery
-// event once acknowledged.
+// event once acknowledged. ErrNotDown also records a recovery when a crash
+// is on record: the process is confirmed up, so it must have recovered
+// outside this client's view — a real process restart (SIGKILL + re-exec)
+// runs the recovery procedure at boot, and the injector's Recover then
+// finds the node already serving. Recording the recovery at the
+// confirmation point is conservative: operations between the actual boot
+// recovery and this event were attributed to one-shot virtual clients.
 func (r *Recording) Recover(ctx context.Context) error {
 	err := r.inner.Recover(ctx)
-	if err == nil {
-		r.rec.Recover()
+	if err == nil || errors.Is(err, ErrNotDown) {
+		r.rec.Recover() // no-op when no crash is recorded
 	}
 	return err
 }

@@ -17,6 +17,11 @@ import (
 var (
 	// ErrClosed is returned by operations on a closed client.
 	ErrClosed = errors.New("remote: client closed")
+	// ErrRedialExhausted marks the terminal error of a client whose
+	// redialer gave up: Options.RedialAttempts consecutive reconnection
+	// attempts failed (or redialing was disabled). Every subsequent
+	// operation returns an error wrapping it.
+	ErrRedialExhausted = errors.New("remote: redial attempts exhausted")
 )
 
 // Error is a server-reported failure that does not map to one of the
@@ -31,15 +36,79 @@ type Error struct {
 // Error implements the error interface.
 func (e *Error) Error() string { return fmt.Sprintf("remote: %s: %s", e.Kind, e.Msg) }
 
+// ConnState is the connection lifecycle state reported to
+// Options.OnStateChange.
+type ConnState int
+
+// Connection states.
+const (
+	// StateConnected: a connection (initial or redialed) passed the
+	// version/Info handshake and is carrying operations.
+	StateConnected ConnState = iota + 1
+	// StateReconnecting: the transport failed; pending operations were
+	// resolved with recmem.ErrCrashed (fate unknown) and the background
+	// redialer is trying to re-establish the connection. New operations
+	// fail fast with recmem.ErrDown until it succeeds.
+	StateReconnecting
+	// StateTerminal: the client is permanently done — Close was called,
+	// the server spoke an incompatible protocol version, or the redialer
+	// exhausted its attempts. Every operation returns the sticky error.
+	StateTerminal
+)
+
+// String returns the state name.
+func (s ConnState) String() string {
+	switch s {
+	case StateConnected:
+		return "connected"
+	case StateReconnecting:
+		return "reconnecting"
+	case StateTerminal:
+		return "terminal"
+	default:
+		return fmt.Sprintf("ConnState(%d)", int(s))
+	}
+}
+
 // Options tunes a client.
 type Options struct {
-	// DialTimeout bounds connection establishment (default 5 s).
+	// DialTimeout bounds connection establishment, including the
+	// version/Info handshake (default 5 s). Redial attempts use the same
+	// bound per attempt.
 	DialTimeout time.Duration
+	// RedialAttempts caps how many consecutive failed reconnection
+	// attempts the background redialer makes before the client turns
+	// terminal (ErrRedialExhausted). 0 means retry forever — the node is
+	// expected back, as in the paper's crash-recovery model. A negative
+	// value disables redialing entirely: the first transport failure is
+	// terminal, the pre-reconnect behavior.
+	RedialAttempts int
+	// RedialMin is the backoff before the first redial attempt (default
+	// 25 ms); it doubles per failed attempt up to RedialMax (default 2 s).
+	RedialMin time.Duration
+	RedialMax time.Duration
+	// OnStateChange, if non-nil, observes connection lifecycle
+	// transitions: StateReconnecting with the transport error that cut the
+	// connection, StateConnected with a nil cause when a redial succeeds,
+	// StateTerminal with the sticky error. Transitions are queued at the
+	// state change and delivered one at a time, in transition order, by a
+	// dedicated goroutine — a blocking callback delays later notifications,
+	// never operations.
+	OnStateChange func(state ConnState, cause error)
 }
 
 func (o Options) withDefaults() Options {
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
+	}
+	if o.RedialMin <= 0 {
+		o.RedialMin = 25 * time.Millisecond
+	}
+	if o.RedialMax <= 0 {
+		o.RedialMax = 2 * time.Second
+	}
+	if o.RedialMax < o.RedialMin {
+		o.RedialMax = o.RedialMin
 	}
 	return o
 }
@@ -51,15 +120,75 @@ func (o Options) withDefaults() Options {
 // them through its batching engine, giving remote submissions the same
 // coalescing and register pipelining as the simulated cluster's
 // asynchronous API. Clients are safe for concurrent use.
+//
+// A client survives the death of its transport: when the connection fails,
+// every pending operation resolves with recmem.ErrCrashed — the fate of an
+// operation cut off mid-flight is unknown, exactly like an operation
+// interrupted by the process's crash — and a background redialer
+// re-establishes the connection (re-running the version/Info handshake)
+// with capped exponential backoff. While disconnected, new operations fail
+// fast with recmem.ErrDown; once the node is back they proceed without the
+// caller re-dialing. Only Close, a protocol-version mismatch, and the
+// redialer giving up (Options.RedialAttempts) are terminal.
 type Client struct {
-	conn net.Conn
+	addr string
+	opts Options
 
-	wmu sync.Mutex // serializes frame writes
+	wmu sync.Mutex // serializes frame writes on the current connection
 
-	mu      sync.Mutex
-	pending map[uint64]*call
-	nextID  uint64
-	sticky  error // terminal transport error; set once
+	mu       sync.Mutex
+	conn     net.Conn // nil while disconnected (redialer running)
+	gen      uint64   // bumped per established connection; stales old readLoops
+	pending  map[uint64]*call
+	nextID   uint64
+	sticky   error // terminal error; set once
+	closed   bool
+	info     Info // identity from the last successful handshake
+	haveInfo bool
+
+	// cbq queues OnStateChange transitions in the order they happened (they
+	// are enqueued inside the state transition, under mu); one drainer
+	// goroutine at a time delivers them, so callbacks observe transitions
+	// sequentially even when the underlying goroutines race.
+	cbq        []stateEvent
+	cbDraining bool
+}
+
+// stateEvent is one queued OnStateChange notification.
+type stateEvent struct {
+	state ConnState
+	cause error
+}
+
+// notifyLocked queues a state transition for delivery; the caller holds
+// c.mu at the transition point, which is what makes the queue order the
+// transition order.
+func (c *Client) notifyLocked(state ConnState, cause error) {
+	if c.opts.OnStateChange == nil {
+		return
+	}
+	c.cbq = append(c.cbq, stateEvent{state, cause})
+	if c.cbDraining {
+		return
+	}
+	c.cbDraining = true
+	go c.drainStateQueue()
+}
+
+// drainStateQueue delivers queued transitions until the queue empties.
+func (c *Client) drainStateQueue() {
+	for {
+		c.mu.Lock()
+		if len(c.cbq) == 0 {
+			c.cbDraining = false
+			c.mu.Unlock()
+			return
+		}
+		ev := c.cbq[0]
+		c.cbq = c.cbq[1:]
+		c.mu.Unlock()
+		c.opts.OnStateChange(ev.state, ev.cause)
+	}
 }
 
 var (
@@ -68,19 +197,74 @@ var (
 	_ recmem.TagWitness = (*call)(nil)
 )
 
-// Dial connects to a recmem-node control port.
+// Dial connects to a recmem-node control port and runs the version/Info
+// handshake, so a successful Dial proves the peer speaks this protocol
+// version and reports its node identity (see Info).
 func Dial(addr string, opts Options) (*Client, error) {
-	opts = opts.withDefaults()
-	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	c := &Client{addr: addr, opts: opts.withDefaults(), pending: make(map[uint64]*call)}
+	conn, info, err := c.connect()
 	if err != nil {
-		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+		return nil, err
+	}
+	c.conn, c.info, c.haveInfo = conn, info, true
+	go c.readLoop(conn, c.gen)
+	return c, nil
+}
+
+// Addr returns the control-port address the client (re)dials.
+func (c *Client) Addr() string { return c.addr }
+
+// connect dials the node and runs the handshake; it owns the returned
+// connection until the caller installs it.
+func (c *Client) connect() (net.Conn, Info, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, Info{}, fmt.Errorf("remote: dial %s: %w", c.addr, err)
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true) // pipelined request/response traffic
 	}
-	c := &Client{conn: conn, pending: make(map[uint64]*call)}
-	go c.readLoop()
-	return c, nil
+	info, err := handshake(conn, c.opts.DialTimeout)
+	if err != nil {
+		_ = conn.Close()
+		return nil, Info{}, err
+	}
+	return conn, info, nil
+}
+
+// handshake runs the version/Info exchange on a fresh connection before it
+// carries any operation. Request id 0 is reserved for it — calls number
+// from 1 — so the reply can never be confused with an operation's. A
+// version mismatch surfaces here (the reply fails to decode with
+// ErrBadVersion), making incompatible peers a dial-time error instead of a
+// per-operation one.
+func handshake(conn net.Conn, timeout time.Duration) (Info, error) {
+	body, err := encodeRequest(request{Kind: reqInfo})
+	if err != nil {
+		return Info{}, err
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	defer func() { _ = conn.SetDeadline(time.Time{}) }()
+	if err := writeFrame(conn, body); err != nil {
+		return Info{}, fmt.Errorf("remote: handshake: %w", err)
+	}
+	respBody, err := readFrame(conn)
+	if err != nil {
+		return Info{}, fmt.Errorf("remote: handshake: %w", err)
+	}
+	resp, err := decodeResponse(respBody)
+	if err != nil {
+		return Info{}, fmt.Errorf("remote: handshake: %w", err)
+	}
+	if resp.Kind != reqInfo || resp.ID != 0 {
+		return Info{}, fmt.Errorf("remote: handshake: unexpected %v reply (id %d): %w",
+			resp.Kind, resp.ID, ErrBadFrame)
+	}
+	if resp.Code != 0 {
+		return Info{}, fmt.Errorf("remote: handshake: %w", errorFromCode(reqInfo, resp.Code, resp.Msg))
+	}
+	return Info{NodeID: int(resp.NodeID), N: int(resp.N), Quorum: int(resp.Quorum),
+		Algorithm: core.AlgorithmKind(resp.Algorithm).String()}, nil
 }
 
 // call is one in-flight request; it implements recmem.Future and
@@ -152,12 +336,10 @@ func (c *call) complete(val []byte, op uint64, lat time.Duration, tg tag.Tag, er
 	close(c.done)
 }
 
-// send registers a call and writes its request frame.
+// send registers a call and writes its request frame. The request id is a
+// field of the encoded frame (never patched in afterwards), so send
+// allocates the id before encoding.
 func (c *Client) send(req request) (*call, error) {
-	body, err := encodeRequest(req)
-	if err != nil {
-		return nil, err
-	}
 	cl := &call{cl: c, kind: req.Kind, done: make(chan struct{})}
 
 	c.mu.Lock()
@@ -166,44 +348,62 @@ func (c *Client) send(req request) (*call, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
+	if c.conn == nil {
+		c.mu.Unlock()
+		// Rejected before anything hit the wire: the operation provably
+		// never executed, exactly like an operation invoked on a crashed
+		// process.
+		return nil, fmt.Errorf("remote: %s: connection down, redialing: %w", c.addr, recmem.ErrDown)
+	}
+	conn, gen := c.conn, c.gen
 	c.nextID++
 	cl.id = c.nextID
+	req.ID = cl.id
 	c.pending[cl.id] = cl
 	c.mu.Unlock()
 
-	// Patch the id into the encoded frame (offset 2, after version+kind).
-	for i, b := 0, cl.id; i < 8; i++ {
-		body[2+7-i] = byte(b)
-		b >>= 8
+	body, err := encodeRequest(req)
+	if err != nil {
+		c.deregister(cl)
+		return nil, err
 	}
 
 	c.wmu.Lock()
-	err = writeFrame(c.conn, body)
+	err = writeFrame(conn, body)
 	c.wmu.Unlock()
 	if err != nil {
-		c.fail(fmt.Errorf("remote: write: %w", err))
-		return nil, err
+		// The frame may have partially reached the server before the write
+		// failed: the operation's fate is unknown. connFailed resolves every
+		// pending call of this connection — ours included — with
+		// recmem.ErrCrashed, so the outcome routes through the future like
+		// any other lost-connection operation.
+		c.connFailed(gen, fmt.Errorf("remote: write: %w", err))
+		return cl, nil
 	}
 	return cl, nil
 }
 
 // readLoop matches response frames to pending calls until the connection
-// dies, then fails everything still in flight.
-func (c *Client) readLoop() {
+// dies, then hands the generation to the redialer.
+func (c *Client) readLoop(conn net.Conn, gen uint64) {
 	for {
-		body, err := readFrame(c.conn)
+		body, err := readFrame(conn)
 		if err != nil {
-			// The error may be protocol-level (e.g. an oversized length
-			// prefix) with the socket still open: close it so the server
-			// side is released too.
-			c.fail(fmt.Errorf("remote: connection: %w", err))
-			_ = c.conn.Close()
+			c.connFailed(gen, fmt.Errorf("remote: connection: %w", err))
+			_ = conn.Close()
 			return
 		}
 		resp, err := decodeResponse(body)
 		if err != nil {
-			c.fail(fmt.Errorf("remote: %w", err))
-			_ = c.conn.Close()
+			// A protocol-version mismatch is terminal — redialing the same
+			// node cannot fix it. Any other malformed frame is treated as a
+			// transport failure: drop the connection and redial.
+			if errors.Is(err, ErrBadVersion) {
+				c.terminate(fmt.Errorf("remote: %w", err))
+			} else {
+				c.connFailed(gen, fmt.Errorf("remote: %w", err))
+			}
+			_ = conn.Close()
 			return
 		}
 		c.mu.Lock()
@@ -232,7 +432,7 @@ func (c *Client) readLoop() {
 // deregister removes cl from the pending map if it still owns its entry,
 // reporting whether the caller is now responsible for completing it. The
 // map entry is the completion token: whoever removes it (a reply in
-// readLoop, fail's map swap, or a cancelled Wait) completes the call
+// readLoop, connFailed's map swap, or a cancelled Wait) completes the call
 // exactly once.
 func (c *Client) deregister(cl *call) bool {
 	c.mu.Lock()
@@ -244,25 +444,136 @@ func (c *Client) deregister(cl *call) bool {
 	return true
 }
 
-// fail terminates the client: the sticky error answers every pending and
-// future call.
-func (c *Client) fail(err error) {
+// connFailed tears down connection generation gen after a transport error:
+// every pending call resolves with recmem.ErrCrashed — an operation cut off
+// mid-flight has unknown fate, exactly like one interrupted by the
+// process's crash; the recording rules treat it conservatively — and the
+// background redialer takes over. Calls for stale generations (a send's
+// write error racing the readLoop's failure, or vice versa) are no-ops:
+// whoever observed the failure first already handled it.
+func (c *Client) connFailed(gen uint64, cause error) {
 	c.mu.Lock()
-	if c.sticky == nil {
-		c.sticky = err
+	if c.sticky != nil || c.conn == nil || c.gen != gen {
+		c.mu.Unlock()
+		return
 	}
+	conn := c.conn
+	c.conn = nil
 	pending := c.pending
 	c.pending = make(map[uint64]*call)
+	c.notifyLocked(StateReconnecting, cause)
 	c.mu.Unlock()
+
+	_ = conn.Close()
+	err := fmt.Errorf("remote: connection to %s lost: %v (operation fate unknown): %w",
+		c.addr, cause, recmem.ErrCrashed)
 	for _, cl := range pending {
 		cl.complete(nil, 0, 0, tag.Tag{}, err)
 	}
+	go c.redialLoop()
 }
 
-// Close closes the connection; pending operations fail with ErrClosed.
+// redialLoop re-establishes the connection with capped exponential backoff.
+// Exactly one redialLoop runs at a time: it is spawned by connFailed, which
+// fires once per generation, and a new generation only exists once this
+// loop installed it.
+func (c *Client) redialLoop() {
+	if c.opts.RedialAttempts < 0 {
+		c.terminate(fmt.Errorf("remote: %s: redialing disabled: %w", c.addr, ErrRedialExhausted))
+		return
+	}
+	backoff := c.opts.RedialMin
+	for attempt := 1; ; attempt++ {
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > c.opts.RedialMax {
+			backoff = c.opts.RedialMax
+		}
+		c.mu.Lock()
+		if c.sticky != nil {
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+
+		conn, info, err := c.connect()
+		if err == nil {
+			c.mu.Lock()
+			if c.sticky != nil {
+				c.mu.Unlock()
+				_ = conn.Close()
+				return
+			}
+			if c.haveInfo && (info.NodeID != c.info.NodeID || info.N != c.info.N) {
+				was := c.info
+				c.mu.Unlock()
+				_ = conn.Close()
+				c.terminate(fmt.Errorf("remote: %s changed identity across reconnect: was node %d of %d, now node %d of %d",
+					c.addr, was.NodeID, was.N, info.NodeID, info.N))
+				return
+			}
+			c.conn, c.info, c.haveInfo = conn, info, true
+			c.gen++
+			gen := c.gen
+			c.notifyLocked(StateConnected, nil)
+			c.mu.Unlock()
+			go c.readLoop(conn, gen)
+			return
+		}
+		if errors.Is(err, ErrBadVersion) {
+			c.terminate(err)
+			return
+		}
+		if c.opts.RedialAttempts > 0 && attempt >= c.opts.RedialAttempts {
+			c.terminate(fmt.Errorf("remote: %s unreachable after %d redial attempts: %v: %w",
+				c.addr, attempt, err, ErrRedialExhausted))
+			return
+		}
+	}
+}
+
+// terminate makes the client permanently unusable: the sticky error answers
+// every pending and future call. Reached only through Close, a
+// protocol-version mismatch, an identity change across reconnect, or the
+// redialer giving up.
+func (c *Client) terminate(err error) {
+	c.mu.Lock()
+	first := c.sticky == nil
+	if first {
+		c.sticky = err
+	}
+	sticky := c.sticky
+	conn := c.conn
+	c.conn = nil
+	pending := c.pending
+	c.pending = make(map[uint64]*call)
+	if first {
+		c.notifyLocked(StateTerminal, sticky)
+	}
+	c.mu.Unlock()
+
+	if conn != nil {
+		_ = conn.Close()
+	}
+	for _, cl := range pending {
+		cl.complete(nil, 0, 0, tag.Tag{}, sticky)
+	}
+}
+
+// Close closes the connection and stops the redialer; pending operations
+// fail with ErrClosed. Close is idempotent: once the client is terminated —
+// by an earlier Close, a protocol error, the redialer giving up, or the
+// read loop having already torn the socket down — it returns nil instead of
+// a spurious double-close error.
 func (c *Client) Close() error {
-	c.fail(ErrClosed)
-	return c.conn.Close()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.terminate(ErrClosed)
+	return nil
 }
 
 // errorFromCode maps a server error code back to the canonical error.

@@ -138,3 +138,47 @@ func TestFrameIO(t *testing.T) {
 		t.Fatal("truncated frame accepted")
 	}
 }
+
+// TestRequestIDRoundTrip pins the request-id contract: the id is a field of
+// the codec — encoded by encodeRequest, recovered by decodeRequest — never
+// patched into the frame at a hard-coded offset after encoding (the old
+// client did exactly that, which would silently corrupt every frame the
+// moment the header layout changed). Exercised across the id range and
+// request shapes that shift the surrounding bytes.
+func TestRequestIDRoundTrip(t *testing.T) {
+	ids := []uint64{0, 1, 255, 1 << 16, 1<<32 - 1, 1 << 32, 1<<64 - 1}
+	shapes := []request{
+		{Kind: reqPing},
+		{Kind: reqWrite, Reg: "x", Value: []byte("v"), DeadlineUS: 9},
+		{Kind: reqRead, Reg: "a-much-longer-register-name", Consistency: 1},
+	}
+	for _, id := range ids {
+		for _, shape := range shapes {
+			req := shape
+			req.ID = id
+			body, err := encodeRequest(req)
+			if err != nil {
+				t.Fatalf("id %d %v: encode: %v", id, req.Kind, err)
+			}
+			got, err := decodeRequest(body)
+			if err != nil {
+				t.Fatalf("id %d %v: decode: %v", id, req.Kind, err)
+			}
+			if got.ID != id {
+				t.Fatalf("id %d %v: round trip = %d", id, req.Kind, got.ID)
+			}
+			// Responses echo the id through their own codec path.
+			rbody, err := encodeResponse(response{Kind: req.Kind, ID: id})
+			if err != nil {
+				t.Fatalf("id %d %v: encode response: %v", id, req.Kind, err)
+			}
+			resp, err := decodeResponse(rbody)
+			if err != nil {
+				t.Fatalf("id %d %v: decode response: %v", id, req.Kind, err)
+			}
+			if resp.ID != id {
+				t.Fatalf("id %d %v: response round trip = %d", id, req.Kind, resp.ID)
+			}
+		}
+	}
+}

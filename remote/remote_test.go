@@ -259,8 +259,11 @@ func TestCrashMidRequest(t *testing.T) {
 }
 
 // TestConnectionDropFailsPending checks that tearing the TCP connection
-// down mid-request fails every pending operation with a connection error —
-// a partial/short reply is never silently dropped.
+// down mid-request fails every pending operation with recmem.ErrCrashed —
+// the fate of an operation cut off mid-flight is unknown, exactly like an
+// operation interrupted by the process's crash; a partial/short reply is
+// never silently dropped as a success. New operations fail fast with
+// recmem.ErrDown while the background redialer runs.
 func TestConnectionDropFailsPending(t *testing.T) {
 	mesh := startMesh(t, 3, core.Persistent)
 	ctx := testCtx(t)
@@ -280,13 +283,26 @@ func TestConnectionDropFailsPending(t *testing.T) {
 	mesh.servers[0].Close()
 	for i, f := range futs {
 		err := f.Wait(ctx)
-		if err == nil || errors.Is(err, recmem.ErrCrashed) {
-			t.Fatalf("pending write %d after connection drop: %v (want connection error)", i, err)
+		if !errors.Is(err, recmem.ErrCrashed) {
+			t.Fatalf("pending write %d after connection drop: %v (want ErrCrashed)", i, err)
 		}
 	}
-	// The client is dead for good: new submissions fail immediately.
-	if _, err := c.Register("x").SubmitWrite([]byte("after")); err == nil {
-		t.Fatal("submission on a dead connection succeeded")
+	// The server is gone for good, so new operations keep failing — fast,
+	// with the ErrDown admission error, while the redialer retries in the
+	// background.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := c.Register("x").SubmitWrite([]byte("after"))
+		if err == nil {
+			t.Fatal("submission on a dead connection succeeded")
+		}
+		if errors.Is(err, recmem.ErrDown) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submission after drop = %v (want ErrDown)", err)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

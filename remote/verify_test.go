@@ -129,6 +129,15 @@ func startSlowServer(t *testing.T) *slowServer {
 			if err != nil {
 				return
 			}
+			if req.Kind == reqInfo {
+				// Answer the dial-time version/Info handshake immediately;
+				// only operations are held.
+				body, err := encodeResponse(response{Kind: reqInfo, ID: req.ID})
+				if err == nil {
+					_ = writeFrame(conn, body)
+				}
+				continue
+			}
 			s.mu.Lock()
 			s.held = append(s.held, response{Kind: req.Kind, ID: req.ID})
 			s.mu.Unlock()

@@ -2,13 +2,17 @@
 # smoke-mesh.sh: boot a real 3-node recmem-node mesh on localhost, drive it
 # through the binary remote client (write / read / crash / recover / a
 # pipelined bench), run a VERIFIED torture round (recording clients, merged
-# per-client histories model-checked — docs/adr/0004), prove the checker has
-# teeth against a mesh with a stale-serving node, and assert the examples
-# keep building. This is the CI proof that the same Client API the simulator
-# serves works — and is verifiably correct — against a live TCP deployment.
+# per-client histories model-checked — docs/adr/0004), run a KILL-RESTART
+# round in which recmem-torture SIGKILLs and restarts real node processes
+# mid-run (docs/adr/0005) and the merged history still verifies, prove the
+# checker has teeth against a mesh with a stale-serving node, and assert the
+# examples keep building. This is the CI proof that the same Client API the
+# simulator serves works — and is verifiably correct — against a live TCP
+# deployment that really dies and really recovers.
 #
-# SMOKE_VERIFY_ONLY=1 skips the client-CLI exercises and runs only the
-# verification half (make verify-mesh).
+# SMOKE_VERIFY_ONLY=1 skips the client-CLI exercises and the kill round and
+# runs only the verification half (make verify-mesh).
+# SMOKE_KILL_ONLY=1 runs only the kill-restart round (make kill-mesh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +22,9 @@ C0=$((BASE + 10)) C1=$((BASE + 11)) C2=$((BASE + 12))
 # Second mesh for the dishonest-node control.
 S0=$((BASE + 20)) S1=$((BASE + 21)) S2=$((BASE + 22))
 D0=$((BASE + 30)) D1=$((BASE + 31)) D2=$((BASE + 32))
+# Third mesh — spawned and owned by recmem-torture — for the kill round.
+K0=$((BASE + 40)) K1=$((BASE + 41)) K2=$((BASE + 42))
+KC0=$((BASE + 50)) KC1=$((BASE + 51)) KC2=$((BASE + 52))
 WORK=$(mktemp -d)
 BIN="$WORK/bin"
 mkdir -p "$BIN"
@@ -32,6 +39,34 @@ trap cleanup EXIT
 
 echo "== build"
 go build -o "$BIN" ./cmd/recmem-node ./cmd/recmem-client ./cmd/recmem-torture
+
+# kill_round: the process-death acceptance scenario. recmem-torture spawns
+# its own 3-node wal mesh, drives the verified workload, SIGKILLs node
+# processes mid-run and re-execs them (each restart runs the recovery
+# procedure from its WAL before reopening the control port), and the merged
+# recorded history — spanning real process death — must still pass the
+# atomicity checker. The reconnect layer in the remote client is what lets
+# the same client handles ride the outage: ErrCrashed/ErrDown during it,
+# plain successes after, no re-dial in the scenario code.
+kill_round() {
+    echo "== KILL-RESTART round: SIGKILL + re-exec real node processes mid-run, verified"
+    local kpeers="127.0.0.1:$K0,127.0.0.1:$K1,127.0.0.1:$K2"
+    local kcmd=""
+    for i in 0 1 2; do
+        local ctrl_var="KC$i"
+        local cmd="$BIN/recmem-node -id $i -peers $kpeers -control 127.0.0.1:${!ctrl_var} -dir $WORK/k$i -disk wal -retransmit 20ms"
+        if [ -z "$kcmd" ]; then kcmd="$cmd"; else kcmd="$kcmd;;$cmd"; fi
+    done
+    "$BIN/recmem-torture" -remote "127.0.0.1:$KC0,127.0.0.1:$KC1,127.0.0.1:$KC2" \
+        -ops 120 -rounds 1 -async 8 -faults 600ms -seed 11 -verify \
+        -kill "$kcmd" -kill-cycles 2 -kill-delay 150ms -kill-down 150ms
+}
+
+if [ "${SMOKE_KILL_ONLY:-0}" = "1" ]; then
+    kill_round
+    echo "mesh kill-restart: OK"
+    exit 0
+fi
 
 # start_node <mesh-name> <id> <peer-list> <control-addr> [extra flags...]
 start_node() {
@@ -98,6 +133,10 @@ fi
 echo "== VERIFIED torture round against the live mesh (crash/recover + model check)"
 "$BIN/recmem-torture" -remote "127.0.0.1:$C0,127.0.0.1:$C1,127.0.0.1:$C2" \
     -ops 30 -rounds 1 -async 8 -faults 500ms -seed 7 -verify
+
+if [ "${SMOKE_VERIFY_ONLY:-0}" != "1" ]; then
+    kill_round
+fi
 
 echo "== start a second mesh whose node 1 serves stale reads (-stale-reads)"
 SPEERS="127.0.0.1:$S0,127.0.0.1:$S1,127.0.0.1:$S2"
