@@ -55,6 +55,10 @@ type OpOptions struct {
 	// the written or returned value (see WithWitness). Backends that cannot
 	// report one leave it zero.
 	Witness *Tag
+	// Epoch, if non-nil, receives the incarnation epoch the serving node
+	// completed the operation under (see WithEpoch). Zero on failure and on
+	// backends that cannot report one.
+	Epoch *uint64
 }
 
 // OpOption customizes one operation on a Register handle.
@@ -80,6 +84,18 @@ func WithDeadline(d time.Duration) OpOption {
 // live-mesh histories where client clocks cannot.
 func WithWitness(dst *Tag) OpOption {
 	return func(o *OpOptions) { o.Witness = dst }
+}
+
+// WithEpoch captures the serving node's incarnation epoch into dst: a
+// monotonic per-boot counter that strictly increases across every recovery
+// of the node, including real process restarts over the same stable storage
+// (docs/adr/0006). dst is zeroed first and left zero when the operation
+// fails. An epoch that advances between two replies from one node proves the
+// node crashed and recovered in between — even if nobody injected the fault —
+// which is what lets recording clients verify kill-restart meshes under
+// transient atomicity.
+func WithEpoch(dst *uint64) OpOption {
+	return func(o *OpOptions) { o.Epoch = dst }
 }
 
 // WithCost captures the operation id into dst, for Cluster.CostOf log-

@@ -54,6 +54,7 @@ type nodeConfig struct {
 	opTimeout      time.Duration
 	recoverTimeout time.Duration
 	staleReads     bool
+	freezeEpoch    bool
 }
 
 // nodeServer is one running node plus its control server.
@@ -193,7 +194,8 @@ func startNode(cfg nodeConfig) (*nodeServer, error) {
 		}
 		return nil, err
 	}
-	srv := remote.Serve(ln, node, remote.ServerOptions{OpTimeout: cfg.opTimeout, StaleReads: cfg.staleReads})
+	srv := remote.Serve(ln, node, remote.ServerOptions{
+		OpTimeout: cfg.opTimeout, StaleReads: cfg.staleReads, FreezeEpoch: cfg.freezeEpoch})
 	return &nodeServer{mesh: mesh, node: node, disk: disk, srv: srv, bootRecovery: bootRecovery}, nil
 }
 
@@ -217,17 +219,18 @@ func bootRecover(node *core.Node, timeout time.Duration) error {
 func run(args []string) error {
 	fs := flag.NewFlagSet("recmem-node", flag.ContinueOnError)
 	var (
-		id         = fs.Int("id", 0, "this process's id (index into -peers)")
-		peersFlag  = fs.String("peers", "", "comma-separated listen addresses of all processes")
-		control    = fs.String("control", "", "address of the client control port")
-		dir        = fs.String("dir", "", "stable-storage directory (required for crash-recovery algorithms with a real -disk)")
-		algorithm  = fs.String("algorithm", "persistent", "crash-stop, transient, persistent, naive, or regular")
-		disk       = fs.String("disk", "file", "stable-storage engine: mem, file, or wal")
-		hardened   = fs.Bool("hardened", false, "hardened tags for the transient algorithm")
-		retransmit = fs.Duration("retransmit", 100*time.Millisecond, "protocol retransmission period")
-		opTimeout  = fs.Duration("op-timeout", time.Minute, "server-side bound on one operation")
-		recTimeout = fs.Duration("recover-timeout", 2*time.Minute, "bound on the startup recovery procedure with a persistent -disk (0 = wait for a majority forever)")
-		staleReads = fs.Bool("stale-reads", false, "FAULT INJECTION: serve every read from the first reply ever produced for its register (frozen value + stale tag witness) — a deliberately dishonest node for exercising recmem-torture -verify")
+		id          = fs.Int("id", 0, "this process's id (index into -peers)")
+		peersFlag   = fs.String("peers", "", "comma-separated listen addresses of all processes")
+		control     = fs.String("control", "", "address of the client control port")
+		dir         = fs.String("dir", "", "stable-storage directory (required for crash-recovery algorithms with a real -disk)")
+		algorithm   = fs.String("algorithm", "persistent", "crash-stop, transient, persistent, naive, or regular")
+		disk        = fs.String("disk", "file", "stable-storage engine: mem, file, or wal")
+		hardened    = fs.Bool("hardened", false, "hardened tags for the transient algorithm")
+		retransmit  = fs.Duration("retransmit", 100*time.Millisecond, "protocol retransmission period")
+		opTimeout   = fs.Duration("op-timeout", time.Minute, "server-side bound on one operation")
+		recTimeout  = fs.Duration("recover-timeout", 2*time.Minute, "bound on the startup recovery procedure with a persistent -disk (0 = wait for a majority forever)")
+		staleReads  = fs.Bool("stale-reads", false, "FAULT INJECTION: serve every read from the first reply ever produced for its register (frozen value + stale tag witness) — a deliberately dishonest node for exercising recmem-torture -verify")
+		freezeEpoch = fs.Bool("freeze-epoch", false, "FAULT INJECTION: report the startup incarnation epoch in every reply forever, hiding later crashes from the epoch-based crash inference — a deliberately dishonest node for exercising recmem-torture -verify")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -236,7 +239,7 @@ func run(args []string) error {
 		id: *id, peers: strings.Split(*peersFlag, ","), control: *control,
 		dir: *dir, algorithm: *algorithm, disk: *disk, hardened: *hardened,
 		retransmit: *retransmit, opTimeout: *opTimeout, recoverTimeout: *recTimeout,
-		staleReads: *staleReads,
+		staleReads: *staleReads, freezeEpoch: *freezeEpoch,
 	})
 	if err != nil {
 		return err
@@ -246,13 +249,16 @@ func run(args []string) error {
 	if *staleReads {
 		dishonest = " [DISHONEST: -stale-reads]"
 	}
+	if *freezeEpoch {
+		dishonest += " [DISHONEST: -freeze-epoch]"
+	}
 	recovered := ""
 	if ns.bootRecovery > 0 {
 		recovered = fmt.Sprintf(", recovered from stable storage in %v (rec=%d)",
 			ns.bootRecovery.Round(time.Microsecond), ns.node.RecoveryCount())
 	}
-	fmt.Printf("recmem-node %d (%v, %s disk) serving protocol on %s, control on %s%s%s\n",
-		*id, ns.node.Algorithm(), *disk, ns.mesh.Addr(), ns.ControlAddr(), dishonest, recovered)
+	fmt.Printf("recmem-node %d (%v, %s disk, epoch %d) serving protocol on %s, control on %s%s%s\n",
+		*id, ns.node.Algorithm(), *disk, ns.node.IncarnationEpoch(), ns.mesh.Addr(), ns.ControlAddr(), dishonest, recovered)
 	<-ns.Done()
 	return nil
 }

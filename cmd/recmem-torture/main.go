@@ -200,12 +200,37 @@ func run(args []string) error {
 		}
 	}()
 
+	// Remote clients persist across rounds — one dial per node for the whole
+	// run, like a deployment's long-lived clients, with the reconnect layer
+	// riding out any mid-run process death. With -verify the recording group
+	// is chained too: each round verifies against the previous round's
+	// committed state (RecordingGroup.Continuation), so a read in round 3
+	// answered by a round-2 writer is checked against that writer instead of
+	// an amnesiac blank slate.
+	var (
+		raw   []*remote.Client
+		group *recmem.RecordingGroup
+	)
+	if len(o.remote) > 0 {
+		for _, addr := range o.remote {
+			c, err := remote.Dial(addr, remote.Options{})
+			if err != nil {
+				return fmt.Errorf("dial %s: %w", addr, err)
+			}
+			defer c.Close()
+			raw = append(raw, c)
+		}
+		if o.verify {
+			group = recmem.NewRecordingGroup()
+		}
+	}
+
 	for round := 0; round < *rounds; round++ {
 		roundSeed := *seed + int64(round)*1_000_003
 		o.seed = roundSeed
 		var err error
 		if len(o.remote) > 0 {
-			err = remoteRound(o, procs)
+			err = remoteRound(o, procs, raw, group)
 		} else {
 			err = tortureRound(o)
 		}
@@ -213,6 +238,9 @@ func run(args []string) error {
 			return fmt.Errorf("round %d (seed %d): %w", round, roundSeed, err)
 		}
 		fmt.Printf("round %d ok (seed %d)\n", round, roundSeed)
+		if group != nil && round+1 < *rounds {
+			group = group.Continuation()
+		}
 	}
 	if len(o.remote) > 0 {
 		fmt.Printf("all %d rounds passed against the live mesh %v\n", *rounds, o.remote)
@@ -438,35 +466,26 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 }
 
 // remoteRound runs the identical scenario against a live mesh of
-// recmem-nodes. The round always asserts operational health (no unexpected
-// errors, every process healthy at the end, a read observing the run's
-// effects); with -verify it additionally records every client's history,
-// merges them by wall clock and tag witness, and model-checks the result
-// against the criterion of the algorithm the mesh reports — a non-atomic
-// live run fails the process exactly like a non-atomic simulated one. With
-// -kill, the killSchedule SIGKILLs and restarts real node processes while
-// the workload and the protocol-level fault sweeps run.
-func remoteRound(o options, procs []*procfault.Proc) error {
+// recmem-nodes, through the run-lifetime clients in raw. The round always
+// asserts operational health (no unexpected errors, every process healthy
+// at the end, a read observing the run's effects); with a recording group
+// it additionally records every client's history, merges them by wall
+// clock and tag witness, and model-checks the result against the criterion
+// of the algorithm the mesh reports — a non-atomic live run fails the
+// process exactly like a non-atomic simulated one. With -kill, the
+// killSchedule SIGKILLs and restarts real node processes while the
+// workload and the protocol-level fault sweeps run.
+func remoteRound(o options, procs []*procfault.Proc, raw []*remote.Client, group *recmem.RecordingGroup) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
-	raw := make([]*remote.Client, len(o.remote))
-	clients := make([]recmem.Client, len(o.remote))
-	var group *recmem.RecordingGroup
-	if o.verify {
-		group = recmem.NewRecordingGroup()
-	}
-	for i, addr := range o.remote {
-		c, err := remote.Dial(addr, remote.Options{})
-		if err != nil {
-			return fmt.Errorf("dial %s: %w", addr, err)
-		}
-		defer c.Close()
-		raw[i] = c
+	clients := make([]recmem.Client, len(raw))
+	for i, c := range raw {
 		clients[i] = c
 		if group != nil {
 			// All traffic — workload, faults, final probes — goes through
 			// the recording wrapper, so the merged history is complete.
+			// On a Continuation group this returns the pre-seeded wrapper.
 			clients[i] = group.Wrap(c)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"recmem"
 	"recmem/internal/core"
 	"recmem/internal/nettcp"
 	"recmem/internal/stable"
@@ -133,18 +134,34 @@ func bootMesh(t *testing.T, n int, staleNode int) []string {
 	return addrs
 }
 
+// dialMesh dials run-lifetime clients for every control address, like run()
+// does before its round loop.
+func dialMesh(t *testing.T, addrs []string) []*remote.Client {
+	t.Helper()
+	raw := make([]*remote.Client, len(addrs))
+	for i, addr := range addrs {
+		c, err := remote.Dial(addr, remote.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = c.Close() })
+		raw[i] = c
+	}
+	return raw
+}
+
 // TestRemoteRound is the acceptance scenario: the identical torture round —
 // same workload.RunClients, same workload.ClientFaults — driven against a
 // real 3-node TCP mesh through the remote package, selected only by which
-// clients are passed in; with verify on, the recorded per-client histories
-// are merged and model-checked.
+// clients are passed in; with a recording group, the recorded per-client
+// histories are merged and model-checked.
 func TestRemoteRound(t *testing.T) {
 	o := opts("persistent", t)
 	o.remote = bootMesh(t, 3, -1)
 	o.ops = 20
 	o.async = 6
 	o.verify = true
-	if err := remoteRound(o, nil); err != nil {
+	if err := remoteRound(o, nil, dialMesh(t, o.remote), recmem.NewRecordingGroup()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -158,7 +175,8 @@ func TestRemoteRoundVerifyCatchesStaleMesh(t *testing.T) {
 	o.ops = 20
 	o.faultFor = 0 // keep the stale reads completed, not crash-interrupted
 	o.verify = true
-	err := remoteRound(o, nil)
+	raw := dialMesh(t, o.remote)
+	err := remoteRound(o, nil, raw, recmem.NewRecordingGroup())
 	if err == nil {
 		t.Fatal("verified round passed against a stale-serving mesh")
 	}
@@ -169,7 +187,7 @@ func TestRemoteRoundVerifyCatchesStaleMesh(t *testing.T) {
 	// old operational-health round cannot see the lie (the PR-3 gap).
 	o.verify = false
 	o.seed++
-	if err := remoteRound(o, nil); err != nil {
+	if err := remoteRound(o, nil, raw, nil); err != nil {
 		t.Fatalf("unverified round should not detect staleness: %v", err)
 	}
 }

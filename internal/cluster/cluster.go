@@ -153,6 +153,10 @@ type Report struct {
 	// the written or returned value (zero on failure, for the initial value
 	// ⊥, and for coalesced writes superseded within their batch).
 	Tag tag.Tag
+	// Epoch is the incarnation epoch of the node the operation completed at
+	// (docs/adr/0006); zero on failure. Every successful operation carries
+	// one, including superseded coalesced writes.
+	Epoch uint64
 }
 
 // Write invokes the write operation at process proc. The written value is

@@ -58,13 +58,13 @@ func (c *Cluster) readObs(proc int32, reg string) core.OpObserver {
 // recording match Cluster.Write.
 func (h *Handle) Write(ctx context.Context, val []byte) (Report, error) {
 	start := time.Now()
-	op, wit, err := h.ref.Write(ctx, val, h.c.writeObs(h.proc, h.reg, val))
+	op, wit, inc, err := h.ref.Write(ctx, val, h.c.writeObs(h.proc, h.reg, val))
 	if err != nil {
 		return Report{Op: op}, err
 	}
 	lat := time.Since(start)
 	h.c.writeLat.Add(lat)
-	return Report{Op: op, Latency: lat, Tag: wit}, nil
+	return Report{Op: op, Latency: lat, Tag: wit, Epoch: inc}, nil
 }
 
 // Read invokes the read operation through the handle with the given
@@ -72,13 +72,13 @@ func (h *Handle) Write(ctx context.Context, val []byte) (Report, error) {
 // semantics and recording match Cluster.Read.
 func (h *Handle) Read(ctx context.Context, mode core.ReadMode) ([]byte, Report, error) {
 	start := time.Now()
-	val, op, wit, err := h.ref.Read(ctx, mode, h.c.readObs(h.proc, h.reg))
+	val, op, wit, inc, err := h.ref.Read(ctx, mode, h.c.readObs(h.proc, h.reg))
 	if err != nil {
 		return nil, Report{Op: op}, err
 	}
 	lat := time.Since(start)
 	h.c.readLat.Add(lat)
-	return val, Report{Op: op, Latency: lat, Tag: wit}, nil
+	return val, Report{Op: op, Latency: lat, Tag: wit, Epoch: inc}, nil
 }
 
 // SubmitWrite asynchronously writes through the handle's cached queue;

@@ -56,6 +56,7 @@ type Future struct {
 	done chan struct{}
 	val  []byte
 	wit  tag.Tag
+	inc  uint64
 	err  error
 }
 
@@ -93,10 +94,26 @@ func (f *Future) TagWitness() (wit tag.Tag, ok bool) {
 	}
 }
 
+// Incarnation returns the node incarnation epoch the operation completed
+// under (docs/adr/0006), once the future is done. ok is false before
+// completion and for failed operations, which never witness an epoch. Unlike
+// the tag witness, every successful operation carries one — including a
+// coalesced write whose value was superseded within its batch: its
+// acknowledgement still happened in a specific incarnation.
+func (f *Future) Incarnation() (epoch uint64, ok bool) {
+	select {
+	case <-f.done:
+		return f.inc, f.err == nil && f.inc != 0
+	default:
+		return 0, false
+	}
+}
+
 // complete resolves the future. Called exactly once.
-func (f *Future) complete(val []byte, wit tag.Tag, err error) {
+func (f *Future) complete(val []byte, wit tag.Tag, inc uint64, err error) {
 	f.val = val
 	f.wit = wit
+	f.inc = inc
 	f.err = err
 	close(f.done)
 }
@@ -227,14 +244,16 @@ func (eng *engine) flush(reg string, batch []*batchSub) {
 			if i == len(writes)-1 {
 				w = wit
 			}
-			s.fut.complete(nil, w, nd.endOp(s.op, s.epoch, s.obs, err, nil, w))
+			inc, err2 := nd.endOp(s.op, s.epoch, s.obs, err, nil, w)
+			s.fut.complete(nil, w, inc, err2)
 		}
 	}
 	if len(reads) > 0 {
 		carrier := reads[0].op
 		val, wit, err := nd.readProtocol(ctx, carrier, reg, true)
 		for _, s := range reads {
-			s.fut.complete(val, wit, nd.endOp(s.op, s.epoch, s.obs, err, val, wit))
+			inc, err2 := nd.endOp(s.op, s.epoch, s.obs, err, val, wit)
+			s.fut.complete(val, wit, inc, err2)
 		}
 	}
 }

@@ -187,9 +187,17 @@ type Node struct {
 	// sequential.
 	opMu sync.Mutex
 
-	mu      sync.Mutex
-	state   nodeState
-	epoch   uint64
+	mu    sync.Mutex
+	state nodeState
+	epoch uint64
+	// inc is the incarnation epoch (docs/adr/0006): a monotonic per-boot
+	// counter, persisted under recIncarnation and minted (+1) at the start
+	// of every recovery procedure. Unlike epoch — the volatile crash
+	// generation, which restarts at every process birth — inc survives in
+	// stable storage, so two boots of one node never share a value.
+	// Deliberately NOT wiped by Crash: it is harness bookkeeping that lets
+	// remote observers infer crashes nobody injected, never protocol state.
+	inc     uint64
 	regs    map[string]regState
 	rec     int32 // volatile copy of the persisted recovery counter
 	pending map[uint64]chan wire.Envelope
@@ -247,6 +255,19 @@ func NewNode(id int32, n int, kind AlgorithmKind, opts Options, deps Deps) (*Nod
 		crashCh:      make(chan struct{}),
 		listenerDone: make(chan struct{}),
 	}
+	// Mint the boot's incarnation epoch: one past whatever the last boot
+	// persisted (a cold start on empty storage gets 1). Recoveries mint
+	// further epochs via mintIncarnation; this first one is persisted there
+	// too, so an un-recovered boot may legitimately reuse 1 — it has never
+	// exposed a different epoch.
+	nd.inc = 1
+	if deps.Storage != nil {
+		prev, err := loadIncarnation(deps.Storage)
+		if err != nil {
+			return nil, err
+		}
+		nd.inc = prev + 1
+	}
 	nd.eng = newEngine(nd)
 	nd.ob = &outbox{nd: nd}
 	go nd.listen()
@@ -280,6 +301,16 @@ func (nd *Node) RegisterState(reg string) (tag.Tag, []byte, bool) {
 	defer nd.mu.Unlock()
 	rs, ok := nd.regs[reg]
 	return rs.tag, rs.val, ok
+}
+
+// IncarnationEpoch returns the node's current incarnation epoch: a counter
+// that is 1 on a node's first-ever boot and strictly increases across every
+// recovery — including recoveries of a fresh process restarted over old
+// stable storage. See docs/adr/0006.
+func (nd *Node) IncarnationEpoch() uint64 {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.inc
 }
 
 // RecoveryCount returns the volatile copy of the persisted recovery counter

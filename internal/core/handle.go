@@ -79,40 +79,46 @@ func (r *RegisterRef) Name() string { return r.reg }
 func (r *RegisterRef) Node() *Node { return r.nd }
 
 // Write is Node.Write through the cached handle; it additionally returns
-// the minted tag — the write's tag witness (zero on failure).
-func (r *RegisterRef) Write(ctx context.Context, val []byte, obs OpObserver) (uint64, tag.Tag, error) {
+// the minted tag — the write's tag witness (zero on failure) — and the
+// incarnation epoch the operation completed under (zero on failure).
+func (r *RegisterRef) Write(ctx context.Context, val []byte, obs OpObserver) (uint64, tag.Tag, uint64, error) {
 	nd := r.nd
 	if len(val) > wire.MaxValueSize {
-		return 0, tag.Tag{}, wire.ErrValueTooLarge
+		return 0, tag.Tag{}, 0, wire.ErrValueTooLarge
 	}
 	if nd.kind == RegularSW && nd.id != RegularWriter {
-		return 0, tag.Tag{}, ErrNotWriter
+		return 0, tag.Tag{}, 0, ErrNotWriter
 	}
 	nd.opMu.Lock()
 	defer nd.opMu.Unlock()
 	val = append([]byte(nil), val...)
 	op, epoch, err := nd.beginOp(obs)
 	if err != nil {
-		return 0, tag.Tag{}, err
+		return 0, tag.Tag{}, 0, err
 	}
 	wit, err := nd.writeProtocolMu(ctx, op, r.reg, val, false, r.wmu)
-	return op, wit, nd.endOp(op, epoch, obs, err, nil, wit)
+	inc, err := nd.endOp(op, epoch, obs, err, nil, wit)
+	if err != nil {
+		return op, tag.Tag{}, 0, err
+	}
+	return op, wit, inc, nil
 }
 
 // Read is Node.Read through the cached handle, with a read-consistency
 // selection (ReadSafe and ReadRegular require the RegularSW algorithm); it
 // additionally returns the tag under which the returned value was adopted —
-// the read's tag witness (zero on failure or for the initial value ⊥).
-func (r *RegisterRef) Read(ctx context.Context, mode ReadMode, obs OpObserver) ([]byte, uint64, tag.Tag, error) {
+// the read's tag witness (zero on failure or for the initial value ⊥) — and
+// the incarnation epoch the operation completed under (zero on failure).
+func (r *RegisterRef) Read(ctx context.Context, mode ReadMode, obs OpObserver) ([]byte, uint64, tag.Tag, uint64, error) {
 	nd := r.nd
 	if err := nd.checkReadMode(mode); err != nil {
-		return nil, 0, tag.Tag{}, err
+		return nil, 0, tag.Tag{}, 0, err
 	}
 	nd.opMu.Lock()
 	defer nd.opMu.Unlock()
 	op, epoch, err := nd.beginOp(obs)
 	if err != nil {
-		return nil, 0, tag.Tag{}, err
+		return nil, 0, tag.Tag{}, 0, err
 	}
 	var (
 		val []byte
@@ -123,10 +129,11 @@ func (r *RegisterRef) Read(ctx context.Context, mode ReadMode, obs OpObserver) (
 	} else {
 		val, wit, err = nd.readProtocol(ctx, op, r.reg, false)
 	}
-	if err := nd.endOp(op, epoch, obs, err, val, wit); err != nil {
-		return nil, op, tag.Tag{}, err
+	inc, err := nd.endOp(op, epoch, obs, err, val, wit)
+	if err != nil {
+		return nil, op, tag.Tag{}, 0, err
 	}
-	return val, op, wit, nil
+	return val, op, wit, inc, nil
 }
 
 // SubmitWrite is Node.SubmitWrite through the cached handle: the submission
@@ -168,7 +175,8 @@ func (r *RegisterRef) SubmitRead(mode ReadMode, obs OpObserver) (*Future, error)
 			// Like engine rounds, the safe read aborts via crashCh on
 			// crash/close rather than through a context.
 			val, wit, err := nd.safeReadSW(context.Background(), op, r.reg, false)
-			fut.complete(val, wit, nd.endOp(op, epoch, obs, err, val, wit))
+			inc, err2 := nd.endOp(op, epoch, obs, err, val, wit)
+			fut.complete(val, wit, inc, err2)
 		}()
 		return fut, nil
 	}

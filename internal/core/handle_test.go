@@ -48,7 +48,7 @@ func TestRegisterRefOps(t *testing.T) {
 	if ref.Name() != "x" || ref.Node() != nodes[0] {
 		t.Fatal("handle identity")
 	}
-	if _, _, err := ref.Write(ctx, []byte("v1"), OpObserver{}); err != nil {
+	if _, _, _, err := ref.Write(ctx, []byte("v1"), OpObserver{}); err != nil {
 		t.Fatal(err)
 	}
 	// Read through the plain API at another node: same register.
@@ -60,7 +60,7 @@ func TestRegisterRefOps(t *testing.T) {
 	if _, err := nodes[2].Write(ctx, "x", []byte("v2"), OpObserver{}); err != nil {
 		t.Fatal(err)
 	}
-	got, _, _, err = ref.Read(ctx, ReadDefault, OpObserver{})
+	got, _, _, _, err = ref.Read(ctx, ReadDefault, OpObserver{})
 	if err != nil || string(got) != "v2" {
 		t.Fatalf("handle read = %q, %v", got, err)
 	}
@@ -90,16 +90,16 @@ func TestRegisterRefOps(t *testing.T) {
 
 	// The handle stays valid across crash and recovery.
 	nodes[0].Crash(nil)
-	if _, _, err := ref.Write(ctx, []byte("nope"), OpObserver{}); !errors.Is(err, ErrDown) {
+	if _, _, _, err := ref.Write(ctx, []byte("nope"), OpObserver{}); !errors.Is(err, ErrDown) {
 		t.Fatalf("handle write while down: %v", err)
 	}
 	if err := nodes[0].Recover(ctx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ref.Write(ctx, []byte("v3"), OpObserver{}); err != nil {
+	if _, _, _, err := ref.Write(ctx, []byte("v3"), OpObserver{}); err != nil {
 		t.Fatal(err)
 	}
-	got, _, _, err = ref.Read(ctx, ReadDefault, OpObserver{})
+	got, _, _, _, err = ref.Read(ctx, ReadDefault, OpObserver{})
 	if err != nil || string(got) != "v3" {
 		t.Fatalf("handle read after recovery = %q, %v", got, err)
 	}
@@ -116,18 +116,18 @@ func TestSafeReadSW(t *testing.T) {
 		t.Fatal(err)
 	}
 	ref := nodes[3].RegisterRef("x")
-	val, _, _, err := ref.Read(ctx, ReadSafe, OpObserver{})
+	val, _, _, _, err := ref.Read(ctx, ReadSafe, OpObserver{})
 	if err != nil || string(val) != "s1" {
 		t.Fatalf("safe read = %q, %v", val, err)
 	}
 	// ReadRegular is the native read under RegularSW.
-	val, _, _, err = ref.Read(ctx, ReadRegular, OpObserver{})
+	val, _, _, _, err = ref.Read(ctx, ReadRegular, OpObserver{})
 	if err != nil || string(val) != "s1" {
 		t.Fatalf("regular read = %q, %v", val, err)
 	}
 	// Safe read at the writer itself: pure loopback.
 	wref := nodes[0].RegisterRef("x")
-	val, _, _, err = wref.Read(ctx, ReadSafe, OpObserver{})
+	val, _, _, _, err = wref.Read(ctx, ReadSafe, OpObserver{})
 	if err != nil || string(val) != "s1" {
 		t.Fatalf("safe self-read = %q, %v", val, err)
 	}
@@ -143,7 +143,7 @@ func TestSafeReadSW(t *testing.T) {
 	// Mode selection is rejected under every non-RegularSW algorithm.
 	atomicNodes := handleCluster(t, 3, Persistent)
 	aref := atomicNodes[0].RegisterRef("x")
-	if _, _, _, err := aref.Read(ctx, ReadSafe, OpObserver{}); !errors.Is(err, ErrBadConsistency) {
+	if _, _, _, _, err := aref.Read(ctx, ReadSafe, OpObserver{}); !errors.Is(err, ErrBadConsistency) {
 		t.Fatalf("safe read under persistent: %v", err)
 	}
 	if _, err := aref.SubmitRead(ReadRegular, OpObserver{}); !errors.Is(err, ErrBadConsistency) {
@@ -164,14 +164,14 @@ func TestSafeReadBlocksWithoutWriter(t *testing.T) {
 	ref := nodes[2].RegisterRef("x")
 	short, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
 	defer cancel()
-	if _, _, _, err := ref.Read(short, ReadSafe, OpObserver{}); !errors.Is(err, context.DeadlineExceeded) {
+	if _, _, _, _, err := ref.Read(short, ReadSafe, OpObserver{}); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("safe read without writer: %v", err)
 	}
 
 	// Start a safe read, then recover the writer: the read completes.
 	done := make(chan error, 1)
 	go func() {
-		_, _, _, err := nodes[1].RegisterRef("x").Read(ctx, ReadSafe, OpObserver{})
+		_, _, _, _, err := nodes[1].RegisterRef("x").Read(ctx, ReadSafe, OpObserver{})
 		done <- err
 	}()
 	time.Sleep(20 * time.Millisecond)

@@ -44,20 +44,23 @@ func (nd *Node) beginOp(obs OpObserver) (op uint64, epoch uint64, err error) {
 
 // endOp fires OnReturn if the operation ran to completion on a process that
 // is still in the same incarnation; an operation that raced with a crash is
-// reported as ErrCrashed and its invocation stays pending.
-func (nd *Node) endOp(op, epoch uint64, obs OpObserver, err error, val []byte, wit tag.Tag) error {
+// reported as ErrCrashed and its invocation stays pending. On success it also
+// returns the node's incarnation epoch, read under the same lock that proves
+// the crash generation never changed — so the whole operation ran within that
+// one incarnation, and the epoch is a truthful witness for remote observers.
+func (nd *Node) endOp(op, epoch uint64, obs OpObserver, err error, val []byte, wit tag.Tag) (uint64, error) {
 	if err != nil {
-		return err
+		return 0, err
 	}
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	if nd.state != stateUp || nd.epoch != epoch {
-		return ErrCrashed
+		return 0, ErrCrashed
 	}
 	if obs.OnReturn != nil {
 		obs.OnReturn(op, val, wit)
 	}
-	return nil
+	return nd.inc, nil
 }
 
 // Write emulates the register's write operation at this process. It blocks
@@ -82,7 +85,8 @@ func (nd *Node) Write(ctx context.Context, reg string, val []byte, obs OpObserve
 		return 0, err
 	}
 	wit, err := nd.writeProtocol(ctx, op, reg, val, false)
-	return op, nd.endOp(op, epoch, obs, err, nil, wit)
+	_, err = nd.endOp(op, epoch, obs, err, nil, wit)
+	return op, err
 }
 
 // writeProtocol is the write common to the multi-writer algorithms: a
@@ -201,7 +205,7 @@ func (nd *Node) Read(ctx context.Context, reg string, obs OpObserver) ([]byte, u
 		return nil, 0, err
 	}
 	val, wit, err := nd.readProtocol(ctx, op, reg, false)
-	if err := nd.endOp(op, epoch, obs, err, val, wit); err != nil {
+	if _, err := nd.endOp(op, epoch, obs, err, val, wit); err != nil {
 		return nil, op, err
 	}
 	return val, op, nil

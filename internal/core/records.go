@@ -25,6 +25,12 @@ const (
 	// logs (§I-C: "log each of its steps").
 	recWStartPrefix = "wstart/"
 	recSNLogPrefix  = "snlog/"
+	// recIncarnation holds the node's incarnation epoch: a monotonic
+	// per-boot counter minted on every recovery (docs/adr/0006). It is
+	// harness bookkeeping, not one of the paper's causal logs — the
+	// emulation algorithms never read it — so storing it is deliberately
+	// NOT reported to the causal meter.
+	recIncarnation = "incarnation"
 )
 
 // errBadRecord reports a corrupted stable record.
@@ -88,6 +94,31 @@ func decodeCounter(data []byte) (int32, error) {
 		return 0, errBadRecord
 	}
 	return int32(binary.BigEndian.Uint32(data)), nil
+}
+
+// encodeEpoch serializes the incarnation epoch.
+func encodeEpoch(e uint64) []byte {
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, e)
+	return buf
+}
+
+// decodeEpoch parses a record produced by encodeEpoch.
+func decodeEpoch(data []byte) (uint64, error) {
+	if len(data) != 8 {
+		return 0, errBadRecord
+	}
+	return binary.BigEndian.Uint64(data), nil
+}
+
+// loadIncarnation retrieves the persisted incarnation epoch (0 when none was
+// ever stored — a cold start on an empty directory).
+func loadIncarnation(st stable.Storage) (uint64, error) {
+	data, ok, err := st.Retrieve(recIncarnation)
+	if err != nil || !ok {
+		return 0, err
+	}
+	return decodeEpoch(data)
 }
 
 // restore loads the volatile state a recovering process can reconstruct from

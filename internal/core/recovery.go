@@ -11,6 +11,12 @@ import (
 // after the volatile state has been restored from stable storage. The model
 // places no bound on the messages or logs a recovery procedure may use.
 func (nd *Node) runRecoveryProcedure(ctx context.Context) error {
+	// Every recovery — regardless of algorithm — first mints a fresh
+	// incarnation epoch, so the epoch a client observes in replies strictly
+	// increases across each of the node's deaths (docs/adr/0006).
+	if err := nd.mintIncarnation(); err != nil {
+		return err
+	}
 	switch nd.kind {
 	case Persistent, Naive:
 		return nd.finishPendingWrites(ctx)
@@ -19,6 +25,30 @@ func (nd *Node) runRecoveryProcedure(ctx context.Context) error {
 	default:
 		return ErrCannotRecover
 	}
+}
+
+// mintIncarnation persists and adopts the next incarnation epoch. It mints
+// from the volatile counter — not the persisted record — so in-process
+// crash/recover cycles (which never re-read storage) still advance it; the
+// volatile counter is monotone across the node's whole lifetime (Crash never
+// wipes it), so the persisted record is too. The adoption below is NOT gated
+// on still being in stateRecovering: once stored, the epoch is burned, and a
+// retried recovery must mint past it or a later boot could duplicate it.
+// This store is harness bookkeeping, not one of the paper's causal logs, so
+// it is not reported to the causal meter.
+func (nd *Node) mintIncarnation() error {
+	nd.mu.Lock()
+	newInc := nd.inc + 1
+	nd.mu.Unlock()
+	if err := nd.st.Store(recIncarnation, encodeEpoch(newInc)); err != nil {
+		return err
+	}
+	nd.mu.Lock()
+	if newInc > nd.inc {
+		nd.inc = newInc
+	}
+	nd.mu.Unlock()
+	return nil
 }
 
 // finishPendingWrites is Fig. 4's Recover (lines 40–47): for every register

@@ -1,6 +1,7 @@
 package history
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -34,6 +35,21 @@ import (
 //     replies raced) is likewise reattributed to a virtual client rather
 //     than forged into the pre-crash past.
 //
+// Replies additionally carry the serving node's incarnation epoch
+// (docs/adr/0006), and the recorder compares it across replies to observe
+// deaths nobody injected:
+//
+//   - An epoch that advances between two same-cycle replies, without an
+//     injected crash explaining it, proves the node crashed and recovered in
+//     between: the recorder places a Crash and a Recover event at the
+//     observation point and bumps its crash cycle, so the triggering reply
+//     (which straddles the inferred crash) is reattributed to a virtual
+//     client like any reply racing a recorded crash.
+//   - An epoch that fails to advance past the pre-crash epoch after a
+//     recorded crash, or regresses outright, is a protocol violation — the
+//     node (or an impostor serving its old storage) is replaying a stale
+//     incarnation — reported through EpochViolation and failing Merged.
+//
 // Safe for concurrent use.
 type ClientRecorder struct {
 	proc  int32
@@ -47,6 +63,12 @@ type ClientRecorder struct {
 	crashes     int // crash events recorded so far (the crash epoch)
 	realPending bool
 	ops         map[uint64]*openOp // open invocations by op id
+
+	// Incarnation-epoch tracking (docs/adr/0006).
+	lastEpoch     uint64 // highest epoch observed in replies so far
+	epochFloor    uint64 // epoch at the last recorded crash; post-crash replies must exceed it
+	expectAdvance bool   // a recorded crash/recover cycle will explain the next advance
+	epochErr      error  // sticky epoch violation
 }
 
 // openOp is an invocation awaiting its outcome: the invocation event and
@@ -101,10 +123,13 @@ func (r *ClientRecorder) Invoke(typ OpType, reg, value string, concurrent bool) 
 
 // Return records the successful reply of invocation id: value is the read
 // result ("" for writes), wit the tag witness the server reported (zero if
-// none). A reply arriving after the process's recorded crash — whether the
-// process is still down or has already recovered — is reattributed to a
-// one-shot virtual client (see the type comment).
-func (r *ClientRecorder) Return(id uint64, value string, wit tag.Tag) {
+// none), epoch the serving node's incarnation epoch (zero if the backend
+// cannot report one, which disables epoch inference for this reply). A reply
+// arriving after the process's recorded crash — whether the process is still
+// down or has already recovered — is reattributed to a one-shot virtual
+// client (see the type comment); so is a reply whose epoch itself reveals an
+// unrecorded crash.
+func (r *ClientRecorder) Return(id uint64, value string, wit tag.Tag, epoch uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	op := r.ops[id]
@@ -113,6 +138,10 @@ func (r *ClientRecorder) Return(id uint64, value string, wit tag.Tag) {
 	}
 	delete(r.ops, id)
 	inv := op.ev
+	// Epoch inference runs before reattribution: an inferred crash bumps
+	// r.crashes, which makes the reattribution below virtualize this very
+	// reply — it completed in the incarnation after the inferred crash.
+	r.observeEpoch(epoch, op)
 	if inv.Proc == r.proc {
 		r.realPending = false
 		if r.down || r.crashes != op.crashes {
@@ -120,7 +149,80 @@ func (r *ClientRecorder) Return(id uint64, value string, wit tag.Tag) {
 		}
 	}
 	r.events = append(r.events, &Event{Proc: inv.Proc, Kind: Return, Op: inv.Op,
-		OpID: id, Reg: inv.Reg, Value: value, Tag: wit, At: r.now().UnixNano()})
+		OpID: id, Reg: inv.Reg, Value: value, Tag: wit, Epoch: epoch,
+		At: r.now().UnixNano()})
+}
+
+// observeEpoch folds one reply's incarnation epoch into the recorder's
+// tracking: inference of unrecorded crashes and detection of stale-epoch
+// violations. Called with r.mu held, before the reply's reattribution check.
+func (r *ClientRecorder) observeEpoch(epoch uint64, op *openOp) {
+	if epoch == 0 {
+		return
+	}
+	if op.crashes != r.crashes || r.down {
+		// A straggler from before a recorded crash (or a reply racing the
+		// recorded down state): its epoch proves nothing about the current
+		// incarnation, so no checks and no inference — only keep the
+		// high-water mark honest.
+		if epoch > r.lastEpoch {
+			r.lastEpoch = epoch
+		}
+		return
+	}
+	switch {
+	case r.lastEpoch == 0:
+		// First epoch ever observed. A seeded floor (a crash recorded before
+		// any epoch was seen) still applies.
+		r.expectAdvance = false
+		r.lastEpoch = epoch
+		if r.epochFloor > 0 && epoch <= r.epochFloor {
+			r.setEpochErr(epoch)
+		}
+	case epoch < r.lastEpoch:
+		r.setEpochErr(epoch)
+	case epoch == r.lastEpoch:
+		// Same incarnation — unless a crash was recorded since the epoch was
+		// observed, in which case the node was required to mint past it.
+		if r.epochFloor > 0 && epoch <= r.epochFloor {
+			r.setEpochErr(epoch)
+		}
+	default: // epoch > r.lastEpoch
+		if r.expectAdvance {
+			// The advance is explained by the crash/recover cycle already
+			// recorded (every recovery mints a fresh epoch).
+			r.expectAdvance = false
+		} else {
+			// Unrecorded death: the node crashed and recovered between two
+			// replies without anybody injecting it. Place the cycle at the
+			// observation point — the reply that revealed it completed after
+			// the recovery, and is virtualized by the crash-cycle bump.
+			now := r.now().UnixNano()
+			r.epochFloor = r.lastEpoch
+			r.crashes++
+			r.events = append(r.events,
+				&Event{Proc: r.proc, Kind: Crash, At: now},
+				&Event{Proc: r.proc, Kind: Recover, At: now})
+		}
+		r.lastEpoch = epoch
+	}
+}
+
+// setEpochErr records the sticky epoch violation.
+func (r *ClientRecorder) setEpochErr(epoch uint64) {
+	if r.epochErr == nil {
+		r.epochErr = fmt.Errorf("history: epoch violation at process %d: reply carries incarnation epoch %d, not past %d (floor %d) — the node regressed or failed to bump its incarnation on restart",
+			r.proc, epoch, r.lastEpoch, r.epochFloor)
+	}
+}
+
+// EpochViolation returns the sticky incarnation-epoch violation, if any: a
+// reply whose epoch regressed or failed to advance past a recorded crash.
+// RecordingGroup.Merged surfaces it before verification.
+func (r *ClientRecorder) EpochViolation() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epochErr
 }
 
 // AbortFate classifies a failed operation for Abort.
@@ -171,6 +273,10 @@ func (r *ClientRecorder) Crash() {
 	}
 	r.down = true
 	r.crashes++
+	// The crash obligates the node's next incarnation to mint past every
+	// epoch observed so far; the matching advance is already explained.
+	r.epochFloor = r.lastEpoch
+	r.expectAdvance = true
 	r.events = append(r.events, &Event{Proc: r.proc, Kind: Crash, At: r.now().UnixNano()})
 }
 
@@ -184,6 +290,31 @@ func (r *ClientRecorder) Recover() {
 	}
 	r.down = false
 	r.events = append(r.events, &Event{Proc: r.proc, Kind: Recover, At: r.now().UnixNano()})
+}
+
+// SeedFrom carries a predecessor recorder's incarnation-epoch knowledge (and
+// down state) into this one, so a fresh recorder wrapping the same client in
+// a later verification round keeps holding the node to the epochs it already
+// exposed — a restart between rounds is still inferred, and a stale replay
+// across the round boundary is still a violation. Call before recording.
+func (r *ClientRecorder) SeedFrom(prev *ClientRecorder) {
+	prev.mu.Lock()
+	lastEpoch, floor, expect, err, down := prev.lastEpoch, prev.epochFloor,
+		prev.expectAdvance, prev.epochErr, prev.down
+	prev.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lastEpoch = lastEpoch
+	r.epochFloor = floor
+	r.expectAdvance = expect
+	r.epochErr = err
+	if down {
+		// The process was down at the hand-off: open this history with the
+		// crash so the recovery that follows has its matching event.
+		r.down = true
+		r.crashes = 1
+		r.events = append(r.events, &Event{Proc: r.proc, Kind: Crash, At: r.now().UnixNano()})
+	}
 }
 
 // History snapshots the recorded events on a local 1..n timeline, ready for

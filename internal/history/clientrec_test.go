@@ -1,6 +1,7 @@
 package history
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -17,9 +18,9 @@ func valloc(base int32) func() int32 {
 func TestClientRecorderSequentialFlow(t *testing.T) {
 	r := NewClientRecorder(0, valloc(100))
 	w := r.Invoke(Write, "x", "v1", false)
-	r.Return(w, "", tag.Tag{Seq: 1})
+	r.Return(w, "", tag.Tag{Seq: 1}, 0)
 	rd := r.Invoke(Read, "x", "", false)
-	r.Return(rd, "v1", tag.Tag{Seq: 1})
+	r.Return(rd, "v1", tag.Tag{Seq: 1}, 0)
 	h := r.History()
 	if err := h.Validate(); err != nil {
 		t.Fatal(err)
@@ -48,8 +49,8 @@ func TestClientRecorderAsyncGoesVirtual(t *testing.T) {
 	r := NewClientRecorder(0, valloc(100))
 	a := r.Invoke(Write, "x", "a", true)
 	b := r.Invoke(Write, "x", "b", true)
-	r.Return(a, "", tag.Tag{Seq: 1})
-	r.Return(b, "", tag.Tag{Seq: 2})
+	r.Return(a, "", tag.Tag{Seq: 1}, 0)
+	r.Return(b, "", tag.Tag{Seq: 2}, 0)
 	h := r.History()
 	if err := h.Validate(); err != nil {
 		t.Fatal(err)
@@ -75,7 +76,7 @@ func TestClientRecorderRejectedErased(t *testing.T) {
 	}
 	// The real process id is free again.
 	id = r.Invoke(Write, "x", "v2", false)
-	r.Return(id, "", tag.Tag{Seq: 1})
+	r.Return(id, "", tag.Tag{Seq: 1}, 0)
 	h := r.History()
 	if err := h.Validate(); err != nil {
 		t.Fatal(err)
@@ -90,7 +91,7 @@ func TestClientRecorderUnknownFateStaysPendingVirtual(t *testing.T) {
 	id := r.Invoke(Write, "x", "v", false)
 	r.Abort(id, AbortUnknown)
 	next := r.Invoke(Write, "x", "v2", false)
-	r.Return(next, "", tag.Tag{Seq: 1})
+	r.Return(next, "", tag.Tag{Seq: 1}, 0)
 	h := r.History()
 	if err := h.Validate(); err != nil {
 		t.Fatal(err)
@@ -115,7 +116,7 @@ func TestClientRecorderCrashRecover(t *testing.T) {
 	r.Abort(id, AbortUnknown)
 	r.Recover()
 	next := r.Invoke(Read, "x", "", false)
-	r.Return(next, "v", tag.Tag{Seq: 1})
+	r.Return(next, "v", tag.Tag{Seq: 1}, 0)
 	h := r.History()
 	if err := h.Validate(); err != nil {
 		t.Fatal(err)
@@ -140,7 +141,7 @@ func TestClientRecorderLateSuccessAfterCrash(t *testing.T) {
 	r := NewClientRecorder(0, valloc(100))
 	id := r.Invoke(Write, "x", "v", false)
 	r.Crash()
-	r.Return(id, "", tag.Tag{Seq: 1})
+	r.Return(id, "", tag.Tag{Seq: 1}, 0)
 	h := r.History()
 	if err := h.Validate(); err != nil {
 		t.Fatal(err)
@@ -160,7 +161,7 @@ func TestClientRecorderLateSuccessAfterCrashAndRecover(t *testing.T) {
 	id := r.Invoke(Write, "x", "v", false)
 	r.Crash()
 	r.Recover()
-	r.Return(id, "", tag.Tag{Seq: 1})
+	r.Return(id, "", tag.Tag{Seq: 1}, 0)
 	h := r.History()
 	if err := h.Validate(); err != nil {
 		t.Fatal(err)
@@ -171,13 +172,146 @@ func TestClientRecorderLateSuccessAfterCrashAndRecover(t *testing.T) {
 	}
 	// The real process is free for the next sequential op.
 	next := r.Invoke(Read, "x", "", false)
-	r.Return(next, "v", tag.Tag{Seq: 1})
+	r.Return(next, "v", tag.Tag{Seq: 1}, 0)
 	h = r.History()
 	if err := h.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	if last := h[len(h)-1]; last.Proc != 0 {
 		t.Fatalf("next op attributed to %d, want the real process", last.Proc)
+	}
+}
+
+// counts tallies the crash/recover events of a history.
+func counts(h History) (crashes, recovers int) {
+	for _, e := range h {
+		switch e.Kind {
+		case Crash:
+			crashes++
+		case Recover:
+			recovers++
+		}
+	}
+	return
+}
+
+// An epoch advance with no injected crash on record is a death nobody
+// injected — the real process restart of a kill-torture run. The recorder
+// must infer the crash/recover pair and reattribute the triggering reply
+// (it completed in an incarnation the recorder never saw start).
+func TestClientRecorderInfersCrashFromEpochAdvance(t *testing.T) {
+	r := NewClientRecorder(0, valloc(100))
+	a := r.Invoke(Write, "x", "a", false)
+	r.Return(a, "", tag.Tag{Seq: 1}, 5)
+	b := r.Invoke(Write, "x", "b", false)
+	r.Return(b, "", tag.Tag{Seq: 2}, 6) // node restarted mid-op
+	h := r.History()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	crashes, recovers := counts(h)
+	if crashes != 1 || recovers != 1 {
+		t.Fatalf("%d crashes, %d recovers (want 1 inferred pair)", crashes, recovers)
+	}
+	ops := h.Operations()
+	if len(ops) != 2 || ops[1].Proc < 100 {
+		t.Fatalf("ops = %+v (want the epoch-crossing op on a virtual process)", ops)
+	}
+	if err := r.EpochViolation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An epoch advance right after an INJECTED crash is the expected recovery,
+// not a second death: no extra events may appear.
+func TestClientRecorderEpochAdvanceAfterInjectedCrash(t *testing.T) {
+	r := NewClientRecorder(0, valloc(100))
+	a := r.Invoke(Write, "x", "a", false)
+	r.Return(a, "", tag.Tag{Seq: 1}, 5)
+	r.Crash()
+	r.Recover()
+	b := r.Invoke(Write, "x", "b", false)
+	r.Return(b, "", tag.Tag{Seq: 2}, 6)
+	c := r.Invoke(Read, "x", "", false)
+	r.Return(c, "b", tag.Tag{Seq: 2}, 6)
+	h := r.History()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	crashes, recovers := counts(h)
+	if crashes != 1 || recovers != 1 {
+		t.Fatalf("%d crashes, %d recovers (want only the injected pair)", crashes, recovers)
+	}
+	if err := r.EpochViolation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An epoch going backwards is not a crash but a broken node (stale
+// incarnation replay): the recorder reports a sticky violation.
+func TestClientRecorderEpochRegressionIsViolation(t *testing.T) {
+	r := NewClientRecorder(0, valloc(100))
+	a := r.Invoke(Write, "x", "a", false)
+	r.Return(a, "", tag.Tag{Seq: 1}, 6)
+	b := r.Invoke(Write, "x", "b", false)
+	r.Return(b, "", tag.Tag{Seq: 2}, 5)
+	err := r.EpochViolation()
+	if err == nil {
+		t.Fatal("epoch regression went unreported")
+	}
+	if got := err.Error(); !strings.Contains(got, "violation") {
+		t.Fatalf("err = %q, want it to name a violation", got)
+	}
+	// Well-formedness is preserved regardless.
+	if err := r.History().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A node that fails to mint past a recorded crash — the -freeze-epoch
+// negative control — violates the floor set at the injected crash.
+func TestClientRecorderFrozenEpochAfterCrashIsViolation(t *testing.T) {
+	r := NewClientRecorder(0, valloc(100))
+	a := r.Invoke(Write, "x", "a", false)
+	r.Return(a, "", tag.Tag{Seq: 1}, 5)
+	r.Crash()
+	r.Recover()
+	b := r.Invoke(Write, "x", "b", false)
+	r.Return(b, "", tag.Tag{Seq: 2}, 5) // same epoch past a crash: frozen
+	if r.EpochViolation() == nil {
+		t.Fatal("frozen epoch past an injected crash went unreported")
+	}
+}
+
+// Zero epochs (a backend without epoch support) disable the inference
+// entirely — no events, no violations.
+func TestClientRecorderZeroEpochIgnored(t *testing.T) {
+	r := NewClientRecorder(0, valloc(100))
+	a := r.Invoke(Write, "x", "a", false)
+	r.Return(a, "", tag.Tag{Seq: 1}, 0)
+	b := r.Invoke(Write, "x", "b", false)
+	r.Return(b, "", tag.Tag{Seq: 2}, 0)
+	if c, rec := counts(r.History()); c != 0 || rec != 0 {
+		t.Fatalf("%d crashes, %d recovers from zero epochs", c, rec)
+	}
+	if err := r.EpochViolation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SeedFrom carries the epoch knowledge into a continuation recorder: a
+// regression across the round boundary is still a violation.
+func TestClientRecorderSeedFromCarriesEpochFloor(t *testing.T) {
+	r := NewClientRecorder(0, valloc(100))
+	a := r.Invoke(Write, "x", "a", false)
+	r.Return(a, "", tag.Tag{Seq: 1}, 7)
+
+	next := NewClientRecorder(0, valloc(200))
+	next.SeedFrom(r)
+	b := next.Invoke(Write, "x", "b", false)
+	next.Return(b, "", tag.Tag{Seq: 2}, 6)
+	if next.EpochViolation() == nil {
+		t.Fatal("cross-round epoch regression went unreported")
 	}
 }
 
@@ -188,13 +322,13 @@ func TestClientRecorderInvokeWhileDownOrPending(t *testing.T) {
 	r := NewClientRecorder(0, valloc(100))
 	r.Crash()
 	id := r.Invoke(Read, "x", "", false)
-	r.Return(id, "", tag.Tag{})
+	r.Return(id, "", tag.Tag{}, 0)
 	r.Recover()
 
 	first := r.Invoke(Write, "x", "a", false)
 	second := r.Invoke(Write, "x", "b", false) // first still unresolved
-	r.Return(second, "", tag.Tag{Seq: 2})
-	r.Return(first, "", tag.Tag{Seq: 1})
+	r.Return(second, "", tag.Tag{Seq: 2}, 0)
+	r.Return(first, "", tag.Tag{Seq: 1}, 0)
 	h := r.History()
 	if err := h.Validate(); err != nil {
 		t.Fatal(err)

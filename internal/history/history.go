@@ -99,6 +99,11 @@ type Event struct {
 	// Merge uses witnesses to order events real time cannot and to
 	// cross-check that one tag never binds two values.
 	Tag tag.Tag
+	// Epoch is the serving node's incarnation epoch on Return events, as
+	// reported by the backend (docs/adr/0006); zero when unknown. Client
+	// recorders compare epochs across the replies of one node to infer
+	// crash/recover events nobody injected — real process deaths.
+	Epoch uint64
 }
 
 // History is a sequence of events ordered by Seq.

@@ -277,6 +277,38 @@ func TestFileDiskSurvivesReopen(t *testing.T) {
 	}
 }
 
+// TestIncarnationRecordSurvivesReopen pins the stable-storage leg of the
+// incarnation-epoch contract (docs/adr/0006): the "incarnation" record a
+// node mints during recovery must survive a process restart on every
+// persistent backend, or the next boot would reuse a burned epoch.
+func TestIncarnationRecordSurvivesReopen(t *testing.T) {
+	for _, engine := range []string{"file", "wal"} {
+		t.Run(engine, func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := OpenBackend(engine, dir, Profile{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			epoch := []byte{0, 0, 0, 0, 0, 0, 0, 7}
+			if err := d.Store("incarnation", epoch); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			d2, err := OpenBackend(engine, dir, Profile{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d2.Close()
+			data, ok, err := d2.Retrieve("incarnation")
+			if err != nil || !ok || !bytes.Equal(data, epoch) {
+				t.Fatalf("after reopen: %q ok=%v err=%v", data, ok, err)
+			}
+		})
+	}
+}
+
 func TestCounting(t *testing.T) {
 	c := NewCounting(NewMemDisk(Profile{}))
 	defer c.Close()

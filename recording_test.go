@@ -79,6 +79,13 @@ func TestRecordingOverSimVerifies(t *testing.T) {
 	if err := f2.Wait(ctx); err != nil {
 		t.Fatal(err)
 	}
+	// Completed app-level futures surface the epoch and tag witnesses.
+	if inc, ok := f1.Incarnation(); !ok || inc == 0 {
+		t.Fatalf("future Incarnation = %d, %v", inc, ok)
+	}
+	if _, ok := f2.TagWitness(); !ok {
+		t.Fatal("completed write future reported no tag witness")
+	}
 	rf, err := clients[1].Register("y").SubmitRead()
 	if err != nil {
 		t.Fatal(err)
@@ -131,6 +138,61 @@ func TestRecordingWrapIdempotent(t *testing.T) {
 
 // Client is re-exported for the comparison above.
 type Client = recmem.Client
+
+// TestRecordingContinuation: a continuation group carries the previous
+// round's committed state as seed anchors, hands back the pre-seeded
+// wrappers on Wrap, and verifies the next round's reads against the
+// previous round's writers — a round-1 value read in round 2 must check
+// out, which against an amnesiac fresh group it could not (the read would
+// return a value no recorded writer wrote).
+func TestRecordingContinuation(t *testing.T) {
+	c, err := recmem.New(3, recmem.PersistentAtomic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	g := recmem.NewRecordingGroup()
+	clients := make([]recmem.Client, 3)
+	for i := range clients {
+		clients[i] = g.Wrap(c.Process(i))
+	}
+	if err := clients[0].Register("x").Write(ctx, []byte("round1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Verify(recmem.PersistentAtomicity); err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+
+	next := g.Continuation()
+	for i := range clients {
+		r := next.Wrap(c.Process(i))
+		if r == clients[i] {
+			t.Fatal("continuation reused the previous round's recording")
+		}
+		clients[i] = r
+	}
+	// Round 2 opens with a read of round 1's value — no write this round.
+	if v, err := clients[1].Register("x").Read(ctx); err != nil || string(v) != "round1" {
+		t.Fatalf("round-2 read = %q, %v", v, err)
+	}
+	if err := next.Verify(recmem.PersistentAtomicity); err != nil {
+		t.Fatalf("round 2 with continuation: %v", err)
+	}
+
+	// The amnesiac control: a fresh group recording the same read has no
+	// writer for the value and must fail verification.
+	fresh := recmem.NewRecordingGroup()
+	blind := fresh.Wrap(c.Process(1))
+	if v, err := blind.Register("x").Read(ctx); err != nil || string(v) != "round1" {
+		t.Fatalf("blind read = %q, %v", v, err)
+	}
+	if err := fresh.Verify(recmem.PersistentAtomicity); err == nil {
+		t.Fatal("amnesiac group verified a read with no recorded writer")
+	}
+}
 
 // TestExpiredDeadlineFailsFast: an already-expired WithDeadline must fail
 // with DeadlineExceeded instead of silently running unbounded (regression:

@@ -24,6 +24,15 @@ type TagWitness interface {
 	TagWitness() (wit Tag, ok bool)
 }
 
+// EpochWitness is implemented by operation futures that can report the
+// incarnation epoch their operation completed under (see WithEpoch and
+// docs/adr/0006) — the simulated cluster's futures and the remote package's.
+// ok is false before completion and for failed operations; unlike the tag
+// witness, every successful operation carries an epoch.
+type EpochWitness interface {
+	Incarnation() (epoch uint64, ok bool)
+}
+
 // Register is a first-class handle on one named register, obtained from a
 // Client (Process.Register or remote.Client.Register). The handle caches
 // everything per-register the backend would otherwise resolve on every
@@ -158,6 +167,14 @@ func (w *WriteFuture) Wait(ctx context.Context) error {
 	return err
 }
 
+// TagWitness reports the tag adopted for the write, once complete; ok is
+// false before completion and on drivers without witnesses.
+func (w *WriteFuture) TagWitness() (Tag, bool) { return futureWitness(w.f) }
+
+// Incarnation reports the epoch the write completed under (docs/adr/0006);
+// ok is false before completion, on failure, and on drivers without epochs.
+func (w *WriteFuture) Incarnation() (uint64, bool) { return futureEpoch(w.f) }
+
 // ReadFuture is the pending result of a submitted read.
 type ReadFuture struct {
 	f Future
@@ -173,6 +190,26 @@ func (r *ReadFuture) Done() <-chan struct{} { return r.f.Done() }
 // register's initial value ⊥).
 func (r *ReadFuture) Wait(ctx context.Context) ([]byte, error) {
 	return r.f.Wait(ctx)
+}
+
+// TagWitness reports the tag of the value the read returned, once complete.
+func (r *ReadFuture) TagWitness() (Tag, bool) { return futureWitness(r.f) }
+
+// Incarnation reports the epoch the read completed under (docs/adr/0006).
+func (r *ReadFuture) Incarnation() (uint64, bool) { return futureEpoch(r.f) }
+
+func futureWitness(f Future) (Tag, bool) {
+	if tw, ok := f.(TagWitness); ok {
+		return tw.TagWitness()
+	}
+	return Tag{}, false
+}
+
+func futureEpoch(f Future) (uint64, bool) {
+	if ew, ok := f.(EpochWitness); ok {
+		return ew.Incarnation()
+	}
+	return 0, false
 }
 
 // ReadMode resolves the WithConsistency selection to the core-level read
@@ -215,6 +252,9 @@ func (b processRegister) Read(ctx context.Context, o OpOptions) ([]byte, OpID, e
 	if o.Witness != nil {
 		*o.Witness = rep.Tag
 	}
+	if o.Epoch != nil {
+		*o.Epoch = rep.Epoch
+	}
 	return val, OpID(rep.Op), err
 }
 
@@ -222,6 +262,9 @@ func (b processRegister) Write(ctx context.Context, val []byte, o OpOptions) (Op
 	rep, err := b.h.Write(ctx, val)
 	if o.Witness != nil {
 		*o.Witness = rep.Tag
+	}
+	if o.Epoch != nil {
+		*o.Epoch = rep.Epoch
 	}
 	return OpID(rep.Op), err
 }
@@ -239,8 +282,13 @@ func (b processRegister) SubmitWrite(val []byte, o OpOptions) (Future, error) {
 }
 
 // The cluster backend's futures satisfy the driver interface directly, and
-// report tag witnesses.
+// report tag and epoch witnesses.
 var (
-	_ Future     = (*core.Future)(nil)
-	_ TagWitness = (*core.Future)(nil)
+	_ Future       = (*core.Future)(nil)
+	_ TagWitness   = (*core.Future)(nil)
+	_ EpochWitness = (*core.Future)(nil)
+	_ TagWitness   = (*WriteFuture)(nil)
+	_ EpochWitness = (*WriteFuture)(nil)
+	_ TagWitness   = (*ReadFuture)(nil)
+	_ EpochWitness = (*ReadFuture)(nil)
 )

@@ -192,9 +192,10 @@ func (c *Client) drainStateQueue() {
 }
 
 var (
-	_ recmem.Client     = (*Client)(nil)
-	_ recmem.Future     = (*call)(nil)
-	_ recmem.TagWitness = (*call)(nil)
+	_ recmem.Client       = (*Client)(nil)
+	_ recmem.Future       = (*call)(nil)
+	_ recmem.TagWitness   = (*call)(nil)
+	_ recmem.EpochWitness = (*call)(nil)
 )
 
 // Dial connects to a recmem-node control port and runs the version/Info
@@ -264,11 +265,11 @@ func handshake(conn net.Conn, timeout time.Duration) (Info, error) {
 		return Info{}, fmt.Errorf("remote: handshake: %w", errorFromCode(reqInfo, resp.Code, resp.Msg))
 	}
 	return Info{NodeID: int(resp.NodeID), N: int(resp.N), Quorum: int(resp.Quorum),
-		Algorithm: core.AlgorithmKind(resp.Algorithm).String()}, nil
+		Algorithm: core.AlgorithmKind(resp.Algorithm).String(), Epoch: resp.Epoch}, nil
 }
 
-// call is one in-flight request; it implements recmem.Future and
-// recmem.TagWitness.
+// call is one in-flight request; it implements recmem.Future,
+// recmem.TagWitness and recmem.EpochWitness.
 type call struct {
 	cl   *Client
 	kind reqKind
@@ -279,6 +280,7 @@ type call struct {
 	val  []byte
 	lat  time.Duration
 	tg   tag.Tag
+	inc  uint64
 	info Info
 	err  error
 }
@@ -305,6 +307,18 @@ func (c *call) TagWitness() (recmem.Tag, bool) {
 	}
 }
 
+// Incarnation returns the incarnation epoch the node completed the
+// operation under (docs/adr/0006), once done. ok is false before completion
+// and for failed operations; a successful write or read always carries one.
+func (c *call) Incarnation() (uint64, bool) {
+	select {
+	case <-c.done:
+		return c.inc, c.err == nil && c.inc != 0
+	default:
+		return 0, false
+	}
+}
+
 // Done returns a channel closed when the response (or a connection error)
 // arrived.
 func (c *call) Done() <-chan struct{} { return c.done }
@@ -322,7 +336,7 @@ func (c *call) Wait(ctx context.Context) ([]byte, error) {
 		if c.cl.deregister(c) {
 			// We won the race against the reader: no reply will complete
 			// this call, so resolve it with the cancellation.
-			c.complete(nil, 0, 0, tag.Tag{}, ctx.Err())
+			c.complete(nil, 0, 0, tag.Tag{}, 0, ctx.Err())
 		}
 		// Either we completed it above, or the reader (a reply or a
 		// connection failure) owns the entry and is about to.
@@ -331,8 +345,8 @@ func (c *call) Wait(ctx context.Context) ([]byte, error) {
 	}
 }
 
-func (c *call) complete(val []byte, op uint64, lat time.Duration, tg tag.Tag, err error) {
-	c.val, c.op, c.lat, c.tg, c.err = val, op, lat, tg, err
+func (c *call) complete(val []byte, op uint64, lat time.Duration, tg tag.Tag, inc uint64, err error) {
+	c.val, c.op, c.lat, c.tg, c.inc, c.err = val, op, lat, tg, inc, err
 	close(c.done)
 }
 
@@ -414,7 +428,7 @@ func (c *Client) readLoop(conn net.Conn, gen uint64) {
 			continue // response to an abandoned (deregistered) id; ignore
 		}
 		if resp.Code != 0 {
-			cl.complete(nil, 0, 0, tag.Tag{}, errorFromCode(cl.kind, resp.Code, resp.Msg))
+			cl.complete(nil, 0, 0, tag.Tag{}, 0, errorFromCode(cl.kind, resp.Code, resp.Msg))
 			continue
 		}
 		val := resp.Value
@@ -423,9 +437,9 @@ func (c *Client) readLoop(conn net.Conn, gen uint64) {
 		}
 		if resp.Kind == reqInfo {
 			cl.info = Info{NodeID: int(resp.NodeID), N: int(resp.N), Quorum: int(resp.Quorum),
-				Algorithm: core.AlgorithmKind(resp.Algorithm).String()}
+				Algorithm: core.AlgorithmKind(resp.Algorithm).String(), Epoch: resp.Epoch}
 		}
-		cl.complete(val, resp.Op, time.Duration(resp.LatencyUS)*time.Microsecond, resp.Tag, nil)
+		cl.complete(val, resp.Op, time.Duration(resp.LatencyUS)*time.Microsecond, resp.Tag, resp.Epoch, nil)
 	}
 }
 
@@ -468,7 +482,7 @@ func (c *Client) connFailed(gen uint64, cause error) {
 	err := fmt.Errorf("remote: connection to %s lost: %v (operation fate unknown): %w",
 		c.addr, cause, recmem.ErrCrashed)
 	for _, cl := range pending {
-		cl.complete(nil, 0, 0, tag.Tag{}, err)
+		cl.complete(nil, 0, 0, tag.Tag{}, 0, err)
 	}
 	go c.redialLoop()
 }
@@ -509,6 +523,20 @@ func (c *Client) redialLoop() {
 				_ = conn.Close()
 				c.terminate(fmt.Errorf("remote: %s changed identity across reconnect: was node %d of %d, now node %d of %d",
 					c.addr, was.NodeID, was.N, info.NodeID, info.N))
+				return
+			}
+			// An epoch that ADVANCED across the reconnect is the normal
+			// crash-recovery story — the recording layer turns it into a
+			// recorded crash (docs/adr/0006). An epoch that went BACKWARDS is
+			// not a crash of the node but of the abstraction: the peer is
+			// replaying a stale incarnation (restored snapshot, cloned state
+			// dir), and no history over its replies can be trusted.
+			if c.haveInfo && info.Epoch < c.info.Epoch {
+				was := c.info
+				c.mu.Unlock()
+				_ = conn.Close()
+				c.terminate(fmt.Errorf("remote: %s replayed a stale incarnation epoch across reconnect: was %d, now %d",
+					c.addr, was.Epoch, info.Epoch))
 				return
 			}
 			c.conn, c.info, c.haveInfo = conn, info, true
@@ -555,7 +583,7 @@ func (c *Client) terminate(err error) {
 		_ = conn.Close()
 	}
 	for _, cl := range pending {
-		cl.complete(nil, 0, 0, tag.Tag{}, sticky)
+		cl.complete(nil, 0, 0, tag.Tag{}, 0, sticky)
 	}
 }
 
@@ -628,6 +656,11 @@ type Info struct {
 	NodeID, N, Quorum int
 	// Algorithm is the emulation algorithm the node runs.
 	Algorithm string
+	// Epoch is the node's incarnation epoch at the time of the handshake:
+	// 1 on the node's first-ever boot, strictly higher after every recovery
+	// (docs/adr/0006). A regression across a reconnect terminates the
+	// client — the peer is replaying a stale incarnation.
+	Epoch uint64
 }
 
 // Info queries the node's identity and emulation parameters.
@@ -707,6 +740,7 @@ func (r *remoteRegister) Read(ctx context.Context, o recmem.OpOptions) ([]byte, 
 	}
 	val, err := fut.Wait(ctx)
 	setWitness(o, fut, err)
+	setEpoch(o, fut, err)
 	return val, recmem.OpID(fut.Op()), err
 }
 
@@ -717,6 +751,7 @@ func (r *remoteRegister) Write(ctx context.Context, val []byte, o recmem.OpOptio
 	}
 	_, err = fut.Wait(ctx)
 	setWitness(o, fut, err)
+	setEpoch(o, fut, err)
 	return recmem.OpID(fut.Op()), err
 }
 
@@ -730,6 +765,18 @@ func setWitness(o recmem.OpOptions, fut recmem.Future, err error) {
 	*o.Witness = tag.Tag{}
 	if err == nil {
 		*o.Witness, _ = fut.(*call).TagWitness()
+	}
+}
+
+// setEpoch resolves the WithEpoch capture the same way: the incarnation
+// epoch the node served the operation under on success, zero on failure.
+func setEpoch(o recmem.OpOptions, fut recmem.Future, err error) {
+	if o.Epoch == nil {
+		return
+	}
+	*o.Epoch = 0
+	if err == nil {
+		*o.Epoch, _ = fut.(*call).Incarnation()
 	}
 }
 

@@ -20,10 +20,12 @@
 //	rest     := u16 msgLen | msg                        (code != 0)
 //	          | per-kind payload                        (code == 0):
 //	              ping/crash: (empty)
-//	              write:      u64 op | u64 latency_us | tag
-//	              read:       u64 op | u8 present | tag | u32 valLen | val
+//	              write:      u64 op | u64 latency_us | tag | u64 epoch
+//	              read:       u64 op | u8 present | tag | u64 epoch |
+//	                          u32 valLen | val
 //	              recover:    u64 latency_us
-//	              info:       u32 nodeID | u32 n | u32 quorum | u8 algorithm
+//	              info:       u32 nodeID | u32 n | u32 quorum |
+//	                          u8 algorithm | u64 epoch
 //	tag      := u64 seq | u32 writer | u32 rec          (16 bytes)
 //
 // The tag section (since version 2) is the operation's tag witness: the
@@ -33,9 +35,21 @@
 // histories a server-side ordering witness (docs/adr/0004) instead of
 // trusting client clocks.
 //
+// The epoch section (since version 3) is the node's incarnation epoch
+// (docs/adr/0006): a monotonic per-boot counter, persisted in stable storage
+// and minted at every recovery, that strictly increases across each of the
+// node's deaths — including real process restarts over the same directory.
+// Write and read replies carry the epoch the operation completed under
+// (zero never appears on success); the info reply carries the node's current
+// epoch so the handshake pins the incarnation a connection starts against.
+// Recording clients compare reply epochs to infer crash/recover events
+// nobody injected, which is what lets kill-restart meshes verify under
+// transient atomicity.
+//
 // Versioning rules (docs/adr/0003): the version byte is bumped only for
 // incompatible layout changes — version 2 widened the write and read reply
-// payloads by the tag section, which a version-1 decoder would reject.
+// payloads by the tag section, version 3 widened write, read and info
+// replies by the epoch section; earlier decoders would reject either.
 // A server receiving an unknown version or kind answers with an error
 // response (code badRequest) instead of dropping the connection, so old
 // clients fail op-by-op, not connection-wide. New request kinds and new
@@ -53,8 +67,9 @@ import (
 )
 
 // Version is the protocol version this package speaks. Version 2 added the
-// tag-witness section to write and read replies.
-const Version = 2
+// tag-witness section to write and read replies; version 3 added the
+// incarnation-epoch section to write, read and info replies.
+const Version = 3
 
 // MaxFrame bounds one frame body: generous for a maximal value
 // (wire.MaxValueSize) plus headers, small enough to reject garbage length
@@ -157,6 +172,9 @@ type response struct {
 	Value []byte
 	// Tag is the operation's tag witness (write and read; zero = none).
 	Tag tag.Tag
+	// Epoch is the node's incarnation epoch (write, read, info; never zero
+	// on a successful operation — see docs/adr/0006).
+	Epoch uint64
 	// Info payload.
 	NodeID, N, Quorum int32
 	Algorithm         uint8
@@ -256,6 +274,7 @@ func encodeResponse(r response) ([]byte, error) {
 		buf = binary.BigEndian.AppendUint64(buf, r.Op)
 		buf = binary.BigEndian.AppendUint64(buf, r.LatencyUS)
 		buf = appendTag(buf, r.Tag)
+		buf = binary.BigEndian.AppendUint64(buf, r.Epoch)
 	case reqRead:
 		if len(r.Value) > wire.MaxValueSize {
 			return nil, wire.ErrValueTooLarge
@@ -267,6 +286,7 @@ func encodeResponse(r response) ([]byte, error) {
 		}
 		buf = append(buf, present)
 		buf = appendTag(buf, r.Tag)
+		buf = binary.BigEndian.AppendUint64(buf, r.Epoch)
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Value)))
 		buf = append(buf, r.Value...)
 	case reqRecover:
@@ -276,6 +296,7 @@ func encodeResponse(r response) ([]byte, error) {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(r.N))
 		buf = binary.BigEndian.AppendUint32(buf, uint32(r.Quorum))
 		buf = append(buf, r.Algorithm)
+		buf = binary.BigEndian.AppendUint64(buf, r.Epoch)
 	default:
 		return nil, ErrBadFrame
 	}
@@ -315,26 +336,28 @@ func decodeResponse(buf []byte) (response, error) {
 			return r, ErrBadFrame
 		}
 	case reqWrite:
-		if len(rest) != 16+tagSize {
+		if len(rest) != 24+tagSize {
 			return r, ErrBadFrame
 		}
 		r.Op = binary.BigEndian.Uint64(rest)
 		r.LatencyUS = binary.BigEndian.Uint64(rest[8:])
 		r.Tag = decodeTag(rest[16:])
+		r.Epoch = binary.BigEndian.Uint64(rest[16+tagSize:])
 	case reqRead:
-		if len(rest) < 13+tagSize {
+		if len(rest) < 21+tagSize {
 			return r, ErrBadFrame
 		}
 		r.Op = binary.BigEndian.Uint64(rest)
 		r.Present = rest[8] == 1
 		r.Tag = decodeTag(rest[9:])
-		n := int(binary.BigEndian.Uint32(rest[9+tagSize:]))
-		if n > wire.MaxValueSize || len(rest) != 13+tagSize+n {
+		r.Epoch = binary.BigEndian.Uint64(rest[9+tagSize:])
+		n := int(binary.BigEndian.Uint32(rest[17+tagSize:]))
+		if n > wire.MaxValueSize || len(rest) != 21+tagSize+n {
 			return r, ErrBadFrame
 		}
 		if n > 0 {
 			r.Value = make([]byte, n)
-			copy(r.Value, rest[13+tagSize:])
+			copy(r.Value, rest[21+tagSize:])
 		}
 	case reqRecover:
 		if len(rest) != 8 {
@@ -342,13 +365,14 @@ func decodeResponse(buf []byte) (response, error) {
 		}
 		r.LatencyUS = binary.BigEndian.Uint64(rest)
 	case reqInfo:
-		if len(rest) != 13 {
+		if len(rest) != 21 {
 			return r, ErrBadFrame
 		}
 		r.NodeID = int32(binary.BigEndian.Uint32(rest))
 		r.N = int32(binary.BigEndian.Uint32(rest[4:]))
 		r.Quorum = int32(binary.BigEndian.Uint32(rest[8:]))
 		r.Algorithm = rest[12]
+		r.Epoch = binary.BigEndian.Uint64(rest[13:])
 	default:
 		return r, ErrBadFrame
 	}

@@ -28,6 +28,16 @@ type ServerOptions struct {
 	// -verify` (the merged history shows reads returning superseded values).
 	// Never enable it outside fault-injection testing.
 	StaleReads bool
+	// FreezeEpoch makes the server DISHONEST about its incarnation epoch:
+	// every reply (write, read and info) reports the epoch the node had when
+	// Serve started, forever — as if the node never died — while crashes and
+	// recoveries underneath keep happening. It is the negative control for
+	// the epoch-based crash inference (docs/adr/0006): a mesh containing one
+	// frozen node must fail `recmem-torture -remote -verify` once faults are
+	// injected, because the recorder sees a recorded crash whose epoch never
+	// advances past the pre-crash floor. Never enable it outside
+	// fault-injection testing.
+	FreezeEpoch bool
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -59,6 +69,10 @@ type Server struct {
 	staleMu sync.Mutex
 	stale   map[string]response
 
+	// frozenEpoch is the epoch reported forever under FreezeEpoch, captured
+	// once at Serve time.
+	frozenEpoch uint64
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -78,6 +92,9 @@ func Serve(ln net.Listener, node *core.Node, opts ServerOptions) *Server {
 		stale: make(map[string]response),
 		conns: make(map[net.Conn]struct{}),
 		done:  make(chan struct{}),
+	}
+	if s.opts.FreezeEpoch {
+		s.frozenEpoch = node.IncarnationEpoch()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -230,7 +247,8 @@ func (s *Server) dispatch(req request, reply func(response)) {
 	case reqInfo:
 		reply(response{Kind: reqInfo, ID: req.ID,
 			NodeID: s.node.ID(), N: int32(s.node.N()), Quorum: int32(s.node.Quorum()),
-			Algorithm: uint8(s.node.Algorithm())})
+			Algorithm: uint8(s.node.Algorithm()),
+			Epoch:     s.epoch(s.node.IncarnationEpoch())})
 
 	case reqCrash:
 		if !s.node.Crash(nil) {
@@ -267,8 +285,10 @@ func (s *Server) dispatch(req request, reply func(response)) {
 				return
 			}
 			wit, _ := fut.TagWitness()
+			inc, _ := fut.Incarnation()
 			reply(response{Kind: reqWrite, ID: req.ID, Op: fut.Op(),
-				LatencyUS: uint64(time.Since(start).Microseconds()), Tag: wit})
+				LatencyUS: uint64(time.Since(start).Microseconds()), Tag: wit,
+				Epoch: s.epoch(inc)})
 		}()
 
 	case reqRead:
@@ -291,8 +311,9 @@ func (s *Server) dispatch(req request, reply func(response)) {
 				return
 			}
 			wit, _ := fut.TagWitness()
+			inc, _ := fut.Incarnation()
 			resp := response{Kind: reqRead, ID: req.ID, Op: fut.Op(),
-				Present: val != nil, Value: val, Tag: wit}
+				Present: val != nil, Value: val, Tag: wit, Epoch: s.epoch(inc)}
 			if s.opts.StaleReads {
 				resp = s.staleize(req.Reg, resp)
 			}
@@ -303,6 +324,15 @@ func (s *Server) dispatch(req request, reply func(response)) {
 		reply(response{Kind: req.Kind, ID: req.ID, Code: codeBadRequest,
 			Msg: "unknown request kind"})
 	}
+}
+
+// epoch resolves the incarnation epoch a reply reports: the honest one, or
+// the Serve-time snapshot under FreezeEpoch.
+func (s *Server) epoch(honest uint64) uint64 {
+	if s.opts.FreezeEpoch {
+		return s.frozenEpoch
+	}
+	return honest
 }
 
 // staleize implements ServerOptions.StaleReads: the first read reply ever

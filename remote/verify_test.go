@@ -44,57 +44,114 @@ func TestExpiredOpDeadline(t *testing.T) {
 	}
 }
 
-// TestVersionSkewRejectedCleanly plays an old (version-1) client against
-// the current server: per ADR 0003 the server answers the frame with an
-// error response carrying the request id — it does not drop the connection
-// — so old clients fail op-by-op and the connection stays usable for
-// current-version traffic.
+// TestVersionSkewRejectedCleanly plays retired-version clients (the
+// original v1 and the pre-epoch v2) against the current server: per ADR
+// 0003 the server answers each frame with an error response carrying the
+// request id — it does not drop the connection — so old clients fail
+// op-by-op and the connection stays usable for current-version traffic.
 func TestVersionSkewRejectedCleanly(t *testing.T) {
 	mesh := startMesh(t, 3, core.Persistent)
-	conn, err := net.Dial("tcp", mesh.controlAddr(0))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
+	for _, old := range []byte{1, 2} {
+		conn, err := net.Dial("tcp", mesh.controlAddr(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
 
-	body, err := encodeRequest(request{Kind: reqPing, ID: 77})
+		body, err := encodeRequest(request{Kind: reqPing, ID: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		body[0] = old // downgrade the version byte to a retired protocol
+		if err := writeFrame(conn, body); err != nil {
+			t.Fatal(err)
+		}
+		respBody, err := readFrame(conn)
+		if err != nil {
+			t.Fatalf("v%d: server dropped the connection instead of answering: %v", old, err)
+		}
+		resp, err := decodeResponse(respBody)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != 77 || resp.Code != codeBadRequest {
+			t.Fatalf("v%d skew response = %+v, want id 77 code bad-request", old, resp)
+		}
+		if !strings.Contains(resp.Msg, "version") {
+			t.Fatalf("v%d skew message %q does not name the version", old, resp.Msg)
+		}
+
+		// The connection still serves current-version requests.
+		body, err = encodeRequest(request{Kind: reqPing, ID: 78})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFrame(conn, body); err != nil {
+			t.Fatal(err)
+		}
+		respBody, err = readFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err = decodeResponse(respBody)
+		if err != nil || resp.ID != 78 || resp.Code != 0 {
+			t.Fatalf("v%d post-skew ping = %+v, %v", old, resp, err)
+		}
+	}
+}
+
+// TestRemoteEpochWitness: write and read replies carry the node's
+// incarnation epoch over the wire (protocol v3), the handshake Info reports
+// it, and it advances across a crash+recover.
+func TestRemoteEpochWitness(t *testing.T) {
+	mesh := startMesh(t, 3, core.Persistent)
+	ctx := testCtx(t)
+	c := mesh.dial(t, 0)
+
+	info, err := c.Info(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	body[0] = 1 // downgrade the version byte to the retired protocol
-	if err := writeFrame(conn, body); err != nil {
-		t.Fatal(err)
-	}
-	respBody, err := readFrame(conn)
-	if err != nil {
-		t.Fatalf("server dropped the connection instead of answering: %v", err)
-	}
-	resp, err := decodeResponse(respBody)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.ID != 77 || resp.Code != codeBadRequest {
-		t.Fatalf("skew response = %+v, want id 77 code bad-request", resp)
-	}
-	if !strings.Contains(resp.Msg, "version") {
-		t.Fatalf("skew message %q does not name the version", resp.Msg)
+	if info.Epoch == 0 {
+		t.Fatal("handshake Info reports no incarnation epoch")
 	}
 
-	// The connection still serves current-version requests.
-	body, err = encodeRequest(request{Kind: reqPing, ID: 78})
-	if err != nil {
+	var wep, rep uint64
+	if err := c.Register("x").Write(ctx, []byte("v"), recmem.WithEpoch(&wep)); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeFrame(conn, body); err != nil {
+	if wep != info.Epoch {
+		t.Fatalf("write epoch = %d, want the node's %d", wep, info.Epoch)
+	}
+	if _, err := c.Register("x").Read(ctx, recmem.WithEpoch(&rep)); err != nil {
 		t.Fatal(err)
 	}
-	respBody, err = readFrame(conn)
-	if err != nil {
+	if rep != wep {
+		t.Fatalf("read epoch = %d, want %d", rep, wep)
+	}
+
+	if err := c.Crash(ctx); err != nil {
 		t.Fatal(err)
 	}
-	resp, err = decodeResponse(respBody)
-	if err != nil || resp.ID != 78 || resp.Code != 0 {
-		t.Fatalf("post-skew ping = %+v, %v", resp, err)
+	if err := c.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var after uint64
+	if err := c.Register("x").Write(ctx, []byte("v2"), recmem.WithEpoch(&after)); err != nil {
+		t.Fatal(err)
+	}
+	if after <= wep {
+		t.Fatalf("post-recovery epoch %d did not advance past %d", after, wep)
+	}
+
+	// A failed operation zeroes the capture instead of leaving a stale one.
+	err = c.Register("x").Write(ctx, []byte("late"),
+		recmem.WithEpoch(&after), recmem.WithDeadline(-time.Second))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired write = %v", err)
+	}
+	if after != 0 {
+		t.Fatalf("failed write left stale epoch %d", after)
 	}
 }
 
@@ -364,6 +421,59 @@ func TestStaleServerFailsVerification(t *testing.T) {
 	var v *atomicity.Violation
 	if !errors.As(err, &v) {
 		t.Fatalf("verification error = %v, want an atomicity violation", err)
+	}
+}
+
+// TestFrozenEpochFailsVerification is the negative control for the epoch
+// inference (docs/adr/0006): a node whose control server freezes its
+// reported incarnation epoch (ServerOptions.FreezeEpoch) — hiding a real
+// crash+recover from the recorders — must fail the merged-history
+// verification with an epoch violation, while the same workload against an
+// honest server passes (TestRecordedRemoteMeshVerifies).
+func TestFrozenEpochFailsVerification(t *testing.T) {
+	mesh := startMesh(t, 3, core.Persistent)
+	// Re-serve node 1's control port through a dishonest server.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := Serve(ln, mesh.nodes[1], ServerOptions{OpTimeout: 30 * time.Second, FreezeEpoch: true})
+	t.Cleanup(func() { frozen.Close() })
+
+	ctx := testCtx(t)
+	g := recmem.NewRecordingGroup()
+	c0 := g.Wrap(mesh.dial(t, 0))
+	cFrozen, err := Dial(frozen.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cFrozen.Close() })
+	c1 := g.Wrap(cFrozen)
+
+	if err := c0.Register("x").Write(ctx, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Register("x").Read(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// A REAL crash+recover on node 1: its incarnation epoch advances, but
+	// the frozen server keeps reporting the old one.
+	if err := c1.Crash(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Register("x").Read(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	err = g.Verify(recmem.PersistentAtomicity)
+	if err == nil {
+		t.Fatal("verification passed against a frozen-epoch node")
+	}
+	if !strings.Contains(err.Error(), "epoch violation") {
+		t.Fatalf("verification error = %v, want an epoch violation", err)
 	}
 }
 

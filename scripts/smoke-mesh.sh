@@ -2,11 +2,13 @@
 # smoke-mesh.sh: boot a real 3-node recmem-node mesh on localhost, drive it
 # through the binary remote client (write / read / crash / recover / a
 # pipelined bench), run a VERIFIED torture round (recording clients, merged
-# per-client histories model-checked — docs/adr/0004), run a KILL-RESTART
-# round in which recmem-torture SIGKILLs and restarts real node processes
-# mid-run (docs/adr/0005) and the merged history still verifies, prove the
-# checker has teeth against a mesh with a stale-serving node, and assert the
-# examples keep building. This is the CI proof that the same Client API the
+# per-client histories model-checked — docs/adr/0004), run multi-round
+# KILL-RESTART torture in which recmem-torture SIGKILLs and restarts real
+# node processes mid-run (docs/adr/0005), infers the restarts from the
+# incarnation epochs on the replies (docs/adr/0006) and still verifies the
+# merged history against TRANSIENT atomicity, prove the checker has teeth
+# against a mesh with a stale-serving node AND one with a frozen incarnation
+# epoch, and assert the examples keep building. This is the CI proof that the same Client API the
 # simulator serves works — and is verifiably correct — against a live TCP
 # deployment that really dies and really recovers.
 #
@@ -25,6 +27,9 @@ D0=$((BASE + 30)) D1=$((BASE + 31)) D2=$((BASE + 32))
 # Third mesh — spawned and owned by recmem-torture — for the kill round.
 K0=$((BASE + 40)) K1=$((BASE + 41)) K2=$((BASE + 42))
 KC0=$((BASE + 50)) KC1=$((BASE + 51)) KC2=$((BASE + 52))
+# Fourth mesh for the frozen-epoch dishonest-node control.
+F0=$((BASE + 60)) F1=$((BASE + 61)) F2=$((BASE + 62))
+E0=$((BASE + 70)) E1=$((BASE + 71)) E2=$((BASE + 72))
 WORK=$(mktemp -d)
 BIN="$WORK/bin"
 mkdir -p "$BIN"
@@ -41,24 +46,28 @@ echo "== build"
 go build -o "$BIN" ./cmd/recmem-node ./cmd/recmem-client ./cmd/recmem-torture
 
 # kill_round: the process-death acceptance scenario. recmem-torture spawns
-# its own 3-node wal mesh, drives the verified workload, SIGKILLs node
-# processes mid-run and re-execs them (each restart runs the recovery
-# procedure from its WAL before reopening the control port), and the merged
-# recorded history — spanning real process death — must still pass the
-# atomicity checker. The reconnect layer in the remote client is what lets
-# the same client handles ride the outage: ErrCrashed/ErrDown during it,
-# plain successes after, no re-dial in the scenario code.
+# its own 3-node transient-algorithm wal mesh, drives the verified workload
+# over TWO rounds through run-lifetime clients, SIGKILLs node processes
+# mid-run and re-execs them (each restart runs the recovery procedure from
+# its WAL before reopening the control port, minting a fresh incarnation
+# epoch — docs/adr/0006), and the merged recorded history — spanning real
+# process death, with the restarts inferred from the epoch stamps on the
+# replies — must pass the TRANSIENT atomicity checker. Round 2 verifies
+# against round 1's committed state (the recording group's continuation),
+# not an amnesiac blank slate. The reconnect layer in the remote client is
+# what lets the same client handles ride the outage: ErrCrashed/ErrDown
+# during it, plain successes after, no re-dial in the scenario code.
 kill_round() {
-    echo "== KILL-RESTART round: SIGKILL + re-exec real node processes mid-run, verified"
+    echo "== KILL-RESTART rounds: SIGKILL + re-exec real node processes mid-run, verified (transient)"
     local kpeers="127.0.0.1:$K0,127.0.0.1:$K1,127.0.0.1:$K2"
     local kcmd=""
     for i in 0 1 2; do
         local ctrl_var="KC$i"
-        local cmd="$BIN/recmem-node -id $i -peers $kpeers -control 127.0.0.1:${!ctrl_var} -dir $WORK/k$i -disk wal -retransmit 20ms"
+        local cmd="$BIN/recmem-node -id $i -peers $kpeers -control 127.0.0.1:${!ctrl_var} -dir $WORK/k$i -disk wal -algorithm transient -retransmit 20ms"
         if [ -z "$kcmd" ]; then kcmd="$cmd"; else kcmd="$kcmd;;$cmd"; fi
     done
     "$BIN/recmem-torture" -remote "127.0.0.1:$KC0,127.0.0.1:$KC1,127.0.0.1:$KC2" \
-        -ops 120 -rounds 1 -async 8 -faults 600ms -seed 11 -verify \
+        -ops 120 -rounds 2 -async 8 -faults 600ms -seed 11 -verify \
         -kill "$kcmd" -kill-cycles 2 -kill-delay 150ms -kill-down 150ms
 }
 
@@ -163,6 +172,31 @@ if ! grep -q "violation" "$WORK/stale.out"; then
     exit 1
 fi
 echo "   caught: $(grep -m1 -o 'violation on register[^]]*' "$WORK/stale.out" | head -c 100)"
+
+echo "== start a third mesh whose node 1 freezes its incarnation epoch (-freeze-epoch)"
+FPEERS="127.0.0.1:$F0,127.0.0.1:$F1,127.0.0.1:$F2"
+for i in 0 1 2; do
+    ctrl_var="E$i"
+    extra=""
+    if [ "$i" -eq 1 ]; then extra="-freeze-epoch"; fi
+    # shellcheck disable=SC2086
+    start_node f "$i" "$FPEERS" "127.0.0.1:${!ctrl_var}" $extra
+done
+wait_ports "$E0" "$E1" "$E2"
+
+echo "== a verified round with crash injection must FAIL against the frozen-epoch mesh"
+if "$BIN/recmem-torture" -remote "127.0.0.1:$E0,127.0.0.1:$E1,127.0.0.1:$E2" \
+    -ops 30 -rounds 1 -faults 500ms -seed 7 -verify >"$WORK/frozen.out" 2>&1; then
+    echo "frozen-epoch mesh PASSED verification — the epoch inference has no teeth" >&2
+    cat "$WORK/frozen.out" >&2
+    exit 1
+fi
+if ! grep -q "violation" "$WORK/frozen.out"; then
+    echo "frozen-epoch mesh failed for the wrong reason:" >&2
+    cat "$WORK/frozen.out" >&2
+    exit 1
+fi
+echo "   caught: $(grep -m1 -o 'epoch violation[^—]*' "$WORK/frozen.out" | head -c 100)"
 
 if [ "${SMOKE_VERIFY_ONLY:-0}" != "1" ]; then
     echo "== examples still build"
