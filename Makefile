@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-disk bench-handle smoke verify-mesh kill-mesh fmt vet docs-check ci scenarios
+.PHONY: all build test race bench bench-disk bench-handle bench-remote smoke verify-mesh kill-mesh fmt vet docs-check ci scenarios
 
 all: build
 
@@ -26,6 +26,14 @@ bench-disk:
 # per-operation string-map resolution it replaced.
 bench-handle:
 	$(GO) test -bench 'BenchmarkStringLookup|BenchmarkRegisterHandle' -benchtime=1000000x -run '^$$' ./internal/core/
+
+# bench-remote measures the remote hot path over a loopback mesh (ops/s,
+# ns/op, allocs/op for the closed-loop write, closed-loop read and pipelined
+# workloads) and appends the run to the BENCH_remote.json trajectory at the
+# repo root, stamped with the current commit.
+bench-remote:
+	$(GO) run ./cmd/recmem-bench -experiment remote -writes 2000 -batch 32 \
+		-json BENCH_remote.json -commit $$(git rev-parse --short HEAD)
 
 # smoke boots a real 3-node recmem-node mesh and drives it through the
 # remote client, then runs the VERIFIED live-mesh torture round (recording

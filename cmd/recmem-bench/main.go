@@ -31,17 +31,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
-	"recmem"
 	"recmem/internal/experiments"
 	"recmem/internal/stable"
-	"recmem/internal/workload"
-	"recmem/remote"
 )
 
 func main() {
@@ -55,7 +51,10 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("recmem-bench", flag.ContinueOnError)
 	var (
 		experiment = fs.String("experiment", "all", "fig6a, fig6b, batch, disks, remote, or all")
-		nodes      = fs.String("nodes", "", "comma-separated recmem-node control addresses for -experiment remote")
+		nodes      = fs.String("nodes", "", "comma-separated recmem-node control addresses for -experiment remote (empty: boot an in-process loopback mesh)")
+		jsonPath   = fs.String("json", "", "append -experiment remote results to this BENCH_remote.json trajectory file")
+		commit     = fs.String("commit", "", "commit hash recorded in the -json entry")
+		note       = fs.String("note", "", "free-form note recorded in the -json entry")
 		writes     = fs.Int("writes", 50, "timed writes per data point (the paper uses 50)")
 		warmup     = fs.Int("warmup", 5, "untimed warmup writes per data point")
 		passes     = fs.Int("passes", 3, "time-spread passes per point; the best median is kept")
@@ -137,10 +136,14 @@ func run(args []string) error {
 		experiments.PrintDisks(os.Stdout, points)
 	}
 	if *experiment == "remote" {
-		if *nodes == "" {
-			return fmt.Errorf("-experiment remote needs -nodes addr,addr,...")
+		var addrs []string
+		if *nodes != "" {
+			addrs = strings.Split(*nodes, ",")
 		}
-		return remoteBench(ctx, os.Stdout, strings.Split(*nodes, ","), *writes, *batch, *pipeline)
+		return remoteBench(ctx, remoteBenchConfig{
+			Addrs: addrs, Writes: *writes, Window: *batch, Registers: *pipeline,
+			JSONPath: *jsonPath, Commit: *commit, Note: *note,
+		})
 	}
 	switch *experiment {
 	case "fig6a", "fig6b", "batch", "disks", "all":
@@ -148,53 +151,6 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
-}
-
-// remoteBench drives a live recmem-node mesh through the remote package:
-// the paper's sequential write measurement first, then the same write
-// volume pipelined through the submission windows (workload.RunClients with
-// an async window), demonstrating that a deployment gets the batching
-// engine's throughput over the wire.
-func remoteBench(ctx context.Context, w io.Writer, addrs []string, writes, window, registers int) error {
-	clients := make([]recmem.Client, len(addrs))
-	for i, addr := range addrs {
-		c, err := remote.Dial(strings.TrimSpace(addr), remote.Options{})
-		if err != nil {
-			return fmt.Errorf("dial %s: %w", addr, err)
-		}
-		defer c.Close()
-		clients[i] = c
-	}
-	regs := make([]string, registers)
-	for i := range regs {
-		regs[i] = fmt.Sprintf("bench%d", i)
-	}
-
-	// Sequential: one closed-loop client per node, writes back to back.
-	seqMix := workload.Mix{ReadFraction: 0, Registers: regs}
-	start := time.Now()
-	res := workload.RunClients(ctx, clients, writes, seqMix, 1)
-	seqElapsed := time.Since(start)
-	if res.Errors > 0 {
-		return fmt.Errorf("sequential run saw %d errors", res.Errors)
-	}
-	seqOps := res.Writes
-	fmt.Fprintf(w, "remote mesh (%d nodes, %d registers)\n", len(clients), registers)
-	fmt.Fprintf(w, "  sequential: %6d writes in %8v  %8.0f op/s\n",
-		seqOps, seqElapsed.Round(time.Millisecond), float64(seqOps)/seqElapsed.Seconds())
-
-	// Pipelined: same volume through the submission window.
-	asyncMix := workload.Mix{ReadFraction: 0, Registers: regs, Async: window}
-	start = time.Now()
-	res = workload.RunClients(ctx, clients, writes, asyncMix, 2)
-	asyncElapsed := time.Since(start)
-	if res.Errors > 0 {
-		return fmt.Errorf("pipelined run saw %d errors", res.Errors)
-	}
-	asyncOps := res.Writes
-	fmt.Fprintf(w, "  pipelined:  %6d writes in %8v  %8.0f op/s  (window %d)\n",
-		asyncOps, asyncElapsed.Round(time.Millisecond), float64(asyncOps)/asyncElapsed.Seconds(), window)
-	return nil
 }
 
 // parseInts parses a comma-separated integer list ("" -> nil, meaning

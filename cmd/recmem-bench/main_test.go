@@ -2,7 +2,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"net"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -119,16 +122,64 @@ func TestRemoteBench(t *testing.T) {
 	var out strings.Builder
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	if err := remoteBench(ctx, &out, addrs, 10, 4, 2); err != nil {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_remote.json")
+	cfg := remoteBenchConfig{Addrs: addrs, Writes: 10, Window: 4, Registers: 2,
+		JSONPath: jsonPath, Commit: "test", Out: &out}
+	if err := remoteBench(ctx, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "pipelined") {
 		t.Fatalf("unexpected output: %q", out.String())
 	}
+
+	// The trajectory file appends entries under a pinned schema.
+	if err := remoteBench(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("trajectory file: %v", err)
+	}
+	if f.Schema != benchSchema || len(f.Entries) != 2 {
+		t.Fatalf("trajectory = schema %q, %d entries", f.Schema, len(f.Entries))
+	}
+	for _, e := range f.Entries {
+		if e.Mode != "mesh" || e.Write.Ops != 10 || e.Pipelined.OpsPerSec <= 0 {
+			t.Fatalf("entry = %+v", e)
+		}
+	}
 }
 
-func TestRemoteExperimentNeedsNodes(t *testing.T) {
-	if err := run([]string{"-experiment", "remote"}); err == nil {
-		t.Fatal("accepted remote experiment without -nodes")
+// TestRemoteBenchLoopback exercises the self-contained mode: no -nodes
+// boots an in-process loopback mesh.
+func TestRemoteBenchLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var out strings.Builder
+	err := remoteBench(ctx, remoteBenchConfig{Writes: 8, Window: 4, Registers: 2, Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "loopback") {
+		t.Fatalf("unexpected output: %q", out.String())
+	}
+}
+
+// TestAppendBenchEntryRejectsForeignSchema pins the trajectory-file
+// contract: an unknown schema is an error, never silently rewritten.
+func TestAppendBenchEntryRejectsForeignSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_remote.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendBenchEntry(path, benchEntry{}); err == nil {
+		t.Fatal("foreign schema accepted")
 	}
 }

@@ -1,0 +1,298 @@
+package main
+
+// The remote experiment: the measured trajectory of the remote hot path
+// (ROADMAP item 2). It drives a recmem-node mesh through the remote package
+// and reports, for each of three instrument rows — closed-loop write,
+// closed-loop read, pipelined write — the throughput (ops/s), latency
+// (ns/op) and allocation bill (allocs/op). With -json the same rows are
+// appended to a BENCH_remote.json trajectory file, so every PR's claim of
+// "faster" is a committed number, not a vibe.
+//
+// Without -nodes the experiment boots an in-process 3-node loopback mesh
+// (real TCP between the nodes and between client and control port): the
+// reproducible configuration CI regenerates nightly. Against -nodes the
+// same rows run over the live mesh. allocs/op is process-wide
+// (runtime.MemStats): client+server combined over loopback, client-only
+// against external nodes.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"recmem"
+	"recmem/internal/core"
+	"recmem/internal/nettcp"
+	"recmem/internal/stable"
+	"recmem/remote"
+)
+
+// benchSchema names the BENCH_remote.json layout; bump it when the entry
+// shape changes incompatibly.
+const benchSchema = "recmem/bench-remote/v1"
+
+// remoteBenchConfig carries the remote experiment's knobs.
+type remoteBenchConfig struct {
+	// Addrs are the control-port addresses; empty boots a loopback mesh.
+	Addrs []string
+	// Writes is the operation count per instrument row.
+	Writes int
+	// Window is the pipelined row's submission window; Registers how many
+	// registers the rows spread over.
+	Window, Registers int
+	// JSONPath, when set, appends the entry to that trajectory file;
+	// Commit and Note annotate it.
+	JSONPath, Commit, Note string
+	// Out receives the table (default os.Stdout).
+	Out io.Writer
+}
+
+// benchRow is one measured instrument row.
+type benchRow struct {
+	Ops         int     `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchEntry is one dated run of the three rows.
+type benchEntry struct {
+	Date      string   `json:"date"`
+	Commit    string   `json:"commit,omitempty"`
+	Note      string   `json:"note,omitempty"`
+	Mode      string   `json:"mode"`
+	Nodes     int      `json:"nodes"`
+	Registers int      `json:"registers"`
+	Window    int      `json:"window"`
+	Write     benchRow `json:"write"`
+	Read      benchRow `json:"read"`
+	Pipelined benchRow `json:"pipelined"`
+}
+
+// benchFile is the BENCH_remote.json shape: a schema tag and the
+// append-only entry list.
+type benchFile struct {
+	Schema  string       `json:"schema"`
+	Entries []benchEntry `json:"entries"`
+}
+
+// remoteBench runs the remote experiment.
+func remoteBench(ctx context.Context, cfg remoteBenchConfig) error {
+	out := cfg.Out
+	if out == nil {
+		out = os.Stdout
+	}
+	addrs, mode := cfg.Addrs, "mesh"
+	if len(addrs) == 0 {
+		mode = "loopback"
+		loopback, cleanup, err := startLoopbackMesh(3)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		addrs = loopback
+	}
+
+	c, err := remote.Dial(strings.TrimSpace(addrs[0]), remote.Options{})
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", addrs[0], err)
+	}
+	defer c.Close()
+
+	regs := make([]*recmem.Register, cfg.Registers)
+	for i := range regs {
+		regs[i] = c.Register(fmt.Sprintf("bench%d", i))
+	}
+	val := []byte("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+	for _, reg := range regs { // warmup: registers exist, connection is hot
+		if err := reg.Write(ctx, val); err != nil {
+			return fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	entry := benchEntry{
+		Date: time.Now().UTC().Format(time.RFC3339), Commit: cfg.Commit, Note: cfg.Note,
+		Mode: mode, Nodes: len(addrs), Registers: cfg.Registers, Window: cfg.Window,
+	}
+	if entry.Write, err = measureRow(cfg.Writes, func(i int) error {
+		return regs[i%len(regs)].Write(ctx, val)
+	}); err != nil {
+		return fmt.Errorf("write row: %w", err)
+	}
+	if entry.Read, err = measureRow(cfg.Writes, func(i int) error {
+		_, err := regs[i%len(regs)].Read(ctx)
+		return err
+	}); err != nil {
+		return fmt.Errorf("read row: %w", err)
+	}
+	if entry.Pipelined, err = measurePipelined(ctx, regs, val, cfg.Writes, cfg.Window); err != nil {
+		return fmt.Errorf("pipelined row: %w", err)
+	}
+
+	fmt.Fprintf(out, "remote mesh (%d nodes, %s, %d registers, window %d)\n",
+		len(addrs), mode, cfg.Registers, cfg.Window)
+	fmt.Fprintf(out, "  %-10s %8s %10s %12s %11s\n", "op", "ops", "ops/s", "ns/op", "allocs/op")
+	for _, row := range []struct {
+		name string
+		r    benchRow
+	}{{"write", entry.Write}, {"read", entry.Read}, {"pipelined", entry.Pipelined}} {
+		fmt.Fprintf(out, "  %-10s %8d %10.0f %12.0f %11.1f\n",
+			row.name, row.r.Ops, row.r.OpsPerSec, row.r.NsPerOp, row.r.AllocsPerOp)
+	}
+	fmt.Fprintln(out, "  (allocs/op is process-wide: client+server over loopback, client-only against -nodes)")
+
+	if cfg.JSONPath != "" {
+		if err := appendBenchEntry(cfg.JSONPath, entry); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  appended entry to %s\n", cfg.JSONPath)
+	}
+	return nil
+}
+
+// measureRow runs ops closed-loop operations and samples the process's
+// allocation counter around them.
+func measureRow(ops int, fn func(i int) error) (benchRow, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if err := fn(i); err != nil {
+			return benchRow{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return newBenchRow(ops, elapsed, m1.Mallocs-m0.Mallocs), nil
+}
+
+// measurePipelined runs ops writes with up to window futures in flight.
+func measurePipelined(ctx context.Context, regs []*recmem.Register, val []byte, ops, window int) (benchRow, error) {
+	futs := make([]*recmem.WriteFuture, 0, window)
+	flush := func() error {
+		for _, f := range futs {
+			if err := f.Wait(ctx); err != nil {
+				return err
+			}
+		}
+		futs = futs[:0]
+		return nil
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		f, err := regs[i%len(regs)].SubmitWrite(val)
+		if err != nil {
+			return benchRow{}, err
+		}
+		futs = append(futs, f)
+		if len(futs) == window {
+			if err := flush(); err != nil {
+				return benchRow{}, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return benchRow{}, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return newBenchRow(ops, elapsed, m1.Mallocs-m0.Mallocs), nil
+}
+
+func newBenchRow(ops int, elapsed time.Duration, mallocs uint64) benchRow {
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return benchRow{
+		Ops:         ops,
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(mallocs) / float64(ops),
+	}
+}
+
+// appendBenchEntry appends entry to the trajectory file, creating it with
+// the schema tag when absent.
+func appendBenchEntry(path string, entry benchEntry) error {
+	var f benchFile
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if f.Schema != benchSchema {
+			return fmt.Errorf("%s: schema %q, want %q", path, f.Schema, benchSchema)
+		}
+	case os.IsNotExist(err):
+		f.Schema = benchSchema
+	default:
+		return err
+	}
+	f.Entries = append(f.Entries, entry)
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// startLoopbackMesh boots an in-process n-node mesh: real TCP between the
+// nodes (nettcp) and a control-port server per node — the same shape as a
+// deployed mesh, minus process isolation.
+func startLoopbackMesh(n int) (addrs []string, cleanup func(), err error) {
+	var closers []func()
+	cleanup = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	defer func() {
+		if err != nil {
+			cleanup()
+		}
+	}()
+
+	meshes := make([]*nettcp.Mesh, n)
+	peers := make([]string, n)
+	for i := range meshes {
+		m, err := nettcp.Listen(int32(i), "127.0.0.1:0", nettcp.Options{})
+		if err != nil {
+			return nil, cleanup, err
+		}
+		closers = append(closers, func() { m.Close() })
+		meshes[i] = m
+		peers[i] = m.Addr()
+	}
+	ids := &atomic.Uint64{}
+	addrs = make([]string, n)
+	for i := range meshes {
+		meshes[i].SetPeers(peers)
+		nd, err := core.NewNode(int32(i), n, core.Persistent,
+			core.Options{RetransmitEvery: 10 * time.Millisecond},
+			core.Deps{Endpoint: meshes[i], Storage: stable.NewMemDisk(stable.Profile{}), IDs: ids})
+		if err != nil {
+			return nil, cleanup, err
+		}
+		closers = append(closers, nd.Close)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, cleanup, err
+		}
+		srv := remote.Serve(ln, nd, remote.ServerOptions{OpTimeout: 30 * time.Second})
+		closers = append(closers, func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+	return addrs, cleanup, nil
+}

@@ -27,6 +27,29 @@ import (
 // values for many registers, small enough to reject garbage length prefixes.
 const maxFrame = 16 << 20
 
+// maxPooledFrame caps the capacity a recycled send buffer may retain: a
+// rare giant batch frame reverts to the allocator instead of pinning its
+// memory in the pool forever.
+const maxPooledFrame = 1 << 20
+
+// frameBuf is a reusable send-path frame buffer.
+type frameBuf struct{ b []byte }
+
+// framePool recycles send-path frame buffers, so the steady-state encode
+// path allocates nothing: the frame (length prefix included) is appended
+// into a recycled buffer and handed straight to the socket.
+var framePool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 4096)} }}
+
+func getFrameBuf() *frameBuf { return framePool.Get().(*frameBuf) }
+
+func putFrameBuf(f *frameBuf) {
+	if cap(f.b) > maxPooledFrame {
+		return
+	}
+	f.b = f.b[:0]
+	framePool.Put(f)
+}
+
 // Options tunes a mesh.
 type Options struct {
 	// DialTimeout bounds connection establishment (default 2 s).
@@ -122,10 +145,13 @@ func (m *Mesh) Send(env wire.Envelope) {
 		m.deliver(env)
 		return
 	}
-	frame, err := encodeFrame(env)
+	f := getFrameBuf()
+	defer putFrameBuf(f)
+	frame, err := appendEnvelopeFrame(f.b[:0], env)
 	if err != nil {
 		return
 	}
+	f.b = frame
 	m.writeFrame(env.To, frame)
 }
 
@@ -173,23 +199,27 @@ func (m *Mesh) SendBatch(envs []wire.Envelope) {
 	}
 }
 
-// sendBatchFrame transmits one batch (or single-envelope) frame.
+// sendBatchFrame transmits one batch (or single-envelope) frame, built in a
+// recycled buffer with the length prefix reserved up front — no
+// encode-then-copy step.
 func (m *Mesh) sendBatchFrame(envs []wire.Envelope) {
+	f := getFrameBuf()
+	defer putFrameBuf(f)
+	var frame []byte
+	var err error
 	if len(envs) == 1 {
-		frame, err := encodeFrame(envs[0])
-		if err != nil {
-			return
+		frame, err = appendEnvelopeFrame(f.b[:0], envs[0])
+	} else {
+		frame = append(f.b[:0], 0, 0, 0, 0)
+		frame, err = wire.AppendEncodeBatch(frame, envs)
+		if err == nil {
+			binary.BigEndian.PutUint32(frame, uint32(len(frame)-4))
 		}
-		m.writeFrame(envs[0].To, frame)
-		return
 	}
-	body, err := wire.EncodeBatch(envs)
 	if err != nil {
 		return
 	}
-	frame := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(frame, uint32(len(body)))
-	copy(frame[4:], body)
+	f.b = frame
 	m.writeFrame(envs[0].To, frame)
 }
 
@@ -267,6 +297,10 @@ func (m *Mesh) readLoop(conn net.Conn) {
 		m.mu.Unlock()
 	}()
 	var lenBuf [4]byte
+	// The payload buffer is reused across frames: wire.Decode copies the
+	// register name and value out of it, so nothing decoded aliases it once
+	// deliver returns.
+	var payload []byte
 	for {
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
 			return
@@ -275,7 +309,10 @@ func (m *Mesh) readLoop(conn net.Conn) {
 		if n == 0 || n > maxFrame {
 			return // protocol violation; drop the connection
 		}
-		payload := make([]byte, n)
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
@@ -332,14 +369,16 @@ func (m *Mesh) Close() error {
 	return nil
 }
 
-// encodeFrame serializes an envelope as a length-prefixed frame.
-func encodeFrame(env wire.Envelope) ([]byte, error) {
-	body, err := wire.Encode(env)
+// appendEnvelopeFrame appends env as a length-prefixed frame: the 4-byte
+// slot is reserved first and patched after the in-place encode, so the body
+// is written exactly once.
+func appendEnvelopeFrame(buf []byte, env wire.Envelope) ([]byte, error) {
+	mark := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf, err := wire.AppendEncode(buf, env)
 	if err != nil {
 		return nil, err
 	}
-	frame := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(frame, uint32(len(body)))
-	copy(frame[4:], body)
-	return frame, nil
+	binary.BigEndian.PutUint32(buf[mark:], uint32(len(buf)-mark-4))
+	return buf, nil
 }

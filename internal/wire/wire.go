@@ -104,13 +104,20 @@ var (
 // Encode serializes the envelope. The layout is fixed-width header fields in
 // big-endian order, followed by the register name and the value.
 func Encode(e Envelope) ([]byte, error) {
+	return AppendEncode(make([]byte, 0, headerSize+len(e.Reg)+len(e.Value)), e)
+}
+
+// AppendEncode appends the encoded envelope to buf and returns the extended
+// slice — the allocation-free form of Encode for callers that recycle their
+// frame buffers (sync.Pool'd transports). On error buf may have grown; the
+// caller re-slices from its own mark.
+func AppendEncode(buf []byte, e Envelope) ([]byte, error) {
 	if len(e.Value) > MaxValueSize {
 		return nil, ErrValueTooLarge
 	}
 	if len(e.Reg) > 0xFFFF {
 		return nil, fmt.Errorf("wire: register name too long (%d bytes)", len(e.Reg))
 	}
-	buf := make([]byte, 0, headerSize+len(e.Reg)+len(e.Value))
 	buf = append(buf, codecVersion, byte(e.Kind))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(e.From))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(e.To))
@@ -202,26 +209,33 @@ func IsBatch(buf []byte) bool {
 // share the same destination: a batch frame models one physical message on
 // one link.
 func EncodeBatch(envs []Envelope) ([]byte, error) {
+	return AppendEncodeBatch(make([]byte, 0, BatchSize(envs)), envs)
+}
+
+// AppendEncodeBatch appends the encoded batch frame to buf and returns the
+// extended slice — the allocation-free form of EncodeBatch. Each envelope is
+// encoded in place behind a reserved 4-byte length slot, so the batch is
+// built in one pass with no per-envelope intermediate buffer.
+func AppendEncodeBatch(buf []byte, envs []Envelope) ([]byte, error) {
 	if len(envs) == 0 || len(envs) > MaxBatchLen {
 		return nil, ErrBatchTooLarge
 	}
-	total := batchHeader
 	for _, e := range envs {
 		if e.To != envs[0].To {
 			return nil, ErrMixedBatch
 		}
-		total += 4 + Size(e)
 	}
-	buf := make([]byte, 0, total)
 	buf = append(buf, batchVersion)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(envs)))
 	for _, e := range envs {
-		body, err := Encode(e)
+		mark := len(buf)
+		buf = append(buf, 0, 0, 0, 0) // length slot, patched below
+		body, err := AppendEncode(buf, e)
 		if err != nil {
 			return nil, err
 		}
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
-		buf = append(buf, body...)
+		buf = body
+		binary.BigEndian.PutUint32(buf[mark:], uint32(len(buf)-mark-4))
 	}
 	return buf, nil
 }

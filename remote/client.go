@@ -95,6 +95,16 @@ type Options struct {
 	// dedicated goroutine — a blocking callback delays later notifications,
 	// never operations.
 	OnStateChange func(state ConnState, cause error)
+	// Conns is the number of TCP connections the client stripes registers
+	// across (default 1: the single pipelined connection). More than one is
+	// the opt-in knob for more than one core of server ingest: each
+	// connection runs its own read loop and write coalescer, and every
+	// register is pinned to one connection by a hash of its name, so the
+	// per-register submission order the engine's coalescing relies on is
+	// preserved. Control operations (Ping, Info, Crash, Recover) and
+	// OnStateChange notifications ride the primary connection; each stripe
+	// redials — and can turn terminal — independently.
+	Conns int
 }
 
 func (o Options) withDefaults() Options {
@@ -134,11 +144,15 @@ type Client struct {
 	addr string
 	opts Options
 
-	wmu sync.Mutex // serializes frame writes on the current connection
+	// stripes is the fan-out table when Options.Conns > 1: stripes[0] is
+	// this client, the rest are secondary single-connection clients. Set
+	// once by Dial, immutable after — stripeFor reads it without the lock.
+	stripes []*Client
 
 	mu       sync.Mutex
-	conn     net.Conn // nil while disconnected (redialer running)
-	gen      uint64   // bumped per established connection; stales old readLoops
+	conn     net.Conn    // nil while disconnected (redialer running)
+	cw       *connWriter // write coalescer for conn; replaced per connection
+	gen      uint64      // bumped per established connection; stales old readLoops
 	pending  map[uint64]*call
 	nextID   uint64
 	sticky   error // terminal error; set once
@@ -200,14 +214,43 @@ var (
 
 // Dial connects to a recmem-node control port and runs the version/Info
 // handshake, so a successful Dial proves the peer speaks this protocol
-// version and reports its node identity (see Info).
+// version and reports its node identity (see Info). With Options.Conns > 1
+// it opens that many connections and stripes registers across them by name
+// (see Options.Conns); a failure dialing any stripe fails the whole Dial.
 func Dial(addr string, opts Options) (*Client, error) {
-	c := &Client{addr: addr, opts: opts.withDefaults(), pending: make(map[uint64]*call)}
+	opts = opts.withDefaults()
+	c, err := dialSingle(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Conns <= 1 {
+		return c, nil
+	}
+	c.stripes = make([]*Client, opts.Conns)
+	c.stripes[0] = c
+	sopts := opts
+	sopts.Conns = 1
+	sopts.OnStateChange = nil // lifecycle notifications ride the primary
+	for i := 1; i < opts.Conns; i++ {
+		s, err := dialSingle(addr, sopts)
+		if err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("remote: dial stripe %d/%d: %w", i+1, opts.Conns, err)
+		}
+		c.stripes[i] = s
+	}
+	return c, nil
+}
+
+// dialSingle dials one connection and builds a single-connection client
+// around it.
+func dialSingle(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts, pending: make(map[uint64]*call)}
 	conn, info, err := c.connect()
 	if err != nil {
 		return nil, err
 	}
-	c.conn, c.info, c.haveInfo = conn, info, true
+	c.conn, c.cw, c.info, c.haveInfo = conn, newConnWriter(conn), info, true
 	go c.readLoop(conn, c.gen)
 	return c, nil
 }
@@ -369,22 +412,27 @@ func (c *Client) send(req request) (*call, error) {
 		// process.
 		return nil, fmt.Errorf("remote: %s: connection down, redialing: %w", c.addr, recmem.ErrDown)
 	}
-	conn, gen := c.conn, c.gen
+	cw, gen := c.cw, c.gen
 	c.nextID++
 	cl.id = c.nextID
 	req.ID = cl.id
 	c.pending[cl.id] = cl
 	c.mu.Unlock()
 
-	body, err := encodeRequest(req)
+	// The frame is built in a recycled buffer; cw.write copies it into the
+	// coalescer's pending batch before returning, so the buffer goes back to
+	// the pool immediately — the steady-state send path allocates nothing
+	// beyond the call bookkeeping.
+	f := getFrame()
+	frame, err := appendRequestFrame(f.b[:0], req)
 	if err != nil {
+		putFrame(f)
 		c.deregister(cl)
 		return nil, err
 	}
-
-	c.wmu.Lock()
-	err = writeFrame(conn, body)
-	c.wmu.Unlock()
+	f.b = frame
+	err = cw.write(frame)
+	putFrame(f)
 	if err != nil {
 		// The frame may have partially reached the server before the write
 		// failed: the operation's fate is unknown. connFailed resolves every
@@ -398,10 +446,14 @@ func (c *Client) send(req request) (*call, error) {
 }
 
 // readLoop matches response frames to pending calls until the connection
-// dies, then hands the generation to the redialer.
+// dies, then hands the generation to the redialer. The frame buffer is
+// reused across frames: decodeResponse copies the value and message out, so
+// nothing handed to a call aliases it.
 func (c *Client) readLoop(conn net.Conn, gen uint64) {
+	rbuf := make([]byte, 0, 4096)
 	for {
-		body, err := readFrame(conn)
+		body, next, err := readFrameReuse(conn, rbuf)
+		rbuf = next
 		if err != nil {
 			c.connFailed(gen, fmt.Errorf("remote: connection: %w", err))
 			_ = conn.Close()
@@ -539,7 +591,7 @@ func (c *Client) redialLoop() {
 					c.addr, was.Epoch, info.Epoch))
 				return
 			}
-			c.conn, c.info, c.haveInfo = conn, info, true
+			c.conn, c.cw, c.info, c.haveInfo = conn, newConnWriter(conn), info, true
 			c.gen++
 			gen := c.gen
 			c.notifyLocked(StateConnected, nil)
@@ -601,6 +653,11 @@ func (c *Client) Close() error {
 	c.closed = true
 	c.mu.Unlock()
 	c.terminate(ErrClosed)
+	for _, s := range c.stripes {
+		if s != nil && s != c {
+			_ = s.Close()
+		}
+	}
 	return nil
 }
 
@@ -627,9 +684,26 @@ func errorFromCode(kind reqKind, code errCode, msg string) error {
 }
 
 // Register resolves a handle on the named register; the request template
-// (encoded name, consistency validation) is fixed once per handle.
+// (encoded name, consistency validation) is fixed once per handle. With
+// Options.Conns > 1 the handle is pinned to one connection by a hash of the
+// name, so every operation on a register rides one pipeline and keeps its
+// submission order.
 func (c *Client) Register(name string) *recmem.Register {
-	return recmem.NewRegister(name, &remoteRegister{c: c, name: name})
+	s := c.stripeFor(name)
+	return recmem.NewRegister(name, &remoteRegister{c: s, name: name})
+}
+
+// stripeFor maps a register name to its connection (FNV-1a over the name);
+// a single-connection client maps everything to itself.
+func (c *Client) stripeFor(name string) *Client {
+	if len(c.stripes) == 0 {
+		return c
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return c.stripes[h%uint32(len(c.stripes))]
 }
 
 // do sends a request and waits it out. The call's result fields are only

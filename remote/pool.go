@@ -1,0 +1,123 @@
+package remote
+
+// Frame-buffer pooling for the remote hot path (docs/adr/0007). The
+// steady-state request/reply round trip runs without per-frame allocations:
+//
+//   - Encoders append into recycled buffers with the 4-byte length prefix
+//     reserved up front and patched after the in-place encode, so a frame
+//     is built exactly once — no encode-then-copy step.
+//   - Read loops reuse one buffer per connection (readFrameReuse); the
+//     decoders copy a value out of it exactly once, at the API boundary,
+//     which is the ownership rule that makes reuse safe.
+//
+// Ownership rules: a pooled buffer is owned by exactly one goroutine
+// between getFrame and putFrame; a frame read with readFrameReuse is valid
+// only until the next call on the same connection; anything a decoder
+// returns (request.Value, response.Value, strings) is an owned copy that
+// survives the buffer's recycling.
+
+import (
+	"encoding/binary"
+	"io"
+	"sync"
+	"time"
+)
+
+// maxPooledFrame caps the capacity a recycled buffer may retain: a rare
+// maximal frame reverts to the allocator instead of pinning its memory in
+// the pool forever.
+const maxPooledFrame = 1 << 18
+
+// frameBuf is one pooled frame buffer.
+type frameBuf struct{ b []byte }
+
+// framePool recycles frame buffers across the encode paths of every
+// connection (client and server side), in the call-stack-reuse style of a
+// sync.Pool'd scratch arena.
+var framePool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 4096)} }}
+
+func getFrame() *frameBuf { return framePool.Get().(*frameBuf) }
+
+func putFrame(f *frameBuf) {
+	if cap(f.b) > maxPooledFrame {
+		return
+	}
+	f.b = f.b[:0]
+	framePool.Put(f)
+}
+
+// appendRequestFrame appends r as one length-prefixed frame: the prefix
+// slot is reserved first, the body encoded in place behind it, the slot
+// patched last. On error buf is returned at its original length.
+func appendRequestFrame(buf []byte, r request) ([]byte, error) {
+	mark := len(buf)
+	out, err := appendRequest(append(buf, 0, 0, 0, 0), r)
+	if err != nil {
+		return buf[:mark], err
+	}
+	if len(out)-mark-4 > MaxFrame {
+		return buf[:mark], ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(out[mark:], uint32(len(out)-mark-4))
+	return out, nil
+}
+
+// appendResponseFrame is appendRequestFrame for responses.
+func appendResponseFrame(buf []byte, r response) ([]byte, error) {
+	mark := len(buf)
+	out, err := appendResponse(append(buf, 0, 0, 0, 0), r)
+	if err != nil {
+		return buf[:mark], err
+	}
+	if len(out)-mark-4 > MaxFrame {
+		return buf[:mark], ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(out[mark:], uint32(len(out)-mark-4))
+	return out, nil
+}
+
+// readFrameReuse reads one length-prefixed frame body into buf, growing it
+// as needed, and returns the body alongside the (possibly regrown) buffer
+// for the next call. The body aliases the buffer: it is valid only until
+// the next readFrameReuse on it, the contract the decoders' copy-out rule
+// exists for. Errors match readFrame's.
+func readFrameReuse(r io.Reader, buf []byte) (body, next []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, buf, ErrFrameTooLarge
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, buf, err
+	}
+	return buf, buf, nil
+}
+
+// timerPool recycles the per-operation deadline timers of the server's
+// dispatch path; a pool hit makes bounding an operation allocation-free.
+var timerPool = sync.Pool{}
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok && t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select { // drain a fired, unconsumed timer before recycling
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}

@@ -204,13 +204,19 @@ const reqHeader = 1 + 1 + 8 + 4 + 1 + 2 + 4 // version..valLen
 
 // encodeRequest serializes a request body.
 func encodeRequest(r request) ([]byte, error) {
+	return appendRequest(make([]byte, 0, reqHeader+len(r.Reg)+len(r.Value)), r)
+}
+
+// appendRequest appends the request body to buf and returns the extended
+// slice: the allocation-free form of encodeRequest for the pooled send
+// paths.
+func appendRequest(buf []byte, r request) ([]byte, error) {
 	if len(r.Value) > wire.MaxValueSize {
 		return nil, wire.ErrValueTooLarge
 	}
 	if len(r.Reg) > 0xFFFF {
 		return nil, fmt.Errorf("remote: register name too long (%d bytes)", len(r.Reg))
 	}
-	buf := make([]byte, 0, reqHeader+len(r.Reg)+len(r.Value))
 	buf = append(buf, Version, byte(r.Kind))
 	buf = binary.BigEndian.AppendUint64(buf, r.ID)
 	buf = binary.BigEndian.AppendUint32(buf, r.DeadlineUS)
@@ -222,8 +228,18 @@ func encodeRequest(r request) ([]byte, error) {
 	return buf, nil
 }
 
-// decodeRequest parses a request body.
+// decodeRequest parses a request body. The returned request owns its
+// fields: the register name and value are copied out of buf.
 func decodeRequest(buf []byte) (request, error) {
+	return decodeRequestReuse(buf, nil)
+}
+
+// decodeRequestReuse is decodeRequest for a buffer that will be reused: the
+// register name is resolved through names — a per-connection intern table
+// mapping each name to its one owned string — so the steady-state decode
+// of a busy connection allocates only the value copy. A nil names table
+// degrades to decodeRequest.
+func decodeRequestReuse(buf []byte, names map[string]string) (request, error) {
 	var r request
 	if len(buf) < reqHeader {
 		return r, ErrBadFrame
@@ -244,7 +260,15 @@ func decodeRequest(buf []byte) (request, error) {
 	if len(rest) != regLen+valLen {
 		return r, ErrBadFrame
 	}
-	r.Reg = string(rest[:regLen])
+	if names == nil {
+		r.Reg = string(rest[:regLen])
+	} else if s, ok := names[string(rest[:regLen])]; ok { // no-alloc map probe
+		r.Reg = s
+	} else {
+		s := string(rest[:regLen])
+		names[s] = s
+		r.Reg = s
+	}
 	if valLen > 0 {
 		r.Value = make([]byte, valLen)
 		copy(r.Value, rest[regLen:])
@@ -256,7 +280,13 @@ const respHeader = 1 + 1 + 8 + 1 // version, kind, id, code
 
 // encodeResponse serializes a response body.
 func encodeResponse(r response) ([]byte, error) {
-	buf := make([]byte, 0, respHeader+16+len(r.Msg)+len(r.Value))
+	return appendResponse(make([]byte, 0, respHeader+16+len(r.Msg)+len(r.Value)), r)
+}
+
+// appendResponse appends the response body to buf and returns the extended
+// slice: the allocation-free form of encodeResponse for the pooled reply
+// path.
+func appendResponse(buf []byte, r response) ([]byte, error) {
 	buf = append(buf, Version, byte(r.Kind)|respFlag)
 	buf = binary.BigEndian.AppendUint64(buf, r.ID)
 	buf = append(buf, byte(r.Code))
@@ -379,14 +409,20 @@ func decodeResponse(buf []byte) (response, error) {
 	return r, nil
 }
 
-// writeFrame writes one length-prefixed frame.
+// writeFrame writes one length-prefixed frame as a single Write, staging
+// the prefix and body in a recycled buffer instead of a per-call
+// allocation. The hot paths skip it entirely (they build prefixed frames in
+// place with appendRequestFrame/appendResponseFrame); it remains for the
+// cold paths — handshake, tests.
 func writeFrame(w io.Writer, body []byte) error {
 	if len(body) > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	frame := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(frame, uint32(len(body)))
-	copy(frame[4:], body)
+	f := getFrame()
+	defer putFrame(f)
+	frame := binary.BigEndian.AppendUint32(f.b[:0], uint32(len(body)))
+	frame = append(frame, body...)
+	f.b = frame
 	_, err := w.Write(frame)
 	return err
 }

@@ -26,8 +26,9 @@ type testMesh struct {
 // controlAddr returns node i's control-port address.
 func (m *testMesh) controlAddr(i int) string { return m.servers[i].Addr() }
 
-// startMesh builds the mesh; everything is cleaned up with the test.
-func startMesh(t *testing.T, n int, kind core.AlgorithmKind) *testMesh {
+// startMesh builds the mesh; everything is cleaned up with the test (or
+// benchmark — the helper is shared with bench_test.go).
+func startMesh(t testing.TB, n int, kind core.AlgorithmKind) *testMesh {
 	t.Helper()
 	meshes := make([]*nettcp.Mesh, n)
 	peers := make([]string, n)
@@ -69,7 +70,7 @@ func startMesh(t *testing.T, n int, kind core.AlgorithmKind) *testMesh {
 }
 
 // dial connects a client to node i's control port.
-func (m *testMesh) dial(t *testing.T, i int) *Client {
+func (m *testMesh) dial(t testing.TB, i int) *Client {
 	t.Helper()
 	c, err := Dial(m.controlAddr(i), Options{})
 	if err != nil {

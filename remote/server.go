@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"recmem/internal/core"
@@ -39,6 +40,11 @@ type ServerOptions struct {
 	// fault-injection testing.
 	FreezeEpoch bool
 }
+
+// maxBurstBytes bounds the writer's reply-coalescing buffer: a burst
+// reaching it flushes immediately, so group-commit never trades one syscall
+// for unbounded staging memory.
+const maxBurstBytes = 256 << 10
 
 func (o ServerOptions) withDefaults() ServerOptions {
 	if o.OpTimeout <= 0 {
@@ -73,11 +79,27 @@ type Server struct {
 	// once at Serve time.
 	frozenEpoch uint64
 
+	// writeBursts counts the gathered socket writes the connection writers
+	// issued; writeFrames the response frames those writes carried. The
+	// frames/bursts ratio is the reply group-commit amortization — the
+	// socket-side analogue of the WAL's records-per-fsync (docs/adr/0007).
+	writeBursts atomic.Uint64
+	writeFrames atomic.Uint64
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 	done   chan struct{}
 	wg     sync.WaitGroup
+}
+
+// WriterStats reports the reply group-commit counters across all
+// connections: bursts is the number of gathered socket writes, frames the
+// response frames they carried. frames ≥ bursts always; under pipelined
+// load frames/bursts grows with the burst size, under one-at-a-time load it
+// stays 1.
+func (s *Server) WriterStats() (bursts, frames uint64) {
+	return s.writeBursts.Load(), s.writeFrames.Load()
 }
 
 // Serve starts serving the control protocol on ln for node. It returns
@@ -183,23 +205,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	go func() {
 		defer writerWG.Done()
 		defer close(writerDone)
-		for {
-			select {
-			case r := <-resp:
-				body, err := encodeResponse(r)
-				if err != nil {
-					body, _ = encodeResponse(response{
-						Kind: r.Kind, ID: r.ID, Code: codeGeneric, Msg: err.Error(),
-					})
-				}
-				if err := writeFrame(conn, body); err != nil {
-					_ = conn.Close() // unblocks the read loop
-					return
-				}
-			case <-connDone:
-				return
-			}
-		}
+		s.writeReplies(conn, resp, connDone)
 	}()
 	// reply must also select on writerDone: when a stalled client wedges the
 	// writer (full resp channel, blocked writeFrame) and the connection then
@@ -214,12 +220,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}
 
+	// The read loop reuses one frame buffer across requests (the decoder
+	// copies the value out, the intern table owns each register name once),
+	// so a busy connection's steady-state receive path allocates only the
+	// value copy that crosses into the engine.
+	rbuf := make([]byte, 0, 4096)
+	names := make(map[string]string)
 	for {
-		body, err := readFrame(conn)
+		body, next, err := readFrameReuse(conn, rbuf)
+		rbuf = next
 		if err != nil {
 			break
 		}
-		req, err := decodeRequest(body)
+		req, err := decodeRequestReuse(body, names)
 		if err != nil {
 			// Answer decodable-but-unsupported requests (bad version, bad
 			// kind) with an error response; drop the connection only on
@@ -235,6 +248,56 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	close(connDone)
 	writerWG.Wait()
+}
+
+// writeReplies is one connection's writer: it group-commits replies onto
+// the socket. Every wakeup drains ALL queued responses in one gulp, encodes
+// them back to back into one recycled buffer (length prefixes reserved in
+// place), and issues ONE gathered write — one syscall per burst of
+// out-of-order replies instead of one per reply, mirroring the WAL's fsync
+// group-commit. Bursts flush early past maxBurstBytes so a pileup of
+// maximal read replies cannot balloon the staging buffer. It returns when
+// connDone closes or a write fails (closing conn to unblock the read loop).
+func (s *Server) writeReplies(conn net.Conn, resp <-chan response, connDone <-chan struct{}) {
+	wbuf := getFrame()
+	defer putFrame(wbuf)
+	for {
+		select {
+		case r := <-resp:
+			frame := wbuf.b[:0]
+			frames := uint64(0)
+			for {
+				var err error
+				frame, err = appendResponseFrame(frame, r)
+				if err != nil {
+					// Unencodable response (oversized value): answer with
+					// an error response instead; this encode cannot fail.
+					frame, _ = appendResponseFrame(frame, response{
+						Kind: r.Kind, ID: r.ID, Code: codeGeneric, Msg: err.Error(),
+					})
+				}
+				frames++
+				if len(frame) >= maxBurstBytes {
+					break
+				}
+				select {
+				case r = <-resp:
+					continue
+				default:
+				}
+				break
+			}
+			wbuf.b = frame
+			s.writeBursts.Add(1)
+			s.writeFrames.Add(frames)
+			if _, err := conn.Write(frame); err != nil {
+				_ = conn.Close() // unblocks the read loop
+				return
+			}
+		case <-connDone:
+			return
+		}
+	}
 }
 
 // dispatch executes one request, replying asynchronously for operations
@@ -278,9 +341,7 @@ func (s *Server) dispatch(req request, reply func(response)) {
 			return
 		}
 		go func() {
-			ctx, cancel := s.opCtx(req)
-			defer cancel()
-			if _, err := fut.Wait(ctx); err != nil {
+			if _, err := s.await(req, fut); err != nil {
 				reply(errResponse(req, err))
 				return
 			}
@@ -303,9 +364,7 @@ func (s *Server) dispatch(req request, reply func(response)) {
 			return
 		}
 		go func() {
-			ctx, cancel := s.opCtx(req)
-			defer cancel()
-			val, err := fut.Wait(ctx)
+			val, err := s.await(req, fut)
 			if err != nil {
 				reply(errResponse(req, err))
 				return
@@ -352,8 +411,30 @@ func (s *Server) staleize(reg string, fresh response) response {
 	return pinned
 }
 
+// await blocks on fut with the request's deadline (or the server default)
+// enforced by a pooled timer — waiting out an operation costs no context or
+// timer allocation in steady state, unlike the context.WithTimeout per
+// operation it replaced. The timeout abandons only the server-side wait,
+// exactly as the old context expiry did; the engine still runs the
+// operation to completion.
+func (s *Server) await(req request, fut *core.Future) ([]byte, error) {
+	d := s.opts.OpTimeout
+	if req.DeadlineUS > 0 {
+		d = time.Duration(req.DeadlineUS) * time.Microsecond
+	}
+	t := getTimer(d)
+	defer putTimer(t)
+	select {
+	case <-fut.Done():
+		return fut.Wait(context.Background())
+	case <-t.C:
+		return nil, context.DeadlineExceeded
+	}
+}
+
 // opCtx builds the operation context from the request deadline or the
-// server default.
+// server default; used by the recovery path, whose context really does
+// cancel server-side work.
 func (s *Server) opCtx(req request) (context.Context, context.CancelFunc) {
 	d := s.opts.OpTimeout
 	if req.DeadlineUS > 0 {

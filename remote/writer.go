@@ -1,0 +1,73 @@
+package remote
+
+import (
+	"net"
+	"sync"
+)
+
+// connWriter coalesces concurrent frame writes on one client connection in
+// the leader/follower style of a WAL group commit: every sender appends its
+// already-prefixed frame to a shared pending buffer under the mutex; the
+// first sender to find no write in flight becomes the leader and flushes —
+// repeatedly swapping the pending buffer for a spare and writing the whole
+// batch in one system call — until nothing is queued. Under pipelined load,
+// frames queued while the leader's Write is on the wire ride the next swap,
+// so the syscall count is one per burst, not one per operation, and no
+// follower ever blocks on the socket.
+type connWriter struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	pend    []byte // frames queued for the next flush
+	spare   []byte // recycled flush buffer, swapped with pend by the leader
+	writing bool   // a leader goroutine owns the socket
+	err     error  // first write error; sticky
+}
+
+func newConnWriter(conn net.Conn) *connWriter {
+	return &connWriter{
+		conn:  conn,
+		pend:  make([]byte, 0, 4096),
+		spare: make([]byte, 0, 4096),
+	}
+}
+
+// write queues frame (copying it, so the caller's buffer is free to recycle
+// on return) and flushes as the leader if no flush is in flight. A non-nil
+// error is the connection's sticky write error; a follower whose frame is
+// lost to a later leader's failure returns nil — the failure still tears the
+// connection down, resolving that frame's call through connFailed like any
+// other operation cut off mid-flight.
+func (w *connWriter) write(frame []byte) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.pend = append(w.pend, frame...)
+	if w.writing {
+		w.mu.Unlock() // the leader's next sweep carries this frame
+		return nil
+	}
+	w.writing = true
+	for w.err == nil && len(w.pend) > 0 {
+		out := w.pend
+		w.pend, w.spare = w.spare[:0], nil
+		w.mu.Unlock()
+		_, err := w.conn.Write(out)
+		w.mu.Lock()
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		if cap(out) <= maxPooledFrame {
+			w.spare = out[:0]
+		} else {
+			w.spare = make([]byte, 0, 4096) // oversized burst: let the allocator reclaim it
+		}
+	}
+	w.writing = false
+	err := w.err
+	w.mu.Unlock()
+	return err
+}
