@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-disk bench-handle bench-remote smoke verify-mesh kill-mesh fmt vet docs-check ci scenarios
+.PHONY: all build test race bench bench-disk bench-handle bench-remote bench-namespace smoke verify-mesh kill-mesh fmt vet docs-check ci scenarios
 
 all: build
 
@@ -35,6 +35,15 @@ bench-remote:
 	$(GO) run ./cmd/recmem-bench -experiment remote -writes 2000 -batch 32 \
 		-json BENCH_remote.json -commit $$(git rev-parse --short HEAD)
 
+# bench-namespace sweeps register counts over the wal and sharded storage
+# engines (load throughput, cold recovery time, post-recovery probe latency)
+# and appends the rows to the BENCH_namespace.json trajectory at the repo
+# root, stamped with the current commit. Every entry is its own wal-vs-sharded
+# before/after comparison.
+bench-namespace:
+	$(GO) run ./cmd/recmem-bench -experiment namespace -batch 32 \
+		-json BENCH_namespace.json -commit $$(git rev-parse --short HEAD)
+
 # smoke boots a real 3-node recmem-node mesh and drives it through the
 # remote client, then runs the VERIFIED live-mesh torture round (recording
 # clients + tag-witness merge + model check, docs/adr/0004), the
@@ -51,9 +60,10 @@ smoke:
 verify-mesh:
 	SMOKE_VERIFY_ONLY=1 ./scripts/smoke-mesh.sh
 
-# kill-mesh runs only the kill-restart round: recmem-torture spawns a wal
-# mesh, SIGKILLs and re-execs real node processes mid-run, and the merged
-# recorded history must still pass the atomicity checker.
+# kill-mesh runs only the kill-restart rounds: recmem-torture spawns a mesh
+# (once on wal disks, once on sharded disks), SIGKILLs and re-execs real
+# node processes mid-run, and the merged recorded history must still pass
+# the atomicity checker.
 kill-mesh:
 	SMOKE_KILL_ONLY=1 ./scripts/smoke-mesh.sh
 

@@ -22,9 +22,16 @@
 // the number of independent registers) and reports the throughput each
 // achieves for every algorithm kind. -disk selects the stable-storage engine
 // (mem: the calibrated simulated disk; file: one fsynced file per record;
-// wal: the log-structured group-commit engine). The disks experiment runs
-// the batched workload on all three engines and reports each one's sync
-// bill — how many causal-log records one disk flush amortizes.
+// wal: the log-structured group-commit engine; sharded: the sharded
+// compacting engine). The disks experiment runs the batched workload on
+// every engine and reports each one's sync bill — how many causal-log
+// records one disk flush amortizes.
+//
+// The namespace experiment (-experiment namespace) is the register-scale
+// sweep: for each register count it populates wal and sharded stores
+// through the batched durability path and reports load throughput, cold
+// recovery (reopen) time and post-recovery probe latency, appending the
+// rows to BENCH_namespace.json with -json (see namespace.go).
 package main
 
 import (
@@ -50,9 +57,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("recmem-bench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig6a, fig6b, batch, disks, remote, or all")
+		experiment = fs.String("experiment", "all", "fig6a, fig6b, batch, disks, remote, namespace, or all")
 		nodes      = fs.String("nodes", "", "comma-separated recmem-node control addresses for -experiment remote (empty: boot an in-process loopback mesh)")
-		jsonPath   = fs.String("json", "", "append -experiment remote results to this BENCH_remote.json trajectory file")
+		jsonPath   = fs.String("json", "", "append -experiment remote/namespace results to this trajectory file (BENCH_remote.json / BENCH_namespace.json)")
 		commit     = fs.String("commit", "", "commit hash recorded in the -json entry")
 		note       = fs.String("note", "", "free-form note recorded in the -json entry")
 		writes     = fs.Int("writes", 50, "timed writes per data point (the paper uses 50)")
@@ -62,7 +69,9 @@ func run(args []string) error {
 		sizes      = fs.String("sizes", "", "comma-separated payload sizes in bytes for fig6b")
 		batch      = fs.Int("batch", 32, "submission window per client for the batch experiment")
 		pipeline   = fs.Int("pipeline", 4, "independent registers for the batch experiment")
-		disk       = fs.String("disk", "mem", "stable-storage engine for batch/disks: mem, file, or wal")
+		disk       = fs.String("disk", "mem", "stable-storage engine for batch/disks: mem, file, wal, or sharded")
+		nsRegs     = fs.String("namespace-registers", "", "comma-separated register counts for -experiment namespace (default 1000,10000,100000; goes to 1000000)")
+		nsVal      = fs.Int("namespace-value", 128, "register value size in bytes for -experiment namespace")
 		timeout    = fs.Duration("timeout", 10*time.Minute, "overall deadline")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -142,6 +151,16 @@ func run(args []string) error {
 		}
 		return remoteBench(ctx, remoteBenchConfig{
 			Addrs: addrs, Writes: *writes, Window: *batch, Registers: *pipeline,
+			JSONPath: *jsonPath, Commit: *commit, Note: *note,
+		})
+	}
+	if *experiment == "namespace" {
+		registers, err := parseInts(*nsRegs)
+		if err != nil {
+			return fmt.Errorf("-namespace-registers: %w", err)
+		}
+		return namespaceBench(ctx, namespaceConfig{
+			Registers: registers, ValueBytes: *nsVal, Batch: *batch,
 			JSONPath: *jsonPath, Commit: *commit, Note: *note,
 		})
 	}

@@ -182,4 +182,54 @@ func TestAppendBenchEntryRejectsForeignSchema(t *testing.T) {
 	if err := appendBenchEntry(path, benchEntry{}); err == nil {
 		t.Fatal("foreign schema accepted")
 	}
+	// The namespace trajectory enforces its own schema the same way.
+	if err := appendTrajectory(path, nsSchema, nsEntry{}); err == nil {
+		t.Fatal("namespace append accepted a foreign schema")
+	}
+}
+
+// TestNamespaceBench runs a miniature register-count sweep over both
+// engines and checks the trajectory file it appends: verified probes, both
+// backends per count, pinned schema.
+func TestNamespaceBench(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var out strings.Builder
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_namespace.json")
+	cfg := namespaceConfig{
+		Registers: []int{400}, ValueBytes: 64, Batch: 16,
+		JSONPath: jsonPath, Commit: "test", Out: &out,
+	}
+	if err := namespaceBench(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range nsBackends {
+		if !strings.Contains(out.String(), backend) {
+			t.Fatalf("output missing backend %s: %q", backend, out.String())
+		}
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f trajectoryFile[nsEntry]
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("trajectory file: %v", err)
+	}
+	if f.Schema != nsSchema || len(f.Entries) != 1 {
+		t.Fatalf("trajectory = schema %q, %d entries", f.Schema, len(f.Entries))
+	}
+	entry := f.Entries[0]
+	if len(entry.Rows) != 2*len(cfg.Registers) {
+		t.Fatalf("entry has %d rows, want one per backend per count: %+v", len(entry.Rows), entry)
+	}
+	for _, row := range entry.Rows {
+		if row.LoadOpsPerSec <= 0 || row.RecoveryMS <= 0 || row.ProbeUS <= 0 || row.DiskBytes <= 0 {
+			t.Fatalf("row not measured: %+v", row)
+		}
+		if row.LoadOps != 400+400/4 {
+			t.Fatalf("row loaded %d ops, want population + churn: %+v", row.LoadOps, row)
+		}
+	}
 }

@@ -1,0 +1,323 @@
+package main
+
+// The namespace experiment: the measured trajectory of ROADMAP item 1
+// (million-register namespaces). For each register count it populates a
+// fresh store through the batched durability path, then closes it and
+// times a cold reopen — the storage-level recovery a crashed node performs
+// before its control port may open, which is the honest metric at scale:
+// the single-log wal engine must replay every record of its wholesale
+// snapshot, while the sharded engine reads per-shard footer indexes and a
+// bounded segment tail. Both engines run side by side, so every entry in
+// BENCH_namespace.json is its own before/after comparison.
+//
+// Columns per (backend, registers) row:
+//
+//	load ops/s  — batched population + 25% overwrite churn throughput
+//	recovery    — Close-to-serving reopen time of the populated store
+//	probe       — mean cold Retrieve after reopen (sharded pays a pread
+//	              here; wal serves from the map its recovery prebuilt)
+//	disk        — bytes on disk after close
+//
+// A sample of registers is re-read and verified after recovery, so a row
+// can't look fast by dropping data.
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"recmem/internal/stable"
+)
+
+// nsSchema names the BENCH_namespace.json layout; bump it when the entry
+// shape changes incompatibly.
+const nsSchema = "recmem/bench-namespace/v1"
+
+// nsRow is one measured (backend, register-count) point.
+type nsRow struct {
+	Backend       string  `json:"backend"`
+	Registers     int     `json:"registers"`
+	LoadOps       int     `json:"load_ops"`
+	LoadOpsPerSec float64 `json:"load_ops_per_sec"`
+	RecoveryMS    float64 `json:"recovery_ms"`
+	ProbeUS       float64 `json:"probe_us"`
+	DiskBytes     int64   `json:"disk_bytes"`
+}
+
+// nsEntry is one dated sweep.
+type nsEntry struct {
+	Date       string  `json:"date"`
+	Commit     string  `json:"commit,omitempty"`
+	Note       string  `json:"note,omitempty"`
+	ValueBytes int     `json:"value_bytes"`
+	Batch      int     `json:"batch"`
+	Rows       []nsRow `json:"rows"`
+}
+
+// namespaceConfig carries the namespace experiment's knobs.
+type namespaceConfig struct {
+	// Registers are the namespace sizes to sweep (default 1k/10k/100k).
+	Registers []int
+	// ValueBytes is the register payload size; Batch the StoreBatch size.
+	ValueBytes, Batch int
+	// JSONPath, when set, appends the entry to that trajectory file;
+	// Commit and Note annotate it.
+	JSONPath, Commit, Note string
+	// Out receives the table (default os.Stdout).
+	Out io.Writer
+}
+
+// nsBackends are the engines under comparison: the single-log baseline and
+// the sharded store, in that order so each table reads before → after.
+var nsBackends = []string{"wal", "sharded"}
+
+// namespaceBench runs the namespace experiment.
+func namespaceBench(ctx context.Context, cfg namespaceConfig) error {
+	out := cfg.Out
+	if out == nil {
+		out = os.Stdout
+	}
+	if len(cfg.Registers) == 0 {
+		cfg.Registers = []int{1000, 10000, 100000}
+	}
+	if cfg.ValueBytes <= 4 {
+		return fmt.Errorf("namespace: value size must exceed the 4-byte verification stamp, got %d", cfg.ValueBytes)
+	}
+
+	entry := nsEntry{
+		Date: time.Now().UTC().Format(time.RFC3339), Commit: cfg.Commit, Note: cfg.Note,
+		ValueBytes: cfg.ValueBytes, Batch: cfg.Batch,
+	}
+	fmt.Fprintf(out, "namespace sweep (%d-byte values, batch %d)\n", cfg.ValueBytes, cfg.Batch)
+	fmt.Fprintf(out, "  %-8s %10s %12s %12s %10s %10s\n",
+		"backend", "registers", "load ops/s", "recovery ms", "probe µs", "disk MB")
+	for _, count := range cfg.Registers {
+		for _, backend := range nsBackends {
+			row, err := measureNamespace(ctx, backend, count, cfg)
+			if err != nil {
+				return fmt.Errorf("namespace %s/%d: %w", backend, count, err)
+			}
+			entry.Rows = append(entry.Rows, row)
+			fmt.Fprintf(out, "  %-8s %10d %12.0f %12.2f %10.2f %10.1f\n",
+				row.Backend, row.Registers, row.LoadOpsPerSec, row.RecoveryMS,
+				row.ProbeUS, float64(row.DiskBytes)/(1<<20))
+		}
+	}
+
+	if cfg.JSONPath != "" {
+		if err := appendTrajectory(cfg.JSONPath, nsSchema, entry); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  appended entry to %s\n", cfg.JSONPath)
+	}
+	return nil
+}
+
+// nsValue fills val with the deterministic content of register i at the
+// given version: index stamp, version byte, then a repeating pattern. The
+// post-recovery probe recomputes it, so a backend cannot win by losing
+// writes.
+func nsValue(val []byte, i int, version byte) {
+	binary.BigEndian.PutUint32(val[0:], uint32(i))
+	val[4] = version
+	for j := 5; j < len(val); j++ {
+		val[j] = byte(i+j) | 1
+	}
+}
+
+func nsName(i int) string { return fmt.Sprintf("written/r%07d", i) }
+
+// measureNamespace populates one fresh store and measures load throughput,
+// cold-reopen (recovery) time, and post-recovery probe latency.
+func measureNamespace(ctx context.Context, backend string, count int, cfg namespaceConfig) (nsRow, error) {
+	row := nsRow{Backend: backend, Registers: count}
+	dir, err := os.MkdirTemp("", "recmem-ns-*")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+
+	d, err := stable.OpenBackend(backend, dir, stable.Profile{})
+	if err != nil {
+		return row, err
+	}
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	// Initial population, then 25% overwrite churn: log-structured engines
+	// must absorb dead versions, not just a pristine sorted load. Each phase
+	// issues batches from a few concurrent workers — the engine's real
+	// caller is the node's async dispatcher, whose in-flight rounds are what
+	// group commit coalesces — with a barrier between the phases so every
+	// churned register's second version lands after its first.
+	churn := count / 4
+	start := time.Now()
+	if err := nsLoad(ctx, d, cfg.ValueBytes, batch, count, 0); err != nil {
+		return row, err
+	}
+	if err := nsLoad(ctx, d, cfg.ValueBytes, batch, churn, 1); err != nil {
+		return row, err
+	}
+	loadElapsed := time.Since(start)
+	row.LoadOps = count + churn
+	row.LoadOpsPerSec = float64(row.LoadOps) / loadElapsed.Seconds()
+	if err := d.Close(); err != nil {
+		return row, err
+	}
+	row.DiskBytes = dirBytes(dir)
+
+	// Recovery: the cold reopen a restarted node performs before serving.
+	start = time.Now()
+	d2, err := stable.OpenBackend(backend, dir, stable.Profile{})
+	if err != nil {
+		return row, err
+	}
+	row.RecoveryMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	defer d2.Close()
+
+	// Probe: sampled post-recovery reads, verified against the generator.
+	probes := count
+	if probes > 512 {
+		probes = 512
+	}
+	stride := count / probes
+	want := make([]byte, cfg.ValueBytes)
+	start = time.Now()
+	for p := 0; p < probes; p++ {
+		i := p * stride
+		data, ok, err := d2.Retrieve(nsName(i))
+		if err != nil || !ok {
+			return row, fmt.Errorf("probe %s: ok=%v err=%w", nsName(i), ok, err)
+		}
+		version := byte(0)
+		if i < churn {
+			version = 1
+		}
+		nsValue(want, i, version)
+		if !bytesEqual(data, want) {
+			return row, fmt.Errorf("probe %s: recovered %d-byte value does not match what was stored", nsName(i), len(data))
+		}
+	}
+	row.ProbeUS = float64(time.Since(start).Microseconds()) / float64(probes)
+	return row, nil
+}
+
+// nsLoad stores registers [0, count) at the given version through batched
+// StoreBatch calls issued by a small worker pool.
+func nsLoad(ctx context.Context, d stable.Storage, valueBytes, batch, count int, version byte) error {
+	const workers = 4
+	next := make(chan int, workers)
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			bufs := make([][]byte, batch)
+			for i := range bufs {
+				bufs[i] = make([]byte, valueBytes)
+			}
+			recs := make([]stable.Record, 0, batch)
+			for from := range next {
+				recs = recs[:0]
+				for reg := from; reg < from+batch && reg < count; reg++ {
+					val := bufs[len(recs)]
+					nsValue(val, reg, version)
+					recs = append(recs, stable.Record{Name: nsName(reg), Data: val})
+				}
+				if err := d.StoreBatch(recs); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	var firstErr error
+	for from := 0; from < count; from += batch {
+		select {
+		case next <- from:
+		case err := <-errs:
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if err := ctx.Err(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dirBytes sums the file sizes under dir.
+func dirBytes(dir string) int64 {
+	var total int64
+	filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if fi, err := d.Info(); err == nil {
+			total += fi.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// trajectoryFile is the shared BENCH_*.json shape: a schema tag and the
+// append-only entry list.
+type trajectoryFile[E any] struct {
+	Schema  string `json:"schema"`
+	Entries []E    `json:"entries"`
+}
+
+// appendTrajectory appends entry to the trajectory file at path, creating
+// it with the schema tag when absent and refusing any other schema.
+func appendTrajectory[E any](path, schema string, entry E) error {
+	var f trajectoryFile[E]
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if f.Schema != schema {
+			return fmt.Errorf("%s: schema %q, want %q", path, f.Schema, schema)
+		}
+	case os.IsNotExist(err):
+		f.Schema = schema
+	default:
+		return err
+	}
+	f.Entries = append(f.Entries, entry)
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -17,7 +17,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -225,27 +224,7 @@ func newBenchRow(ops int, elapsed time.Duration, mallocs uint64) benchRow {
 // appendBenchEntry appends entry to the trajectory file, creating it with
 // the schema tag when absent.
 func appendBenchEntry(path string, entry benchEntry) error {
-	var f benchFile
-	data, err := os.ReadFile(path)
-	switch {
-	case err == nil:
-		if err := json.Unmarshal(data, &f); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		if f.Schema != benchSchema {
-			return fmt.Errorf("%s: schema %q, want %q", path, f.Schema, benchSchema)
-		}
-	case os.IsNotExist(err):
-		f.Schema = benchSchema
-	default:
-		return err
-	}
-	f.Entries = append(f.Entries, entry)
-	out, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	return appendTrajectory(path, benchSchema, entry)
 }
 
 // startLoopbackMesh boots an in-process n-node mesh: real TCP between the

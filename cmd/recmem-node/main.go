@@ -224,7 +224,7 @@ func run(args []string) error {
 		control     = fs.String("control", "", "address of the client control port")
 		dir         = fs.String("dir", "", "stable-storage directory (required for crash-recovery algorithms with a real -disk)")
 		algorithm   = fs.String("algorithm", "persistent", "crash-stop, transient, persistent, naive, or regular")
-		disk        = fs.String("disk", "file", "stable-storage engine: mem, file, or wal")
+		disk        = fs.String("disk", "file", "stable-storage engine: mem, file, wal, or sharded")
 		hardened    = fs.Bool("hardened", false, "hardened tags for the transient algorithm")
 		retransmit  = fs.Duration("retransmit", 100*time.Millisecond, "protocol retransmission period")
 		opTimeout   = fs.Duration("op-timeout", time.Minute, "server-side bound on one operation")

@@ -39,7 +39,7 @@
 //	recmem-torture -remote :7200,:7201,:7202 -verify \
 //	    -kill 'recmem-node -id 0 ...;;recmem-node -id 1 ...;;recmem-node -id 2 ...'
 //
-// -disk selects the stable-storage engine (mem, file, or wal — the
+// -disk selects the stable-storage engine (mem, file, wal, or sharded — the
 // log-structured group-commit engine). -diskfail wraps every disk in a
 // stable.Flaky that fails Store/StoreBatch with the given probability: a
 // replica whose group commit fails acknowledges nothing, so the checkers
@@ -134,7 +134,7 @@ func run(args []string) error {
 		hardened   = fs.Bool("hardened", false, "use hardened tags for the transient algorithm")
 		faultFor   = fs.Duration("faults", time.Second, "fault-injection duration per round")
 		traceCap   = fs.Int("trace", 0, "protocol trace capacity; dumped when a violation is found (0 = off)")
-		disk       = fs.String("disk", "mem", "stable-storage engine: mem, file, or wal")
+		disk       = fs.String("disk", "mem", "stable-storage engine: mem, file, wal, or sharded")
 		diskFail   = fs.Float64("diskfail", 0, "injected Store/StoreBatch failure rate [0,1)")
 		remoteFlag = fs.String("remote", "", "comma-separated recmem-node control addresses: drive a live mesh instead of the simulator")
 		verify     = fs.Bool("verify", false, "with -remote: record per-client histories, merge them by wall clock + tag witness, and model-check the round (docs/adr/0004)")

@@ -45,11 +45,11 @@ type Config struct {
 	Disk stable.Profile
 	// DiskBackend selects each process's stable-storage engine when
 	// DiskFactory is not set: "mem" (default — the simulated disk with the
-	// Disk profile), "file" (one file per record), or "wal" (the
-	// log-structured group-commit engine). The real engines live under
-	// DiskDir/node<i>.
+	// Disk profile), "file" (one file per record), "wal" (the log-structured
+	// group-commit engine), or "sharded" (the sharded compacting engine for
+	// large namespaces). The real engines live under DiskDir/node<i>.
 	DiskBackend string
-	// DiskDir roots the file and wal backends; required for them.
+	// DiskDir roots the file, wal and sharded backends; required for them.
 	DiskDir string
 	// DiskFactory, if set, overrides DiskBackend and supplies each process's
 	// stable storage. The storage must survive Crash/Recover cycles.

@@ -320,8 +320,8 @@ func Batch(ctx context.Context, opts Options) ([]BatchPoint, error) {
 // StoreBatch groups — what a group-commit-free engine flushes), and Syncs
 // the flushes the engine actually performed: Commits for mem (each commit
 // pays one simulated λ), 2 × Records for file (every record is a temp-file
-// fsync plus a directory fsync), and the group-commit daemon's count for
-// wal.
+// fsync plus a directory fsync), and the group-commit daemons' counts for
+// wal and sharded.
 type DiskPoint struct {
 	Backend string
 	Ops     float64
@@ -355,7 +355,8 @@ func MeasureDisk(ctx context.Context, kind core.AlgorithmKind, n int, backend st
 		defer os.RemoveAll(dir)
 	}
 	counts := make([]*stable.Counting, n)
-	wals := make([]*stable.WALDisk, n)
+	// Log-structured engines report their own fsync bill.
+	syncers := make([]interface{ Syncs() int64 }, n)
 	c, err := cluster.New(cluster.Config{
 		N:         n,
 		Algorithm: kind,
@@ -366,8 +367,8 @@ func MeasureDisk(ctx context.Context, kind core.AlgorithmKind, n int, backend st
 			if err != nil {
 				return nil, err
 			}
-			if w, ok := inner.(*stable.WALDisk); ok {
-				wals[id] = w
+			if s, ok := inner.(interface{ Syncs() int64 }); ok {
+				syncers[id] = s
 			}
 			counts[id] = stable.NewCounting(inner)
 			return counts[id], nil
@@ -390,8 +391,8 @@ func MeasureDisk(ctx context.Context, kind core.AlgorithmKind, n int, backend st
 	for i, ct := range counts {
 		warmRecords += ct.Stores()
 		warmCommits += ct.Commits()
-		if wals[i] != nil {
-			warmSyncs += wals[i].Syncs()
+		if syncers[i] != nil {
+			warmSyncs += syncers[i].Syncs()
 		}
 	}
 	start := time.Now()
@@ -408,8 +409,8 @@ func MeasureDisk(ctx context.Context, kind core.AlgorithmKind, n int, backend st
 	for i, ct := range counts {
 		p.Records += ct.Stores()
 		p.Commits += ct.Commits()
-		if wals[i] != nil {
-			p.Syncs += wals[i].Syncs()
+		if syncers[i] != nil {
+			p.Syncs += syncers[i].Syncs()
 		}
 	}
 	p.Records -= warmRecords
@@ -419,7 +420,7 @@ func MeasureDisk(ctx context.Context, kind core.AlgorithmKind, n int, backend st
 		p.Syncs = int64(p.Commits)
 	case "file":
 		p.Syncs = 2 * int64(p.Records)
-	case "wal":
+	default:
 		p.Syncs -= warmSyncs
 	}
 	return p, nil

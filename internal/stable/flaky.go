@@ -61,6 +61,26 @@ func (f *Flaky) StoreBatch(recs []Record) error {
 	return f.inner.StoreBatch(recs)
 }
 
+// Delete implements Deleter; an injected fault fails the delete before the
+// tombstone reaches the inner store (ErrNoDelete if the inner storage has no
+// lifecycle support).
+func (f *Flaky) Delete(record string) error {
+	d, ok := f.inner.(Deleter)
+	if !ok {
+		return ErrNoDelete
+	}
+	f.mu.Lock()
+	fail := f.rng.Float64() < f.failRate
+	if fail {
+		f.failures++
+	}
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return d.Delete(record)
+}
+
 // Retrieve implements Storage.
 func (f *Flaky) Retrieve(record string) ([]byte, bool, error) {
 	return f.inner.Retrieve(record)

@@ -1,0 +1,1388 @@
+package stable
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recmem/internal/spin"
+)
+
+// ShardedDisk is the third-generation storage engine: a sharded, compacting
+// store built for register namespaces far larger than what fits — or should
+// sit — in one process's memory. WALDisk already amortizes fsyncs, but both
+// its recovery time and its resident set grow linearly with the total
+// namespace: opening a WALDisk replays every record of a wholesale snapshot
+// into one map before the first Retrieve can be served, which is exactly
+// where crash-recovery systems die at scale ("replaying a 10 GB WAL before
+// opening the control port"). ShardedDisk bounds both:
+//
+//   - Records hash onto a fixed number of shards (the count is persisted in
+//     a MANIFEST so reopens agree). Each shard owns its own WAL segment
+//     chain and snapshot, and recovery opens all shards in parallel.
+//   - A shard snapshot ends in a sorted footer index (name → frame offset),
+//     so opening a shard reads the index and the small segment tail — not
+//     the values. What must be replayed before the store is serving again
+//     is bounded by the compaction policy, independent of namespace size.
+//   - Values are resident only while hot: an LRU per shard keeps at most
+//     ResidentRecords values in memory; everything else is cold-loaded from
+//     the snapshot or segment file on demand. The index (names + offsets)
+//     is the only per-record memory that scales with the namespace.
+//   - Registers can be deleted: Delete appends a tombstone frame, and
+//     compaction drops tombstoned records from the next snapshot, so a
+//     churning namespace does not grow without bound.
+//   - Compaction merges a shard's snapshot and sealed segments into a new
+//     snapshot concurrently with serving (only the active segment takes new
+//     appends), triggered by sealed-segment size, segment age, and a final
+//     pass on clean Close. The rename of the new snapshot is the atomic
+//     commit point: its watermark records the highest segment it covers, so
+//     a crash anywhere between temp-write, rename, and segment deletion
+//     recovers to a consistent state.
+//
+// Layout under dir:
+//
+//	MANIFEST            — shard count, written once at creation
+//	shard-0000/
+//	  snapshot.rec      — data frames + sorted index + footer (watermark)
+//	  seg-00000001.wal  — CRC-framed append-only segments; highest id active
+//	shard-0001/ ...
+//
+// Store/StoreBatch group-commit per shard exactly like WALDisk: every group
+// pending at sync time shares one fdatasync of that shard's active segment.
+// A batch spanning shards commits per shard independently; on error none of
+// it is acknowledged (the Storage contract), and a shard whose sync fails
+// rolls back to its last good offset without touching its siblings.
+type ShardedDisk struct {
+	dir    string
+	opts   ShardedOptions
+	shards []*shard
+
+	mu     sync.Mutex
+	closed bool
+
+	syncs       atomic.Int64
+	batches     atomic.Int64
+	appended    atomic.Int64
+	compactions atomic.Int64
+	tombstones  atomic.Int64
+	evictions   atomic.Int64
+
+	// syncHook, when set by tests before any Store, replaces the per-shard
+	// segment fdatasync to inject group-commit failures on selected shards.
+	syncHook func(shard int) error
+	// compactHook, when set by tests, is called at each stage of a shard
+	// compaction ("written", "renamed", "deleted"); returning false abandons
+	// the compaction at that point without cleaning up — the file-level
+	// state a SIGKILL at that instant would leave behind.
+	compactHook func(shard int, stage string) bool
+}
+
+var (
+	_ Storage = (*ShardedDisk)(nil)
+	_ Deleter = (*ShardedDisk)(nil)
+)
+
+// ShardedOptions tunes a ShardedDisk. The zero value selects the defaults;
+// negative values disable the corresponding trigger.
+type ShardedOptions struct {
+	// Shards is the number of shards (default 8). The count chosen when the
+	// directory is first created is persisted in its MANIFEST and wins over
+	// this option on reopen — records must keep hashing to the same shard.
+	Shards int
+	// SegmentBytes seals the active segment once it grows past this size
+	// (default 256 KiB; negative lets the active segment grow unbounded,
+	// which also disables compaction since only sealed segments compact).
+	SegmentBytes int64
+	// CompactBytes triggers a shard compaction when its sealed segments
+	// exceed this many bytes (default 1 MiB; negative disables the size
+	// trigger).
+	CompactBytes int64
+	// CompactAge triggers a compaction when the oldest sealed segment is
+	// older than this (default 1 minute; negative disables the age trigger).
+	CompactAge time.Duration
+	// CloseCompactBytes runs a final compaction on a clean Close when a
+	// shard holds at least this many uncompacted bytes (default 64 KiB;
+	// negative disables), so a cleanly restarted process reopens from the
+	// index alone. A crash skips it, and replay stays bounded by the
+	// size/age triggers above.
+	CloseCompactBytes int64
+	// ResidentRecords caps the number of record values each shard keeps in
+	// memory (default 4096 per shard; negative is unbounded). Evicted values
+	// cold-load from the shard's snapshot or segment files on Retrieve.
+	ResidentRecords int
+	// GatherWindow is the per-shard group-commit gather window, as in
+	// WALOptions (default 20 µs; negative disables the wait).
+	GatherWindow time.Duration
+}
+
+const (
+	manifestName = "MANIFEST"
+	shardSnap    = "snapshot.rec"
+
+	defaultShards            = 8
+	defaultSegmentBytes      = 256 << 10
+	defaultCompactBytes      = 1 << 20
+	defaultCompactAge        = time.Minute
+	defaultCloseCompactBytes = 64 << 10
+	defaultResidentRecords   = 4096
+
+	// Frame kinds: a stored value or a tombstone.
+	kindSet  = 0
+	kindTomb = 1
+
+	// shardFrameMeta is the payload overhead before the data: kind byte +
+	// name length.
+	shardFrameMeta = 5
+
+	// snapFooterLen is the fixed trailer of a shard snapshot:
+	// u64 index offset | u64 watermark | u32 CRC32(index) | u32 magic.
+	snapFooterLen = 24
+	snapMagic     = 0x52534e50 // "RSNP"
+)
+
+func (o ShardedOptions) withDefaults() ShardedOptions {
+	if o.Shards <= 0 {
+		o.Shards = defaultShards
+	}
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.CompactBytes == 0 {
+		o.CompactBytes = defaultCompactBytes
+	}
+	if o.CompactAge == 0 {
+		o.CompactAge = defaultCompactAge
+	}
+	if o.CloseCompactBytes == 0 {
+		o.CloseCompactBytes = defaultCloseCompactBytes
+	}
+	if o.ResidentRecords == 0 {
+		o.ResidentRecords = defaultResidentRecords
+	}
+	if o.GatherWindow == 0 {
+		o.GatherWindow = defaultGatherWindow
+	}
+	return o
+}
+
+// shardKey returns the hash key of a record name: the part after the first
+// '/'. Register emulations name their records role/register ("written/x",
+// "writing/x"), so every record of one register lands in one shard; names
+// without a role prefix ("recovered", "incarnation") hash whole.
+func shardKey(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func (d *ShardedDisk) shardFor(name string) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, shardKey(name))
+	return d.shards[h.Sum32()%uint32(len(d.shards))]
+}
+
+// recLoc locates one record's latest frame: segment id (0 = the shard
+// snapshot), frame start offset, and full frame length.
+type recLoc struct {
+	seg  uint64
+	off  int64
+	flen int32
+	tomb bool
+}
+
+// segInfo is one sealed, immutable segment awaiting compaction. The file
+// handle stays open so cold loads survive the unlink that a concurrent
+// compaction performs on the path.
+type segInfo struct {
+	id       uint64
+	f        *os.File
+	size     int64
+	sealedAt time.Time
+}
+
+// shardReq is one submitted group waiting for a shard's committer.
+type shardReq struct {
+	recs []Record
+	tomb []bool
+	done chan error
+}
+
+// resVal is one resident value in a shard's LRU.
+type resVal struct {
+	name string
+	data []byte
+	prev *resVal
+	next *resVal
+}
+
+// shard is one of the store's independent slices: its own segment chain,
+// snapshot, index, resident-value cache, and group-commit daemon.
+type shard struct {
+	d   *ShardedDisk
+	id  int
+	dir string
+
+	// mu guards everything below plus all reads of the file handles; the
+	// committer appends and syncs the active segment off the lock (readers
+	// only ever pread below the durable good offset).
+	mu sync.Mutex
+
+	// The base index: the snapshot's sorted raw index block and the start
+	// offset of each entry within it. Nothing per-record is allocated at
+	// open; names materialize only when enumerated or promoted.
+	baseRaw   []byte
+	baseOffs  []int32
+	snapF     *os.File
+	watermark uint64
+
+	// over shadows the base: every record stored or deleted since the
+	// snapshot, pointing into a segment. A tomb entry hides a base record.
+	over map[string]recLoc
+
+	// Resident values: name → node of an intrusive LRU list (head = most
+	// recently used).
+	res     map[string]*resVal
+	lruHead *resVal
+	lruTail *resVal
+
+	queue  []*shardReq
+	closed bool
+	broken error
+
+	active     *os.File
+	activeID   uint64
+	good       int64
+	sealed     []*segInfo
+	sealedSize int64
+	compacting bool
+
+	notify chan struct{}
+	quit   chan struct{}
+	done   chan struct{}
+	compWG sync.WaitGroup
+}
+
+// NewShardedDisk opens (creating if necessary) a sharded store rooted at dir
+// with default options.
+func NewShardedDisk(dir string) (*ShardedDisk, error) {
+	return OpenShardedDisk(dir, ShardedOptions{})
+}
+
+// OpenShardedDisk is NewShardedDisk with explicit options. All shards open
+// in parallel: each reads its snapshot's footer index and replays only its
+// segment tail, so open time is bounded by the compaction policy rather
+// than the namespace size.
+func OpenShardedDisk(dir string, opts ShardedOptions) (*ShardedDisk, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stable: create dir: %w", err)
+	}
+	n, err := loadManifest(dir, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	d := &ShardedDisk{dir: dir, opts: opts, shards: make([]*shard, n)}
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			sh := &shard{
+				d: d, id: i, dir: filepath.Join(dir, fmt.Sprintf("shard-%04d", i)),
+				over:   make(map[string]recLoc),
+				res:    make(map[string]*resVal),
+				notify: make(chan struct{}, 1),
+				quit:   make(chan struct{}),
+				done:   make(chan struct{}),
+			}
+			d.shards[i] = sh
+			errs <- sh.open()
+		}(i)
+	}
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		for _, sh := range d.shards {
+			if sh != nil {
+				sh.closeFiles()
+			}
+		}
+		return nil, firstErr
+	}
+	for _, sh := range d.shards {
+		go sh.run()
+	}
+	return d, nil
+}
+
+// loadManifest reads the persisted shard count, creating the manifest with
+// want shards on first open. The persisted count always wins: records must
+// keep hashing onto the shard that holds them.
+func loadManifest(dir string, want int) (int, error) {
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if err == nil {
+		n, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+		if perr != nil || n < 1 {
+			return 0, fmt.Errorf("stable: corrupt manifest %q", string(data))
+		}
+		return n, nil
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		return 0, fmt.Errorf("stable: read manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "manifest-*")
+	if err != nil {
+		return 0, fmt.Errorf("stable: write manifest: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := fmt.Fprintf(tmp, "%d\n", want); err == nil {
+		err = tmp.Sync()
+	} else {
+		tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("stable: write manifest: %w", err)
+	}
+	syncDir(dir)
+	return want, nil
+}
+
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		_ = f.Sync()
+		f.Close()
+	}
+}
+
+// open loads one shard: stray compaction temp files are removed, the
+// snapshot's footer index is mapped (no values), segments covered by the
+// snapshot watermark are garbage from an interrupted compaction and are
+// deleted, and the remaining segment tail replays into the overlay with a
+// per-segment torn-frame cutoff. The highest surviving segment becomes the
+// active one.
+func (sh *shard) open() error {
+	if err := os.MkdirAll(sh.dir, 0o755); err != nil {
+		return fmt.Errorf("stable: create shard dir: %w", err)
+	}
+	if strays, err := filepath.Glob(filepath.Join(sh.dir, "snap-tmp-*")); err == nil {
+		for _, s := range strays {
+			os.Remove(s)
+		}
+	}
+	if err := sh.openSnapshot(); err != nil {
+		return err
+	}
+
+	entries, err := os.ReadDir(sh.dir)
+	if err != nil {
+		return fmt.Errorf("stable: list shard: %w", err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		var id uint64
+		if _, err := fmt.Sscanf(e.Name(), "seg-%08d.wal", &id); err == nil {
+			if id <= sh.watermark {
+				// Covered by the snapshot: leftover input of a compaction
+				// that crashed between rename and deletion.
+				os.Remove(filepath.Join(sh.dir, e.Name()))
+				continue
+			}
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for i, id := range ids {
+		path := filepath.Join(sh.dir, fmt.Sprintf("seg-%08d.wal", id))
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("stable: open segment: %w", err)
+		}
+		good, err := sh.replaySegment(f, id)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("stable: replay segment %d: %w", id, err)
+		}
+		if fi, err := f.Stat(); err == nil && fi.Size() > good {
+			if err := f.Truncate(good); err != nil {
+				f.Close()
+				return fmt.Errorf("stable: truncate torn tail: %w", err)
+			}
+		}
+		if i == len(ids)-1 {
+			if _, err := f.Seek(good, io.SeekStart); err != nil {
+				f.Close()
+				return fmt.Errorf("stable: seek segment end: %w", err)
+			}
+			sh.active, sh.activeID, sh.good = f, id, good
+		} else {
+			fi, _ := f.Stat()
+			sealedAt := time.Now()
+			if fi != nil {
+				sealedAt = fi.ModTime()
+			}
+			sh.sealed = append(sh.sealed, &segInfo{id: id, f: f, size: good, sealedAt: sealedAt})
+			sh.sealedSize += good
+		}
+	}
+	if sh.active == nil {
+		id := sh.watermark + 1
+		if n := len(sh.sealed); n > 0 {
+			id = sh.sealed[n-1].id + 1
+		}
+		if err := sh.newActive(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sh *shard) newActive(id uint64) error {
+	f, err := os.OpenFile(filepath.Join(sh.dir, fmt.Sprintf("seg-%08d.wal", id)),
+		os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("stable: create segment: %w", err)
+	}
+	sh.active, sh.activeID, sh.good = f, id, 0
+	return nil
+}
+
+// openSnapshot maps the snapshot's footer index without touching the data
+// region. A malformed snapshot is real corruption — it was written in full
+// and renamed atomically — and fails the open, like WALDisk.
+func (sh *shard) openSnapshot() error {
+	f, err := os.Open(filepath.Join(sh.dir, shardSnap))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("stable: open snapshot: %w", err)
+	}
+	raw, offs, wm, err := readSnapIndex(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	sh.snapF, sh.baseRaw, sh.baseOffs, sh.watermark = f, raw, offs, wm
+	return nil
+}
+
+// readSnapIndex reads and validates a snapshot's index block and footer.
+func readSnapIndex(f *os.File) (raw []byte, offs []int32, watermark uint64, err error) {
+	corrupt := errors.New("stable: corrupted shard snapshot")
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if fi.Size() < snapFooterLen {
+		return nil, nil, 0, corrupt
+	}
+	var foot [snapFooterLen]byte
+	if _, err := f.ReadAt(foot[:], fi.Size()-snapFooterLen); err != nil {
+		return nil, nil, 0, err
+	}
+	if binary.BigEndian.Uint32(foot[20:]) != snapMagic {
+		return nil, nil, 0, corrupt
+	}
+	idxOff := int64(binary.BigEndian.Uint64(foot[0:]))
+	watermark = binary.BigEndian.Uint64(foot[8:])
+	sum := binary.BigEndian.Uint32(foot[16:])
+	if idxOff < 0 || idxOff > fi.Size()-snapFooterLen {
+		return nil, nil, 0, corrupt
+	}
+	raw = make([]byte, fi.Size()-snapFooterLen-idxOff)
+	if _, err := f.ReadAt(raw, idxOff); err != nil {
+		return nil, nil, 0, err
+	}
+	if crc32.ChecksumIEEE(raw) != sum {
+		return nil, nil, 0, corrupt
+	}
+	// One scan for entry boundaries; no per-record allocation.
+	for off := 0; off < len(raw); {
+		if off+4 > len(raw) {
+			return nil, nil, 0, corrupt
+		}
+		nameLen := int(binary.BigEndian.Uint32(raw[off:]))
+		end := off + 4 + nameLen + 12
+		if nameLen < 0 || end > len(raw) {
+			return nil, nil, 0, corrupt
+		}
+		offs = append(offs, int32(off))
+		off = end
+	}
+	return raw, offs, watermark, nil
+}
+
+// indexEntry decodes the base index entry starting at raw[off].
+func indexEntry(raw []byte, off int32) (name []byte, loc recLoc) {
+	nameLen := binary.BigEndian.Uint32(raw[off:])
+	name = raw[off+4 : off+4+int32(nameLen)]
+	rest := raw[off+4+int32(nameLen):]
+	loc = recLoc{
+		seg:  0,
+		off:  int64(binary.BigEndian.Uint64(rest)),
+		flen: int32(binary.BigEndian.Uint32(rest[8:])),
+	}
+	return name, loc
+}
+
+// baseLookup binary-searches the snapshot index for name without allocating.
+func (sh *shard) baseLookup(name string) (recLoc, bool) {
+	lo, hi := 0, len(sh.baseOffs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		n, _ := indexEntry(sh.baseRaw, sh.baseOffs[mid])
+		if string(n) < name { // comparison only; no allocation (Go optimizes string(b) in comparisons)
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(sh.baseOffs) {
+		n, loc := indexEntry(sh.baseRaw, sh.baseOffs[lo])
+		if string(n) == name {
+			return loc, true
+		}
+	}
+	return recLoc{}, false
+}
+
+// lookup resolves a name through the overlay, then the base index.
+func (sh *shard) lookup(name string) (recLoc, bool) {
+	if loc, ok := sh.over[name]; ok {
+		if loc.tomb {
+			return recLoc{}, false
+		}
+		return loc, true
+	}
+	return sh.baseLookup(name)
+}
+
+// replaySegment scans one segment, folding every well-formed frame into the
+// overlay, and returns the offset after the last good frame (the torn-frame
+// cutoff of this shard).
+func (sh *shard) replaySegment(f *os.File, id uint64) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	return replayShardFrames(f, func(kind byte, name string, data []byte, off int64, flen int32) {
+		if kind == kindTomb {
+			sh.over[name] = recLoc{seg: id, off: off, flen: flen, tomb: true}
+		} else {
+			sh.over[name] = recLoc{seg: id, off: off, flen: flen}
+		}
+	})
+}
+
+// run is the shard's group-commit daemon: same contract as WALDisk's, plus
+// seal and compaction checks after each flush and a periodic age check.
+func (sh *shard) run() {
+	defer close(sh.done)
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if sh.d.opts.CompactAge > 0 {
+		period := sh.d.opts.CompactAge / 4
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		ticker = time.NewTicker(period)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		var closing bool
+		select {
+		case <-sh.notify:
+			if sh.d.opts.GatherWindow > 0 {
+				select {
+				case <-sh.quit:
+					closing = true
+				default:
+					spin.Sleep(sh.d.opts.GatherWindow)
+				}
+			}
+		case <-tick:
+		case <-sh.quit:
+			closing = true
+		}
+		sh.mu.Lock()
+		reqs := sh.queue
+		sh.queue = nil
+		sh.mu.Unlock()
+		if len(reqs) > 0 {
+			sh.commit(reqs)
+			sh.maybeSeal()
+		}
+		sh.maybeCompact()
+		if closing {
+			return
+		}
+	}
+}
+
+// commit appends every group's frames to the active segment with one write,
+// syncs once, publishes the new locations and resident values, and
+// acknowledges the waiters. On failure nothing is acknowledged and the
+// segment rolls back to its last good offset — siblings shards are
+// untouched by construction.
+func (sh *shard) commit(reqs []*shardReq) {
+	if sh.broken != nil {
+		for _, r := range reqs {
+			r.done <- fmt.Errorf("%w: %w", errWALBroken, sh.broken)
+		}
+		return
+	}
+	var buf bytes.Buffer
+	type pending struct {
+		name string
+		data []byte
+		loc  recLoc
+	}
+	var locs []pending
+	count := 0
+	for _, r := range reqs {
+		for i, rec := range r.recs {
+			kind := byte(kindSet)
+			if r.tomb != nil && r.tomb[i] {
+				kind = kindTomb
+			}
+			off := sh.good + int64(buf.Len())
+			flen := appendShardFrame(&buf, kind, rec.Name, rec.Data)
+			locs = append(locs, pending{name: rec.Name, data: rec.Data,
+				loc: recLoc{seg: sh.activeID, off: off, flen: flen, tomb: kind == kindTomb}})
+			count++
+		}
+	}
+	_, err := sh.active.Write(buf.Bytes())
+	if err == nil {
+		err = sh.sync()
+	}
+	if err != nil {
+		if terr := sh.active.Truncate(sh.good); terr != nil {
+			sh.broken = terr
+		} else if _, serr := sh.active.Seek(sh.good, io.SeekStart); serr != nil {
+			sh.broken = serr
+		}
+		for _, r := range reqs {
+			r.done <- err
+		}
+		return
+	}
+	sh.d.syncs.Add(1)
+	sh.d.batches.Add(1)
+	sh.d.appended.Add(int64(count))
+
+	sh.mu.Lock()
+	sh.good += int64(buf.Len())
+	for _, p := range locs {
+		sh.over[p.name] = p.loc
+		if p.loc.tomb {
+			sh.d.tombstones.Add(1)
+			sh.dropResident(p.name)
+		} else {
+			sh.putResident(p.name, p.data)
+		}
+	}
+	sh.mu.Unlock()
+	for _, r := range reqs {
+		r.done <- nil
+	}
+}
+
+func (sh *shard) sync() error {
+	if hook := sh.d.syncHook; hook != nil {
+		return hook(sh.id)
+	}
+	return sh.active.Sync()
+}
+
+// maybeSeal retires the active segment once it passes the size threshold.
+// Sealed segments keep their file handles open so cold loads survive a
+// concurrent compaction unlinking the path.
+func (sh *shard) maybeSeal() {
+	if sh.d.opts.SegmentBytes <= 0 || sh.good < sh.d.opts.SegmentBytes {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sealed = append(sh.sealed, &segInfo{id: sh.activeID, f: sh.active, size: sh.good, sealedAt: time.Now()})
+	sh.sealedSize += sh.good
+	if err := sh.newActive(sh.activeID + 1); err != nil {
+		sh.broken = err
+		// Undo the seal so the shard still points at a valid active file for
+		// the error paths; the broken flag stops further commits anyway.
+		last := sh.sealed[len(sh.sealed)-1]
+		sh.sealed = sh.sealed[:len(sh.sealed)-1]
+		sh.sealedSize -= last.size
+		sh.active, sh.activeID, sh.good = last.f, last.id, last.size
+	}
+}
+
+// maybeCompact launches a background compaction when the sealed chain trips
+// the size or age trigger.
+func (sh *shard) maybeCompact() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.compacting || sh.broken != nil || len(sh.sealed) == 0 {
+		return
+	}
+	opts := sh.d.opts
+	due := opts.CompactBytes > 0 && sh.sealedSize >= opts.CompactBytes
+	if !due && opts.CompactAge > 0 && time.Since(sh.sealed[0].sealedAt) >= opts.CompactAge {
+		due = true
+	}
+	if !due {
+		return
+	}
+	segs := make([]*segInfo, len(sh.sealed))
+	copy(segs, sh.sealed)
+	sh.compacting = true
+	sh.compWG.Add(1)
+	go sh.compact(segs)
+}
+
+// compact merges the current snapshot and the given sealed segments into a
+// new snapshot whose watermark covers them, swaps it in, and deletes the
+// consumed segments. It runs concurrently with serving: the inputs are
+// immutable, and only the swap (rename + index/overlay fixup + deletion)
+// takes the shard lock. On any error the compaction is abandoned — the
+// segments simply survive until the next attempt.
+func (sh *shard) compact(segs []*segInfo) {
+	defer sh.compWG.Done()
+	watermark := segs[len(segs)-1].id
+	merged, err := sh.mergedState(segs)
+	if err != nil {
+		sh.abandonCompaction()
+		return
+	}
+	tmpName, raw, offs, err := writeSnapshot(sh.dir, merged, watermark)
+	if err != nil {
+		sh.abandonCompaction()
+		return
+	}
+	if hook := sh.d.compactHook; hook != nil && !hook(sh.id, "written") {
+		sh.abandonCompaction()
+		return
+	}
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	final := filepath.Join(sh.dir, shardSnap)
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		sh.compacting = false
+		return
+	}
+	syncDir(sh.dir)
+	if hook := sh.d.compactHook; hook != nil && !hook(sh.id, "renamed") {
+		// Simulated crash after the commit point: stop before the in-memory
+		// swap. The old snapshot handle still reads the old (now unlinked)
+		// file, so the in-memory state stays consistent; compacting stays
+		// true so no further compaction races the simulated wreckage.
+		return
+	}
+	newF, err := os.Open(final)
+	if err != nil {
+		sh.compacting = false
+		return
+	}
+	if sh.snapF != nil {
+		sh.snapF.Close()
+	}
+	sh.snapF, sh.baseRaw, sh.baseOffs, sh.watermark = newF, raw, offs, watermark
+	// Every overlay entry the new snapshot covers is now base state (or, for
+	// tombstones, gone entirely).
+	for name, loc := range sh.over {
+		if loc.seg <= watermark {
+			delete(sh.over, name)
+		}
+	}
+	for i, seg := range segs {
+		seg.f.Close()
+		os.Remove(filepath.Join(sh.dir, fmt.Sprintf("seg-%08d.wal", seg.id)))
+		if hook := sh.d.compactHook; i == 0 && hook != nil && !hook(sh.id, "deleted") {
+			return
+		}
+	}
+	sh.sealed = sh.sealed[len(segs):]
+	sh.sealedSize = 0
+	for _, seg := range sh.sealed {
+		sh.sealedSize += seg.size
+	}
+	sh.compacting = false
+	sh.d.compactions.Add(1)
+}
+
+func (sh *shard) abandonCompaction() {
+	sh.mu.Lock()
+	sh.compacting = false
+	sh.mu.Unlock()
+}
+
+// mergedState replays the snapshot's data region and the sealed segments in
+// order, returning the surviving records. Tombstones drop records outright:
+// the inputs cover every older copy, so nothing can resurrect them.
+func (sh *shard) mergedState(segs []*segInfo) (map[string][]byte, error) {
+	merged := make(map[string][]byte)
+	sh.mu.Lock()
+	snapF := sh.snapF
+	var dataLen int64
+	if snapF != nil && len(sh.baseOffs) > 0 {
+		// The data region ends where the index begins.
+		last := sh.baseOffs[len(sh.baseOffs)-1]
+		_, loc := indexEntry(sh.baseRaw, last)
+		dataLen = loc.off + int64(loc.flen)
+	}
+	sh.mu.Unlock()
+	apply := func(kind byte, name string, data []byte, _ int64, _ int32) {
+		if kind == kindTomb {
+			delete(merged, name)
+		} else {
+			merged[name] = data
+		}
+	}
+	if snapF != nil && dataLen > 0 {
+		if _, err := replayShardFrames(io.NewSectionReader(snapF, 0, dataLen), apply); err != nil {
+			return nil, err
+		}
+	}
+	for _, seg := range segs {
+		if _, err := replayShardFrames(io.NewSectionReader(seg.f, 0, seg.size), apply); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+// writeSnapshot writes a shard snapshot to a temp file in dir: data frames
+// in name order (so a sequential scan of the sorted index preads forward),
+// then the index block, then the footer. Returns the temp path and the
+// parsed index for the in-memory swap.
+func writeSnapshot(dir string, recs map[string][]byte, watermark uint64) (tmpName string, raw []byte, offs []int32, err error) {
+	names := make([]string, 0, len(recs))
+	for name := range recs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	tmp, err := os.CreateTemp(dir, "snap-tmp-*")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	tmpName = tmp.Name()
+	fail := func(err error) (string, []byte, []int32, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", nil, nil, err
+	}
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	var frame bytes.Buffer
+	var off int64
+	var idx bytes.Buffer
+	for _, name := range names {
+		frame.Reset()
+		flen := appendShardFrame(&frame, kindSet, name, recs[name])
+		if _, err := w.Write(frame.Bytes()); err != nil {
+			return fail(err)
+		}
+		offs = append(offs, int32(idx.Len()))
+		binary.Write(&idx, binary.BigEndian, uint32(len(name)))
+		idx.WriteString(name)
+		binary.Write(&idx, binary.BigEndian, uint64(off))
+		binary.Write(&idx, binary.BigEndian, uint32(flen))
+		off += int64(flen)
+	}
+	raw = idx.Bytes()
+	if _, err := w.Write(raw); err != nil {
+		return fail(err)
+	}
+	var foot [snapFooterLen]byte
+	binary.BigEndian.PutUint64(foot[0:], uint64(off))
+	binary.BigEndian.PutUint64(foot[8:], watermark)
+	binary.BigEndian.PutUint32(foot[16:], crc32.ChecksumIEEE(raw))
+	binary.BigEndian.PutUint32(foot[20:], snapMagic)
+	if _, err := w.Write(foot[:]); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", nil, nil, err
+	}
+	return tmpName, raw, offs, nil
+}
+
+// Store implements Storage: a single-record group.
+func (d *ShardedDisk) Store(record string, data []byte) error {
+	return d.StoreBatch([]Record{{Name: record, Data: data}})
+}
+
+// StoreBatch implements Storage. Records are partitioned onto their shards
+// (batch order preserved within a shard, so a repeated name keeps
+// last-wins) and each shard group-commits its slice; the call returns after
+// every shard has synced. On error none of the batch is acknowledged —
+// per the Storage contract, individual records may or may not have become
+// durable, and each failed shard rolls back independently.
+func (d *ShardedDisk) StoreBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	return d.submit(recs, nil)
+}
+
+// Delete durably removes a record: a tombstone frame is appended to the
+// record's shard (group-committed like any store), the record disappears
+// from Retrieve and Records, and the next compaction of that shard drops
+// the dead bytes from its snapshot. Deleting an absent record is a no-op
+// that still logs a tombstone. Implements Deleter.
+func (d *ShardedDisk) Delete(record string) error {
+	return d.submit([]Record{{Name: record}}, []bool{true})
+}
+
+func (d *ShardedDisk) submit(recs []Record, tomb []bool) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	d.mu.Unlock()
+
+	groups := make(map[*shard]*shardReq, 1)
+	order := make([]*shard, 0, 1)
+	for i, r := range recs {
+		sh := d.shardFor(r.Name)
+		g := groups[sh]
+		if g == nil {
+			g = &shardReq{done: make(chan error, 1)}
+			groups[sh] = g
+			order = append(order, sh)
+		}
+		cp := make([]byte, len(r.Data))
+		copy(cp, r.Data)
+		g.recs = append(g.recs, Record{Name: r.Name, Data: cp})
+		g.tomb = append(g.tomb, tomb != nil && tomb[i])
+	}
+	for _, sh := range order {
+		if err := sh.enqueue(groups[sh]); err != nil {
+			groups[sh].done <- err
+		}
+	}
+	var firstErr error
+	for _, sh := range order {
+		if err := <-groups[sh].done; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (sh *shard) enqueue(req *shardReq) error {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return ErrClosed
+	}
+	sh.queue = append(sh.queue, req)
+	sh.mu.Unlock()
+	select {
+	case sh.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Retrieve implements Storage. A resident value is served from memory; a
+// cold one is read from its snapshot or segment frame under the shard lock
+// (the lock pins the file handles against a concurrent compaction swap) and
+// promoted into the resident cache.
+func (d *ShardedDisk) Retrieve(record string) ([]byte, bool, error) {
+	sh := d.shardFor(record)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return nil, false, ErrClosed
+	}
+	if v, ok := sh.res[record]; ok {
+		sh.touchResident(v)
+		cp := make([]byte, len(v.data))
+		copy(cp, v.data)
+		return cp, true, nil
+	}
+	loc, ok := sh.lookup(record)
+	if !ok {
+		return nil, false, nil
+	}
+	data, err := sh.readFrame(loc, record)
+	if err != nil {
+		return nil, false, err
+	}
+	sh.putResident(record, data)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, true, nil
+}
+
+// readFrame cold-loads one frame. Caller holds sh.mu.
+func (sh *shard) readFrame(loc recLoc, want string) ([]byte, error) {
+	var f *os.File
+	switch {
+	case loc.seg == 0:
+		f = sh.snapF
+	case loc.seg == sh.activeID:
+		f = sh.active
+	default:
+		for _, seg := range sh.sealed {
+			if seg.id == loc.seg {
+				f = seg.f
+				break
+			}
+		}
+	}
+	if f == nil {
+		return nil, fmt.Errorf("stable: record %q points at missing segment %d", want, loc.seg)
+	}
+	buf := make([]byte, loc.flen)
+	if _, err := f.ReadAt(buf, loc.off); err != nil {
+		return nil, fmt.Errorf("stable: cold read %q: %w", want, err)
+	}
+	kind, name, data, err := decodeShardFrame(buf)
+	if err != nil {
+		return nil, fmt.Errorf("stable: cold read %q: %w", want, err)
+	}
+	if name != want || kind != kindSet {
+		return nil, fmt.Errorf("stable: cold read %q found %q (kind %d)", want, name, kind)
+	}
+	return data, nil
+}
+
+// Records implements Storage: the merged, sorted enumeration of every live
+// record across all shards — base index entries not shadowed by the
+// overlay, plus overlay entries that are not tombstones.
+func (d *ShardedDisk) Records(prefix string) ([]string, error) {
+	var out []string
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		if sh.closed {
+			sh.mu.Unlock()
+			return nil, ErrClosed
+		}
+		for _, off := range sh.baseOffs {
+			nb, _ := indexEntry(sh.baseRaw, off)
+			if !strings.HasPrefix(string(nb), prefix) {
+				continue
+			}
+			name := string(nb)
+			if _, shadowed := sh.over[name]; shadowed {
+				continue
+			}
+			out = append(out, name)
+		}
+		for name, loc := range sh.over {
+			if !loc.tomb && strings.HasPrefix(name, prefix) {
+				out = append(out, name)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Close implements Storage: every accepted group commits, the daemons stop,
+// in-flight compactions finish, and — when a shard holds enough uncompacted
+// bytes — a final compaction folds its segments into the snapshot so the
+// next open is an index read. Close is idempotent; content remains
+// retrievable by a new ShardedDisk over the same directory.
+func (d *ShardedDisk) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		for _, sh := range d.shards {
+			<-sh.done
+		}
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		sh.mu.Unlock()
+		close(sh.quit)
+	}
+	for _, sh := range d.shards {
+		<-sh.done
+		sh.compWG.Wait()
+		sh.closeCompact()
+		sh.closeFiles()
+	}
+	return nil
+}
+
+// closeCompact is the clean-shutdown compaction: seal the active segment
+// and merge everything into the snapshot, provided the shard holds at least
+// CloseCompactBytes of uncompacted data. Runs single-threaded after the
+// committer and any background compaction have exited.
+func (sh *shard) closeCompact() {
+	min := sh.d.opts.CloseCompactBytes
+	if min < 0 || sh.broken != nil {
+		return
+	}
+	if sh.sealedSize+sh.good < min || sh.sealedSize+sh.good == 0 {
+		return
+	}
+	if sh.good > 0 {
+		sh.sealed = append(sh.sealed, &segInfo{id: sh.activeID, f: sh.active, size: sh.good, sealedAt: time.Now()})
+		sh.sealedSize += sh.good
+		sh.active = nil
+	}
+	if len(sh.sealed) == 0 {
+		return
+	}
+	sh.compacting = true
+	sh.compWG.Add(1)
+	sh.compact(sh.sealed)
+}
+
+func (sh *shard) closeFiles() {
+	if sh.active != nil {
+		sh.active.Close()
+		sh.active = nil
+	}
+	for _, seg := range sh.sealed {
+		seg.f.Close()
+	}
+	sh.sealed = nil
+	if sh.snapF != nil {
+		sh.snapF.Close()
+		sh.snapF = nil
+	}
+}
+
+// --- resident-value LRU (caller holds sh.mu) ---
+
+func (sh *shard) putResident(name string, data []byte) {
+	cap := sh.d.opts.ResidentRecords
+	if cap < 0 {
+		cap = int(^uint(0) >> 1)
+	}
+	if cap == 0 {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if v, ok := sh.res[name]; ok {
+		v.data = cp
+		sh.touchResident(v)
+		return
+	}
+	v := &resVal{name: name, data: cp}
+	sh.res[name] = v
+	sh.lruPushFront(v)
+	for len(sh.res) > cap {
+		tail := sh.lruTail
+		sh.dropResident(tail.name)
+		sh.d.evictions.Add(1)
+	}
+}
+
+func (sh *shard) dropResident(name string) {
+	v, ok := sh.res[name]
+	if !ok {
+		return
+	}
+	delete(sh.res, name)
+	sh.lruUnlink(v)
+}
+
+func (sh *shard) touchResident(v *resVal) {
+	if sh.lruHead == v {
+		return
+	}
+	sh.lruUnlink(v)
+	sh.lruPushFront(v)
+}
+
+func (sh *shard) lruPushFront(v *resVal) {
+	v.prev = nil
+	v.next = sh.lruHead
+	if sh.lruHead != nil {
+		sh.lruHead.prev = v
+	}
+	sh.lruHead = v
+	if sh.lruTail == nil {
+		sh.lruTail = v
+	}
+}
+
+func (sh *shard) lruUnlink(v *resVal) {
+	if v.prev != nil {
+		v.prev.next = v.next
+	} else {
+		sh.lruHead = v.next
+	}
+	if v.next != nil {
+		v.next.prev = v.prev
+	} else {
+		sh.lruTail = v.prev
+	}
+	v.prev, v.next = nil, nil
+}
+
+// --- counters ---
+
+// Shards returns the persisted shard count.
+func (d *ShardedDisk) Shards() int { return len(d.shards) }
+
+// Syncs returns the number of per-shard group-commit syncs issued — the
+// engine's fsync bill, comparable to WALDisk.Syncs.
+func (d *ShardedDisk) Syncs() int64 { return d.syncs.Load() }
+
+// Batches returns the number of commit groups flushed across all shards.
+func (d *ShardedDisk) Batches() int64 { return d.batches.Load() }
+
+// AppendedRecords returns the number of frames appended to segment files.
+func (d *ShardedDisk) AppendedRecords() int64 { return d.appended.Load() }
+
+// Compactions returns the number of completed shard compactions (including
+// the clean-shutdown pass). Implements CompactionStats.
+func (d *ShardedDisk) Compactions() int64 { return d.compactions.Load() }
+
+// Tombstones returns the number of tombstone frames durably appended by
+// Delete. Implements CompactionStats.
+func (d *ShardedDisk) Tombstones() int64 { return d.tombstones.Load() }
+
+// Evictions returns the number of resident values dropped by the LRU.
+func (d *ShardedDisk) Evictions() int64 { return d.evictions.Load() }
+
+// ResidentValues returns the number of record values currently held in
+// memory across all shards — the quantity ResidentRecords bounds.
+func (d *ShardedDisk) ResidentValues() int {
+	total := 0
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		total += len(sh.res)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// --- frame codec ---
+
+// appendShardFrame encodes one record as a CRC-framed segment entry and
+// returns the frame length:
+//
+//	u32 payload length | u32 CRC32(payload) | payload
+//	payload = u8 kind | u32 name length | name | data
+func appendShardFrame(buf *bytes.Buffer, kind byte, name string, data []byte) int32 {
+	payload := make([]byte, 0, shardFrameMeta+len(name)+len(data))
+	payload = append(payload, kind)
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(name)))
+	payload = append(payload, name...)
+	payload = append(payload, data...)
+	var hdr [walFrameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	return int32(walFrameHeader + len(payload))
+}
+
+// decodeShardFrame decodes one complete frame as laid out by
+// appendShardFrame.
+var errBadFrame = errors.New("stable: malformed shard frame")
+
+func decodeShardFrame(frame []byte) (kind byte, name string, data []byte, err error) {
+	if len(frame) < walFrameHeader+shardFrameMeta {
+		return 0, "", nil, errBadFrame
+	}
+	n := binary.BigEndian.Uint32(frame[0:])
+	sum := binary.BigEndian.Uint32(frame[4:])
+	if int(n) != len(frame)-walFrameHeader {
+		return 0, "", nil, errBadFrame
+	}
+	payload := frame[walFrameHeader:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, "", nil, errBadFrame
+	}
+	kind = payload[0]
+	nameLen := binary.BigEndian.Uint32(payload[1:])
+	if int(nameLen) > len(payload)-shardFrameMeta {
+		return 0, "", nil, errBadFrame
+	}
+	name = string(payload[shardFrameMeta : shardFrameMeta+nameLen])
+	data = payload[shardFrameMeta+nameLen:]
+	return kind, name, data, nil
+}
+
+// replayShardFrames reads frames from r, calling apply with each frame's
+// kind, name, data, start offset, and length. A short, oversized or
+// CRC-failing frame ends the replay without error — the torn tail of an
+// unacknowledged group commit; the returned offset is the cutoff.
+func replayShardFrames(r io.Reader, apply func(kind byte, name string, data []byte, off int64, flen int32)) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var good int64
+	for {
+		var hdr [walFrameHeader]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return good, nil
+			}
+			return good, err
+		}
+		n := binary.BigEndian.Uint32(hdr[0:])
+		sum := binary.BigEndian.Uint32(hdr[4:])
+		if n < shardFrameMeta || n > walMaxPayload {
+			return good, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return good, nil
+			}
+			return good, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return good, nil
+		}
+		kind := payload[0]
+		nameLen := binary.BigEndian.Uint32(payload[1:])
+		if kind > kindTomb || int(nameLen) > len(payload)-shardFrameMeta {
+			return good, nil
+		}
+		name := string(payload[shardFrameMeta : shardFrameMeta+nameLen])
+		data := payload[shardFrameMeta+nameLen:]
+		flen := int32(walFrameHeader + n)
+		apply(kind, name, data, good, flen)
+		good += int64(flen)
+	}
+}

@@ -1,0 +1,726 @@
+package stable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shardedTestOpts is the base tuning for tests that need seals and
+// compactions after a handful of stores: tiny segments, no age trigger (the
+// trigger under test is explicit), no close-time compaction unless a test
+// opts in.
+func shardedTestOpts() ShardedOptions {
+	return ShardedOptions{
+		Shards:            2,
+		SegmentBytes:      256,
+		CompactBytes:      512,
+		CompactAge:        -1,
+		CloseCompactBytes: -1,
+	}
+}
+
+func TestShardedSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenShardedDisk(dir, shardedTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]byte)
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("written/r%02d", i)
+		val := []byte(fmt.Sprintf("value-%d", i))
+		if err := d.Store(name, val); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = val
+	}
+	if err := d.Store("incarnation", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenShardedDisk(dir, shardedTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for name, val := range want {
+		data, ok, err := d2.Retrieve(name)
+		if err != nil || !ok || !bytes.Equal(data, val) {
+			t.Fatalf("%s after reopen = %q ok=%v err=%v, want %q", name, data, ok, err, val)
+		}
+	}
+	names, err := d2.Records("written/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(want) {
+		t.Fatalf("Records found %d names, want %d", len(names), len(want))
+	}
+}
+
+// TestShardedManifestPinsShardCount: the shard count chosen at creation is
+// persisted, so a reopen with a different option still hashes every record
+// onto the shard that holds it.
+func TestShardedManifestPinsShardCount(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenShardedDisk(dir, ShardedOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := d.Store(fmt.Sprintf("written/r%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenShardedDisk(dir, ShardedOptions{Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Shards() != 2 {
+		t.Fatalf("reopen has %d shards, want the persisted 2", d2.Shards())
+	}
+	for i := 0; i < 10; i++ {
+		data, ok, err := d2.Retrieve(fmt.Sprintf("written/r%d", i))
+		if err != nil || !ok || data[0] != byte(i) {
+			t.Fatalf("r%d = %v ok=%v err=%v", i, data, ok, err)
+		}
+	}
+}
+
+// storeUntilCompacted drives stores until at least one background compaction
+// completes, returning the last value written per name.
+func storeUntilCompacted(t *testing.T, d *ShardedDisk, names int) map[string][]byte {
+	t.Helper()
+	want := make(map[string][]byte)
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; d.Compactions() == 0; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("no compaction despite passing the sealed-size threshold")
+		}
+		name := fmt.Sprintf("written/r%02d", i%names)
+		val := append([]byte(fmt.Sprintf("v%d-", i)), bytes.Repeat([]byte("x"), 48)...)
+		if err := d.Store(name, val); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = val
+	}
+	return want
+}
+
+// TestShardedCompactionConcurrentWithServing: compaction merges sealed
+// segments into the snapshot while stores and retrieves keep running, and no
+// acknowledged value is lost or aged backwards.
+func TestShardedCompactionConcurrentWithServing(t *testing.T) {
+	opts := shardedTestOpts()
+	opts.Shards = 1 // one shard so the sealed chain grows fast
+	d, err := OpenShardedDisk(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	stop := make(chan struct{})
+	var readerErr atomic.Value
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := d.Retrieve("written/r00"); err != nil {
+				readerErr.Store(err)
+				return
+			}
+		}
+	}()
+	want := storeUntilCompacted(t, d, 16)
+	close(stop)
+	if err, _ := readerErr.Load().(error); err != nil {
+		t.Fatalf("concurrent retrieve failed: %v", err)
+	}
+	if d.Compactions() == 0 {
+		t.Fatal("no compaction ran")
+	}
+	for name, val := range want {
+		data, ok, err := d.Retrieve(name)
+		if err != nil || !ok || !bytes.Equal(data, val) {
+			t.Fatalf("%s after compaction = %q ok=%v err=%v, want %q", name, data, ok, err, val)
+		}
+	}
+	names, err := d.Records("written/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(want) {
+		t.Fatalf("Records found %d names, want %d", len(names), len(want))
+	}
+}
+
+// TestShardedCloseCompaction: a clean Close folds segments into the
+// snapshot, so the reopened store serves from the index with empty segment
+// chains — recovery does not replay values.
+func TestShardedCloseCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opts := shardedTestOpts()
+	opts.CloseCompactBytes = 1
+	d, err := OpenShardedDisk(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]byte)
+	for i := 0; i < 32; i++ {
+		name := fmt.Sprintf("written/r%02d", i)
+		val := []byte(fmt.Sprintf("value-%d", i))
+		if err := d.Store(name, val); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = val
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "shard-*", "seg-*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range segs {
+		if fi, err := os.Stat(seg); err != nil || fi.Size() != 0 {
+			t.Fatalf("segment %s survived close-compaction with %d bytes", seg, fi.Size())
+		}
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "shard-*", shardSnap))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no shard snapshots written: %v %v", snaps, err)
+	}
+
+	d2, err := OpenShardedDisk(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for name, val := range want {
+		data, ok, err := d2.Retrieve(name)
+		if err != nil || !ok || !bytes.Equal(data, val) {
+			t.Fatalf("%s from snapshot = %q ok=%v err=%v, want %q", name, data, ok, err, val)
+		}
+	}
+}
+
+func TestShardedDeleteTombstone(t *testing.T) {
+	dir := t.TempDir()
+	compacting := shardedTestOpts()
+	compacting.CloseCompactBytes = 1
+
+	d, err := OpenShardedDisk(dir, compacting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"written/a", "written/b", "written/c"} {
+		if err := d.Store(name, []byte("v-"+name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close compacts, so "written/b" is base (snapshot) state on reopen: the
+	// delete below exercises a tombstone shadowing the base index.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err = OpenShardedDisk(dir, shardedTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete("written/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete("written/never-stored"); err != nil {
+		t.Fatalf("delete of absent record: %v", err)
+	}
+	if d.Tombstones() != 2 {
+		t.Fatalf("Tombstones = %d, want 2", d.Tombstones())
+	}
+	if _, ok, err := d.Retrieve("written/b"); err != nil || ok {
+		t.Fatalf("deleted record still retrievable: ok=%v err=%v", ok, err)
+	}
+	names, err := d.Records("written/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "written/a" || names[1] != "written/c" {
+		t.Fatalf("Records after delete = %v", names)
+	}
+	// Close without compaction: the tombstone itself must replay.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err = OpenShardedDisk(dir, compacting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := d.Retrieve("written/b"); ok {
+		t.Fatal("deleted record resurrected by replay")
+	}
+	// Re-creating a deleted register works, and survives a compacting close.
+	if err := d.Store("written/b", []byte("reborn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err = OpenShardedDisk(dir, shardedTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	data, ok, err := d.Retrieve("written/b")
+	if err != nil || !ok || string(data) != "reborn" {
+		t.Fatalf("re-created record = %q ok=%v err=%v", data, ok, err)
+	}
+}
+
+func TestShardedEvictionColdLoad(t *testing.T) {
+	dir := t.TempDir()
+	opts := shardedTestOpts()
+	opts.ResidentRecords = 8
+	opts.CloseCompactBytes = 1
+	d, err := OpenShardedDisk(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]byte)
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("written/r%02d", i)
+		val := []byte(fmt.Sprintf("value-%d", i))
+		if err := d.Store(name, val); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = val
+	}
+	if got, max := d.ResidentValues(), 8*d.Shards(); got > max {
+		t.Fatalf("%d resident values, want at most %d", got, max)
+	}
+	if d.Evictions() == 0 {
+		t.Fatal("no evictions despite exceeding ResidentRecords")
+	}
+	// Every evicted value cold-loads from its segment frame.
+	for name, val := range want {
+		data, ok, err := d.Retrieve(name)
+		if err != nil || !ok || !bytes.Equal(data, val) {
+			t.Fatalf("cold %s = %q ok=%v err=%v, want %q", name, data, ok, err, val)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// After a compacting close, cold loads come from the snapshot instead.
+	d2, err := OpenShardedDisk(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for name, val := range want {
+		data, ok, err := d2.Retrieve(name)
+		if err != nil || !ok || !bytes.Equal(data, val) {
+			t.Fatalf("snapshot cold %s = %q ok=%v err=%v, want %q", name, data, ok, err, val)
+		}
+	}
+	if got, max := d2.ResidentValues(), 8*d2.Shards(); got > max {
+		t.Fatalf("%d resident values after reopen, want at most %d", got, max)
+	}
+}
+
+// TestShardedCrashDuringCompaction: a crash between any two steps of a
+// compaction — temp snapshot written, renamed over the old one, consumed
+// segments partially deleted — must reopen to exactly the acknowledged
+// state. The hook abandons the compaction mid-flight, leaving the files a
+// SIGKILL at that instant would leave.
+func TestShardedCrashDuringCompaction(t *testing.T) {
+	for _, stage := range []string{"written", "renamed", "deleted"} {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := OpenShardedDisk(dir, shardedTestOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fired := make(chan struct{}, 1)
+			d.compactHook = func(_ int, s string) bool {
+				if s == stage {
+					select {
+					case fired <- struct{}{}:
+					default:
+					}
+					return false
+				}
+				return true
+			}
+			want := make(map[string][]byte)
+			deadline := time.Now().Add(10 * time.Second)
+			i := 0
+		drive:
+			for {
+				name := fmt.Sprintf("written/r%02d", i%16)
+				val := append([]byte(fmt.Sprintf("v%d-", i)), bytes.Repeat([]byte("x"), 48)...)
+				if err := d.Store(name, val); err != nil {
+					t.Fatal(err)
+				}
+				want[name] = val
+				i++
+				select {
+				case <-fired:
+					break drive
+				default:
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("compaction never reached the crash stage")
+				}
+			}
+			// A few more acknowledged stores land after the "crash".
+			for j := 0; j < 4; j++ {
+				name := fmt.Sprintf("written/after%d", j)
+				val := []byte(fmt.Sprintf("post-crash-%d", j))
+				if err := d.Store(name, val); err != nil {
+					t.Fatal(err)
+				}
+				want[name] = val
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			d2, err := OpenShardedDisk(dir, shardedTestOpts())
+			if err != nil {
+				t.Fatalf("reopen after crash at %q: %v", stage, err)
+			}
+			defer d2.Close()
+			for name, val := range want {
+				data, ok, err := d2.Retrieve(name)
+				if err != nil || !ok || !bytes.Equal(data, val) {
+					t.Fatalf("%s after crash at %q = %q ok=%v err=%v, want %q", name, stage, data, ok, err, val)
+				}
+			}
+			names, err := d2.Records("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != len(want) {
+				t.Fatalf("store holds %d records after crash at %q, want %d", len(names), stage, len(want))
+			}
+		})
+	}
+}
+
+// TestShardedTornTailPerShard: garbage after the last acknowledged frame of
+// a shard's active segment — the torn write of a crash mid-group-commit —
+// is cut off at open, shard by shard, without touching siblings.
+func TestShardedTornTailPerShard(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenShardedDisk(dir, shardedTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]byte)
+	for i := 0; i < 16; i++ {
+		name := fmt.Sprintf("written/r%02d", i)
+		val := []byte(fmt.Sprintf("value-%d", i))
+		if err := d.Store(name, val); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = val
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "shard-*", "seg-*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := 0
+	for _, seg := range segs {
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			continue
+		}
+		f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A plausible-looking frame header followed by a truncated payload.
+		if _, err := f.Write([]byte{0x00, 0x00, 0x40, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		torn++
+	}
+	if torn == 0 {
+		t.Fatal("no non-empty segments to tear; test is vacuous")
+	}
+
+	d2, err := OpenShardedDisk(dir, shardedTestOpts())
+	if err != nil {
+		t.Fatalf("reopen with torn tails: %v", err)
+	}
+	defer d2.Close()
+	for name, val := range want {
+		data, ok, err := d2.Retrieve(name)
+		if err != nil || !ok || !bytes.Equal(data, val) {
+			t.Fatalf("%s after torn tail = %q ok=%v err=%v, want %q", name, data, ok, err, val)
+		}
+	}
+	// The shard accepts appends again past the cutoff.
+	if err := d2.Store("written/r00", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := d2.Retrieve("written/r00")
+	if err != nil || !ok || string(data) != "fresh" {
+		t.Fatalf("store after torn-tail cutoff = %q ok=%v err=%v", data, ok, err)
+	}
+}
+
+// TestShardedSyncFailureRollsBackShard: a failed segment sync is not
+// acknowledged and rolls its shard back to the last good offset; sibling
+// shards keep committing, and the failed shard accepts stores again once
+// its disk recovers.
+func TestShardedSyncFailureRollsBackShard(t *testing.T) {
+	dir := t.TempDir()
+	opts := shardedTestOpts()
+	opts.Shards = 4
+	d, err := OpenShardedDisk(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim := "written/victim"
+	victimShard := d.shardFor(victim).id
+	other := ""
+	for i := 0; other == ""; i++ {
+		name := fmt.Sprintf("written/other%d", i)
+		if d.shardFor(name).id != victimShard {
+			other = name
+		}
+	}
+	var failing atomic.Bool
+	failing.Store(true)
+	boom := errors.New("injected sync failure")
+	d.syncHook = func(shard int) error {
+		if shard == victimShard && failing.Load() {
+			return boom
+		}
+		return nil
+	}
+
+	if err := d.Store(victim, []byte("doomed")); !errors.Is(err, boom) {
+		t.Fatalf("store on failing shard returned %v, want injected failure", err)
+	}
+	if _, ok, err := d.Retrieve(victim); err != nil || ok {
+		t.Fatalf("unacknowledged store visible: ok=%v err=%v", ok, err)
+	}
+	if err := d.Store(other, []byte("fine")); err != nil {
+		t.Fatalf("sibling shard affected by victim's sync failure: %v", err)
+	}
+
+	failing.Store(false)
+	if err := d.Store(victim, []byte("second")); err != nil {
+		t.Fatalf("shard did not recover after rollback: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenShardedDisk(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	data, ok, err := d2.Retrieve(victim)
+	if err != nil || !ok || string(data) != "second" {
+		t.Fatalf("victim after reopen = %q ok=%v err=%v, want %q", data, ok, err, "second")
+	}
+	if data, ok, _ := d2.Retrieve(other); !ok || string(data) != "fine" {
+		t.Fatalf("sibling record lost: %q ok=%v", data, ok)
+	}
+	if _, ok, _ := d2.Retrieve("written/doomed"); ok {
+		t.Fatal("rolled-back frame replayed")
+	}
+}
+
+// TestShardedGroupCommitCoalesces mirrors TestWALGroupCommitCoalesces on a
+// single shard: concurrent stores share fsyncs.
+func TestShardedGroupCommitCoalesces(t *testing.T) {
+	opts := ShardedOptions{Shards: 1, CompactAge: -1, CloseCompactBytes: -1}
+	d, err := OpenShardedDisk(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	const writers, stores = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < stores; i++ {
+				if err := d.Store(fmt.Sprintf("written/r%d", w), []byte{byte(i)}); err != nil {
+					t.Errorf("store: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	appended, syncs := d.AppendedRecords(), d.Syncs()
+	if appended != writers*stores {
+		t.Fatalf("appended %d records, want %d", appended, writers*stores)
+	}
+	if syncs >= appended/2 {
+		t.Fatalf("group commit did not amortize: %d syncs for %d records", syncs, appended)
+	}
+	t.Logf("%d records in %d syncs (%.1f records/sync)", appended, syncs, float64(appended)/float64(syncs))
+}
+
+// TestShardedFlakyCrashReplay is the crash-replay torture with the register
+// lifecycle in the mix: stores, batches and deletes fail with probability
+// 0.3; whatever was acknowledged — including deletions — must be exactly
+// the state after reopen. A Flaky fault fails the whole group before it
+// reaches the engine, so the acknowledged map is the exact expected state.
+func TestShardedFlakyCrashReplay(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := ShardedOptions{Shards: 4, SegmentBytes: 512, CompactBytes: 1024, CompactAge: -1}
+			d, err := OpenShardedDisk(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fl := NewFlaky(d, 0.3, seed)
+			rng := rand.New(rand.NewSource(seed * 77))
+			state := make(map[string][]byte)
+			touched := make(map[string]bool)
+			for i := 0; i < 300; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					name := fmt.Sprintf("written/r%d", rng.Intn(8))
+					val := []byte(fmt.Sprintf("v%d", i))
+					touched[name] = true
+					if err := fl.Store(name, val); err == nil {
+						state[name] = val
+					} else if !errors.Is(err, ErrInjected) {
+						t.Fatalf("store: %v", err)
+					}
+				case 1:
+					recs := make([]Record, 1+rng.Intn(3))
+					for j := range recs {
+						recs[j] = Record{
+							Name: fmt.Sprintf("written/r%d", rng.Intn(8)),
+							Data: []byte(fmt.Sprintf("b%d.%d", i, j)),
+						}
+						touched[recs[j].Name] = true
+					}
+					if err := fl.StoreBatch(recs); err == nil {
+						for _, r := range recs {
+							state[r.Name] = r.Data
+						}
+					} else if !errors.Is(err, ErrInjected) {
+						t.Fatalf("batch: %v", err)
+					}
+				case 2:
+					name := fmt.Sprintf("written/r%d", rng.Intn(8))
+					touched[name] = true
+					if err := fl.Delete(name); err == nil {
+						delete(state, name)
+					} else if !errors.Is(err, ErrInjected) {
+						t.Fatalf("delete: %v", err)
+					}
+				}
+			}
+			if fl.Failures() == 0 {
+				t.Fatal("no faults injected; test is vacuous")
+			}
+			if err := fl.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			d2, err := NewShardedDisk(dir)
+			if err != nil {
+				t.Fatalf("reopen after flaky run: %v", err)
+			}
+			defer d2.Close()
+			for name := range touched {
+				data, ok, err := d2.Retrieve(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, live := state[name]
+				if ok != live {
+					t.Fatalf("%s present=%v, want %v", name, ok, live)
+				}
+				if live && !bytes.Equal(data, want) {
+					t.Fatalf("%s = %q, want last acknowledged %q", name, data, want)
+				}
+			}
+			names, err := d2.Records("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != len(state) {
+				t.Fatalf("store holds %d records, want the %d acknowledged ones: %v", len(names), len(state), names)
+			}
+		})
+	}
+}
+
+// TestShardedCountingSurfacesCompactionStats: the Counting wrapper exposes
+// the engine's compaction and tombstone counters (and counts deletes), so
+// protocol-level tests can assert compaction actually ran.
+func TestShardedCountingSurfacesCompactionStats(t *testing.T) {
+	opts := shardedTestOpts()
+	opts.Shards = 1
+	inner, err := OpenShardedDisk(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounting(inner)
+	defer c.Close()
+	storeUntilCompacted(t, inner, 16)
+	if err := c.Delete("written/r00"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Compactions() == 0 {
+		t.Fatal("Counting did not surface the compaction")
+	}
+	if c.Tombstones() != 1 || c.Deletes() != 1 {
+		t.Fatalf("tombstones=%d deletes=%d, want 1 and 1", c.Tombstones(), c.Deletes())
+	}
+
+	// A backend without a lifecycle: Delete refuses, stats read zero.
+	plain := NewCounting(NewMemDisk(Profile{}))
+	defer plain.Close()
+	if err := plain.Delete("x"); !errors.Is(err, ErrNoDelete) {
+		t.Fatalf("Delete on memdisk = %v, want ErrNoDelete", err)
+	}
+	if plain.Compactions() != 0 || plain.Tombstones() != 0 {
+		t.Fatal("lifecycle stats nonzero on a backend without them")
+	}
+}

@@ -20,6 +20,12 @@
 // snapshot + truncation. All implementations additionally expose the batched
 // durability path StoreBatch, which WALDisk turns into one log append + one
 // sync per batch.
+//
+// The fourth, ShardedDisk (sharded.go), is the scale engine: records hash
+// onto per-shard segment chains with background compaction, an indexed
+// snapshot so recovery reads offsets instead of values, tombstoned deletes
+// (Deleter), and LRU value eviction so the resident set is bounded
+// independently of the namespace.
 package stable
 
 import (
@@ -85,8 +91,30 @@ func BatchOf(s Storage, recs []Record) error {
 // ErrClosed is returned by operations on a closed storage.
 var ErrClosed = errors.New("stable: storage closed")
 
+// ErrNoDelete is returned by Delete wrappers over a backend that has no
+// register lifecycle (no tombstones).
+var ErrNoDelete = errors.New("stable: backend does not support delete")
+
+// Deleter is the optional register-lifecycle extension of Storage: Delete
+// durably removes a record, so Retrieve reports it absent and Records stops
+// enumerating it. On log-structured engines deletion appends a tombstone
+// whose dead bytes compaction later reclaims.
+type Deleter interface {
+	Delete(record string) error
+}
+
+// CompactionStats is the optional observability extension of log-structured
+// engines: how many compaction passes rewrote the store, and how many
+// tombstones were durably appended. WALDisk counts its wholesale
+// snapshot+truncate passes as compactions (it has no tombstones);
+// ShardedDisk counts per-shard merges.
+type CompactionStats interface {
+	Compactions() int64
+	Tombstones() int64
+}
+
 // Backends lists the selectable storage engines, in presentation order.
-func Backends() []string { return []string{"mem", "file", "wal"} }
+func Backends() []string { return []string{"mem", "file", "wal", "sharded"} }
 
 // ValidBackend reports whether name selects a storage engine — the shared
 // flag validation of the CLIs.
@@ -100,9 +128,10 @@ func ValidBackend(name string) bool {
 }
 
 // OpenBackend opens the named storage engine: "mem" (or "") is a MemDisk
-// with the given latency profile; "file" is a FileDisk and "wal" a WALDisk,
-// both rooted at dir. This is the single switch the cluster, the benchmarks
-// and the torture driver share, so every layer accepts the same -disk names.
+// with the given latency profile; "file" is a FileDisk, "wal" a WALDisk and
+// "sharded" a ShardedDisk, all rooted at dir. This is the single switch the
+// cluster, the benchmarks and the torture driver share, so every layer
+// accepts the same -disk names.
 func OpenBackend(backend, dir string, prof Profile) (Storage, error) {
 	switch backend {
 	case "", "mem":
@@ -111,8 +140,10 @@ func OpenBackend(backend, dir string, prof Profile) (Storage, error) {
 		return NewFileDisk(dir)
 	case "wal":
 		return NewWALDisk(dir)
+	case "sharded":
+		return NewShardedDisk(dir)
 	default:
-		return nil, fmt.Errorf("stable: unknown backend %q (want mem, file, or wal)", backend)
+		return nil, fmt.Errorf("stable: unknown backend %q (want mem, file, wal, or sharded)", backend)
 	}
 }
 
@@ -397,6 +428,7 @@ type Counting struct {
 	batches   int
 	commits   int
 	retrieves int
+	deletes   int
 	bytes     int64
 	perRecord map[string]int
 }
@@ -446,6 +478,19 @@ func (c *Counting) Retrieve(record string) ([]byte, bool, error) {
 // Records implements Storage.
 func (c *Counting) Records(prefix string) ([]string, error) { return c.inner.Records(prefix) }
 
+// Delete implements Deleter by delegating to the inner storage, counting the
+// call; ErrNoDelete if the inner storage has no lifecycle support.
+func (c *Counting) Delete(record string) error {
+	d, ok := c.inner.(Deleter)
+	if !ok {
+		return ErrNoDelete
+	}
+	c.mu.Lock()
+	c.deletes++
+	c.mu.Unlock()
+	return d.Delete(record)
+}
+
 // Close implements Storage.
 func (c *Counting) Close() error { return c.inner.Close() }
 
@@ -493,4 +538,30 @@ func (c *Counting) RecordStores(record string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.perRecord[record]
+}
+
+// Deletes returns the number of Delete calls observed.
+func (c *Counting) Deletes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deletes
+}
+
+// Compactions surfaces the inner engine's CompactionStats (0 when the
+// backend has none), so tests can assert a compaction actually ran through
+// the wrapper. Implements CompactionStats.
+func (c *Counting) Compactions() int64 {
+	if s, ok := c.inner.(CompactionStats); ok {
+		return s.Compactions()
+	}
+	return 0
+}
+
+// Tombstones surfaces the inner engine's tombstone count (0 when the
+// backend has none). Implements CompactionStats.
+func (c *Counting) Tombstones() int64 {
+	if s, ok := c.inner.(CompactionStats); ok {
+		return s.Tombstones()
+	}
+	return 0
 }

@@ -31,6 +31,13 @@ func storageFactories(t *testing.T) map[string]func() Storage {
 			}
 			return d
 		},
+		"sharded": func() Storage {
+			d, err := NewShardedDisk(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
 	}
 }
 
@@ -282,7 +289,7 @@ func TestFileDiskSurvivesReopen(t *testing.T) {
 // node mints during recovery must survive a process restart on every
 // persistent backend, or the next boot would reuse a burned epoch.
 func TestIncarnationRecordSurvivesReopen(t *testing.T) {
-	for _, engine := range []string{"file", "wal"} {
+	for _, engine := range []string{"file", "wal", "sharded"} {
 		t.Run(engine, func(t *testing.T) {
 			dir := t.TempDir()
 			d, err := OpenBackend(engine, dir, Profile{})

@@ -451,6 +451,15 @@ func (d *WALDisk) AppendedRecords() int64 { return d.appended.Load() }
 // Snapshots returns the number of snapshot + truncation cycles completed.
 func (d *WALDisk) Snapshots() int64 { return d.snapshots.Load() }
 
+// Compactions implements CompactionStats: WALDisk's snapshot + truncation is
+// its (wholesale) compaction — the whole namespace rewritten each pass,
+// which is exactly the cost ShardedDisk's per-shard merges bound.
+func (d *WALDisk) Compactions() int64 { return d.snapshots.Load() }
+
+// Tombstones implements CompactionStats; WALDisk has no register lifecycle,
+// so the count is always zero.
+func (d *WALDisk) Tombstones() int64 { return 0 }
+
 // appendFrame encodes one record as a CRC-framed log entry:
 //
 //	u32 payload length | u32 CRC32(payload) | payload

@@ -222,6 +222,17 @@ func WithWALStorage(dir string) Option {
 	return optionFunc(func(c *config) { c.diskBackend = "wal"; c.diskDir = dir })
 }
 
+// WithShardedStorage stores each process's stable state in dir/node<i> on
+// the sharded compacting engine: records hash onto per-shard WAL segment
+// chains with background compaction into indexed snapshots, tombstoned
+// deletes, and LRU value eviction, so recovery time and resident memory are
+// bounded by the compaction policy instead of the register-namespace size.
+// The backend for large namespaces; see
+// docs/adr/0008-sharded-compacting-store.md.
+func WithShardedStorage(dir string) Option {
+	return optionFunc(func(c *config) { c.diskBackend = "sharded"; c.diskDir = dir })
+}
+
 // WithMessageLoss drops each message with the given probability in [0,1).
 // The emulations retransmit, so operations still terminate.
 func WithMessageLoss(rate float64) Option {

@@ -3,7 +3,8 @@
 # through the binary remote client (write / read / crash / recover / a
 # pipelined bench), run a VERIFIED torture round (recording clients, merged
 # per-client histories model-checked — docs/adr/0004), run multi-round
-# KILL-RESTART torture in which recmem-torture SIGKILLs and restarts real
+# KILL-RESTART torture — once on wal disks and once on sharded disks — in
+# which recmem-torture SIGKILLs and restarts real
 # node processes mid-run (docs/adr/0005), infers the restarts from the
 # incarnation epochs on the replies (docs/adr/0006) and still verifies the
 # merged history against TRANSIENT atomicity, prove the checker has teeth
@@ -45,25 +46,28 @@ trap cleanup EXIT
 echo "== build"
 go build -o "$BIN" ./cmd/recmem-node ./cmd/recmem-client ./cmd/recmem-torture
 
-# kill_round: the process-death acceptance scenario. recmem-torture spawns
-# its own 3-node transient-algorithm wal mesh, drives the verified workload
+# kill_round <disk>: the process-death acceptance scenario. recmem-torture
+# spawns its own 3-node transient-algorithm mesh on the given storage engine
+# (wal and sharded both take this round), drives the verified workload
 # over TWO rounds through run-lifetime clients, SIGKILLs node processes
 # mid-run and re-execs them (each restart runs the recovery procedure from
-# its WAL before reopening the control port, minting a fresh incarnation
-# epoch — docs/adr/0006), and the merged recorded history — spanning real
-# process death, with the restarts inferred from the epoch stamps on the
-# replies — must pass the TRANSIENT atomicity checker. Round 2 verifies
-# against round 1's committed state (the recording group's continuation),
-# not an amnesiac blank slate. The reconnect layer in the remote client is
-# what lets the same client handles ride the outage: ErrCrashed/ErrDown
-# during it, plain successes after, no re-dial in the scenario code.
+# its stable store before reopening the control port, minting a fresh
+# incarnation epoch — docs/adr/0006), and the merged recorded history —
+# spanning real process death, with the restarts inferred from the epoch
+# stamps on the replies — must pass the TRANSIENT atomicity checker. Round 2
+# verifies against round 1's committed state (the recording group's
+# continuation), not an amnesiac blank slate. The reconnect layer in the
+# remote client is what lets the same client handles ride the outage:
+# ErrCrashed/ErrDown during it, plain successes after, no re-dial in the
+# scenario code.
 kill_round() {
-    echo "== KILL-RESTART rounds: SIGKILL + re-exec real node processes mid-run, verified (transient)"
+    local disk=$1
+    echo "== KILL-RESTART rounds: SIGKILL + re-exec real node processes mid-run, verified (transient, $disk disks)"
     local kpeers="127.0.0.1:$K0,127.0.0.1:$K1,127.0.0.1:$K2"
     local kcmd=""
     for i in 0 1 2; do
         local ctrl_var="KC$i"
-        local cmd="$BIN/recmem-node -id $i -peers $kpeers -control 127.0.0.1:${!ctrl_var} -dir $WORK/k$i -disk wal -algorithm transient -retransmit 20ms"
+        local cmd="$BIN/recmem-node -id $i -peers $kpeers -control 127.0.0.1:${!ctrl_var} -dir $WORK/k$disk$i -disk $disk -algorithm transient -retransmit 20ms"
         if [ -z "$kcmd" ]; then kcmd="$cmd"; else kcmd="$kcmd;;$cmd"; fi
     done
     "$BIN/recmem-torture" -remote "127.0.0.1:$KC0,127.0.0.1:$KC1,127.0.0.1:$KC2" \
@@ -71,8 +75,13 @@ kill_round() {
         -kill "$kcmd" -kill-cycles 2 -kill-delay 150ms -kill-down 150ms
 }
 
+kill_rounds() {
+    kill_round wal
+    kill_round sharded
+}
+
 if [ "${SMOKE_KILL_ONLY:-0}" = "1" ]; then
-    kill_round
+    kill_rounds
     echo "mesh kill-restart: OK"
     exit 0
 fi
@@ -144,7 +153,7 @@ echo "== VERIFIED torture round against the live mesh (crash/recover + model che
     -ops 30 -rounds 1 -async 8 -faults 500ms -seed 7 -verify
 
 if [ "${SMOKE_VERIFY_ONLY:-0}" != "1" ]; then
-    kill_round
+    kill_rounds
 fi
 
 echo "== start a second mesh whose node 1 serves stale reads (-stale-reads)"
