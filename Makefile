@@ -35,11 +35,12 @@ bench-remote:
 	$(GO) run ./cmd/recmem-bench -experiment remote -writes 2000 -batch 32 \
 		-json BENCH_remote.json -commit $$(git rev-parse --short HEAD)
 
-# bench-namespace sweeps register counts over the wal and sharded storage
-# engines (load throughput, cold recovery time, post-recovery probe latency)
-# and appends the rows to the BENCH_namespace.json trajectory at the repo
-# root, stamped with the current commit. Every entry is its own wal-vs-sharded
-# before/after comparison.
+# bench-namespace sweeps register counts (1k to 1M) over the wal and sharded
+# storage engines (load throughput, cold storage recovery, node-level reopen —
+# a real core.Node booted over the populated store, docs/adr/0009 — and
+# post-recovery probe latency) and appends the rows to the
+# BENCH_namespace.json trajectory at the repo root, stamped with the current
+# commit. Every entry is its own wal-vs-sharded before/after comparison.
 bench-namespace:
 	$(GO) run ./cmd/recmem-bench -experiment namespace -batch 32 \
 		-json BENCH_namespace.json -commit $$(git rev-parse --short HEAD)

@@ -70,7 +70,7 @@ func run(args []string) error {
 		batch      = fs.Int("batch", 32, "submission window per client for the batch experiment")
 		pipeline   = fs.Int("pipeline", 4, "independent registers for the batch experiment")
 		disk       = fs.String("disk", "mem", "stable-storage engine for batch/disks: mem, file, wal, or sharded")
-		nsRegs     = fs.String("namespace-registers", "", "comma-separated register counts for -experiment namespace (default 1000,10000,100000; goes to 1000000)")
+		nsRegs     = fs.String("namespace-registers", "", "comma-separated register counts for -experiment namespace (default 1000,10000,100000,1000000)")
 		nsVal      = fs.Int("namespace-value", 128, "register value size in bytes for -experiment namespace")
 		timeout    = fs.Duration("timeout", 10*time.Minute, "overall deadline")
 	)

@@ -2,24 +2,30 @@ package main
 
 // The namespace experiment: the measured trajectory of ROADMAP item 1
 // (million-register namespaces). For each register count it populates a
-// fresh store through the batched durability path, then closes it and
-// times a cold reopen — the storage-level recovery a crashed node performs
-// before its control port may open, which is the honest metric at scale:
-// the single-log wal engine must replay every record of its wholesale
-// snapshot, while the sharded engine reads per-shard footer indexes and a
-// bounded segment tail. Both engines run side by side, so every entry in
-// BENCH_namespace.json is its own before/after comparison.
+// fresh store through the batched durability path — records written in the
+// core's written/ encoding, so they are a real register namespace, not just
+// opaque blobs — then closes it and measures two cold restarts:
+//
+//   - storage-level: reopen the engine alone, the recovery a store performs
+//     before serving Retrieves (wal replays its wholesale snapshot; sharded
+//     reads per-shard footer indexes and a bounded segment tail);
+//   - node-level: boot a real core.Node over the populated store and run
+//     Crash+Recover — the bootRecover sequence of cmd/recmem-node — which is
+//     the honest restart-before-serving metric at scale. With lazy core
+//     recovery (docs/adr/0009) this is O(pending + index), not O(namespace).
 //
 // Columns per (backend, registers) row:
 //
 //	load ops/s  — batched population + 25% overwrite churn throughput
 //	recovery    — Close-to-serving reopen time of the populated store
+//	node reopen — storage open + NewNode + Recover over the same directory
 //	probe       — mean cold Retrieve after reopen (sharded pays a pread
 //	              here; wal serves from the map its recovery prebuilt)
 //	disk        — bytes on disk after close
 //
-// A sample of registers is re-read and verified after recovery, so a row
-// can't look fast by dropping data.
+// A sample of registers is re-read and verified after each recovery — at the
+// storage level against the encoded payload, at the node level through
+// RegisterState — so a row can't look fast by dropping data.
 
 import (
 	"context"
@@ -30,14 +36,20 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
+	"recmem/internal/core"
+	"recmem/internal/netsim"
 	"recmem/internal/stable"
+	"recmem/internal/tag"
 )
 
 // nsSchema names the BENCH_namespace.json layout; bump it when the entry
-// shape changes incompatibly.
-const nsSchema = "recmem/bench-namespace/v1"
+// shape changes incompatibly. v2 added node_reopen_ms (rows persisted under
+// v1 predate the column and simply lack it) and switched the populated
+// payloads to the core's written/ record encoding.
+const nsSchema = "recmem/bench-namespace/v2"
 
 // nsRow is one measured (backend, register-count) point.
 type nsRow struct {
@@ -46,6 +58,7 @@ type nsRow struct {
 	LoadOps       int     `json:"load_ops"`
 	LoadOpsPerSec float64 `json:"load_ops_per_sec"`
 	RecoveryMS    float64 `json:"recovery_ms"`
+	NodeReopenMS  float64 `json:"node_reopen_ms,omitempty"`
 	ProbeUS       float64 `json:"probe_us"`
 	DiskBytes     int64   `json:"disk_bytes"`
 }
@@ -62,7 +75,7 @@ type nsEntry struct {
 
 // namespaceConfig carries the namespace experiment's knobs.
 type namespaceConfig struct {
-	// Registers are the namespace sizes to sweep (default 1k/10k/100k).
+	// Registers are the namespace sizes to sweep (default 1k/10k/100k/1M).
 	Registers []int
 	// ValueBytes is the register payload size; Batch the StoreBatch size.
 	ValueBytes, Batch int
@@ -84,7 +97,7 @@ func namespaceBench(ctx context.Context, cfg namespaceConfig) error {
 		out = os.Stdout
 	}
 	if len(cfg.Registers) == 0 {
-		cfg.Registers = []int{1000, 10000, 100000}
+		cfg.Registers = []int{1000, 10000, 100000, 1000000}
 	}
 	if cfg.ValueBytes <= 4 {
 		return fmt.Errorf("namespace: value size must exceed the 4-byte verification stamp, got %d", cfg.ValueBytes)
@@ -95,8 +108,8 @@ func namespaceBench(ctx context.Context, cfg namespaceConfig) error {
 		ValueBytes: cfg.ValueBytes, Batch: cfg.Batch,
 	}
 	fmt.Fprintf(out, "namespace sweep (%d-byte values, batch %d)\n", cfg.ValueBytes, cfg.Batch)
-	fmt.Fprintf(out, "  %-8s %10s %12s %12s %10s %10s\n",
-		"backend", "registers", "load ops/s", "recovery ms", "probe µs", "disk MB")
+	fmt.Fprintf(out, "  %-8s %10s %12s %12s %15s %10s %10s\n",
+		"backend", "registers", "load ops/s", "recovery ms", "node reopen ms", "probe µs", "disk MB")
 	for _, count := range cfg.Registers {
 		for _, backend := range nsBackends {
 			row, err := measureNamespace(ctx, backend, count, cfg)
@@ -104,9 +117,9 @@ func namespaceBench(ctx context.Context, cfg namespaceConfig) error {
 				return fmt.Errorf("namespace %s/%d: %w", backend, count, err)
 			}
 			entry.Rows = append(entry.Rows, row)
-			fmt.Fprintf(out, "  %-8s %10d %12.0f %12.2f %10.2f %10.1f\n",
+			fmt.Fprintf(out, "  %-8s %10d %12.0f %12.2f %15.2f %10.2f %10.1f\n",
 				row.Backend, row.Registers, row.LoadOpsPerSec, row.RecoveryMS,
-				row.ProbeUS, float64(row.DiskBytes)/(1<<20))
+				row.NodeReopenMS, row.ProbeUS, float64(row.DiskBytes)/(1<<20))
 		}
 	}
 
@@ -121,7 +134,7 @@ func namespaceBench(ctx context.Context, cfg namespaceConfig) error {
 
 // nsValue fills val with the deterministic content of register i at the
 // given version: index stamp, version byte, then a repeating pattern. The
-// post-recovery probe recomputes it, so a backend cannot win by losing
+// post-recovery probes recompute it, so a backend cannot win by losing
 // writes.
 func nsValue(val []byte, i int, version byte) {
 	binary.BigEndian.PutUint32(val[0:], uint32(i))
@@ -131,7 +144,17 @@ func nsValue(val []byte, i int, version byte) {
 	}
 }
 
-func nsName(i int) string { return fmt.Sprintf("written/r%07d", i) }
+// nsTag is the deterministic adoption tag of register i at the given
+// version — what a replica would have logged alongside the value.
+func nsTag(i int, version byte) tag.Tag {
+	return tag.Tag{Seq: int64(version) + 1, Writer: int32(i % 3)}
+}
+
+// nsRegName is the register name; nsName the written/ record it is logged
+// under — the same record core recovery and lazy materialization read.
+func nsRegName(i int) string { return fmt.Sprintf("r%07d", i) }
+
+func nsName(i int) string { return core.WrittenRecordName(nsRegName(i)) }
 
 // measureNamespace populates one fresh store and measures load throughput,
 // cold-reopen (recovery) time, and post-recovery probe latency.
@@ -173,14 +196,13 @@ func measureNamespace(ctx context.Context, backend string, count int, cfg namesp
 	}
 	row.DiskBytes = dirBytes(dir)
 
-	// Recovery: the cold reopen a restarted node performs before serving.
+	// Recovery: the cold reopen a restarted store performs before serving.
 	start = time.Now()
 	d2, err := stable.OpenBackend(backend, dir, stable.Profile{})
 	if err != nil {
 		return row, err
 	}
 	row.RecoveryMS = float64(time.Since(start).Nanoseconds()) / 1e6
-	defer d2.Close()
 
 	// Probe: sampled post-recovery reads, verified against the generator.
 	probes := count
@@ -194,6 +216,7 @@ func measureNamespace(ctx context.Context, backend string, count int, cfg namesp
 		i := p * stride
 		data, ok, err := d2.Retrieve(nsName(i))
 		if err != nil || !ok {
+			d2.Close()
 			return row, fmt.Errorf("probe %s: ok=%v err=%w", nsName(i), ok, err)
 		}
 		version := byte(0)
@@ -201,33 +224,104 @@ func measureNamespace(ctx context.Context, backend string, count int, cfg namesp
 			version = 1
 		}
 		nsValue(want, i, version)
-		if !bytesEqual(data, want) {
-			return row, fmt.Errorf("probe %s: recovered %d-byte value does not match what was stored", nsName(i), len(data))
+		if !bytesEqual(data, core.EncodeWrittenPayload(nsTag(i, version), want)) {
+			d2.Close()
+			return row, fmt.Errorf("probe %s: recovered %d-byte record does not match what was stored", nsName(i), len(data))
 		}
 	}
 	row.ProbeUS = float64(time.Since(start).Microseconds()) / float64(probes)
+	if err := d2.Close(); err != nil {
+		return row, err
+	}
+
+	// Node-level reopen: the restart-before-serving cost of a real process —
+	// open the engine, boot a core.Node over it, and run the Crash+Recover
+	// sequence cmd/recmem-node performs before its control port opens. A
+	// single-process emulation keeps the measurement about recovery, not
+	// quorum traffic (the persistent recovery procedure only runs rounds for
+	// pending writes, of which a cleanly closed store has none).
+	nodeMS, err := measureNodeReopen(ctx, backend, dir, count, churn, cfg)
+	if err != nil {
+		return row, err
+	}
+	row.NodeReopenMS = nodeMS
 	return row, nil
 }
 
+// measureNodeReopen boots a core.Node on the populated directory, times
+// storage open + NewNode + Recover, then verifies sampled registers through
+// the node's own view so a fast restart can't come from serving nothing.
+func measureNodeReopen(ctx context.Context, backend, dir string, count, churn int, cfg namespaceConfig) (float64, error) {
+	nw, err := netsim.New(1, netsim.Options{})
+	if err != nil {
+		return 0, err
+	}
+	defer nw.Close()
+	var ids atomic.Uint64
+
+	start := time.Now()
+	d, err := stable.OpenBackend(backend, dir, stable.Profile{})
+	if err != nil {
+		return 0, err
+	}
+	defer d.Close()
+	nd, err := core.NewNode(0, 1, core.Persistent, core.Options{}, core.Deps{
+		Endpoint: nw.Endpoint(0), Storage: d, IDs: &ids,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer nd.Close()
+	nd.Crash(nil)
+	if err := nd.Recover(ctx, nil, nil); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+
+	probes := count
+	if probes > 64 {
+		probes = 64
+	}
+	stride := count / probes
+	want := make([]byte, cfg.ValueBytes)
+	for p := 0; p < probes; p++ {
+		i := p * stride
+		version := byte(0)
+		if i < churn {
+			version = 1
+		}
+		tg, val, ok := nd.RegisterState(nsRegName(i))
+		if !ok {
+			return 0, fmt.Errorf("node probe %s: no state after recovery", nsRegName(i))
+		}
+		nsValue(want, i, version)
+		if tg != nsTag(i, version) || !bytesEqual(val, want) {
+			return 0, fmt.Errorf("node probe %s: recovered state does not match what was stored", nsRegName(i))
+		}
+	}
+	return float64(elapsed.Nanoseconds()) / 1e6, nil
+}
+
 // nsLoad stores registers [0, count) at the given version through batched
-// StoreBatch calls issued by a small worker pool.
+// StoreBatch calls issued by a small worker pool. Records are written in the
+// core's written/ encoding so the populated directory is a real register
+// namespace a Node can recover over.
 func nsLoad(ctx context.Context, d stable.Storage, valueBytes, batch, count int, version byte) error {
 	const workers = 4
 	next := make(chan int, workers)
 	errs := make(chan error, workers)
 	for w := 0; w < workers; w++ {
 		go func() {
-			bufs := make([][]byte, batch)
-			for i := range bufs {
-				bufs[i] = make([]byte, valueBytes)
-			}
+			val := make([]byte, valueBytes)
 			recs := make([]stable.Record, 0, batch)
 			for from := range next {
 				recs = recs[:0]
 				for reg := from; reg < from+batch && reg < count; reg++ {
-					val := bufs[len(recs)]
 					nsValue(val, reg, version)
-					recs = append(recs, stable.Record{Name: nsName(reg), Data: val})
+					recs = append(recs, stable.Record{
+						Name: nsName(reg),
+						Data: core.EncodeWrittenPayload(nsTag(reg, version), val),
+					})
 				}
 				if err := d.StoreBatch(recs); err != nil {
 					errs <- err

@@ -54,6 +54,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"recmem"
@@ -107,6 +109,7 @@ type options struct {
 	diskFail float64
 	remote   []string
 	verify   bool
+	populate int
 
 	// killCmds, when non-empty, makes the torture run OWN the mesh's node
 	// processes: it spawns one command per -remote address and the kill
@@ -138,6 +141,7 @@ func run(args []string) error {
 		diskFail   = fs.Float64("diskfail", 0, "injected Store/StoreBatch failure rate [0,1)")
 		remoteFlag = fs.String("remote", "", "comma-separated recmem-node control addresses: drive a live mesh instead of the simulator")
 		verify     = fs.Bool("verify", false, "with -remote: record per-client histories, merge them by wall clock + tag witness, and model-check the round (docs/adr/0004)")
+		populate   = fs.Int("populate", 0, "with -remote: bulk-write this many distinct registers across the mesh before round 1, so kill-restart rounds recover over a populated namespace (docs/adr/0009)")
 		killFlag   = fs.String("kill", "", "with -remote: ';;'-separated recmem-node command lines, one per control address; the torture run spawns them and SIGKILLs + restarts real node processes mid-round (docs/adr/0005)")
 		killCycles = fs.Int("kill-cycles", 2, "SIGKILL+restart cycles per round under -kill")
 		killDelay  = fs.Duration("kill-delay", 300*time.Millisecond, "pause before the first kill and between cycles")
@@ -157,7 +161,7 @@ func run(args []string) error {
 		kind: kind, n: *n, ops: *ops, seed: *seed, loss: *loss, dup: *dup,
 		reads: *reads, regs: *regs, async: *async, hardened: *hardened,
 		faultFor: *faultFor, traceCap: *traceCap, disk: *disk, diskFail: *diskFail,
-		verify: *verify,
+		verify: *verify, populate: *populate,
 	}
 	if *remoteFlag != "" {
 		// Trimmed once here: every consumer (round dials, readiness
@@ -168,6 +172,9 @@ func run(args []string) error {
 	}
 	if o.verify && len(o.remote) == 0 {
 		return fmt.Errorf("-verify applies to -remote runs (simulated rounds always verify)")
+	}
+	if o.populate > 0 && len(o.remote) == 0 {
+		return fmt.Errorf("-populate applies to -remote runs")
 	}
 	o.killCycles, o.killDelay, o.killDown = *killCycles, *killDelay, *killDown
 	if *killFlag != "" {
@@ -222,6 +229,11 @@ func run(args []string) error {
 		}
 		if o.verify {
 			group = recmem.NewRecordingGroup()
+		}
+		if o.populate > 0 {
+			if err := populateMesh(raw, o.populate); err != nil {
+				return fmt.Errorf("populate: %w", err)
+			}
 		}
 	}
 
@@ -408,6 +420,54 @@ func spawnMesh(o options) ([]*procfault.Proc, error) {
 	}
 	fmt.Println(") for kill-restart injection")
 	return procs, nil
+}
+
+// populateMesh bulk-writes count distinct registers through the run-lifetime
+// clients before the first round, so every node carries a populated adopted
+// namespace when the kill schedule later SIGKILLs it: a restart that rebuilt
+// the register map eagerly would pay for all of these before reopening its
+// control port, while the lazy recovery (docs/adr/0009) pays only for pending
+// writes. The registers live under a bulk- prefix disjoint from the
+// workload's r<i> names, and the writes go through the raw, unrecorded
+// clients, so round verification is unaffected. Writes are issued from a
+// concurrent worker pool per client — the remote protocol pipelines them on
+// each connection and the nodes' batching engines coalesce the rounds.
+func populateMesh(clients []*remote.Client, count int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	start := time.Now()
+	const perClient = 32
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		werr    error
+	)
+	for w := 0; w < perClient*len(clients); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= count || ctx.Err() != nil {
+					return
+				}
+				reg := clients[i%len(clients)].Register(fmt.Sprintf("bulk-%07d", i))
+				if err := reg.Write(ctx, []byte(fmt.Sprintf("v%07d", i))); err != nil {
+					errOnce.Do(func() { werr = fmt.Errorf("register bulk-%07d: %w", i, err) })
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("populated %d registers across %d nodes in %v\n",
+		count, len(clients), time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // pingProbe is the readiness probe for one control address: a fresh dial —

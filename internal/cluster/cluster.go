@@ -228,6 +228,14 @@ func (c *Cluster) Recover(ctx context.Context, proc int32) error {
 	return err
 }
 
+// LastRecovery returns the stable-storage footprint of a process's most
+// recent recovery procedure — with the lazy register map this is the
+// complete register state a restart read (docs/adr/0009), which scenario
+// tests assert stays O(pending) regardless of namespace size.
+func (c *Cluster) LastRecovery(proc int32) core.RecoveryStats {
+	return c.nodes[proc].LastRecovery()
+}
+
 // N returns the number of processes.
 func (c *Cluster) N() int { return c.cfg.N }
 

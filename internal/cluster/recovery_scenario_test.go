@@ -182,3 +182,60 @@ func TestCrashLoopUnderLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestScenarioLazyRestartColdNamespace is the cluster-level conformance case
+// for lazy core recovery (docs/adr/0009), on the real sharded engine: a
+// process adopts a populated namespace, crash-loops — including a crash
+// immediately after its restart, before anything is touched — and the fresh
+// incarnation must serve a never-touched register as the zero state (⊥), a
+// populated one correctly, report an O(pending) recovery footprint, and
+// keep the whole history persistent-atomic.
+func TestScenarioLazyRestartColdNamespace(t *testing.T) {
+	cfg := testConfig(3, core.Persistent)
+	cfg.DiskBackend = "sharded"
+	cfg.DiskDir = t.TempDir()
+	c := newCluster(t, cfg)
+	ctx := testCtx(t)
+
+	// Populate from processes 0 and 1 only: process 2 adopts the whole
+	// namespace as a replica but never pre-logs a write, so its restart is a
+	// pure-replica recovery with a genuinely empty writing/ set. (The
+	// persistent algorithm keeps completed pre-logs forever — a writer's
+	// recovery harmlessly re-finishes them, which would show up here as a
+	// nonzero PendingWrites.)
+	const regs = 120
+	for i := 0; i < regs; i++ {
+		if _, err := c.Write(ctx, int32(i%2), fmt.Sprintf("cold-%03d", i), []byte(fmt.Sprintf("v%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash, restart, and crash again straight away: the second incarnation
+	// starts from an untouched lazy map, twice over.
+	for cycle := 0; cycle < 2; cycle++ {
+		if !c.Crash(2) {
+			t.Fatalf("cycle %d: crash refused", cycle)
+		}
+		if err := c.Recover(ctx, 2); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+	}
+	if stats := c.LastRecovery(2); stats.PendingWrites != 0 {
+		t.Fatalf("recovery finished %d pending writes on a quiescent crash", stats.PendingWrites)
+	}
+
+	// A register nothing ever wrote reads as ⊥ through the full protocol.
+	if v, _, err := c.Read(ctx, 2, "never-touched"); err != nil || len(v) != 0 {
+		t.Fatalf("read(never-touched) = %q, %v", v, err)
+	}
+	// Populated registers materialize on demand with their adopted values.
+	for _, i := range []int{0, regs / 2, regs - 1} {
+		v, _, err := c.Read(ctx, 2, fmt.Sprintf("cold-%03d", i))
+		if err != nil || string(v) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("read(cold-%03d) = %q, %v", i, v, err)
+		}
+	}
+	if err := c.Check(atomicity.Persistent); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -197,11 +197,17 @@ type Node struct {
 	// stable storage, so two boots of one node never share a value.
 	// Deliberately NOT wiped by Crash: it is harness bookkeeping that lets
 	// remote observers infer crashes nobody injected, never protocol state.
-	inc     uint64
-	regs    map[string]regState
-	rec     int32 // volatile copy of the persisted recovery counter
-	pending map[uint64]chan wire.Envelope
-	crashCh chan struct{} // closed on crash; recreated on recovery
+	inc uint64
+	// regs is the volatile register map. An entry's presence means "this
+	// incarnation touched the register": entries appear on adoption and on
+	// lazy materialization from the written/ record (regView), never as an
+	// eager recovery-time rebuild — restarts are O(pending), not
+	// O(namespace) (docs/adr/0009). Crash wipes the map.
+	regs         map[string]regState
+	rec          int32 // volatile copy of the persisted recovery counter
+	lastRecovery RecoveryStats
+	pending      map[uint64]chan wire.Envelope
+	crashCh      chan struct{} // closed on crash; recreated on recovery
 
 	// eng is the batching + pipelining engine behind SubmitWrite/SubmitRead;
 	// ob group-commits its round broadcasts into batch frames.
@@ -293,14 +299,92 @@ func (nd *Node) Up() bool {
 	return nd.state == stateUp
 }
 
-// RegisterState returns the node's volatile view of a register, for tests
-// and demos (the harness-side equivalent of peeking at the paper's v and
-// sn variables).
+// RegisterState returns the node's view of a register, for tests and demos
+// (the harness-side equivalent of peeking at the paper's v and sn
+// variables). On a serving node the view materializes from stable storage on
+// first touch, exactly like the protocol paths; ok reports whether the
+// register holds any adopted state. A node that is down reports nothing —
+// its volatile state is gone and it must not serve — while a closed node
+// keeps reporting whatever volatile view it held at Close.
 func (nd *Node) RegisterState(reg string) (tag.Tag, []byte, bool) {
 	nd.mu.Lock()
-	defer nd.mu.Unlock()
 	rs, ok := nd.regs[reg]
-	return rs.tag, rs.val, ok
+	serving := nd.servingLocked()
+	nd.mu.Unlock()
+	if !ok && serving {
+		var err error
+		if rs, _, err = nd.regView(reg); err != nil {
+			return tag.Tag{}, nil, false
+		}
+	} else if !ok {
+		return tag.Tag{}, nil, false
+	}
+	return rs.tag, rs.val, !rs.tag.IsZero() || rs.val != nil
+}
+
+// regView returns the node's current view of one register, materializing the
+// map entry from the register's written/ record on first touch — the lazy
+// counterpart of the eager recovery-time rebuild this map used to get
+// (docs/adr/0009). The load happens off nd.mu (the engine's storage may
+// block); a crash, recovery, or racing adoption while loading invalidates
+// the loaded view, detected by the epoch re-check before insertion. The
+// returned epoch is the one the view is valid under, for callers that
+// persist state afterwards and must notice an intervening crash.
+func (nd *Node) regView(reg string) (regState, uint64, error) {
+	nd.mu.Lock()
+	if !nd.servingLocked() {
+		closed := nd.state == stateClosed
+		nd.mu.Unlock()
+		if closed {
+			return regState{}, 0, ErrClosed
+		}
+		return regState{}, 0, ErrDown
+	}
+	epoch := nd.epoch
+	if rs, ok := nd.regs[reg]; ok {
+		nd.mu.Unlock()
+		return rs, epoch, nil
+	}
+	if nd.st == nil || !nd.kind.Recovers() {
+		// No written/ record can exist, so the zero state is definitive.
+		// Not inserted: map presence stays "this incarnation adopted or
+		// loaded it", and the crash-stop baseline keeps its paper shape.
+		nd.mu.Unlock()
+		return regState{}, epoch, nil
+	}
+	nd.mu.Unlock()
+
+	var rs regState
+	data, ok, err := nd.st.Retrieve(recWrittenPrefix + reg)
+	if err != nil {
+		return regState{}, 0, err
+	}
+	if ok {
+		t, v, err := decodeTagged(data)
+		if err != nil {
+			return regState{}, 0, err
+		}
+		rs = regState{tag: t, val: v}
+	}
+
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.epoch != epoch || !nd.servingLocked() {
+		// Crashed (or closed) while loading: the record read belongs to a
+		// dead incarnation's serving window — discard it.
+		if nd.state == stateClosed {
+			return regState{}, 0, ErrClosed
+		}
+		return regState{}, 0, ErrCrashed
+	}
+	if cur, ok := nd.regs[reg]; ok {
+		// A concurrent adoption (or another materializer) beat the load; its
+		// view is at least as fresh — adopters insert before they store, so
+		// anything this load missed is already in the map.
+		return cur, epoch, nil
+	}
+	nd.regs[reg] = rs
+	return rs, epoch, nil
 }
 
 // IncarnationEpoch returns the node's current incarnation epoch: a counter
@@ -319,6 +403,26 @@ func (nd *Node) RecoveryCount() int32 {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	return nd.rec
+}
+
+// RecoveryStats summarizes the stable-storage footprint of the last
+// completed recovery procedure — what a restart actually had to read now
+// that the register map materializes lazily (docs/adr/0009).
+type RecoveryStats struct {
+	// PendingWrites is the number of writing/ pre-log records the recovery
+	// scan found and finished (persistent/naive; always 0 for the others).
+	PendingWrites int
+	// RecoveryCount is the persisted recovery counter after its recovery
+	// bump (transient/regular-sw; 0 for the others).
+	RecoveryCount int32
+}
+
+// LastRecovery returns the stats of the node's most recent recovery
+// procedure (the zero value before any recovery completed).
+func (nd *Node) LastRecovery() RecoveryStats {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.lastRecovery
 }
 
 // Crash makes the process fail: volatile state is wiped, in-flight
@@ -370,18 +474,20 @@ func (nd *Node) Recover(ctx context.Context, onEvent, onAbort func()) error {
 		nd.mu.Unlock()
 		return ErrNotDown
 	}
-	// Restore volatile state from stable storage while still unreachable
-	// (handlers drop messages until the state flips to recovering).
-	regs, rec, err := nd.restore()
+	// Restore the eager slice of volatile state — just the recovery counter
+	// — while still unreachable (handlers drop messages until the state
+	// flips to recovering). The register map starts empty and materializes
+	// lazily per register (regView), so this step is O(1) in the namespace.
+	rec, err := nd.restoreCounter()
 	if err != nil {
 		nd.mu.Unlock()
 		return err
 	}
-	nd.regs = regs
+	nd.regs = make(map[string]regState)
 	nd.rec = rec
 	nd.state = stateRecovering
 	epoch := nd.epoch
-	nd.traceEvent("recover", fmt.Sprintf("restored %d registers, rec=%d", len(regs), rec))
+	nd.traceEvent("recover", fmt.Sprintf("rec=%d restored, register map lazy", rec))
 	if onEvent != nil {
 		onEvent()
 	}

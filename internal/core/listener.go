@@ -111,16 +111,13 @@ func (nd *Node) send(env wire.Envelope) {
 
 // handleSNQuery implements Fig. 4 lines 18–20: reply with the current
 // sequence number (we return the full tag; the writer uses its Seq). The
-// naive algorithm additionally logs the step.
+// naive algorithm additionally logs the step. The register view materializes
+// lazily — the first query after a restart loads the written/ record.
 func (nd *Node) handleSNQuery(env wire.Envelope) {
-	nd.mu.Lock()
-	if !nd.servingLocked() {
-		nd.mu.Unlock()
-		return
+	cur, epoch, err := nd.regView(env.Reg)
+	if err != nil {
+		return // down, crashed mid-load, or the record is unreadable
 	}
-	cur := nd.regs[env.Reg]
-	epoch := nd.epoch
-	nd.mu.Unlock()
 
 	depth := int(env.Depth)
 	if nd.kind == Naive {
@@ -141,15 +138,13 @@ func (nd *Node) handleSNQuery(env wire.Envelope) {
 }
 
 // handleRead implements Fig. 4 lines 28–30: reply with the current tagged
-// value.
+// value, materialized from stable storage if this incarnation has not
+// touched the register yet (absent record = zero state, the paper's ⊥).
 func (nd *Node) handleRead(env wire.Envelope) {
-	nd.mu.Lock()
-	if !nd.servingLocked() {
-		nd.mu.Unlock()
+	cur, _, err := nd.regView(env.Reg)
+	if err != nil {
 		return
 	}
-	cur := nd.regs[env.Reg]
-	nd.mu.Unlock()
 	nd.send(wire.Envelope{
 		Kind: wire.KindReadAck, To: env.From, Reg: env.Reg,
 		RPC: env.RPC, Op: env.Op, Depth: env.Depth, Tag: cur.tag, Value: cur.val,
@@ -163,14 +158,10 @@ func (nd *Node) handleRead(env wire.Envelope) {
 // acknowledgement — a crash between them behaves like a crash just after
 // the log, which the algorithm tolerates.
 func (nd *Node) handleWrite(env wire.Envelope) {
-	nd.mu.Lock()
-	if !nd.servingLocked() {
-		nd.mu.Unlock()
+	cur, epoch, err := nd.regView(env.Reg)
+	if err != nil {
 		return
 	}
-	cur := nd.regs[env.Reg]
-	epoch := nd.epoch
-	nd.mu.Unlock()
 
 	adopt := cur.tag.Less(env.Tag)
 	depth := int(env.Depth)
@@ -221,19 +212,23 @@ func (nd *Node) handleWriteGroup(envs []wire.Envelope) {
 		return
 	}
 
-	nd.mu.Lock()
-	if !nd.servingLocked() {
-		nd.mu.Unlock()
-		return
-	}
-	epoch := nd.epoch
+	// Materialize the view of every distinct register in the group. Each
+	// regView reports the epoch it is valid under; a crash between two loads
+	// shows up as an epoch mismatch, and the whole group is dropped — the
+	// rounds retransmit, exactly as for a crash detected later.
+	var epoch uint64
 	cur := make(map[string]regState, len(envs))
 	for _, env := range envs {
-		if _, ok := cur[env.Reg]; !ok {
-			cur[env.Reg] = nd.regs[env.Reg]
+		if _, ok := cur[env.Reg]; ok {
+			continue
 		}
+		rs, e, err := nd.regView(env.Reg)
+		if err != nil || (len(cur) > 0 && e != epoch) {
+			return
+		}
+		epoch = e
+		cur[env.Reg] = rs
 	}
-	nd.mu.Unlock()
 
 	// The per-register winner: the highest delivered timestamp.
 	best := make(map[string]wire.Envelope, len(cur))

@@ -224,18 +224,25 @@ func (nd *Node) writeRegularSW(ctx context.Context, op uint64, reg string, val [
 	if nd.id != RegularWriter {
 		return tag.Tag{}, ErrNotWriter
 	}
+	// The writer's own view materializes lazily after a restart: the first
+	// write loads the written/ record its listener logged, so the restored
+	// view never falls behind a completed write even though recovery no
+	// longer rebuilds the map eagerly.
+	rs, _, err := nd.regView(reg)
+	if err != nil {
+		return tag.Tag{}, err
+	}
+	own := rs.tag
 	nd.mu.Lock()
-	own := nd.regs[reg].tag
 	rec := nd.rec
 	nd.mu.Unlock()
 	// Fig. 5's advancement rule applied to the writer's own view: the
 	// recovery count out-mints any write the last incarnation left
 	// unfinished.
 	newTag := own.Next(nd.id, int64(rec), nd.hardenedRec(rec))
-	_, err := nd.runRound(ctx, op, wire.Envelope{
+	if _, err := nd.runRound(ctx, op, wire.Envelope{
 		Kind: wire.KindWrite, Reg: reg, Tag: newTag, Value: val,
-	}, nd.id, batched)
-	if err != nil {
+	}, nd.id, batched); err != nil {
 		return tag.Tag{}, err
 	}
 	return newTag, nil

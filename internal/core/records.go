@@ -3,7 +3,6 @@ package core
 import (
 	"encoding/binary"
 	"errors"
-	"strings"
 
 	"recmem/internal/stable"
 	"recmem/internal/tag"
@@ -35,6 +34,17 @@ const (
 
 // errBadRecord reports a corrupted stable record.
 var errBadRecord = errors.New("core: corrupted stable record")
+
+// WrittenRecordName returns the stable record name under which a replica
+// logs its adopted state for one register. Exported for harness tooling
+// only: the namespace bench pre-populates stores that a real Node then
+// recovers over, so it must write the records where recovery will look.
+func WrittenRecordName(reg string) string { return recWrittenPrefix + reg }
+
+// EncodeWrittenPayload returns the stable payload encoding of an adopted
+// (tag, value) pair — the content of a WrittenRecordName record. Exported
+// for the same harness tooling as WrittenRecordName.
+func EncodeWrittenPayload(t tag.Tag, val []byte) []byte { return encodeTagged(t, val) }
 
 // storeLog persists one causal-log record. Operations running under the
 // batching engine go through the batched durability path, so the pre-logs of
@@ -121,43 +131,21 @@ func loadIncarnation(st stable.Storage) (uint64, error) {
 	return decodeEpoch(data)
 }
 
-// restore loads the volatile state a recovering process can reconstruct from
-// its stable storage: the adopted (tag, value) of every register and — for
-// the transient algorithm — the recovery counter. Registers never stored
-// stay at their zero state, which is equivalent to the paper's explicitly
-// initialized store(written, 0, i, ⊥).
-func (nd *Node) restore() (map[string]regState, int32, error) {
-	regs := make(map[string]regState)
-	names, err := nd.st.Records(recWrittenPrefix)
-	if err != nil {
-		return nil, 0, err
+// restoreCounter loads the only volatile state recovery materializes
+// eagerly: the persisted recovery counter (transient/regular-sw). The
+// register map is deliberately NOT rebuilt here — entries materialize
+// lazily, on first touch, from their written/ records (see regView), so a
+// restart's stable-storage footprint is O(pending + index) instead of
+// O(namespace) (docs/adr/0009). Registers never stored stay at their zero
+// state, which is equivalent to the paper's explicitly initialized
+// store(written, 0, i, ⊥).
+func (nd *Node) restoreCounter() (int32, error) {
+	if nd.kind != Transient && nd.kind != RegularSW {
+		return 0, nil
 	}
-	for _, name := range names {
-		data, ok, err := nd.st.Retrieve(name)
-		if err != nil {
-			return nil, 0, err
-		}
-		if !ok {
-			continue
-		}
-		t, v, err := decodeTagged(data)
-		if err != nil {
-			return nil, 0, err
-		}
-		regs[strings.TrimPrefix(name, recWrittenPrefix)] = regState{tag: t, val: v}
+	data, ok, err := nd.st.Retrieve(recRecovered)
+	if err != nil || !ok {
+		return 0, err
 	}
-	var rec int32
-	if nd.kind == Transient || nd.kind == RegularSW {
-		data, ok, err := nd.st.Retrieve(recRecovered)
-		if err != nil {
-			return nil, 0, err
-		}
-		if ok {
-			rec, err = decodeCounter(data)
-			if err != nil {
-				return nil, 0, err
-			}
-		}
-	}
-	return regs, rec, nil
+	return decodeCounter(data)
 }

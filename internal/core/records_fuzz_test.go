@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"recmem/internal/tag"
+)
+
+// The codec fuzzers: every stable record a node reads back — adopted state,
+// the recovery counter, the incarnation epoch — must either decode to a
+// value whose re-encoding is byte-identical to the input (the codecs are
+// canonical: exact-length checks leave one encoding per value) or fail with
+// errBadRecord. Corruption must never panic or mis-slice; with lazy
+// recovery these decoders also run on the hot materialization path, not
+// just at restart (docs/adr/0009).
+
+func FuzzDecodeTagged(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 19))
+	f.Add(make([]byte, 20))
+	f.Add(encodeTagged(tag.Tag{Seq: 7, Writer: 2, Rec: 1}, []byte("value")))
+	f.Add(encodeTagged(tag.Tag{Seq: -1, Writer: -2, Rec: -3}, nil))
+	// Length field far beyond the buffer: the mis-slice bait.
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tg, val, err := decodeTagged(data)
+		if err != nil {
+			if !errors.Is(err, errBadRecord) {
+				t.Fatalf("corrupted record returned %v, want errBadRecord", err)
+			}
+			return
+		}
+		if !bytes.Equal(encodeTagged(tg, val), data) {
+			t.Fatalf("decode(%x) = (%v, %x) does not re-encode to its input", data, tg, val)
+		}
+	})
+}
+
+func FuzzDecodeCounter(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(encodeCounter(42))
+	f.Add(encodeCounter(-1))
+	f.Add([]byte{0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := decodeCounter(data)
+		if err != nil {
+			if !errors.Is(err, errBadRecord) {
+				t.Fatalf("corrupted counter returned %v, want errBadRecord", err)
+			}
+			return
+		}
+		if !bytes.Equal(encodeCounter(c), data) {
+			t.Fatalf("decode(%x) = %d does not re-encode to its input", data, c)
+		}
+	})
+}
+
+func FuzzDecodeEpoch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7})
+	f.Add(encodeEpoch(1))
+	f.Add(encodeEpoch(1<<63 + 17))
+	f.Add(make([]byte, 9))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := decodeEpoch(data)
+		if err != nil {
+			if !errors.Is(err, errBadRecord) {
+				t.Fatalf("corrupted epoch returned %v, want errBadRecord", err)
+			}
+			return
+		}
+		if !bytes.Equal(encodeEpoch(e), data) {
+			t.Fatalf("decode(%x) = %d does not re-encode to its input", data, e)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 
+	"recmem/internal/stable"
 	"recmem/internal/wire"
 )
 
@@ -58,11 +59,21 @@ func (nd *Node) mintIncarnation() error {
 // if it had not, it completes the write before the process can invoke a new
 // operation — which is what persistent atomicity requires. The paper notes
 // this log sits outside read and write operations.
+//
+// The writing/ records are enumerated through the streaming scan, so the
+// restart reads O(pending) names — a process has at most a handful of
+// interrupted writes, however many registers it has adopted. The names are
+// accumulated before any Retrieve: Scanner implementations stream under
+// their internal locks, so the callback must not call back into the store.
 func (nd *Node) finishPendingWrites(ctx context.Context) error {
-	names, err := nd.st.Records(recWritingPrefix)
-	if err != nil {
+	var names []string
+	if err := stable.ScanRecords(nd.st, recWritingPrefix, func(name string) error {
+		names = append(names, name)
+		return nil
+	}); err != nil {
 		return err
 	}
+	pending := 0
 	for _, name := range names {
 		data, ok, err := nd.st.Retrieve(name)
 		if err != nil {
@@ -75,6 +86,7 @@ func (nd *Node) finishPendingWrites(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+		pending++
 		reg := strings.TrimPrefix(name, recWritingPrefix)
 		op := nd.newID()
 		if _, err := nd.round(ctx, op, wire.Envelope{
@@ -83,6 +95,9 @@ func (nd *Node) finishPendingWrites(ctx context.Context) error {
 			return err
 		}
 	}
+	nd.mu.Lock()
+	nd.lastRecovery = RecoveryStats{PendingWrites: pending}
+	nd.mu.Unlock()
 	return nil
 }
 
@@ -103,6 +118,7 @@ func (nd *Node) bumpRecoveryCounter() error {
 	if nd.state == stateRecovering {
 		nd.rec = newRec
 	}
+	nd.lastRecovery = RecoveryStats{RecoveryCount: newRec}
 	nd.mu.Unlock()
 	return nil
 }

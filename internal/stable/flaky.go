@@ -91,6 +91,12 @@ func (f *Flaky) Records(prefix string) ([]string, error) {
 	return f.inner.Records(prefix)
 }
 
+// Scan implements Scanner by streaming from the inner store — faults are
+// injected on the durability path only, never on enumeration.
+func (f *Flaky) Scan(prefix string, fn func(string) error) error {
+	return ScanRecords(f.inner, prefix, fn)
+}
+
 // Close implements Storage.
 func (f *Flaky) Close() error { return f.inner.Close() }
 

@@ -1117,6 +1117,52 @@ func (d *ShardedDisk) Records(prefix string) ([]string, error) {
 	return out, nil
 }
 
+// Scan implements Scanner: shards stream one at a time under their own
+// locks, each walking its footer-index entries (names only — record values
+// are never read or paged in) plus its non-tombstone overlay entries, so no
+// caller ever holds the full namespace in memory. Order is per-shard index
+// order, not globally sorted; fn must not call back into the store (Retrieve
+// takes the same shard lock).
+func (d *ShardedDisk) Scan(prefix string, fn func(string) error) error {
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		err := sh.scanLocked(prefix, fn)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanLocked streams one shard's live record names. Caller holds sh.mu.
+func (sh *shard) scanLocked(prefix string, fn func(string) error) error {
+	if sh.closed {
+		return ErrClosed
+	}
+	for _, off := range sh.baseOffs {
+		nb, _ := indexEntry(sh.baseRaw, off)
+		if !strings.HasPrefix(string(nb), prefix) {
+			continue
+		}
+		name := string(nb)
+		if _, shadowed := sh.over[name]; shadowed {
+			continue
+		}
+		if err := fn(name); err != nil {
+			return err
+		}
+	}
+	for name, loc := range sh.over {
+		if !loc.tomb && strings.HasPrefix(name, prefix) {
+			if err := fn(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Close implements Storage: every accepted group commits, the daemons stop,
 // in-flight compactions finish, and — when a shard holds enough uncompacted
 // bytes — a final compaction folds its segments into the snapshot so the

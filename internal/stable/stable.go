@@ -32,6 +32,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -82,6 +83,39 @@ type Storage interface {
 func BatchOf(s Storage, recs []Record) error {
 	for _, r := range recs {
 		if err := s.Store(r.Name, r.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scanner is the optional streaming-enumeration extension of Storage: Scan
+// invokes fn once for every stored record whose name has the given prefix,
+// without ever materializing the full name list — at a million registers the
+// difference between O(pending) and O(namespace) restarts (docs/adr/0009).
+// Enumeration order is unspecified. Implementations stream while holding
+// internal locks, so fn must not call back into the same store (accumulate
+// names and Retrieve after the scan instead). If fn returns an error the
+// scan stops and Scan returns that error.
+type Scanner interface {
+	Scan(prefix string, fn func(name string) error) error
+}
+
+// ScanRecords streams the names of every record with the given prefix to fn:
+// natively when the engine implements Scanner, else via a one-shot Records
+// enumeration — the adapter that lets callers (core recovery) depend only on
+// the streaming shape while every engine keeps working. The Scanner
+// constraint on fn applies either way.
+func ScanRecords(s Storage, prefix string, fn func(name string) error) error {
+	if sc, ok := s.(Scanner); ok {
+		return sc.Scan(prefix, fn)
+	}
+	names, err := s.Records(prefix)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := fn(name); err != nil {
 			return err
 		}
 	}
@@ -272,6 +306,24 @@ func (d *MemDisk) Records(prefix string) ([]string, error) {
 	return out, nil
 }
 
+// Scan implements Scanner: the record map streams under the store lock in
+// map order, so fn must not call back into the store.
+func (d *MemDisk) Scan(prefix string, fn func(string) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	for name := range d.records {
+		if strings.HasPrefix(name, prefix) {
+			if err := fn(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Close implements Storage. A closed MemDisk can be reopened with Reopen,
 // preserving content (modelling a machine reboot).
 func (d *MemDisk) Close() error {
@@ -409,6 +461,39 @@ func (d *FileDisk) Records(prefix string) ([]string, error) {
 	return out, nil
 }
 
+// Scan implements Scanner: directory entries are read and decoded in bounded
+// chunks, so even a namespace-sized directory never materializes as one name
+// list. fn runs under the store lock and must not call back into the store.
+func (d *FileDisk) Scan(prefix string, fn func(string) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	dirF, err := os.Open(d.dir)
+	if err != nil {
+		return fmt.Errorf("stable: scan: %w", err)
+	}
+	defer dirF.Close()
+	for {
+		entries, err := dirF.ReadDir(256)
+		for _, e := range entries {
+			name, ok := decodeName(e.Name())
+			if ok && strings.HasPrefix(name, prefix) {
+				if err := fn(name); err != nil {
+					return err
+				}
+			}
+		}
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("stable: scan: %w", err)
+		}
+	}
+}
+
 // Close implements Storage.
 func (d *FileDisk) Close() error {
 	d.mu.Lock()
@@ -423,21 +508,29 @@ func (d *FileDisk) Close() error {
 type Counting struct {
 	inner Storage
 
-	mu        sync.Mutex
-	stores    int
-	batches   int
-	commits   int
-	retrieves int
-	deletes   int
-	bytes     int64
-	perRecord map[string]int
+	mu          sync.Mutex
+	stores      int
+	batches     int
+	commits     int
+	retrieves   int
+	deletes     int
+	scans       int
+	lists       int
+	bytes       int64
+	perRecord   map[string]int
+	perRetrieve map[string]int
 }
 
 var _ Storage = (*Counting)(nil)
+var _ Scanner = (*Counting)(nil)
 
 // NewCounting wraps inner with counters.
 func NewCounting(inner Storage) *Counting {
-	return &Counting{inner: inner, perRecord: make(map[string]int)}
+	return &Counting{
+		inner:       inner,
+		perRecord:   make(map[string]int),
+		perRetrieve: make(map[string]int),
+	}
 }
 
 // Store implements Storage.
@@ -471,12 +564,29 @@ func (c *Counting) StoreBatch(recs []Record) error {
 func (c *Counting) Retrieve(record string) ([]byte, bool, error) {
 	c.mu.Lock()
 	c.retrieves++
+	c.perRetrieve[record]++
 	c.mu.Unlock()
 	return c.inner.Retrieve(record)
 }
 
-// Records implements Storage.
-func (c *Counting) Records(prefix string) ([]string, error) { return c.inner.Records(prefix) }
+// Records implements Storage, counting the full-materialization enumeration
+// (see Lists) — the call lazy recovery must never make.
+func (c *Counting) Records(prefix string) ([]string, error) {
+	c.mu.Lock()
+	c.lists++
+	c.mu.Unlock()
+	return c.inner.Records(prefix)
+}
+
+// Scan implements Scanner: the call is counted, then streamed from the inner
+// store via ScanRecords (so engines without a native Scan still enumerate
+// through the adapter).
+func (c *Counting) Scan(prefix string, fn func(string) error) error {
+	c.mu.Lock()
+	c.scans++
+	c.mu.Unlock()
+	return ScanRecords(c.inner, prefix, fn)
+}
 
 // Delete implements Deleter by delegating to the inner storage, counting the
 // call; ErrNoDelete if the inner storage has no lifecycle support.
@@ -538,6 +648,37 @@ func (c *Counting) RecordStores(record string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.perRecord[record]
+}
+
+// Scans returns the number of streaming Scan calls observed.
+func (c *Counting) Scans() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.scans
+}
+
+// Lists returns the number of Records calls observed — the
+// full-materialization enumerations that the streaming path exists to avoid.
+func (c *Counting) Lists() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lists
+}
+
+// PrefixRetrieves returns the number of Retrieve calls whose record name has
+// the given prefix. The lazy-recovery guarantee is checked with it: a restart
+// may Retrieve its pending writing/ records and its counters, but zero
+// written/ register records (docs/adr/0009).
+func (c *Counting) PrefixRetrieves(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for name, count := range c.perRetrieve {
+		if strings.HasPrefix(name, prefix) {
+			n += count
+		}
+	}
+	return n
 }
 
 // Deletes returns the number of Delete calls observed.

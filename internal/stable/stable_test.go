@@ -101,6 +101,69 @@ func TestRecordsPrefix(t *testing.T) {
 	}
 }
 
+// TestScanMatchesRecords is the Scanner conformance case: for every engine
+// and a spread of prefixes, the streamed enumeration must agree exactly with
+// the materialized one (as a set — Scan's order is unspecified), every
+// engine must implement the native Scanner so recovery never falls back to
+// the O(namespace) adapter, a callback error must stop the scan, and a
+// closed store must refuse to scan.
+func TestScanMatchesRecords(t *testing.T) {
+	for name, mk := range storageFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			if _, ok := s.(Scanner); !ok {
+				t.Fatalf("%s does not implement Scanner", name)
+			}
+			for i := 0; i < 40; i++ {
+				if err := s.Store(fmt.Sprintf("written/r%03d", i), []byte("v")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, rec := range []string{"writing/a", "writing/b", "recovered", "incarnation"} {
+				if err := s.Store(rec, []byte("x")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, prefix := range []string{"", "written/", "writing/", "recovered", "nope/"} {
+				want, err := s.Records(prefix)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seen := make(map[string]int)
+				if err := ScanRecords(s, prefix, func(name string) error {
+					seen[name]++
+					return nil
+				}); err != nil {
+					t.Fatalf("Scan(%q): %v", prefix, err)
+				}
+				if len(seen) != len(want) {
+					t.Fatalf("Scan(%q) streamed %d names, Records has %d", prefix, len(seen), len(want))
+				}
+				for _, name := range want {
+					if seen[name] != 1 {
+						t.Fatalf("Scan(%q) streamed %q %d times", prefix, name, seen[name])
+					}
+				}
+			}
+			// A callback error stops the scan and propagates.
+			sentinel := errors.New("stop")
+			calls := 0
+			err := ScanRecords(s, "written/", func(string) error {
+				calls++
+				return sentinel
+			})
+			if !errors.Is(err, sentinel) || calls != 1 {
+				t.Fatalf("callback error: err=%v calls=%d", err, calls)
+			}
+			s.Close()
+			if err := ScanRecords(s, "", func(string) error { return nil }); !errors.Is(err, ErrClosed) {
+				t.Fatalf("scan after close: %v", err)
+			}
+		})
+	}
+}
+
 func TestRetrieveReturnsCopy(t *testing.T) {
 	for name, mk := range storageFactories(t) {
 		t.Run(name, func(t *testing.T) {
@@ -347,6 +410,27 @@ func TestCounting(t *testing.T) {
 	recs, err := c.Records("")
 	if err != nil || len(recs) != 3 {
 		t.Fatalf("Records = %v err=%v", recs, err)
+	}
+	// The enumeration counters split the streaming path from the
+	// materializing one, and retrieves count per prefix — the counters the
+	// lazy-recovery guarantee test reads.
+	if c.Lists() != 1 || c.Scans() != 0 {
+		t.Fatalf("after Records: lists=%d scans=%d", c.Lists(), c.Scans())
+	}
+	if err := c.Scan("a", func(string) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if c.Scans() != 1 || c.Lists() != 1 {
+		t.Fatalf("after Scan: scans=%d lists=%d", c.Scans(), c.Lists())
+	}
+	if _, _, err := c.Retrieve("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PrefixRetrieves("a"); got != 1 {
+		t.Fatalf("PrefixRetrieves(a) = %d", got)
+	}
+	if got := c.PrefixRetrieves(""); got != 2 {
+		t.Fatalf("PrefixRetrieves(\"\") = %d", got)
 	}
 }
 

@@ -419,6 +419,24 @@ func (d *WALDisk) Records(prefix string) ([]string, error) {
 	return out, nil
 }
 
+// Scan implements Scanner: the fully resident record map streams under the
+// store lock in map order, so fn must not call back into the store.
+func (d *WALDisk) Scan(prefix string, fn func(string) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	for name := range d.recs {
+		if strings.HasPrefix(name, prefix) {
+			if err := fn(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Close implements Storage: it commits every accepted group, stops the
 // daemon, and closes the log. The content remains retrievable by a new
 // WALDisk over the same directory.

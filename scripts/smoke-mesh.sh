@@ -62,7 +62,7 @@ go build -o "$BIN" ./cmd/recmem-node ./cmd/recmem-client ./cmd/recmem-torture
 # scenario code.
 kill_round() {
     local disk=$1
-    echo "== KILL-RESTART rounds: SIGKILL + re-exec real node processes mid-run, verified (transient, $disk disks)"
+    echo "== KILL-RESTART rounds: SIGKILL + re-exec real node processes mid-run, verified (transient, $disk disks, 10k-register namespace)"
     local kpeers="127.0.0.1:$K0,127.0.0.1:$K1,127.0.0.1:$K2"
     local kcmd=""
     for i in 0 1 2; do
@@ -70,8 +70,12 @@ kill_round() {
         local cmd="$BIN/recmem-node -id $i -peers $kpeers -control 127.0.0.1:${!ctrl_var} -dir $WORK/k$disk$i -disk $disk -algorithm transient -retransmit 20ms"
         if [ -z "$kcmd" ]; then kcmd="$cmd"; else kcmd="$kcmd;;$cmd"; fi
     done
+    # -populate 10000: every node adopts a 10k-register namespace before the
+    # first SIGKILL, so the restarts' readiness probes double as a lazy-
+    # recovery check — an eager restart would reload the whole namespace
+    # before reopening its control port (docs/adr/0009).
     "$BIN/recmem-torture" -remote "127.0.0.1:$KC0,127.0.0.1:$KC1,127.0.0.1:$KC2" \
-        -ops 120 -rounds 2 -async 8 -faults 600ms -seed 11 -verify \
+        -ops 120 -rounds 2 -async 8 -faults 600ms -seed 11 -verify -populate 10000 \
         -kill "$kcmd" -kill-cycles 2 -kill-delay 150ms -kill-down 150ms
 }
 
