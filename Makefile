@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-disk bench-handle bench-remote bench-namespace smoke verify-mesh kill-mesh fmt vet docs-check ci scenarios
+.PHONY: all build test race bench bench-disk bench-handle bench-remote bench-namespace bench-compare escapes smoke verify-mesh kill-mesh fmt vet docs-check ci scenarios
 
 all: build
 
@@ -45,6 +45,14 @@ bench-namespace:
 	$(GO) run ./cmd/recmem-bench -experiment namespace -batch 32 \
 		-json BENCH_namespace.json -commit $$(git rev-parse --short HEAD)
 
+# bench-compare runs the remote benchmarks of BASE (default HEAD~1) and the
+# working tree interleaved, then reports per-benchmark deltas — through
+# benchstat when installed, a built-in mean comparison otherwise. Nightly CI
+# uploads the report as an artifact.
+BASE ?= HEAD~1
+bench-compare:
+	scripts/bench-compare.sh $(BASE)
+
 # smoke boots a real 3-node recmem-node mesh and drives it through the
 # remote client, then runs the VERIFIED live-mesh torture round (recording
 # clients + tag-witness merge + model check, docs/adr/0004), the
@@ -67,6 +75,12 @@ verify-mesh:
 # the atomicity checker.
 kill-mesh:
 	SMOKE_KILL_ONLY=1 ./scripts/smoke-mesh.sh
+
+# escapes diffs the compiler's escape analysis over the hot-path packages
+# (internal/core, remote) against scripts/escape-allowlist.txt: a new heap
+# escape on the dispatch/round path fails locally; CI runs it non-blocking.
+escapes:
+	./scripts/check-escapes.sh
 
 fmt:
 	@out=$$(gofmt -l .); \

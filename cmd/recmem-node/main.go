@@ -24,8 +24,10 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"recmem/internal/core"
@@ -264,6 +266,32 @@ func run(args []string) error {
 	}
 	fmt.Printf("recmem-node %d (%v, %s disk, epoch %d) serving protocol on %s, control on %s%s%s\n",
 		*id, ns.node.Algorithm(), *disk, ns.node.IncarnationEpoch(), ns.mesh.Addr(), ns.ControlAddr(), dishonest, recovered)
-	<-ns.Done()
+
+	// A signal is the deployment's shutdown path: drain through Close and
+	// leave the dispatch accounting on stdout, so an operator (or the smoke
+	// harness) can see whether the node died with work in flight.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("recmem-node %d: %v, shutting down\n", *id, sig)
+	case <-ns.Done():
+	}
+	fmt.Println(shutdownBanner(*id, ns.srv))
 	return nil
+}
+
+// shutdownBanner summarizes the control server's dispatch accounting for the
+// shutdown line: the in-flight gauge (non-zero means operations were
+// abandoned mid-protocol), the callback-completion and deadline-drop
+// counters (docs/adr/0010), and the reply group-commit ratio.
+func shutdownBanner(id int, srv *remote.Server) string {
+	inflight, completions, deadlines := srv.DispatchStats()
+	bursts, frames := srv.WriterStats()
+	ratio := 0.0
+	if bursts > 0 {
+		ratio = float64(frames) / float64(bursts)
+	}
+	return fmt.Sprintf("recmem-node %d: dispatch in-flight=%d callback-completions=%d deadline-drops=%d reply-frames=%d reply-bursts=%d (%.1f frames/burst)",
+		id, inflight, completions, deadlines, frames, bursts, ratio)
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -220,5 +222,67 @@ func TestRestartBumpsRecoveryCounter(t *testing.T) {
 		if want := int32(i + 1); rec != want {
 			t.Fatalf("recovery counts across restarts = %v, want [1 2 3]", recs)
 		}
+	}
+}
+
+// TestShutdownBanner checks the dispatch-accounting line the node prints on
+// shutdown: after a burst of completed operations the banner must report
+// zero in-flight, every completion, and no deadline drops.
+func TestShutdownBanner(t *testing.T) {
+	ns, err := startNode(nodeConfig{
+		id:        0,
+		peers:     []string{"127.0.0.1:0"},
+		control:   "127.0.0.1:0",
+		algorithm: "persistent",
+		disk:      "mem",
+		opTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ns.Close)
+	c, err := remote.Dial(ns.ControlAddr(), remote.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	reg := c.Register("banner")
+	const ops = 32
+	for i := 0; i < ops; i++ {
+		if err := reg.Write(ctx, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Entry recycling decrements the in-flight gauge just after the reply is
+	// queued; give it a moment to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		inflight, completions, deadlines := ns.srv.DispatchStats()
+		if inflight == 0 && completions >= ops {
+			if deadlines != 0 {
+				t.Fatalf("deadline drops on the happy path: %d", deadlines)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dispatch stats never settled: inflight=%d completions=%d", inflight, completions)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	banner := shutdownBanner(0, ns.srv)
+	if !strings.Contains(banner, "in-flight=0") {
+		t.Fatalf("banner missing drained in-flight gauge: %q", banner)
+	}
+	if !strings.Contains(banner, "deadline-drops=0") {
+		t.Fatalf("banner missing deadline counter: %q", banner)
+	}
+	var completions uint64
+	if _, err := fmt.Sscanf(banner[strings.Index(banner, "callback-completions="):], "callback-completions=%d", &completions); err != nil || completions < ops {
+		t.Fatalf("banner completions = %d (err %v), want ≥%d: %q", completions, err, ops, banner)
 	}
 }

@@ -295,6 +295,23 @@ func mixFor(o options) workload.Mix {
 func scenario(ctx context.Context, clients []recmem.Client, o options, faults bool) (workload.Result, int, error) {
 	faultsDone := make(chan int, 1)
 	if faults {
+		// Exercise every client once BEFORE the fault sweep starts: each
+		// recorder observes its node's incarnation epoch while the node is
+		// provably up, so a later crash floors that epoch and any node whose
+		// post-crash replies fail to mint past it is caught — regardless of
+		// whether the (op-count-bound) workload is still running when the
+		// faults land. Without this, a fast engine can drain the whole
+		// workload before the first crash and the epoch inference never gets
+		// a post-crash reply to check.
+		for i, c := range clients {
+			reg := c.Register("r0")
+			val := fmt.Appendf(nil, "warmup-%d", i)
+			// A concurrent kill schedule (remote rounds) can take the node
+			// down mid-warm-up; ride the outage like the final probes do.
+			if err := retryOutage(ctx, func() error { return reg.Write(ctx, val) }); err != nil {
+				return workload.Result{}, 0, fmt.Errorf("pre-fault warm-up through client %d: %w", i, err)
+			}
+		}
 		faultCtx, stopFaults := context.WithTimeout(ctx, o.faultFor)
 		defer stopFaults()
 		go func() {
@@ -604,21 +621,32 @@ func remoteRound(o options, procs []*procfault.Proc, raw []*remote.Client, group
 		return fmt.Errorf("workload saw %d unexpected errors", res.Errors)
 	}
 	// The mesh still serves: a write through one client is read through
-	// another.
+	// EVERY client. Probing all of them both asserts each node answers
+	// after the fault schedule and forces one post-crash reply per node
+	// into the recorded history — the reply whose incarnation epoch the
+	// recorder holds against the floors set by that node's crashes.
 	probe := fmt.Sprintf("probe-%d", o.seed)
 	if err := retryOutage(ctx, func() error {
 		return clients[0].Register("r0").Write(ctx, []byte(probe))
 	}); err != nil {
 		return fmt.Errorf("final probe write: %w", err)
 	}
-	var got []byte
-	err = retryOutage(ctx, func() error {
-		var rerr error
-		got, rerr = clients[len(clients)-1].Register("r0").Read(ctx)
-		return rerr
-	})
-	if err != nil || string(got) != probe {
-		return fmt.Errorf("final probe read = %q, %v (want %q)", got, err, probe)
+	for i, c := range clients {
+		var got []byte
+		err = retryOutage(ctx, func() error {
+			var rerr error
+			got, rerr = c.Register("r0").Read(ctx)
+			return rerr
+		})
+		if err != nil {
+			return fmt.Errorf("final probe read through client %d: %v", i, err)
+		}
+		// Only the last client's value is asserted here: a wrong value from
+		// a dishonest node is recorded evidence for the verifier (which must
+		// flag it as an atomicity violation), not an operational failure.
+		if i == len(clients)-1 && string(got) != probe {
+			return fmt.Errorf("final probe read = %q (want %q)", got, probe)
+		}
 	}
 	fmt.Printf("  %d writes, %d reads, %d interrupted, %d crashes injected, %d processes SIGKILLed (live mesh)\n",
 		res.Writes, res.Reads, res.Interrupted, crashes, kr.kills)

@@ -3,8 +3,8 @@ package core
 import (
 	"context"
 	"hash/maphash"
+	"runtime"
 	"sync"
-	"time"
 
 	"recmem/internal/tag"
 	"recmem/internal/transport"
@@ -47,78 +47,10 @@ import (
 // mint the same timestamp for different values — but it forfeits the
 // per-process program order the synchronous path guarantees.
 
-// Future is the pending result of a submitted operation. It completes when
-// the operation's quorum rounds commit (or fail); an operation interrupted
-// by a crash completes with ErrCrashed and its invocation stays pending in
-// the history, exactly like its synchronous counterpart.
-type Future struct {
-	op   uint64
-	done chan struct{}
-	val  []byte
-	wit  tag.Tag
-	inc  uint64
-	err  error
-}
-
-// Op returns the operation id, usable for accounting as soon as the future
-// is created.
-func (f *Future) Op() uint64 { return f.op }
-
-// Done returns a channel closed when the operation completes.
-func (f *Future) Done() <-chan struct{} { return f.done }
-
-// Wait blocks until the operation completes or ctx is done. For reads the
-// returned value is the register's value (nil is the initial value ⊥); for
-// writes it is nil. Cancelling ctx abandons the wait, not the operation.
-func (f *Future) Wait(ctx context.Context) ([]byte, error) {
-	select {
-	case <-f.done:
-		return f.val, f.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-}
-
-// TagWitness returns the operation's tag witness once the future is done:
-// the tag the protocol adopted for the written or returned value. ok is
-// false before completion and for operations without a witness (a failed
-// operation, or a coalesced write whose value was superseded within its
-// batch — only the batch's surviving value carries the minted tag, because
-// a tag names exactly one committed value).
-func (f *Future) TagWitness() (wit tag.Tag, ok bool) {
-	select {
-	case <-f.done:
-		return f.wit, !f.wit.IsZero()
-	default:
-		return tag.Tag{}, false
-	}
-}
-
-// Incarnation returns the node incarnation epoch the operation completed
-// under (docs/adr/0006), once the future is done. ok is false before
-// completion and for failed operations, which never witness an epoch. Unlike
-// the tag witness, every successful operation carries one — including a
-// coalesced write whose value was superseded within its batch: its
-// acknowledgement still happened in a specific incarnation.
-func (f *Future) Incarnation() (epoch uint64, ok bool) {
-	select {
-	case <-f.done:
-		return f.inc, f.err == nil && f.inc != 0
-	default:
-		return 0, false
-	}
-}
-
-// complete resolves the future. Called exactly once.
-func (f *Future) complete(val []byte, wit tag.Tag, inc uint64, err error) {
-	f.val = val
-	f.wit = wit
-	f.inc = inc
-	f.err = err
-	close(f.done)
-}
-
-// batchSub is one submitted operation waiting in a register's queue.
+// batchSub is one submitted operation waiting in a register's queue. Subs
+// are engine-owned — created at submission, consumed by exactly one flush —
+// so they recycle through a pool: the steady-state submission path allocates
+// neither the sub nor (pool hits permitting) the future it carries.
 type batchSub struct {
 	read  bool
 	val   []byte
@@ -126,6 +58,24 @@ type batchSub struct {
 	op    uint64
 	epoch uint64
 	fut   *Future
+}
+
+// subPool recycles batchSubs; the engine is their sole owner (the submitter
+// only ever holds the future), so flush can release each one as soon as its
+// future completed.
+var subPool = sync.Pool{New: func() any { return &batchSub{} }}
+
+// newSub takes a sub from the pool and fills it.
+func newSub(read bool, val []byte, obs OpObserver, op, epoch uint64, fut *Future) *batchSub {
+	s := subPool.Get().(*batchSub)
+	s.read, s.val, s.obs, s.op, s.epoch, s.fut = read, val, obs, op, epoch, fut
+	return s
+}
+
+// putSub clears a consumed sub's references and recycles it.
+func putSub(s *batchSub) {
+	*s = batchSub{}
+	subPool.Put(s)
 }
 
 // engineShards is the number of locks the register-queue map is split
@@ -145,9 +95,12 @@ type engineShard struct {
 }
 
 // regQueue is the pending-submission queue of one register. running is true
-// while a dispatcher goroutine owns the register.
+// while a dispatcher goroutine owns the register. spare is the previous
+// batch's slice, recycled by the dispatcher so steady-state submission
+// appends into warm capacity instead of regrowing a nil slice per batch.
 type regQueue struct {
 	pending []*batchSub
+	spare   []*batchSub
 	running bool
 }
 
@@ -201,11 +154,14 @@ func (eng *engine) enqueueResolved(sh *engineShard, q *regQueue, reg string, sub
 // run dispatches batches for one register until its queue drains: each
 // iteration takes everything currently pending and flushes it as one batch,
 // so submissions arriving during a flush form the next batch — group commit.
+// The flushed slice is recycled as the queue's spare once its subs are
+// consumed, so a busy register's batches reuse one warm buffer.
 func (eng *engine) run(reg string, sh *engineShard, q *regQueue) {
 	for {
 		sh.mu.Lock()
 		batch := q.pending
-		q.pending = nil
+		q.pending = q.spare
+		q.spare = nil
 		if len(batch) == 0 {
 			q.running = false
 			sh.mu.Unlock()
@@ -213,6 +169,17 @@ func (eng *engine) run(reg string, sh *engineShard, q *regQueue) {
 		}
 		sh.mu.Unlock()
 		eng.flush(reg, batch)
+		// Every sub was consumed (its future completed) by the flush; only
+		// now — after the last pass over the batch — can they recycle.
+		for i, s := range batch {
+			putSub(s)
+			batch[i] = nil
+		}
+		sh.mu.Lock()
+		if q.spare == nil {
+			q.spare = batch[:0]
+		}
+		sh.mu.Unlock()
 	}
 }
 
@@ -220,38 +187,52 @@ func (eng *engine) run(reg string, sh *engineShard, q *regQueue) {
 // execution propagating the last submitted value, then all reads coalesce
 // into one read-protocol execution. Reads ordered after the batch's writes
 // is a valid linearization because every operation in the batch is
-// concurrent with every other.
+// concurrent with every other. Completion fires each future's registered
+// callback inline (docs/adr/0010); the batch is partitioned by two passes
+// over the slice instead of materializing per-kind sub-slices, and the
+// dispatcher recycles the consumed subs once the flush returns.
 func (eng *engine) flush(reg string, batch []*batchSub) {
 	nd := eng.nd
-	var writes, reads []*batchSub
-	for _, s := range batch {
+	writeCarrier, readCarrier := -1, -1
+	lastWrite := -1
+	var finalVal []byte
+	for i, s := range batch {
 		if s.read {
-			reads = append(reads, s)
+			if readCarrier < 0 {
+				readCarrier = i
+			}
 		} else {
-			writes = append(writes, s)
+			if writeCarrier < 0 {
+				writeCarrier = i
+			}
+			lastWrite = i
+			finalVal = s.val
 		}
 	}
 	ctx := context.Background() // rounds abort via crashCh on crash/close
-	if len(writes) > 0 {
-		carrier := writes[0].op
-		final := writes[len(writes)-1].val
-		wit, err := nd.writeProtocol(ctx, carrier, reg, final, true)
-		for i, s := range writes {
+	if writeCarrier >= 0 {
+		wit, err := nd.writeProtocol(ctx, batch[writeCarrier].op, reg, finalVal, true)
+		for i, s := range batch {
+			if s.read {
+				continue
+			}
 			// The batch mints one tag for its surviving (last) value; the
 			// overwritten submissions carry no witness — a tag names exactly
 			// one committed value.
 			w := tag.Tag{}
-			if i == len(writes)-1 {
+			if i == lastWrite {
 				w = wit
 			}
 			inc, err2 := nd.endOp(s.op, s.epoch, s.obs, err, nil, w)
 			s.fut.complete(nil, w, inc, err2)
 		}
 	}
-	if len(reads) > 0 {
-		carrier := reads[0].op
-		val, wit, err := nd.readProtocol(ctx, carrier, reg, true)
-		for _, s := range reads {
+	if readCarrier >= 0 {
+		val, wit, err := nd.readProtocol(ctx, batch[readCarrier].op, reg, true)
+		for _, s := range batch {
+			if !s.read {
+				continue
+			}
 			inc, err2 := nd.endOp(s.op, s.epoch, s.obs, err, val, wit)
 			s.fut.complete(val, wit, inc, err2)
 		}
@@ -265,19 +246,28 @@ func (eng *engine) flush(reg string, batch []*batchSub) {
 // process, oversized value, non-writer under RegularSW) are returned
 // immediately and leave no trace in the history.
 func (nd *Node) SubmitWrite(reg string, val []byte, obs OpObserver) (*Future, error) {
+	val = append([]byte(nil), val...) // copy once at the boundary
+	return nd.submitWriteOwned(reg, val, obs)
+}
+
+// submitWriteOwned is SubmitWrite minus the defensive copy: the caller
+// transfers ownership of val, which must never be mutated afterwards. The
+// remote server uses this through RegisterRef — its decoded request value is
+// already an owned copy, and copying it again would be the last avoidable
+// per-op allocation on the ingest path.
+func (nd *Node) submitWriteOwned(reg string, val []byte, obs OpObserver) (*Future, error) {
 	if len(val) > wire.MaxValueSize {
 		return nil, wire.ErrValueTooLarge
 	}
 	if nd.kind == RegularSW && nd.id != RegularWriter {
 		return nil, ErrNotWriter
 	}
-	val = append([]byte(nil), val...)
 	op, epoch, err := nd.beginOp(obs)
 	if err != nil {
 		return nil, err
 	}
-	fut := &Future{op: op, done: make(chan struct{})}
-	nd.eng.enqueue(reg, &batchSub{val: val, obs: obs, op: op, epoch: epoch, fut: fut})
+	fut := newFuture(op)
+	nd.eng.enqueue(reg, newSub(false, val, obs, op, epoch, fut))
 	return fut, nil
 }
 
@@ -289,18 +279,16 @@ func (nd *Node) SubmitRead(reg string, obs OpObserver) (*Future, error) {
 	if err != nil {
 		return nil, err
 	}
-	fut := &Future{op: op, done: make(chan struct{})}
-	nd.eng.enqueue(reg, &batchSub{read: true, obs: obs, op: op, epoch: epoch, fut: fut})
+	fut := newFuture(op)
+	nd.eng.enqueue(reg, newSub(true, nil, obs, op, epoch, fut))
 	return fut, nil
 }
 
-// flushWindow is the outbox's gather window: after waking, the flusher
-// waits this long before draining, so the sweeps of concurrently pipelined
-// rounds land in the same generation and share batch frames. Two orders of
-// magnitude below the protocol's default retransmission period and well
-// below a LAN round-trip, so it amortizes frames without moving the latency
-// needle; the synchronous (unbatched) path never pays it.
-const flushWindow = 50 * time.Microsecond
+// gatherYields caps the outbox's quiescence probe: the flusher drains once
+// the staged buffer stops growing between scheduler yields, or after this
+// many yields if producers keep staging — a continuously hot node then ships
+// large frames instead of stalling the flusher forever.
+const gatherYields = 64
 
 // outbox group-commits outgoing round broadcasts into per-destination batch
 // frames. Senders enqueue and return; a single flusher goroutine gathers for
@@ -310,7 +298,14 @@ type outbox struct {
 	nd      *Node
 	mu      sync.Mutex
 	buf     []wire.Envelope
+	spare   []wire.Envelope // recycled drain buffer, swapped with buf by the flusher
 	running bool
+
+	// flusher-owned scratch (at most one flushLoop runs at a time): the
+	// per-destination grouping map and order slice persist across drains
+	// instead of reallocating per generation.
+	perDest map[int32][]wire.Envelope
+	order   []int32
 }
 
 // enqueue stages a round's sweep for transmission. The sender id is stamped
@@ -337,26 +332,57 @@ func (ob *outbox) enqueue(envs ...wire.Envelope) {
 // batch support).
 func (ob *outbox) flushLoop() {
 	for {
-		time.Sleep(flushWindow)
+		// Gather at quiescence instead of after a fixed wall-clock window:
+		// yield the processor so every runnable producer — the register
+		// dispatchers staging their sweeps, handlers answering arrived
+		// envelopes — gets to stage into this generation, and drain once the
+		// buffer stops growing between yields. A fixed sleep here serializes
+		// into every quorum round-trip of the pipeline; yielding costs
+		// nothing once the staging burst is over but still coalesces exactly
+		// the rounds that were concurrently runnable.
+		prev := -1
+		for range gatherYields {
+			runtime.Gosched()
+			ob.mu.Lock()
+			n := len(ob.buf)
+			ob.mu.Unlock()
+			if n == prev {
+				break
+			}
+			prev = n
+		}
 		ob.mu.Lock()
 		buf := ob.buf
-		ob.buf = nil
+		ob.buf = ob.spare
+		ob.spare = nil
 		if len(buf) == 0 {
 			ob.running = false
 			ob.mu.Unlock()
 			return
 		}
 		ob.mu.Unlock()
-		perDest := make(map[int32][]wire.Envelope, ob.nd.n)
-		order := make([]int32, 0, ob.nd.n)
+		if ob.perDest == nil {
+			ob.perDest = make(map[int32][]wire.Envelope, ob.nd.n)
+		}
+		order := ob.order[:0]
 		for _, env := range buf {
-			if perDest[env.To] == nil {
+			if len(ob.perDest[env.To]) == 0 {
 				order = append(order, env.To)
 			}
-			perDest[env.To] = append(perDest[env.To], env)
+			ob.perDest[env.To] = append(ob.perDest[env.To], env)
 		}
 		for _, to := range order {
-			transport.SendAll(ob.nd.ep, perDest[to])
+			transport.SendAll(ob.nd.ep, ob.perDest[to])
+			ob.perDest[to] = ob.perDest[to][:0] // keep capacity, drop the group
 		}
+		ob.order = order[:0]
+		for i := range buf {
+			buf[i] = wire.Envelope{} // drop value references before recycling
+		}
+		ob.mu.Lock()
+		if ob.spare == nil {
+			ob.spare = buf[:0]
+		}
+		ob.mu.Unlock()
 	}
 }

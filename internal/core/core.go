@@ -222,6 +222,10 @@ type Node struct {
 	// here when both APIs write the same register at once.
 	wlocks sync.Map
 
+	// roundPool recycles per-round working sets (ack channel, scratch
+	// slices, retransmission timer); see roundState.
+	roundPool sync.Pool
+
 	listenerDone chan struct{}
 }
 

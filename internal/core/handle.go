@@ -139,6 +139,15 @@ func (r *RegisterRef) Read(ctx context.Context, mode ReadMode, obs OpObserver) (
 // SubmitWrite is Node.SubmitWrite through the cached handle: the submission
 // goes straight onto the pre-resolved register queue.
 func (r *RegisterRef) SubmitWrite(val []byte, obs OpObserver) (*Future, error) {
+	val = append([]byte(nil), val...) // copy once at the boundary
+	return r.SubmitWriteOwned(val, obs)
+}
+
+// SubmitWriteOwned is SubmitWrite minus the defensive copy: the caller
+// transfers ownership of val, which must never be mutated afterwards. The
+// remote server's decoded request value is already an owned copy, so this is
+// its ingest path.
+func (r *RegisterRef) SubmitWriteOwned(val []byte, obs OpObserver) (*Future, error) {
 	nd := r.nd
 	if len(val) > wire.MaxValueSize {
 		return nil, wire.ErrValueTooLarge
@@ -146,13 +155,12 @@ func (r *RegisterRef) SubmitWrite(val []byte, obs OpObserver) (*Future, error) {
 	if nd.kind == RegularSW && nd.id != RegularWriter {
 		return nil, ErrNotWriter
 	}
-	val = append([]byte(nil), val...)
 	op, epoch, err := nd.beginOp(obs)
 	if err != nil {
 		return nil, err
 	}
-	fut := &Future{op: op, done: make(chan struct{})}
-	nd.eng.enqueueResolved(r.sh, r.q, r.reg, &batchSub{val: val, obs: obs, op: op, epoch: epoch, fut: fut})
+	fut := newFuture(op)
+	nd.eng.enqueueResolved(r.sh, r.q, r.reg, newSub(false, val, obs, op, epoch, fut))
 	return fut, nil
 }
 
@@ -169,7 +177,7 @@ func (r *RegisterRef) SubmitRead(mode ReadMode, obs OpObserver) (*Future, error)
 	if err != nil {
 		return nil, err
 	}
-	fut := &Future{op: op, done: make(chan struct{})}
+	fut := newFuture(op)
 	if mode == ReadSafe {
 		go func() {
 			// Like engine rounds, the safe read aborts via crashCh on
@@ -180,7 +188,7 @@ func (r *RegisterRef) SubmitRead(mode ReadMode, obs OpObserver) (*Future, error)
 		}()
 		return fut, nil
 	}
-	nd.eng.enqueueResolved(r.sh, r.q, r.reg, &batchSub{read: true, obs: obs, op: op, epoch: epoch, fut: fut})
+	nd.eng.enqueueResolved(r.sh, r.q, r.reg, newSub(true, nil, obs, op, epoch, fut))
 	return fut, nil
 }
 

@@ -80,18 +80,19 @@ func (nd *Node) handleGroup(group []wire.Envelope) {
 }
 
 // routeAck delivers an acknowledgement to the round waiting for it, if any.
-// Stale acks (finished rounds, crashed operations) are dropped.
+// Stale acks (finished rounds, crashed operations) are dropped. The send
+// happens under nd.mu on purpose: a round deregisters its RPC under the same
+// lock before recycling its (pooled) channel, so holding the lock across the
+// non-blocking send is what makes "deregistered" mean "no sender left".
 func (nd *Node) routeAck(env wire.Envelope) {
 	nd.mu.Lock()
-	ch := nd.pending[env.RPC]
+	if ch := nd.pending[env.RPC]; ch != nil {
+		select {
+		case ch <- env:
+		default: // duplicate flood; fair-lossy channels may drop
+		}
+	}
 	nd.mu.Unlock()
-	if ch == nil {
-		return
-	}
-	select {
-	case ch <- env:
-	default: // duplicate flood; fair-lossy channels may drop
-	}
 }
 
 // servingLocked reports whether the process participates in the protocol

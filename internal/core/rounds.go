@@ -52,6 +52,59 @@ type roundOpts struct {
 	batched bool
 }
 
+// roundState is the per-round working set — the acknowledgement channel, the
+// destination and sweep scratch slices, and the retransmission timer — pooled
+// per node so a round's setup allocates only its result map (which escapes to
+// the protocol layer). The channel is safe to recycle because routeAck sends
+// only while holding nd.mu: once the round deregisters its RPC under the same
+// lock, no sender can hold a reference, and a post-deregistration drain
+// leaves the channel empty for the next round.
+type roundState struct {
+	ch    chan wire.Envelope
+	dests []int32
+	sweep []wire.Envelope
+	timer *time.Timer
+}
+
+// getRound takes a round state from the node's pool, with the timer armed.
+func (nd *Node) getRound() *roundState {
+	rs, _ := nd.roundPool.Get().(*roundState)
+	if rs == nil {
+		rs = &roundState{ch: make(chan wire.Envelope, 4*nd.n)}
+	}
+	if rs.timer == nil {
+		rs.timer = time.NewTimer(nd.opts.RetransmitEvery)
+	} else {
+		rs.timer.Reset(nd.opts.RetransmitEvery) // released drained and stopped
+	}
+	return rs
+}
+
+// putRound disarms and recycles a round state. The caller must already have
+// deregistered the round's RPC from nd.pending.
+func (nd *Node) putRound(rs *roundState) {
+	if !rs.timer.Stop() {
+		select {
+		case <-rs.timer.C:
+		default:
+		}
+	}
+	for {
+		select {
+		case <-rs.ch: // late duplicates staged before deregistration
+			continue
+		default:
+		}
+		break
+	}
+	rs.dests = rs.dests[:0]
+	for i := range rs.sweep {
+		rs.sweep[i] = wire.Envelope{} // drop value references
+	}
+	rs.sweep = rs.sweep[:0]
+	nd.roundPool.Put(rs)
+}
+
 // runRoundOpts is the fully general round executor; see round and roundOpts.
 func (nd *Node) runRoundOpts(ctx context.Context, op uint64, req wire.Envelope, o roundOpts) (map[int32]wire.Envelope, error) {
 	rpc := nd.newID()
@@ -62,26 +115,28 @@ func (nd *Node) runRoundOpts(ctx context.Context, op uint64, req wire.Envelope, 
 		quorum = nd.quorum
 	}
 
-	ch := make(chan wire.Envelope, 4*nd.n)
+	rs := nd.getRound()
 	nd.mu.Lock()
 	if !nd.servingLocked() {
 		state := nd.state
 		nd.mu.Unlock()
+		nd.putRound(rs)
 		if state == stateClosed {
 			return nil, ErrClosed
 		}
 		return nil, ErrCrashed
 	}
 	crashCh := nd.crashCh
-	nd.pending[rpc] = ch
+	nd.pending[rpc] = rs.ch
 	nd.mu.Unlock()
 	defer func() {
 		nd.mu.Lock()
 		delete(nd.pending, rpc)
 		nd.mu.Unlock()
+		nd.putRound(rs)
 	}()
 
-	dests := make([]int32, 0, nd.n)
+	dests := rs.dests
 	if o.to >= 0 {
 		dests = append(dests, o.to)
 	} else {
@@ -89,19 +144,20 @@ func (nd *Node) runRoundOpts(ctx context.Context, op uint64, req wire.Envelope, 
 			dests = append(dests, to)
 		}
 	}
+	rs.dests = dests
 
 	acks := make(map[int32]wire.Envelope, nd.n)
 	sweeps := 0
-	timer := time.NewTimer(nd.opts.RetransmitEvery)
-	defer timer.Stop()
 	for {
 		sweeps++
 		if o.batched {
-			sweep := make([]wire.Envelope, len(dests))
-			for i, to := range dests {
-				sweep[i] = req
-				sweep[i].To = to
+			sweep := rs.sweep[:0]
+			for _, to := range dests {
+				e := req
+				e.To = to
+				sweep = append(sweep, e)
 			}
+			rs.sweep = sweep
 			nd.ob.enqueue(sweep...)
 		} else {
 			for _, to := range dests {
@@ -113,7 +169,7 @@ func (nd *Node) runRoundOpts(ctx context.Context, op uint64, req wire.Envelope, 
 	collect:
 		for {
 			select {
-			case env := <-ch:
+			case env := <-rs.ch:
 				if _, dup := acks[env.From]; dup {
 					continue
 				}
@@ -127,8 +183,8 @@ func (nd *Node) runRoundOpts(ctx context.Context, op uint64, req wire.Envelope, 
 					nd.recordRound(op, sweeps*len(dests), sweeps-1)
 					return acks, nil
 				}
-			case <-timer.C:
-				timer.Reset(nd.opts.RetransmitEvery)
+			case <-rs.timer.C:
+				rs.timer.Reset(nd.opts.RetransmitEvery)
 				break collect // retransmission sweep
 			case <-crashCh:
 				return nil, ErrCrashed

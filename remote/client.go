@@ -312,13 +312,28 @@ func handshake(conn net.Conn, timeout time.Duration) (Info, error) {
 }
 
 // call is one in-flight request; it implements recmem.Future,
-// recmem.TagWitness and recmem.EpochWitness.
+// recmem.TagWitness and recmem.EpochWitness. Calls are the client-side
+// counterpart of the server's pooled completion path (docs/adr/0010): they
+// come from a pool, the done channel is lazy (a pipelined waiter usually
+// finds the reply already arrived in a group-committed burst and never
+// allocates it), and the pending map keyed by request id is the completion
+// token — whoever removes the entry completes the call exactly once.
+//
+// Recycling discipline: only the synchronous sole-owner paths (do,
+// remoteRegister.Read/Write, Info) release a call after its Wait returned —
+// the SubmitRead/SubmitWrite paths hand the call to the application as a
+// recmem.Future of unbounded lifetime, so those are never recycled and the
+// garbage collector takes them. A released call is therefore never aliased,
+// and the pool needs no generation counter here.
 type call struct {
 	cl   *Client
 	kind reqKind
 	id   uint64
-	done chan struct{}
-	// set before done is closed, immutable after:
+
+	mu   sync.Mutex
+	done bool
+	ch   chan struct{} // lazy; non-nil only if a waiter blocked
+	// set by complete under mu:
 	op   uint64
 	val  []byte
 	lat  time.Duration
@@ -328,43 +343,77 @@ type call struct {
 	err  error
 }
 
+// callPool recycles calls consumed by the synchronous request paths.
+var callPool = sync.Pool{New: func() any { return &call{} }}
+
+// closedCallCh is the pre-closed channel Done returns for completed calls.
+var closedCallCh = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// release recycles a completed call. Only a sole owner (a synchronous path
+// whose Wait returned) may call it.
+func (c *call) release() {
+	c.mu.Lock()
+	ok := c.done
+	c.mu.Unlock()
+	if !ok {
+		return // defensive: never recycle a pending call
+	}
+	*c = call{}
+	callPool.Put(c)
+}
+
 // Op returns the server-side operation id, 0 until Done.
 func (c *call) Op() uint64 {
-	select {
-	case <-c.done:
-		return c.op
-	default:
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.done {
 		return 0
 	}
+	return c.op
 }
 
 // TagWitness returns the operation's tag witness once done: the tag the
 // node adopted for the written or returned value. ok is false before
 // completion and for operations without a witness.
 func (c *call) TagWitness() (recmem.Tag, bool) {
-	select {
-	case <-c.done:
-		return c.tg, !c.tg.IsZero()
-	default:
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.done {
 		return tag.Tag{}, false
 	}
+	return c.tg, !c.tg.IsZero()
 }
 
 // Incarnation returns the incarnation epoch the node completed the
 // operation under (docs/adr/0006), once done. ok is false before completion
 // and for failed operations; a successful write or read always carries one.
 func (c *call) Incarnation() (uint64, bool) {
-	select {
-	case <-c.done:
-		return c.inc, c.err == nil && c.inc != 0
-	default:
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.done {
 		return 0, false
 	}
+	return c.inc, c.err == nil && c.inc != 0
 }
 
 // Done returns a channel closed when the response (or a connection error)
-// arrived.
-func (c *call) Done() <-chan struct{} { return c.done }
+// arrived; on a completed call it is a shared pre-closed channel, on a
+// pending one the call's lazily-materialized channel.
+func (c *call) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return closedCallCh
+	}
+	if c.ch == nil {
+		c.ch = make(chan struct{})
+	}
+	return c.ch
+}
 
 // Wait blocks for the response. Cancelling ctx abandons the operation: the
 // call is deregistered — completing with ctx's error for every waiter — so
@@ -372,9 +421,19 @@ func (c *call) Done() <-chan struct{} { return c.done }
 // entry for the connection's lifetime. The server may still execute the
 // operation; only the client-side wait is released.
 func (c *call) Wait(ctx context.Context) ([]byte, error) {
+	c.mu.Lock()
+	if c.done {
+		val, err := c.val, c.err
+		c.mu.Unlock()
+		return val, err
+	}
+	if c.ch == nil {
+		c.ch = make(chan struct{})
+	}
+	ch := c.ch
+	c.mu.Unlock()
 	select {
-	case <-c.done:
-		return c.val, c.err
+	case <-ch:
 	case <-ctx.Done():
 		if c.cl.deregister(c) {
 			// We won the race against the reader: no reply will complete
@@ -383,22 +442,37 @@ func (c *call) Wait(ctx context.Context) ([]byte, error) {
 		}
 		// Either we completed it above, or the reader (a reply or a
 		// connection failure) owns the entry and is about to.
-		<-c.done
-		return c.val, c.err
+		<-ch
 	}
+	c.mu.Lock()
+	val, err := c.val, c.err
+	c.mu.Unlock()
+	return val, err
 }
 
 func (c *call) complete(val []byte, op uint64, lat time.Duration, tg tag.Tag, inc uint64, err error) {
+	c.mu.Lock()
 	c.val, c.op, c.lat, c.tg, c.inc, c.err = val, op, lat, tg, inc, err
-	close(c.done)
+	c.done = true
+	ch := c.ch
+	c.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// completeInfo is complete for the Info reply, which additionally carries
+// the decoded identity.
+func (c *call) completeInfo(info Info) {
+	c.mu.Lock()
+	c.info = info
+	c.mu.Unlock()
 }
 
 // send registers a call and writes its request frame. The request id is a
 // field of the encoded frame (never patched in afterwards), so send
 // allocates the id before encoding.
 func (c *Client) send(req request) (*call, error) {
-	cl := &call{cl: c, kind: req.Kind, done: make(chan struct{})}
-
 	c.mu.Lock()
 	if c.sticky != nil {
 		err := c.sticky
@@ -412,6 +486,8 @@ func (c *Client) send(req request) (*call, error) {
 		// process.
 		return nil, fmt.Errorf("remote: %s: connection down, redialing: %w", c.addr, recmem.ErrDown)
 	}
+	cl := callPool.Get().(*call)
+	cl.cl, cl.kind = c, req.Kind
 	cw, gen := c.cw, c.gen
 	c.nextID++
 	cl.id = c.nextID
@@ -427,7 +503,10 @@ func (c *Client) send(req request) (*call, error) {
 	frame, err := appendRequestFrame(f.b[:0], req)
 	if err != nil {
 		putFrame(f)
-		c.deregister(cl)
+		if c.deregister(cl) {
+			*cl = call{} // never escaped; recycle directly
+			callPool.Put(cl)
+		}
 		return nil, err
 	}
 	f.b = frame
@@ -488,8 +567,8 @@ func (c *Client) readLoop(conn net.Conn, gen uint64) {
 			val = nil
 		}
 		if resp.Kind == reqInfo {
-			cl.info = Info{NodeID: int(resp.NodeID), N: int(resp.N), Quorum: int(resp.Quorum),
-				Algorithm: core.AlgorithmKind(resp.Algorithm).String(), Epoch: resp.Epoch}
+			cl.completeInfo(Info{NodeID: int(resp.NodeID), N: int(resp.N), Quorum: int(resp.Quorum),
+				Algorithm: core.AlgorithmKind(resp.Algorithm).String(), Epoch: resp.Epoch})
 		}
 		cl.complete(val, resp.Op, time.Duration(resp.LatencyUS)*time.Microsecond, resp.Tag, resp.Epoch, nil)
 	}
@@ -706,15 +785,17 @@ func (c *Client) stripeFor(name string) *Client {
 	return c.stripes[h%uint32(len(c.stripes))]
 }
 
-// do sends a request and waits it out. The call's result fields are only
-// touched through the done-gated Wait — an abandoned wait (ctx expiry)
-// leaves them to the reader goroutine.
+// do sends a request and waits it out, recycling the call once its Wait
+// returned — at that point the call is complete (even an abandoned wait
+// resolves it before returning), nothing else references it, and do is its
+// sole owner.
 func (c *Client) do(ctx context.Context, req request) error {
 	cl, err := c.send(req)
 	if err != nil {
 		return err
 	}
 	_, err = cl.Wait(ctx)
+	cl.release()
 	return err
 }
 
@@ -744,9 +825,14 @@ func (c *Client) Info(ctx context.Context) (Info, error) {
 		return Info{}, err
 	}
 	if _, err := cl.Wait(ctx); err != nil {
+		cl.release()
 		return Info{}, err
 	}
-	return cl.info, nil
+	cl.mu.Lock()
+	info := cl.info
+	cl.mu.Unlock()
+	cl.release()
+	return info, nil
 }
 
 // Crash fails the process behind the node: its volatile state is lost and
@@ -807,6 +893,11 @@ func opDeadlineUS(o recmem.OpOptions) uint32 {
 	return clampUS(o.Deadline.Microseconds())
 }
 
+// Read and Write are the synchronous sole-owner paths: the call never
+// escapes them (the value slice a read hands back is an owned copy made at
+// decode time, independent of the call), so after extracting the outcome
+// they release it to the pool — a steady-state synchronous op recycles its
+// call object end to end.
 func (r *remoteRegister) Read(ctx context.Context, o recmem.OpOptions) ([]byte, recmem.OpID, error) {
 	fut, err := r.SubmitRead(o)
 	if err != nil {
@@ -815,7 +906,9 @@ func (r *remoteRegister) Read(ctx context.Context, o recmem.OpOptions) ([]byte, 
 	val, err := fut.Wait(ctx)
 	setWitness(o, fut, err)
 	setEpoch(o, fut, err)
-	return val, recmem.OpID(fut.Op()), err
+	op := recmem.OpID(fut.Op())
+	fut.(*call).release()
+	return val, op, err
 }
 
 func (r *remoteRegister) Write(ctx context.Context, val []byte, o recmem.OpOptions) (recmem.OpID, error) {
@@ -826,7 +919,9 @@ func (r *remoteRegister) Write(ctx context.Context, val []byte, o recmem.OpOptio
 	_, err = fut.Wait(ctx)
 	setWitness(o, fut, err)
 	setEpoch(o, fut, err)
-	return recmem.OpID(fut.Op()), err
+	op := recmem.OpID(fut.Op())
+	fut.(*call).release()
+	return op, err
 }
 
 // setWitness resolves the WithWitness capture like every backend: the

@@ -1,0 +1,127 @@
+package remote
+
+// Regression tests for the callback-driven dispatch path (docs/adr/0010):
+// the server must not spawn a goroutine per operation, and the dispatch
+// counters must account for every operation's completion.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"recmem"
+	"recmem/internal/core"
+)
+
+// goroutineBudget is the per-connection allowance on top of the pre-burst
+// baseline: the dialed connection's own read/write goroutines, the server's
+// per-connection pair, and scheduler slack. The point of the bound is the
+// asymptote — 1000 in-flight ops must not mean hundreds of awaiting
+// goroutines, which is exactly what the pre-callback dispatch path did.
+const goroutineBudget = 24
+
+// TestDispatchGoroutineStability pins the tentpole's structural claim: a
+// 1k-op pipelined burst leaves the process goroutine count flat, because
+// dispatched operations ride completion callbacks instead of parked
+// awaiting goroutines.
+func TestDispatchGoroutineStability(t *testing.T) {
+	mesh := startMesh(t, 3, core.Persistent)
+	c := mesh.dial(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	regs := make([]*recmem.Register, 4)
+	for i := range regs {
+		regs[i] = c.Register(fmt.Sprintf("gs%d", i))
+	}
+	// Warm the path (dial handshake, first dispatchers, pools) before
+	// taking the baseline.
+	for i := range regs {
+		if err := regs[i].Write(ctx, []byte("warm")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseline := runtime.NumGoroutine()
+
+	const ops = 1000
+	val := bytes.Repeat([]byte("g"), 32)
+	futs := make([]*recmem.WriteFuture, 0, ops)
+	for i := 0; i < ops; i++ {
+		f, err := regs[i%len(regs)].SubmitWrite(val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	// Sample while the burst is in flight: this is where the old
+	// goroutine-per-op dispatch exploded.
+	inflight := runtime.NumGoroutine()
+	for _, f := range futs {
+		if err := f.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settled := runtime.NumGoroutine()
+
+	if inflight > baseline+goroutineBudget {
+		t.Errorf("goroutines mid-burst: %d, baseline %d — dispatch is spawning per-op goroutines (budget %d)",
+			inflight, baseline, goroutineBudget)
+	}
+	if settled > baseline+goroutineBudget {
+		t.Errorf("goroutines after burst: %d, baseline %d (budget %d)", settled, baseline, goroutineBudget)
+	}
+}
+
+// TestDispatchStats checks the dispatch counters end to end: every
+// submitted op completes through its callback, nothing stays in flight,
+// and the happy path never burns a deadline.
+func TestDispatchStats(t *testing.T) {
+	mesh := startMesh(t, 3, core.Persistent)
+	c := mesh.dial(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	srv := mesh.servers[0]
+	_, before, _ := srv.DispatchStats()
+
+	reg := c.Register("ds0")
+	const ops = 128
+	futs := make([]*recmem.WriteFuture, 0, ops)
+	for i := 0; i < ops; i++ {
+		f, err := reg.SubmitWrite([]byte("v"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	for _, f := range futs {
+		if err := f.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reg.Read(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// All replies are out; in-flight must drain to zero promptly (the
+	// callback runs before the reply is enqueued, but entry recycling is
+	// what decrements the gauge — poll briefly).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		inflight, completions, deadlines := srv.DispatchStats()
+		if inflight == 0 && completions >= before+ops+1 {
+			if deadlines != 0 {
+				t.Fatalf("deadline drops on the happy path: %d", deadlines)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dispatch stats never settled: inflight=%d completions=%d (want 0, ≥%d)",
+				inflight, completions, before+ops+1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -20,7 +20,6 @@ import (
 	"encoding/binary"
 	"io"
 	"sync"
-	"time"
 )
 
 // maxPooledFrame caps the capacity a recycled buffer may retain: a rare
@@ -98,26 +97,4 @@ func readFrameReuse(r io.Reader, buf []byte) (body, next []byte, err error) {
 		return nil, buf, err
 	}
 	return buf, buf, nil
-}
-
-// timerPool recycles the per-operation deadline timers of the server's
-// dispatch path; a pool hit makes bounding an operation allocation-free.
-var timerPool = sync.Pool{}
-
-func getTimer(d time.Duration) *time.Timer {
-	if t, ok := timerPool.Get().(*time.Timer); ok && t != nil {
-		t.Reset(d)
-		return t
-	}
-	return time.NewTimer(d)
-}
-
-func putTimer(t *time.Timer) {
-	if !t.Stop() {
-		select { // drain a fired, unconsumed timer before recycling
-		case <-t.C:
-		default:
-		}
-	}
-	timerPool.Put(t)
 }

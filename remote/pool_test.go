@@ -212,17 +212,17 @@ func TestConnWriterCoalesces(t *testing.T) {
 // burst carrying that many frames (WriterStats).
 func TestServerReplyGroupCommit(t *testing.T) {
 	s := &Server{}
-	resp := make(chan response, 16)
+	conn := &gateConn{entered: make(chan struct{}), release: make(chan struct{})}
+	c := &srvConn{s: s, conn: conn, wake: make(chan struct{}, 1)}
 	const queued = 5
 	for i := 1; i <= queued; i++ {
-		resp <- response{Kind: reqPing, ID: uint64(i)}
+		c.reply(response{Kind: reqPing, ID: uint64(i)})
 	}
-	conn := &gateConn{entered: make(chan struct{}), release: make(chan struct{})}
 	connDone := make(chan struct{})
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		s.writeReplies(conn, resp, connDone)
+		c.writeLoop(connDone)
 	}()
 	<-conn.entered // the writer is mid-write with its first burst
 	conn.release <- struct{}{}

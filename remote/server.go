@@ -86,6 +86,17 @@ type Server struct {
 	writeBursts atomic.Uint64
 	writeFrames atomic.Uint64
 
+	// wheel is the single per-server deadline wheel; the dispatch counters
+	// below observe the callback completion path (docs/adr/0010):
+	// inflight is the number of write/read ops dispatched into the engine
+	// whose entries have not been recycled yet, cbCompletions the replies
+	// delivered by the completion callback, deadlineDrops the server-side
+	// waits abandoned by the wheel.
+	wheel         *opWheel
+	inflight      atomic.Int64
+	cbCompletions atomic.Uint64
+	deadlineDrops atomic.Uint64
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -102,6 +113,17 @@ func (s *Server) WriterStats() (bursts, frames uint64) {
 	return s.writeBursts.Load(), s.writeFrames.Load()
 }
 
+// DispatchStats reports the callback-completion counters (docs/adr/0010):
+// inflight is the number of dispatched write/read operations not yet
+// recycled, completions the replies delivered by the engine-side completion
+// callback, deadlines the server-side waits the timing wheel abandoned.
+// completions + inflight covers every write/read ever dispatched; a steady
+// inflight under sustained load is the observable proof that dispatch is
+// goroutine-free AND leak-free.
+func (s *Server) DispatchStats() (inflight int64, completions, deadlines uint64) {
+	return s.inflight.Load(), s.cbCompletions.Load(), s.deadlineDrops.Load()
+}
+
 // Serve starts serving the control protocol on ln for node. It returns
 // immediately; use Done to wait and Close to stop. The server does not own
 // the node: closing the server leaves the node running.
@@ -114,6 +136,7 @@ func Serve(ln net.Listener, node *core.Node, opts ServerOptions) *Server {
 		stale: make(map[string]response),
 		conns: make(map[net.Conn]struct{}),
 		done:  make(chan struct{}),
+		wheel: newOpWheel(),
 	}
 	if s.opts.FreezeEpoch {
 		s.frozenEpoch = node.IncarnationEpoch()
@@ -147,6 +170,7 @@ func (s *Server) Close() error {
 		_ = c.Close()
 	}
 	s.wg.Wait()
+	s.wheel.stop()
 	return err
 }
 
@@ -183,11 +207,48 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// srvConn is one connection's server-side state: the socket plus the reply
+// queue its writer goroutine drains. The queue is a mutex-guarded slice with
+// a capacity-1 wake channel rather than a buffered channel on purpose:
+// replies are now enqueued by the engine's completion callback
+// (docs/adr/0010), which runs inline in a dispatch loop and must NEVER block
+// on a slow client — enqueueing is always non-blocking, and the queue's
+// growth is bounded by the client's own in-flight ops.
+type srvConn struct {
+	s    *Server
+	conn net.Conn
+
+	mu     sync.Mutex
+	queue  []response
+	spare  []response // recycled drain buffer, swapped with queue by the writer
+	closed bool       // writer gone; late replies are dropped
+	wake   chan struct{}
+}
+
+// reply enqueues a response for the connection writer. Never blocks; replies
+// after the writer exited (dead connection) are dropped, exactly as the
+// socket would have dropped them.
+func (c *srvConn) reply(r response) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.queue = append(c.queue, r)
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
 // serveConn runs one connection: a read loop decoding and dispatching
 // requests, and a single writer goroutine serializing response frames.
-// Operations are dispatched asynchronously and respond through the writer
-// as they complete — out of order, correlated by request id — so the read
-// loop never blocks on an operation and the connection pipelines.
+// Operations respond through the writer as they complete — out of order,
+// correlated by request id — so the read loop never blocks on an operation
+// and the connection pipelines. These two are the ONLY goroutines a
+// connection costs: write/read dispatch registers a completion callback
+// instead of spawning an awaiter (docs/adr/0010).
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -197,28 +258,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = conn.Close()
 	}()
 
-	resp := make(chan response, 128)
+	c := &srvConn{s: s, conn: conn, wake: make(chan struct{}, 1)}
 	connDone := make(chan struct{})
-	writerDone := make(chan struct{})
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		defer close(writerDone)
-		s.writeReplies(conn, resp, connDone)
+		c.writeLoop(connDone)
 	}()
-	// reply must also select on writerDone: when a stalled client wedges the
-	// writer (full resp channel, blocked writeFrame) and the connection then
-	// dies, the writer exits on the write error — without the writerDone arm
-	// a reply() caller (the read loop included) would block forever on the
-	// full channel, leaking the connection goroutines and hanging Close.
-	reply := func(r response) {
-		select {
-		case resp <- r:
-		case <-connDone:
-		case <-writerDone:
-		}
-	}
 
 	// The read loop reuses one frame buffer across requests (the decoder
 	// copies the value out, the intern table owns each register name once),
@@ -238,87 +285,118 @@ func (s *Server) serveConn(conn net.Conn) {
 			// kind) with an error response; drop the connection only on
 			// frames too broken to carry an id.
 			if len(body) >= 10 {
-				reply(response{Kind: reqKind(body[1] &^ byte(respFlag)), ID: binary.BigEndian.Uint64(body[2:]),
+				c.reply(response{Kind: reqKind(body[1] &^ byte(respFlag)), ID: binary.BigEndian.Uint64(body[2:]),
 					Code: codeBadRequest, Msg: err.Error()})
 				continue
 			}
 			break
 		}
-		s.dispatch(req, reply)
+		s.dispatch(req, c)
 	}
 	close(connDone)
 	writerWG.Wait()
 }
 
-// writeReplies is one connection's writer: it group-commits replies onto
-// the socket. Every wakeup drains ALL queued responses in one gulp, encodes
-// them back to back into one recycled buffer (length prefixes reserved in
-// place), and issues ONE gathered write — one syscall per burst of
-// out-of-order replies instead of one per reply, mirroring the WAL's fsync
-// group-commit. Bursts flush early past maxBurstBytes so a pileup of
-// maximal read replies cannot balloon the staging buffer. It returns when
-// connDone closes or a write fails (closing conn to unblock the read loop).
-func (s *Server) writeReplies(conn net.Conn, resp <-chan response, connDone <-chan struct{}) {
+// writeLoop is one connection's writer: it group-commits replies onto the
+// socket. Every wakeup drains ALL queued responses in one gulp, encodes them
+// back to back into one recycled buffer (length prefixes reserved in place),
+// and issues ONE gathered write — one syscall per burst of out-of-order
+// replies instead of one per reply, mirroring the WAL's fsync group-commit.
+// Bursts flush early past maxBurstBytes so a pileup of maximal read replies
+// cannot balloon the staging buffer. It returns when connDone closes or a
+// write fails (closing conn to unblock the read loop); on exit it marks the
+// connection closed so late completion callbacks drop their replies instead
+// of growing a queue nobody drains.
+func (c *srvConn) writeLoop(connDone <-chan struct{}) {
+	defer func() {
+		c.mu.Lock()
+		c.closed = true
+		c.queue, c.spare = nil, nil
+		c.mu.Unlock()
+	}()
 	wbuf := getFrame()
 	defer putFrame(wbuf)
 	for {
 		select {
-		case r := <-resp:
+		case <-c.wake:
+		case <-connDone:
+			return
+		}
+		for {
+			c.mu.Lock()
+			batch := c.queue
+			c.queue = c.spare
+			c.spare = nil
+			c.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
 			frame := wbuf.b[:0]
 			frames := uint64(0)
-			for {
+			for i := range batch {
 				var err error
-				frame, err = appendResponseFrame(frame, r)
+				frame, err = appendResponseFrame(frame, batch[i])
 				if err != nil {
 					// Unencodable response (oversized value): answer with
 					// an error response instead; this encode cannot fail.
 					frame, _ = appendResponseFrame(frame, response{
-						Kind: r.Kind, ID: r.ID, Code: codeGeneric, Msg: err.Error(),
+						Kind: batch[i].Kind, ID: batch[i].ID, Code: codeGeneric, Msg: err.Error(),
 					})
 				}
 				frames++
 				if len(frame) >= maxBurstBytes {
-					break
+					c.s.writeBursts.Add(1)
+					c.s.writeFrames.Add(frames)
+					frames = 0
+					if _, err := c.conn.Write(frame); err != nil {
+						_ = c.conn.Close() // unblocks the read loop
+						return
+					}
+					frame = frame[:0]
 				}
-				select {
-				case r = <-resp:
-					continue
-				default:
+			}
+			wbuf.b = frame[:0]
+			if len(frame) > 0 {
+				c.s.writeBursts.Add(1)
+				c.s.writeFrames.Add(frames)
+				if _, err := c.conn.Write(frame); err != nil {
+					_ = c.conn.Close() // unblocks the read loop
+					return
 				}
-				break
 			}
-			wbuf.b = frame
-			s.writeBursts.Add(1)
-			s.writeFrames.Add(frames)
-			if _, err := conn.Write(frame); err != nil {
-				_ = conn.Close() // unblocks the read loop
-				return
+			for i := range batch {
+				batch[i] = response{} // drop value references before recycling
 			}
-		case <-connDone:
-			return
+			c.mu.Lock()
+			if c.spare == nil {
+				c.spare = batch[:0]
+			}
+			c.mu.Unlock()
 		}
 	}
 }
 
-// dispatch executes one request, replying asynchronously for operations
-// that block.
-func (s *Server) dispatch(req request, reply func(response)) {
+// dispatch executes one request. Writes and reads respond asynchronously
+// through a completion callback on the operation's future — no goroutine is
+// spawned per op (docs/adr/0010); only the rare blocking recovery keeps its
+// own goroutine.
+func (s *Server) dispatch(req request, c *srvConn) {
 	switch req.Kind {
 	case reqPing:
-		reply(response{Kind: reqPing, ID: req.ID})
+		c.reply(response{Kind: reqPing, ID: req.ID})
 
 	case reqInfo:
-		reply(response{Kind: reqInfo, ID: req.ID,
+		c.reply(response{Kind: reqInfo, ID: req.ID,
 			NodeID: s.node.ID(), N: int32(s.node.N()), Quorum: int32(s.node.Quorum()),
 			Algorithm: uint8(s.node.Algorithm()),
 			Epoch:     s.epoch(s.node.IncarnationEpoch())})
 
 	case reqCrash:
 		if !s.node.Crash(nil) {
-			reply(errResponse(req, core.ErrDown))
+			c.reply(errResponse(req, core.ErrDown))
 			return
 		}
-		reply(response{Kind: reqCrash, ID: req.ID})
+		c.reply(response{Kind: reqCrash, ID: req.ID})
 
 	case reqRecover:
 		go func() {
@@ -326,63 +404,154 @@ func (s *Server) dispatch(req request, reply func(response)) {
 			defer cancel()
 			start := time.Now()
 			if err := s.node.Recover(ctx, nil, nil); err != nil {
-				reply(errResponse(req, err))
+				c.reply(errResponse(req, err))
 				return
 			}
-			reply(response{Kind: reqRecover, ID: req.ID,
+			c.reply(response{Kind: reqRecover, ID: req.ID,
 				LatencyUS: uint64(time.Since(start).Microseconds())})
 		}()
 
 	case reqWrite:
-		start := time.Now()
-		fut, err := s.ref(req.Reg).SubmitWrite(req.Value, core.OpObserver{})
+		// The decoded request value is already an owned copy; hand it to the
+		// engine without the defensive re-copy SubmitWrite would make.
+		fut, err := s.ref(req.Reg).SubmitWriteOwned(req.Value, core.OpObserver{})
 		if err != nil {
-			reply(errResponse(req, err))
+			c.reply(errResponse(req, err))
 			return
 		}
-		go func() {
-			if _, err := s.await(req, fut); err != nil {
-				reply(errResponse(req, err))
-				return
-			}
-			wit, _ := fut.TagWitness()
-			inc, _ := fut.Incarnation()
-			reply(response{Kind: reqWrite, ID: req.ID, Op: fut.Op(),
-				LatencyUS: uint64(time.Since(start).Microseconds()), Tag: wit,
-				Epoch: s.epoch(inc)})
-		}()
+		s.trackOp(c, req, fut)
 
 	case reqRead:
 		if req.Consistency > uint8(core.ReadSafe) {
-			reply(response{Kind: req.Kind, ID: req.ID, Code: codeBadRequest,
+			c.reply(response{Kind: req.Kind, ID: req.ID, Code: codeBadRequest,
 				Msg: fmt.Sprintf("unknown read-consistency byte %d", req.Consistency)})
 			return
 		}
 		fut, err := s.ref(req.Reg).SubmitRead(core.ReadMode(req.Consistency), core.OpObserver{})
 		if err != nil {
-			reply(errResponse(req, err))
+			c.reply(errResponse(req, err))
 			return
 		}
-		go func() {
-			val, err := s.await(req, fut)
-			if err != nil {
-				reply(errResponse(req, err))
-				return
-			}
-			wit, _ := fut.TagWitness()
-			inc, _ := fut.Incarnation()
-			resp := response{Kind: reqRead, ID: req.ID, Op: fut.Op(),
-				Present: val != nil, Value: val, Tag: wit, Epoch: s.epoch(inc)}
-			if s.opts.StaleReads {
-				resp = s.staleize(req.Reg, resp)
-			}
-			reply(resp)
-		}()
+		s.trackOp(c, req, fut)
 
 	default:
-		reply(response{Kind: req.Kind, ID: req.ID, Code: codeBadRequest,
+		c.reply(response{Kind: req.Kind, ID: req.ID, Code: codeBadRequest,
 			Msg: "unknown request kind"})
 	}
+}
+
+// opEntry tracks one dispatched write/read from submission to reply: the
+// completion callback's argument, the timing wheel's element, and the unit
+// of recycling for both itself and the operation's future. Exactly two
+// references exist while an op is in flight — the wheel's and the
+// callback's; claimed decides (exactly once) whether the reply comes from
+// the completion or from deadline expiry, and whoever drops the last
+// reference releases the future and recycles the entry.
+type opEntry struct {
+	srv   *Server
+	c     *srvConn
+	fut   *core.Future
+	kind  reqKind
+	id    uint64
+	reg   string // interned by the connection's decode table
+	start time.Time
+
+	claimed atomic.Bool
+	refs    atomic.Int32
+
+	// Wheel linkage; guarded by the wheel's mutex.
+	next, prev *opEntry
+	slot       int
+	laps       int
+	inWheel    bool
+}
+
+// entryPool recycles opEntries across operations.
+var entryPool = sync.Pool{New: func() any { return &opEntry{} }}
+
+// trackOp arms the deadline and registers the completion callback for a
+// dispatched operation. This replaces the goroutine the old dispatch spawned
+// per write/read: the reply is now built wherever the future completes (the
+// engine's dispatch loop) and enqueued on the connection's writer, and the
+// deadline lives in the server's single timing wheel.
+func (s *Server) trackOp(c *srvConn, req request, fut *core.Future) {
+	d := s.opts.OpTimeout
+	if req.DeadlineUS > 0 {
+		d = time.Duration(req.DeadlineUS) * time.Microsecond
+	}
+	e := entryPool.Get().(*opEntry)
+	e.srv, e.c, e.fut = s, c, fut
+	e.kind, e.id, e.reg = req.Kind, req.ID, req.Reg
+	e.start = time.Now()
+	s.inflight.Add(1)
+	e.refs.Store(2) // before add: the wheel may expire the entry immediately
+	if !s.wheel.add(e, d) {
+		e.refs.Add(-1) // stopped wheel (server closing): callback ref only
+	}
+	fut.OnDone(opDone, e)
+}
+
+// opDone is the completion callback for every dispatched write/read: it runs
+// on whatever goroutine completed the operation (the engine's register
+// dispatcher), unlinks the deadline, builds the response and enqueues it on
+// the connection writer — all non-blocking. If the deadline already claimed
+// the op, the reply was a timeout and this late completion only recycles.
+func opDone(fut *core.Future, arg any) {
+	e := arg.(*opEntry)
+	s := e.srv
+	inWheel := s.wheel.remove(e)
+	if e.claimed.CompareAndSwap(false, true) {
+		s.cbCompletions.Add(1)
+		val, err := fut.Wait(context.Background()) // done: returns immediately
+		if err != nil {
+			e.c.reply(errResponseAt(e.kind, e.id, err))
+		} else {
+			wit, _ := fut.TagWitness()
+			inc, _ := fut.Incarnation()
+			if e.kind == reqWrite {
+				e.c.reply(response{Kind: reqWrite, ID: e.id, Op: fut.Op(),
+					LatencyUS: uint64(time.Since(e.start).Microseconds()), Tag: wit,
+					Epoch: s.epoch(inc)})
+			} else {
+				resp := response{Kind: reqRead, ID: e.id, Op: fut.Op(),
+					Present: val != nil, Value: val, Tag: wit, Epoch: s.epoch(inc)}
+				if s.opts.StaleReads {
+					resp = s.staleize(e.reg, resp)
+				}
+				e.c.reply(resp)
+			}
+		}
+	}
+	if inWheel {
+		// Completing first consumed the wheel's reference too.
+		e.dropRef()
+	}
+	e.dropRef()
+}
+
+// expire is the wheel's expiry action: reply DeadlineExceeded if the op is
+// still unclaimed, then drop the wheel's reference. The operation itself
+// keeps running — a deadline only abandons the server-side wait — and its
+// eventual completion recycles the entry.
+func (e *opEntry) expire() {
+	if e.claimed.CompareAndSwap(false, true) {
+		e.srv.deadlineDrops.Add(1)
+		e.c.reply(errResponseAt(e.kind, e.id, context.DeadlineExceeded))
+	}
+	e.dropRef()
+}
+
+// dropRef releases one of the entry's two references; the last one recycles
+// the entry and — as the future's sole owner — the future itself.
+func (e *opEntry) dropRef() {
+	if e.refs.Add(-1) != 0 {
+		return
+	}
+	e.srv.inflight.Add(-1)
+	fut := e.fut
+	*e = opEntry{}
+	entryPool.Put(e)
+	fut.Release()
 }
 
 // epoch resolves the incarnation epoch a reply reports: the honest one, or
@@ -411,27 +580,6 @@ func (s *Server) staleize(reg string, fresh response) response {
 	return pinned
 }
 
-// await blocks on fut with the request's deadline (or the server default)
-// enforced by a pooled timer — waiting out an operation costs no context or
-// timer allocation in steady state, unlike the context.WithTimeout per
-// operation it replaced. The timeout abandons only the server-side wait,
-// exactly as the old context expiry did; the engine still runs the
-// operation to completion.
-func (s *Server) await(req request, fut *core.Future) ([]byte, error) {
-	d := s.opts.OpTimeout
-	if req.DeadlineUS > 0 {
-		d = time.Duration(req.DeadlineUS) * time.Microsecond
-	}
-	t := getTimer(d)
-	defer putTimer(t)
-	select {
-	case <-fut.Done():
-		return fut.Wait(context.Background())
-	case <-t.C:
-		return nil, context.DeadlineExceeded
-	}
-}
-
 // opCtx builds the operation context from the request deadline or the
 // server default; used by the recovery path, whose context really does
 // cancel server-side work.
@@ -445,6 +593,12 @@ func (s *Server) opCtx(req request) (context.Context, context.CancelFunc) {
 
 // errResponse maps an operation error to its wire code.
 func errResponse(req request, err error) response {
+	return errResponseAt(req.Kind, req.ID, err)
+}
+
+// errResponseAt is errResponse when only the request's kind and id survive
+// (the completion callback's opEntry, not the decoded request).
+func errResponseAt(kind reqKind, id uint64, err error) response {
 	code := codeGeneric
 	switch {
 	case errors.Is(err, core.ErrCrashed):
@@ -464,5 +618,5 @@ func errResponse(req request, err error) response {
 	case errors.Is(err, context.DeadlineExceeded):
 		code = codeDeadline
 	}
-	return response{Kind: req.Kind, ID: req.ID, Code: code, Msg: err.Error()}
+	return response{Kind: kind, ID: id, Code: code, Msg: err.Error()}
 }

@@ -1,0 +1,157 @@
+package remote
+
+import (
+	"sync"
+	"time"
+)
+
+// This file implements the server's single deadline timing wheel
+// (docs/adr/0010). Before the callback-completion refactor every dispatched
+// write/read armed its own timer (pooled, but still one runtime timer per
+// in-flight op) inside its own awaiting goroutine. The wheel replaces all of
+// them with ONE ticker goroutine per server: entries hash into coarse slots
+// by expiry tick, an intrusive doubly-linked list per slot makes both expiry
+// and early removal O(1), and completion (the overwhelmingly common case)
+// unlinks the entry immediately — an entry's lifetime is its operation's,
+// not its deadline's. Coarse ticks are fine here: a deadline only abandons
+// the server-side wait, it never cancels the operation.
+
+// wheelTick is the expiry resolution; wheelSlots the ring size. One lap is
+// wheelTick*wheelSlots (~5s); longer deadlines (the 1-minute default) ride
+// the lap counter.
+const (
+	wheelTick  = 20 * time.Millisecond
+	wheelSlots = 256
+)
+
+// opWheel is the per-server deadline wheel. All linkage fields of the
+// entries it holds are guarded by mu.
+type opWheel struct {
+	mu      sync.Mutex
+	slots   [wheelSlots]*opEntry
+	pos     int
+	stopped bool
+
+	ticker *time.Ticker
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+func newOpWheel() *opWheel {
+	w := &opWheel{ticker: time.NewTicker(wheelTick), done: make(chan struct{})}
+	w.wg.Add(1)
+	go w.run()
+	return w
+}
+
+// add schedules e to expire after d (rounded up to the next tick). It
+// reports false — and schedules nothing — once the wheel is stopped.
+func (w *opWheel) add(e *opEntry, d time.Duration) bool {
+	ticks := int(d/wheelTick) + 1
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return false
+	}
+	slot := (w.pos + ticks) % wheelSlots
+	e.laps = ticks / wheelSlots
+	e.slot = slot
+	e.inWheel = true
+	e.prev = nil
+	e.next = w.slots[slot]
+	if e.next != nil {
+		e.next.prev = e
+	}
+	w.slots[slot] = e
+	w.mu.Unlock()
+	return true
+}
+
+// remove unlinks e if the wheel still holds it, reporting whether it did —
+// the caller that sees true has taken over the wheel's reference on e.
+func (w *opWheel) remove(e *opEntry) bool {
+	w.mu.Lock()
+	ok := e.inWheel
+	if ok {
+		w.unlink(e)
+	}
+	w.mu.Unlock()
+	return ok
+}
+
+// unlink detaches e from its slot list. Caller holds mu.
+func (w *opWheel) unlink(e *opEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		w.slots[e.slot] = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	e.next, e.prev = nil, nil
+	e.inWheel = false
+}
+
+// run advances the wheel one slot per tick, expiring the entries whose laps
+// ran out. Entries are unlinked under the lock and expired outside it (an
+// expiry replies through the connection queue).
+func (w *opWheel) run() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.ticker.C:
+			var expired *opEntry
+			w.mu.Lock()
+			w.pos = (w.pos + 1) % wheelSlots
+			for e := w.slots[w.pos]; e != nil; {
+				next := e.next
+				if e.laps > 0 {
+					e.laps--
+				} else {
+					w.unlink(e)
+					e.next = expired // chain through the (now free) link
+					expired = e
+				}
+				e = next
+			}
+			w.mu.Unlock()
+			for e := expired; e != nil; {
+				next := e.next
+				e.next = nil
+				e.expire()
+				e = next
+			}
+		case <-w.done:
+			return
+		}
+	}
+}
+
+// stop halts the ticker and drops the wheel's reference on every remaining
+// entry without replying (stop runs during server Close; the connections are
+// gone). Late completions still find a working remove().
+func (w *opWheel) stop() {
+	close(w.done)
+	w.ticker.Stop()
+	w.wg.Wait()
+	var orphans *opEntry
+	w.mu.Lock()
+	w.stopped = true
+	for i := range w.slots {
+		for e := w.slots[i]; e != nil; {
+			next := e.next
+			w.unlink(e)
+			e.next = orphans
+			orphans = e
+			e = next
+		}
+	}
+	w.mu.Unlock()
+	for e := orphans; e != nil; {
+		next := e.next
+		e.next = nil
+		e.dropRef()
+		e = next
+	}
+}

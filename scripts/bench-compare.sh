@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# bench-compare.sh — interleaved HEAD-vs-baseline comparison of the remote
+# hot-path benchmarks.
+#
+# Usage: scripts/bench-compare.sh [baseline-ref]      (default HEAD~1)
+#
+# Builds the remote package's test binary twice — once from the baseline ref
+# (in a throwaway git worktree) and once from the working tree — then runs
+# them INTERLEAVED (base, head, base, head, …) rather than back to back, so
+# slow drift of the machine (thermal state, background load) lands evenly on
+# both sides instead of biasing whichever ran second. The collected samples
+# go through benchstat when it is installed; otherwise a built-in awk
+# summary reports per-benchmark means and deltas.
+#
+# Knobs (environment):
+#   COUNT      samples per side               (default 5)
+#   BENCH      -test.bench regexp             (default BenchmarkRemote)
+#   BENCHTIME  -test.benchtime per sample     (default 1s)
+#   OUT_DIR    keep base.txt/head.txt + summary.txt here (for CI artifacts)
+set -euo pipefail
+
+BASE_REF="${1:-HEAD~1}"
+COUNT="${COUNT:-5}"
+BENCH="${BENCH:-BenchmarkRemote}"
+BENCHTIME="${BENCHTIME:-1s}"
+OUT_DIR="${OUT_DIR:-}"
+
+root="$(git rev-parse --show-toplevel)"
+tmp="$(mktemp -d)"
+cleanup() {
+    git -C "$root" worktree remove --force "$tmp/base" >/dev/null 2>&1 || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "bench-compare: $BASE_REF vs working tree ($COUNT interleaved samples, $BENCH, $BENCHTIME each)"
+
+git -C "$root" worktree add --detach "$tmp/base" "$BASE_REF" >/dev/null 2>&1
+(cd "$tmp/base" && go test -c -o "$tmp/base.test" ./remote/)
+(cd "$root" && go test -c -o "$tmp/head.test" ./remote/)
+
+: > "$tmp/base.txt"
+: > "$tmp/head.txt"
+for i in $(seq "$COUNT"); do
+    echo "  sample $i/$COUNT"
+    "$tmp/base.test" -test.run '^$' -test.bench "$BENCH" -test.benchmem \
+        -test.benchtime "$BENCHTIME" >> "$tmp/base.txt"
+    "$tmp/head.test" -test.run '^$' -test.bench "$BENCH" -test.benchmem \
+        -test.benchtime "$BENCHTIME" >> "$tmp/head.txt"
+done
+
+summarize() {
+    if command -v benchstat >/dev/null 2>&1; then
+        benchstat "$tmp/base.txt" "$tmp/head.txt"
+    else
+        echo "(benchstat not installed; built-in mean comparison)"
+        awk '
+            FNR == 1 { file++ }
+            /^Benchmark/ {
+                name = $1
+                for (i = 2; i <= NF; i++) {
+                    if ($(i) == "ns/op")     { ns[file, name] += $(i-1); n[file, name]++ }
+                    if ($(i) == "allocs/op") { al[file, name] += $(i-1) }
+                }
+                seen[name] = 1
+            }
+            END {
+                printf "%-30s %14s %14s %9s %14s %14s\n", "benchmark", "base ns/op", "head ns/op", "delta", "base allocs", "head allocs"
+                for (name in seen) {
+                    if (!n[1, name] || !n[2, name]) continue
+                    b = ns[1, name] / n[1, name]; h = ns[2, name] / n[2, name]
+                    ba = al[1, name] / n[1, name]; ha = al[2, name] / n[2, name]
+                    printf "%-30s %14.0f %14.0f %8.1f%% %14.1f %14.1f\n", name, b, h, (h - b) * 100.0 / b, ba, ha
+                }
+            }' "$tmp/base.txt" "$tmp/head.txt"
+    fi
+}
+
+echo
+summarize | tee "$tmp/summary.txt"
+
+if [ -n "$OUT_DIR" ]; then
+    mkdir -p "$OUT_DIR"
+    cp "$tmp/base.txt" "$OUT_DIR/bench-base.txt"
+    cp "$tmp/head.txt" "$OUT_DIR/bench-head.txt"
+    cp "$tmp/summary.txt" "$OUT_DIR/bench-compare.txt"
+fi
